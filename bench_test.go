@@ -1,0 +1,211 @@
+package efl
+
+// One testing.B benchmark per table/figure of the paper's evaluation
+// (§4.2), plus the ablations from DESIGN.md. Each benchmark runs a
+// scaled-down campaign per iteration and reports the headline quantity of
+// its artefact as a custom metric, so `go test -bench=. -benchmem`
+// regenerates the whole evaluation at smoke scale. The full-scale
+// regeneration (paper-sized runs and 1,024 workloads) is cmd/experiments.
+
+import (
+	"math"
+	"testing"
+
+	"efl/internal/experiments"
+	"efl/internal/sim"
+)
+
+// benchOpt is the smoke-scale campaign configuration used by the
+// regeneration benchmarks.
+func benchOpt() experiments.Options {
+	return experiments.Options{
+		Seed:       1,
+		Runs:       80,
+		Workloads:  24,
+		DeployRuns: 1,
+	}
+}
+
+// BenchmarkTableIID regenerates the §4.2 MBPTA-compliance result: all
+// benchmarks' execution times under EFL pass the Wald-Wolfowitz and
+// Kolmogorov-Smirnov tests at alpha = 0.05. Reported metric: fraction of
+// benchmarks passing.
+func BenchmarkTableIID(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opt := benchOpt()
+		opt.Runs = 120
+		res, err := experiments.IIDTable(opt, 500)
+		if err != nil {
+			b.Fatal(err)
+		}
+		passed := 0
+		for _, row := range res.Rows {
+			if row.Passed {
+				passed++
+			}
+		}
+		b.ReportMetric(float64(passed)/float64(len(res.Rows)), "iid-pass-fraction")
+	}
+}
+
+// BenchmarkFigure3 regenerates Figure 3: per-benchmark pWCET estimates for
+// EFL{250,500,1000} and CP{1,2,4} normalised to CP2. Reported metrics: the
+// geometric-mean normalised pWCET of EFL at its best MID, and of CP4.
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure3(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		geoEFL, geoCP4 := 1.0, 1.0
+		for _, row := range res.Rows {
+			_, best := row.BestEFL()
+			geoEFL *= best
+			geoCP4 *= row.CP[4]
+		}
+		n := float64(len(res.Rows))
+		b.ReportMetric(pow(geoEFL, 1/n), "geomean-EFLbest-vs-CP2")
+		b.ReportMetric(pow(geoCP4, 1/n), "geomean-CP4-vs-CP2")
+	}
+}
+
+// BenchmarkFigure4 regenerates Figure 4: the wgIPC and waIPC improvement
+// S-curves of EFL over CP across random 4-benchmark workloads. Reported
+// metrics: mean improvements and EFL's win fraction on guaranteed
+// performance.
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure4(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Guaranteed.MeanGain, "wgIPC-mean-gain")
+		b.ReportMetric(res.Average.MeanGain, "waIPC-mean-gain")
+		b.ReportMetric(float64(res.Guaranteed.EFLWins)/float64(res.Guaranteed.Workloads), "wgIPC-win-fraction")
+	}
+}
+
+// BenchmarkTableSetup regenerates the §4.1 experimental-setup table
+// (platform parameters and benchmark characterisation).
+func BenchmarkTableSetup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RenderSetup(sim.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationEq1 regenerates ablation A1: Equation 1 and the exact
+// eviction model versus the simulated TR cache. Reported metric: the
+// maximum absolute error of the exact model.
+func BenchmarkAblationEq1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.AblationEq1(7, 2000, []int{1, 4, 16, 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxErr := 0.0
+		for _, p := range points {
+			if e := abs(p.Exact - p.Measured); e > maxErr {
+				maxErr = e
+			}
+		}
+		b.ReportMetric(maxErr, "exact-model-max-abs-err")
+	}
+}
+
+// BenchmarkAblationFixedMID regenerates ablation A2: i.i.d. compliance
+// with randomised versus deterministic inter-eviction delays. Reported
+// metric: pass fractions under each regime.
+func BenchmarkAblationFixedMID(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opt := benchOpt()
+		opt.Runs = 100
+		rows, err := experiments.AblationFixedMID(opt, 500)
+		if err != nil {
+			b.Fatal(err)
+		}
+		randPass, fixedPass := 0, 0
+		for _, r := range rows {
+			if r.RandomPassed {
+				randPass++
+			}
+			if r.FixedPassed {
+				fixedPass++
+			}
+		}
+		b.ReportMetric(float64(randPass)/float64(len(rows)), "random-MID-pass-fraction")
+		b.ReportMetric(float64(fixedPass)/float64(len(rows)), "fixed-MID-pass-fraction")
+	}
+}
+
+// BenchmarkAblationLRU regenerates ablation A3: the time-deterministic
+// platform yields a single execution time per layout (nothing for EVT to
+// fit), while the time-randomised platform yields a distribution. Reported
+// metric: distinct execution times on each platform.
+func BenchmarkAblationLRU(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opt := benchOpt()
+		opt.Runs = 40
+		rows, err := experiments.AblationLRU(opt, []string{"CA", "PN"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var td, tr float64
+		for _, r := range rows {
+			td += float64(r.TDDistinctTimes)
+			tr += float64(r.TRDistinctTimes)
+		}
+		b.ReportMetric(td/float64(len(rows)), "TD-distinct-times")
+		b.ReportMetric(tr/float64(len(rows)), "TR-distinct-times")
+	}
+}
+
+func pow(x, e float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Pow(x, e)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// BenchmarkAblationWriteThrough regenerates ablation A4 (paper footnote
+// 5): DL1 write policies under EFL. Reported metric: the WT+allocate
+// slowdown over write-back for the store-heavy CA kernel.
+func BenchmarkAblationWriteThrough(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opt := benchOpt()
+		opt.Runs = 25
+		rows, err := experiments.AblationWriteThrough(opt, 500, []string{"CA"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].WTAllocate/rows[0].WriteBack, "WTalloc-vs-WB-slowdown")
+	}
+}
+
+// BenchmarkMIDSweep regenerates the E6 extension: the pWCET-vs-MID curve.
+// Reported metric: how many benchmarks prefer the lowest MID in the sweep
+// (the paper's "especially for low MID values").
+func BenchmarkMIDSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opt := benchOpt()
+		res, err := experiments.MIDSweep(opt, []int64{250, 500, 1000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		low := 0
+		for _, row := range res.Rows {
+			if row.BestMID == 250 {
+				low++
+			}
+		}
+		b.ReportMetric(float64(low)/float64(len(res.Rows)), "prefer-lowest-MID-fraction")
+	}
+}

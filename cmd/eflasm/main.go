@@ -1,0 +1,78 @@
+// Command eflasm assembles, disassembles and functionally executes
+// programs in the repository's tiny RISC ISA.
+//
+// Usage:
+//
+//	eflasm -run prog.s              # assemble + execute, print registers
+//	eflasm -dis prog.s              # round-trip through the disassembler
+//	eflasm -dump-bench CN           # disassemble a built-in kernel
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"efl/internal/bench"
+	"efl/internal/isa"
+)
+
+func main() {
+	var (
+		runFile  = flag.String("run", "", "assemble and execute the file")
+		disFile  = flag.String("dis", "", "assemble the file and print its disassembly")
+		dumpCode = flag.String("dump-bench", "", "print a built-in kernel's disassembly")
+		maxSteps = flag.Uint64("max-steps", 10_000_000, "execution budget")
+	)
+	flag.Parse()
+
+	switch {
+	case *runFile != "":
+		p := assembleFile(*runFile)
+		m, err := isa.NewMachine(p)
+		if err != nil {
+			fatal("%v", err)
+		}
+		steps, err := m.Run(*maxSteps)
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("%s: %d instructions retired\n", p.Name, steps)
+		for r := 0; r < isa.NumRegs; r++ {
+			if m.Regs[r] != 0 {
+				fmt.Printf("  r%-2d = %d\n", r, m.Regs[r])
+			}
+		}
+	case *disFile != "":
+		fmt.Print(isa.Disassemble(assembleFile(*disFile)))
+	case *dumpCode != "":
+		s, err := bench.ByCode(*dumpCode)
+		if err != nil {
+			fatal("%v", err)
+		}
+		p := s.Build()
+		fmt.Printf("; %s (%s): %s\n; %d instructions, %d bytes of data\n",
+			s.Code, s.Name, s.Description, len(p.Code), p.SegmentSize())
+		fmt.Print(isa.Disassemble(p))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func assembleFile(path string) *isa.Program {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	p, err := isa.Assemble(path, string(src))
+	if err != nil {
+		fatal("%v", err)
+	}
+	return p
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "eflasm: "+format+"\n", args...)
+	os.Exit(1)
+}

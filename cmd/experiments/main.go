@@ -1,0 +1,183 @@
+// Command experiments regenerates the paper's evaluation artefacts.
+//
+// Usage:
+//
+//	experiments -exp setup                 # §4.1 platform + benchmark table
+//	experiments -exp iid  [-runs 300]      # §4.2 MBPTA compliance table
+//	experiments -exp fig3 [-runs 300]      # Figure 3 (pWCET vs CP, normalised to CP2)
+//	experiments -exp fig4 [-workloads 1024]# Figure 4 (wgIPC/waIPC S-curves)
+//	experiments -exp eq1                   # ablation A1 (Equation 1)
+//	experiments -exp fixedmid              # ablation A2 (randomised vs fixed MID)
+//	experiments -exp lru                   # ablation A3 (TD vs TR platform)
+//	experiments -exp wt                    # ablation A4 (DL1 write policy, footnote 5)
+//	experiments -exp midsweep              # E6 extension: pWCET vs MID curve
+//	experiments -exp convergence           # E7 extension: MBPTA convergence study
+//	experiments -exp all                   # everything, paper order
+//
+// Add -csv to also emit machine-readable output where available, -seed to
+// change the master seed, and -v for per-campaign progress.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"efl/internal/experiments"
+	"efl/internal/sim"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "all", "experiment: setup|iid|fig3|fig4|eq1|fixedmid|lru|all")
+		runs      = flag.Int("runs", 300, "measurement runs per MBPTA campaign")
+		workloads = flag.Int("workloads", 1024, "random workloads for Figure 4")
+		deploy    = flag.Int("deployruns", 2, "deployment runs averaged per workload config")
+		seed      = flag.Uint64("seed", 1, "master seed")
+		mid       = flag.Int64("mid", 500, "MID for the iid/fixedmid experiments")
+		csv       = flag.Bool("csv", false, "also print CSV output where available")
+		verbose   = flag.Bool("v", false, "per-campaign progress on stderr")
+	)
+	flag.Parse()
+
+	opt := experiments.Options{
+		Seed:       *seed,
+		Runs:       *runs,
+		Workloads:  *workloads,
+		DeployRuns: *deploy,
+	}
+	if *verbose {
+		opt.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+
+	run := func(name string, f func() error) {
+		start := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	want := func(name string) bool { return *exp == name || *exp == "all" }
+
+	if want("setup") {
+		run("setup", func() error {
+			text, err := experiments.RenderSetup(sim.DefaultConfig())
+			if err != nil {
+				return err
+			}
+			fmt.Println(text)
+			return nil
+		})
+	}
+	if want("iid") {
+		run("iid", func() error {
+			res, err := experiments.IIDTable(opt, *mid)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
+			return nil
+		})
+	}
+	if want("fig3") {
+		run("fig3", func() error {
+			res, err := experiments.Figure3(opt)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
+			if *csv {
+				fmt.Println(res.CSV())
+			}
+			return nil
+		})
+	}
+	if want("fig4") {
+		run("fig4", func() error {
+			res, err := experiments.Figure4(opt)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
+			fmt.Println(res.RenderCurves(72, 14))
+			if *csv {
+				fmt.Println(res.CurveCSV())
+			}
+			return nil
+		})
+	}
+	if want("eq1") {
+		run("eq1", func() error {
+			points, err := experiments.AblationEq1(*seed, 20000, []int{1, 2, 4, 8, 16, 32, 64, 128})
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderEq1(points))
+			return nil
+		})
+	}
+	if want("fixedmid") {
+		run("fixedmid", func() error {
+			rows, err := experiments.AblationFixedMID(opt, *mid)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderFixedMID(rows, *mid))
+			return nil
+		})
+	}
+	if want("convergence") {
+		run("convergence", func() error {
+			res, err := experiments.ConvergenceStudy(opt, *mid, nil,
+				[]string{"ID", "CN", "CA", "II", "PN", "A2"})
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
+			return nil
+		})
+	}
+	if want("midsweep") {
+		run("midsweep", func() error {
+			res, err := experiments.MIDSweep(opt, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.Render())
+			if *csv {
+				fmt.Println(res.CSV())
+			}
+			return nil
+		})
+	}
+	if want("wt") {
+		run("wt", func() error {
+			rows, err := experiments.AblationWriteThrough(opt, *mid, []string{"CA", "PU", "RS", "A2"})
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderWriteThrough(rows, *mid))
+			return nil
+		})
+	}
+	if want("lru") {
+		run("lru", func() error {
+			rows, err := experiments.AblationLRU(opt, []string{"ID", "CA", "PN", "A2"})
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderLRU(rows))
+			return nil
+		})
+	}
+	switch *exp {
+	case "setup", "iid", "fig3", "fig4", "eq1", "fixedmid", "wt", "lru", "midsweep", "convergence", "all":
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown -exp %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,96 @@
+// Package efl is a library-level reproduction of "Time-Analysable
+// Non-Partitioned Shared Caches for Real-Time Multicore Systems"
+// (Slijepcevic, Kosmidis, Abella, Quiñones, Cazorla — DAC 2014).
+//
+// The paper proposes EFL (Eviction Frequency Limiting): a per-core hardware
+// unit that bounds how often each core may evict lines from a shared
+// time-randomised last-level cache. Together with Measurement-Based
+// Probabilistic Timing Analysis (MBPTA), EFL yields trustworthy and tight
+// probabilistic WCET (pWCET) estimates on a fully shared LLC — no hardware
+// or software cache partitioning — while beating way-partitioning in both
+// guaranteed and average performance.
+//
+// This package is the public facade over the full system:
+//
+//   - a cycle-level 4-core platform simulator (in-order cores, private
+//     time-randomised IL1/DL1, shared time-randomised LLC, lottery bus,
+//     analysable memory controller) with the paper's analysis and
+//     deployment operation modes;
+//   - the EFL access control unit and the CP (way-partitioning) baseline;
+//   - an MBPTA engine (i.i.d. gate, block-maxima Gumbel fit, pWCET
+//     estimation at arbitrary exceedance probabilities);
+//   - ten EEMBC-Autobench-like benchmark kernels on a tiny RISC ISA;
+//   - the campaigns regenerating the paper's evaluation (Figure 3,
+//     Figure 4, the i.i.d. compliance table) plus ablations.
+//
+// # Quick start
+//
+//	spec, _ := efl.Benchmark("CN")
+//	est, _ := efl.EstimatePWCET(efl.DefaultConfig().WithEFL(500), spec.Build(), efl.AnalysisOptions{Runs: 300, Seed: 1})
+//	fmt.Printf("pWCET@1e-15 = %.0f cycles\n", est.PWCET(1e-15))
+//
+// See the examples/ directory for runnable end-to-end programs and
+// cmd/experiments for the full evaluation harness.
+package efl
+
+import (
+	"efl/internal/bench"
+	"efl/internal/isa"
+	"efl/internal/sim"
+)
+
+// Config describes the simulated platform; DefaultConfig returns the
+// paper's §4.1 setup (4 cores; 4KB 4-way L1s; 64KB 8-way shared LLC; 16B
+// lines; 2-cycle bus slot, 10-cycle LLC hit, 100-cycle memory).
+type Config = sim.Config
+
+// Result is the outcome of one platform run (per-core cycles/IPC, cache,
+// bus, memory and EFL statistics).
+type Result = sim.Result
+
+// Program is an executable for the simulated cores, produced by the
+// assembler (efl.Assemble), the builder API, or a benchmark spec.
+type Program = isa.Program
+
+// BenchmarkSpec describes one of the ten EEMBC-Autobench-like kernels.
+type BenchmarkSpec = bench.Spec
+
+// DefaultConfig returns the paper's platform configuration. Derive
+// variants with Config.WithEFL(mid), Config.WithPartition(ways) and
+// Config.WithAnalysis(core).
+func DefaultConfig() Config { return sim.DefaultConfig() }
+
+// Platform is an assembled multicore system. Each Run starts from a fresh
+// state with new cache placement (RII) draws — the per-run randomisation
+// MBPTA requires.
+type Platform struct {
+	m *sim.Multicore
+}
+
+// NewPlatform builds a platform running progs (indexed by core; nil
+// entries idle). In analysis mode exactly the analysed core's entry must
+// be non-nil. All randomness derives from seed.
+func NewPlatform(cfg Config, progs []*Program, seed uint64) (*Platform, error) {
+	m, err := sim.New(cfg, progs, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Platform{m: m}, nil
+}
+
+// Run executes one complete run (every program to completion).
+func (p *Platform) Run() (*Result, error) { return p.m.Run() }
+
+// Config returns the platform configuration.
+func (p *Platform) Config() Config { return p.m.Config() }
+
+// Benchmarks returns the ten kernels in the paper's Figure 3 order.
+func Benchmarks() []BenchmarkSpec { return bench.All() }
+
+// Benchmark returns the kernel with the given two-letter code (ID, MA, CN,
+// AI, CA, PU, RS, II, PN, A2).
+func Benchmark(code string) (BenchmarkSpec, error) { return bench.ByCode(code) }
+
+// Assemble parses assembler text into a Program (see internal/isa for the
+// syntax: movi/add/ld/st/beq/... with labels and .word/.space directives).
+func Assemble(name, src string) (*Program, error) { return isa.Assemble(name, src) }

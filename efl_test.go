@@ -1,0 +1,139 @@
+package efl
+
+import (
+	"testing"
+)
+
+func TestBenchmarkLookup(t *testing.T) {
+	if len(Benchmarks()) != 10 {
+		t.Fatalf("want 10 benchmarks")
+	}
+	s, err := Benchmark("PN")
+	if err != nil || s.Name != "pntrch01" {
+		t.Fatalf("Benchmark(PN) = %+v, %v", s, err)
+	}
+	if _, err := Benchmark("ZZ"); err == nil {
+		t.Fatal("unknown code accepted")
+	}
+}
+
+func TestAssembleAndRun(t *testing.T) {
+	prog, err := Assemble("demo", `
+        movi r1, 0
+        movi r2, 1000
+    loop:
+        addi r1, r1, 1
+        blt  r1, r2, loop
+        halt
+    `)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlatform(DefaultConfig(), []*Program{prog}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerCore[0].Instrs != 2003 {
+		t.Fatalf("instrs = %d", res.PerCore[0].Instrs)
+	}
+	if res.PerCore[0].IPC <= 0 {
+		t.Fatal("non-positive IPC")
+	}
+}
+
+func TestEstimatePWCETEndToEnd(t *testing.T) {
+	spec, err := Benchmark("CA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := EstimatePWCET(DefaultConfig().WithEFL(500), spec.Build(),
+		AnalysisOptions{Runs: 80, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p15 := est.PWCET(1e-15)
+	p19 := est.PWCET(1e-19)
+	if p15 < est.MaxObserved() || p19 < p15 {
+		t.Fatalf("pWCETs inconsistent: max=%v p15=%v p19=%v", est.MaxObserved(), p15, p19)
+	}
+	if len(est.Times) != 80 {
+		t.Fatalf("times = %d", len(est.Times))
+	}
+	if !est.IID.Passed {
+		t.Logf("warning: i.i.d. gate marginal: WW=%v KS=%v", est.IID.WW.AbsZ, est.IID.KS.PValue)
+	}
+	// Exceedance at the pWCET point must be consistent when not clamped.
+	if x := est.Exceedance(p15 * 1.5); x > 1e-15 {
+		t.Fatalf("exceedance beyond pWCET too high: %v", x)
+	}
+}
+
+func TestMeasureDeployment(t *testing.T) {
+	spec, _ := Benchmark("CA")
+	prog := spec.Build()
+	results, err := MeasureDeployment(DefaultConfig().WithEFL(500),
+		[]*Program{prog, prog, prog, prog}, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("%d results", len(results))
+	}
+	for _, r := range results {
+		for c, cr := range r.PerCore {
+			if !cr.Active || cr.IPC <= 0 {
+				t.Fatalf("core %d: %+v", c, cr)
+			}
+		}
+	}
+	if _, err := MeasureDeployment(DefaultConfig(), []*Program{prog}, 0, 1); err == nil {
+		t.Fatal("zero runs accepted")
+	}
+}
+
+func TestConfigVariants(t *testing.T) {
+	cfg := DefaultConfig().WithEFL(250)
+	if cfg.MID != 250 || cfg.PartitionWays != nil {
+		t.Fatalf("WithEFL: %+v", cfg)
+	}
+	cfg = DefaultConfig().WithPartition([]int{2, 2, 2, 2})
+	if cfg.MID != 0 || len(cfg.PartitionWays) != 4 {
+		t.Fatalf("WithPartition: %+v", cfg)
+	}
+}
+
+func TestPackScheduleFacade(t *testing.T) {
+	cfg := DefaultConfig().WithEFL(500)
+	spec, _ := Benchmark("CN")
+	prog := spec.Build()
+	est, err := EstimatePWCET(cfg, prog, AnalysisOptions{Runs: 60, Seed: 15, SkipIIDCheck: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := &ScheduledTask{Name: "CN", Prog: prog, PWCET: est.PWCET(1e-15)}
+	s, err := PackSchedule(cfg, []*ScheduledTask{task, task, task},
+		int64(est.PWCET(1e-15))+1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.CheckFeasibility()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Feasible {
+		t.Fatalf("packed schedule infeasible:\n%s", rep.Render())
+	}
+	frames, err := s.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fr := range frames {
+		if len(fr.Overruns) != 0 {
+			t.Fatalf("frame %d overran: %+v", fr.Frame, fr)
+		}
+	}
+}

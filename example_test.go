@@ -1,0 +1,75 @@
+package efl_test
+
+import (
+	"fmt"
+
+	"efl"
+)
+
+// ExampleAssemble shows the downstream workflow for a custom task: write
+// it in the tiny assembler, run it on the paper's platform, inspect the
+// result.
+func ExampleAssemble() {
+	prog, err := efl.Assemble("count", `
+        movi r1, 0
+        movi r2, 500
+    loop:
+        addi r1, r1, 1
+        blt  r1, r2, loop
+        halt
+    `)
+	if err != nil {
+		panic(err)
+	}
+	platform, err := efl.NewPlatform(efl.DefaultConfig(), []*efl.Program{prog}, 1)
+	if err != nil {
+		panic(err)
+	}
+	res, err := platform.Run()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("retired %d instructions\n", res.PerCore[0].Instrs)
+	// Output: retired 1003 instructions
+}
+
+// ExampleBenchmark lists the paper's benchmark suite.
+func ExampleBenchmark() {
+	for _, spec := range efl.Benchmarks()[:3] {
+		fmt.Printf("%s = %s (%s)\n", spec.Code, spec.Name, spec.Class)
+	}
+	// Output:
+	// ID = idctrn01 (insensitive)
+	// MA = matrix01 (streaming)
+	// CN = canrdr01 (insensitive)
+}
+
+// ExampleEstimatePWCET runs a (deliberately tiny) MBPTA campaign. Real
+// campaigns use hundreds of runs; see examples/quickstart.
+func ExampleEstimatePWCET() {
+	prog, _ := efl.Assemble("toy", `
+        movi r1, 0
+        movi r2, 3000
+        movi r3, 0x40000000
+    loop:
+        ld   r4, 0(r3)
+        add  r4, r4, r1
+        st   r4, 0(r3)
+        addi r3, r3, 16
+        addi r1, r1, 1
+        blt  r1, r2, loop
+        halt
+        .space 48064
+    `)
+	est, err := efl.EstimatePWCET(efl.DefaultConfig().WithEFL(500), prog,
+		efl.AnalysisOptions{Runs: 50, Seed: 4, SkipIIDCheck: true})
+	if err != nil {
+		panic(err)
+	}
+	p := est.PWCET(1e-15)
+	fmt.Printf("bound exceeds max observed: %v\n", p >= est.MaxObserved())
+	fmt.Printf("bounds are monotone: %v\n", est.PWCET(1e-19) >= p)
+	// Output:
+	// bound exceeds max observed: true
+	// bounds are monotone: true
+}

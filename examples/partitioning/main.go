@@ -1,0 +1,119 @@
+// Partitioning: reproduces the paper's core comparison on one workload —
+// hardware way-partitioning (CP) versus EFL on a shared LLC. For a 4-task
+// workload the CP baseline must split the LLC's 8 ways (each task gets a
+// fraction of the cache), while EFL lets every task use all of it with
+// interference bounded probabilistically. The example computes each task's
+// pWCET under its best CP allocation and under EFL, then the workload's
+// guaranteed IPC (wgIPC, §4.2) and measured deployment IPC (waIPC).
+//
+//	go run ./examples/partitioning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"efl"
+	"efl/internal/partition"
+)
+
+func main() {
+	codes := []string{"CN", "II", "PN", "A2"}
+	progs := make([]*efl.Program, len(codes))
+	instrs := make([]float64, len(codes))
+	for i, code := range codes {
+		spec, err := efl.Benchmark(code)
+		if err != nil {
+			log.Fatal(err)
+		}
+		progs[i] = spec.Build()
+	}
+
+	const runs = 150
+	const prob = 1e-15
+
+	// gIPC of each task under CP with 1..5 ways (a real split of 8 ways
+	// over 4 tasks gives each at most 5).
+	fmt.Println("computing per-task pWCETs (this runs ~8 MBPTA campaigns per task)...")
+	// The DP may probe up to 8 ways per task (unreachable states), so the
+	// table saturates beyond the 5 ways a real 4-task split can give.
+	cpGIPC := make([][]float64, len(codes))
+	for i := range codes {
+		cpGIPC[i] = make([]float64, 8)
+		for ways := 1; ways <= 5; ways++ {
+			parts := make([]int, 4)
+			parts[0] = ways
+			cfg := efl.DefaultConfig().WithPartition(parts)
+			est, err := efl.EstimatePWCET(cfg, progs[i],
+				efl.AnalysisOptions{Runs: runs, Seed: uint64(100*i + ways), SkipIIDCheck: true})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if instrs[i] == 0 {
+				// instruction count is configuration-independent
+				r, err := efl.MeasureDeployment(efl.DefaultConfig(), []*efl.Program{progs[i]}, 1, 1)
+				if err != nil {
+					log.Fatal(err)
+				}
+				instrs[i] = float64(r[0].PerCore[0].Instrs)
+			}
+			cpGIPC[i][ways-1] = instrs[i] / est.PWCET(prob)
+		}
+		for ways := 6; ways <= 8; ways++ {
+			cpGIPC[i][ways-1] = cpGIPC[i][4]
+		}
+	}
+
+	// Best CP split (the paper's Figure 4 procedure).
+	split, wgCP, err := partition.Best(8, len(codes), func(task, ways int) float64 {
+		return cpGIPC[task][ways-1]
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// EFL: one MID for all tasks; pick the wgIPC-best among the paper's
+	// three configurations.
+	bestMID, wgEFL := int64(0), -1.0
+	for _, mid := range []int64{250, 500, 1000} {
+		total := 0.0
+		for i := range codes {
+			est, err := efl.EstimatePWCET(efl.DefaultConfig().WithEFL(mid), progs[i],
+				efl.AnalysisOptions{Runs: runs, Seed: uint64(200*i) + uint64(mid), SkipIIDCheck: true})
+			if err != nil {
+				log.Fatal(err)
+			}
+			total += instrs[i] / est.PWCET(prob)
+		}
+		if total > wgEFL {
+			bestMID, wgEFL = mid, total
+		}
+	}
+
+	fmt.Printf("\nworkload: %v\n", codes)
+	fmt.Printf("CP : best split %v ways -> wgIPC = %.4f\n", split, wgCP)
+	fmt.Printf("EFL: best MID %d       -> wgIPC = %.4f (%+.1f%% vs CP)\n",
+		bestMID, wgEFL, 100*(wgEFL/wgCP-1))
+
+	// Deployment: measure the observed workload IPC under both winners.
+	waIPC := func(cfg efl.Config) float64 {
+		rs, err := efl.MeasureDeployment(cfg, progs, 3, 9)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var total float64
+		for _, r := range rs {
+			for _, cr := range r.PerCore {
+				if cr.Active {
+					total += cr.IPC
+				}
+			}
+		}
+		return total / float64(len(rs))
+	}
+	waCP := waIPC(efl.DefaultConfig().WithPartition(split))
+	waEFL := waIPC(efl.DefaultConfig().WithEFL(bestMID))
+	fmt.Printf("deployment waIPC: CP=%.4f  EFL=%.4f (%+.1f%%)\n", waCP, waEFL, 100*(waEFL/waCP-1))
+	fmt.Println("\nAnd unlike CP, EFL imposes no scheduling or data-sharing constraints:")
+	fmt.Println("no partition flushing on migration, no mapping conflicts (§2.2).")
+}

@@ -1,0 +1,81 @@
+// Tracing: attach the event tracer to a platform run and inspect where
+// the cycles go — bus grants, LLC misses, EFL gate stalls, CRG evictions,
+// memory transactions — as a text timeline and a Chrome trace-event file
+// (open trace.json in chrome://tracing or https://ui.perfetto.dev).
+//
+//	go run ./examples/tracing
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"efl"
+	"efl/internal/isa"
+	"efl/internal/sim"
+	"efl/internal/trace"
+)
+
+func main() {
+	spec, err := efl.Benchmark("CA")
+	if err != nil {
+		log.Fatal(err)
+	}
+	progs := make([]*isa.Program, 4)
+	progs[0] = spec.Build()
+
+	// Analysis mode: the most interesting timeline — the task under
+	// analysis interleaves with three CRGs evicting at the max allowed
+	// frequency.
+	cfg := sim.DefaultConfig().WithEFL(500).WithAnalysis(0)
+	m, err := sim.New(cfg, progs, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf := trace.NewBuffer(1 << 20)
+	m.SetTracer(buf)
+	res, err := m.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("run: %d cycles, %d instructions, %d trace events\n\n",
+		res.PerCore[0].Cycles, res.PerCore[0].Instrs, len(buf.Events()))
+
+	// The first 2000 cycles as a text timeline.
+	fmt.Print(buf.Render(0, 2000))
+
+	// Per-core event census.
+	fmt.Println("\nevent census:")
+	for core, kinds := range buf.Stats() {
+		fmt.Printf("  core %d:", core)
+		for kind, n := range kinds {
+			fmt.Printf(" %s=%d", kind, n)
+		}
+		fmt.Println()
+	}
+
+	// Chrome trace export.
+	if err := os.WriteFile("trace.json", buf.ChromeJSON(), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nwrote trace.json — open it in chrome://tracing")
+
+	// Focused tracing: keep only the EFL stalls of a deployment run and
+	// total them up.
+	dep, err := sim.New(sim.DefaultConfig().WithEFL(500), []*isa.Program{spec.Build()}, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stalls := trace.NewBuffer(1 << 20).Keep(trace.EvEFLStall)
+	dep.SetTracer(stalls)
+	if _, err := dep.Run(); err != nil {
+		log.Fatal(err)
+	}
+	var total int64
+	for _, e := range stalls.Events() {
+		total += e.Arg
+	}
+	fmt.Printf("deployment run: %d gate stalls totalling %d cycles\n",
+		len(stalls.Events()), total)
+}

@@ -1,0 +1,3 @@
+module efl
+
+go 1.22

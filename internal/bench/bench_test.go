@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"testing"
+
+	"efl/internal/isa"
+)
+
+func TestAllKernelsRunToCompletion(t *testing.T) {
+	for _, s := range All() {
+		s := s
+		t.Run(s.Code, func(t *testing.T) {
+			p := s.Build()
+			if err := p.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			m, err := isa.NewMachine(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			steps, err := m.Run(10_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if steps < 5_000 {
+				t.Fatalf("kernel %s retired only %d instructions; too trivial to be a benchmark", s.Code, steps)
+			}
+			if steps > 200_000 {
+				t.Fatalf("kernel %s retired %d instructions; too heavy for campaign budgets", s.Code, steps)
+			}
+		})
+	}
+}
+
+func TestKernelsDeterministic(t *testing.T) {
+	for _, s := range All() {
+		c1, err := Checksum(s.Build())
+		if err != nil {
+			t.Fatalf("%s: %v", s.Code, err)
+		}
+		c2, err := Checksum(s.Build())
+		if err != nil {
+			t.Fatalf("%s: %v", s.Code, err)
+		}
+		if c1 != c2 {
+			t.Errorf("%s: checksum differs across builds: %d vs %d", s.Code, c1, c2)
+		}
+		if c1 == 0 {
+			t.Errorf("%s: zero checksum is suspicious (kernel may compute nothing)", s.Code)
+		}
+	}
+}
+
+// TestWorkingSetClasses pins each kernel to its paper sensitivity class
+// via its measured resident working set (16B lines). With random
+// placement, a cache thrashes once the working set approaches its nominal
+// capacity (set-overload), so the class targets sit just below the
+// partition sizes they must defeat:
+//
+//	insensitive: 5 KB  < WS <= 10 KB  (overloads CP1's 8 KB, fits CP2)
+//	sensitive:   12 KB < WS <= 18 KB  (overloads CP2's 16 KB, fits CP4)
+//	streaming:   touched > 64 KB      (exceeds the whole LLC)
+func TestWorkingSetClasses(t *testing.T) {
+	for _, s := range All() {
+		total, reused, _, err := Footprint(s.Build(), 16)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Code, err)
+		}
+		kb := float64(reused) * 16 / 1024 // resident working set
+		switch s.Class {
+		case "insensitive":
+			if kb <= 5 || kb > 10 {
+				t.Errorf("%s (%s): resident set %.1f KB outside (5, 10]", s.Code, s.Class, kb)
+			}
+		case "sensitive":
+			if kb <= 12 || kb > 18 {
+				t.Errorf("%s (%s): resident set %.1f KB outside (12, 18]", s.Code, s.Class, kb)
+			}
+		case "streaming":
+			// The streaming class is about the *touched* footprint.
+			if tkb := float64(total) * 16 / 1024; tkb <= 64 {
+				t.Errorf("%s (%s): touched footprint %.1f KB does not exceed the LLC", s.Code, s.Class, tkb)
+			}
+		default:
+			t.Errorf("%s: unknown class %q", s.Code, s.Class)
+		}
+	}
+}
+
+func TestByCode(t *testing.T) {
+	s, err := ByCode("MA")
+	if err != nil || s.Name != "matrix01" {
+		t.Fatalf("ByCode(MA) = %+v, %v", s, err)
+	}
+	if _, err := ByCode("XX"); err == nil {
+		t.Fatal("unknown code accepted")
+	}
+}
+
+func TestCodesOrder(t *testing.T) {
+	want := []string{"ID", "MA", "CN", "AI", "CA", "PU", "RS", "II", "PN", "A2"}
+	got := Codes()
+	if len(got) != len(want) {
+		t.Fatalf("codes = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("codes = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCharacterise(t *testing.T) {
+	sums, err := Characterise()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 10 {
+		t.Fatalf("%d summaries", len(sums))
+	}
+	for _, s := range sums {
+		if s.Instrs == 0 || s.DataLines == 0 {
+			t.Errorf("%s: empty summary %+v", s.Code, s)
+		}
+	}
+}
+
+func TestPointerChaseIsSingleCycle(t *testing.T) {
+	// The pointer-chase list must visit every node before repeating:
+	// chase one pass functionally and count distinct cursor values.
+	p := PointerChase()
+	m, err := isa.NewMachine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	visited := map[int64]bool{}
+	var cursorReads int
+	for !m.Halted() {
+		si, err := m.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Track loads of the 'next' field (offset 0 within a node),
+		// excluding the input-stream region beyond the node table.
+		tableEnd := isa.DataBase + 16 + 240*16
+		if si.Op == isa.LD && !si.MemWrite && si.MemAddr%16 == 0 &&
+			si.MemAddr >= isa.DataBase+16 && si.MemAddr < tableEnd {
+			visited[int64(si.MemAddr)] = true
+			cursorReads++
+			if cursorReads >= 240 {
+				break
+			}
+		}
+	}
+	if len(visited) != 240 {
+		t.Fatalf("first pass visited %d distinct nodes, want 240 (single cycle)", len(visited))
+	}
+}
+
+func TestWordsDeterministicAndBounded(t *testing.T) {
+	a := words(7, 100, 50)
+	b := words(7, 100, 50)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("words not deterministic")
+		}
+		if a[i] < 1 || a[i] > 50 {
+			t.Fatalf("word %d out of [1,50]", a[i])
+		}
+	}
+}
+
+func BenchmarkBuildAllKernels(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, s := range All() {
+			_ = s.Build()
+		}
+	}
+}

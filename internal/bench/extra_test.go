@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"testing"
+
+	"efl/internal/isa"
+)
+
+func TestExtendedKernelsRun(t *testing.T) {
+	for _, s := range Extended() {
+		s := s
+		t.Run(s.Code, func(t *testing.T) {
+			p := s.Build()
+			if err := p.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			m, err := isa.NewMachine(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			steps, err := m.Run(10_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if steps < 5_000 || steps > 300_000 {
+				t.Fatalf("%s retired %d instructions", s.Code, steps)
+			}
+			sum, err := Checksum(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sum == 0 {
+				t.Fatalf("%s: zero checksum", s.Code)
+			}
+		})
+	}
+}
+
+func TestExtendedDisjointFromPaperSet(t *testing.T) {
+	paper := map[string]bool{}
+	for _, s := range All() {
+		paper[s.Code] = true
+	}
+	for _, s := range Extended() {
+		if paper[s.Code] {
+			t.Fatalf("extended code %s collides with the paper set", s.Code)
+		}
+	}
+	if got := len(AllWithExtended()); got != 16 {
+		t.Fatalf("full Autobench spread = %d kernels, want 16", got)
+	}
+}
+
+func TestExtendedDeterministic(t *testing.T) {
+	for _, s := range Extended() {
+		c1, err := Checksum(s.Build())
+		if err != nil {
+			t.Fatalf("%s: %v", s.Code, err)
+		}
+		c2, _ := Checksum(s.Build())
+		if c1 != c2 {
+			t.Fatalf("%s: nondeterministic checksum", s.Code)
+		}
+	}
+}
+
+func TestExtendedEncodable(t *testing.T) {
+	// Every kernel — paper set and extended — must fit the fixed-width
+	// binary encoding and round-trip through it.
+	for _, s := range AllWithExtended() {
+		p := s.Build()
+		img, err := isa.Encode(p)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Code, err)
+		}
+		q, err := isa.Decode(p.Name, img)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Code, err)
+		}
+		q.Data, q.DataSize = p.Data, p.DataSize
+		want, err := Checksum(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Checksum(q)
+		if err != nil {
+			t.Fatalf("%s decoded: %v", s.Code, err)
+		}
+		if got != want {
+			t.Fatalf("%s: decoded checksum %d != %d", s.Code, got, want)
+		}
+	}
+}
+
+func TestExtendedClasses(t *testing.T) {
+	for _, s := range Extended() {
+		total, reused, _, err := Footprint(s.Build(), 16)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Code, err)
+		}
+		kb := float64(reused) * 16 / 1024
+		_ = total
+		switch s.Class {
+		case "insensitive":
+			if kb <= 3 || kb > 10 {
+				t.Errorf("%s: resident %.1f KB outside (3,10]", s.Code, kb)
+			}
+		case "sensitive":
+			if kb <= 10 || kb > 20 {
+				t.Errorf("%s: resident %.1f KB outside (10,20]", s.Code, kb)
+			}
+		}
+	}
+}

@@ -1,0 +1,392 @@
+package bench
+
+import "efl/internal/isa"
+
+// base returns the absolute address of a data-segment byte offset.
+func base(off uint64) int64 { return int64(isa.DataBase + off) }
+
+// The kernels mirror the structure of compiled EEMBC Autobench programs:
+// a large straight-line (unrolled) code body that is executed once per
+// pass over a modest data set, for many passes. The *combined* code+data
+// footprint is what cycles through the cache hierarchy every pass — code
+// does not fit the 4 KB IL1, so instruction fetches exercise the LLC just
+// like data does. The footprints are tuned against the partitioning
+// boundaries (CP1 = 8 KB, CP2 = 16 KB, CP4 = 32 KB per task; full LLC =
+// 64 KB):
+//
+//   - insensitive kernels: ~6-8 KB code+data — they overload CP1 but sit
+//     comfortably in CP2 and above, so partitions beyond 2 ways buy
+//     nothing (the paper's ID/CN/AI/CA/PU/RS class);
+//   - sensitive kernels: ~15-17 KB code+data — they overload a 16 KB CP2
+//     partition on every pass while fitting the shared LLC, the regime
+//     where EFL's probabilistic reservation of the whole cache beats CP's
+//     static reservation (the paper's II/PN/A2 class);
+//   - MA: an 80 KB single-touch matrix — it exceeds the LLC outright and
+//     misses at a frequency far above any MID, so EFL's eviction gate
+//     throttles it (the paper's trade-off case; low MIDs mitigate).
+
+// passLoop wraps an unrolled body in a pass loop: body() is emitted once
+// and executed `passes` times. r3 is reserved as the pass counter and r12
+// as the bound.
+func passLoop(b *isa.Builder, passes int64, body func()) {
+	b.Movi(3, 0)
+	b.Label("pass")
+	body()
+	b.Addi(3, 3, 1)
+	b.Movi(12, passes)
+	b.Blt(3, 12, "pass")
+}
+
+// IDCT (ID / idctrn01): an unrolled 8x8 inverse-DCT-like butterfly over
+// two image blocks per pass. ~4.6 KB code + ~2 KB data (insensitive).
+func IDCT() *isa.Program {
+	b := prologue("idctrn")
+	const blocks = 2
+	in := b.DataWords(words(0x1D, blocks*64, 255)...)
+	coef := b.DataWords(words(0x1D0C, 64, 63)...)
+	out := b.ReserveData(blocks * 64 * 8)
+
+	// Unrolled: for each block, for each of 16 output points, a 4-tap dot
+	// product (2 blocks x 16 points x ~9 instrs ≈ 300 instrs per segment;
+	// repeated 4x with different tap offsets ≈ 1200 instrs ≈ 4.8 KB).
+	body := func() {
+		for seg := 0; seg < 4; seg++ {
+			for blk := 0; blk < blocks; blk++ {
+				for pt := 0; pt < 16; pt++ {
+					inOff := base(in) + int64(blk*512+((pt*32+seg*8)%512))
+					coefOff := base(coef) + int64(((pt+seg)%64)*8)
+					outOff := base(out) + int64(blk*512+pt*8+seg*128)
+					b.Movi(1, inOff)
+					b.Movi(2, coefOff)
+					b.Ld(10, 1, 0)
+					b.Ld(11, 2, 0)
+					b.Mul(10, 10, 11)
+					b.Ld(11, 1, 8)
+					b.Add(10, 10, 11)
+					b.Movi(2, outOff)
+					b.St(10, 2, 0)
+					b.Add(15, 15, 10)
+				}
+			}
+		}
+	}
+	passLoop(b, 55, body)
+	epilogue(b)
+	return b.MustProgram()
+}
+
+// Matrix (MA / matrix01): a matrix-vector product whose 80 KB matrix
+// exceeds the 64 KB LLC — the paper's streaming benchmark. One matrix word
+// per cache line is visited, so nearly every access misses throughout.
+func Matrix() *isa.Program {
+	b := prologue("matrix")
+	const rows, cols = 160, 32                        // visited elements; matrix rows are 64 words
+	mat := b.DataWords(words(0x3A, rows*64, 1023)...) // 10240 words = 80 KB
+	vec := b.DataWords(words(0x3A7, cols, 255)...)
+	out := b.ReserveData(rows * 8)
+
+	// r1 matrix walker (stride 16B), r2 vector walker, r3 row, r4 col,
+	// r5 acc, r10/r11 operands, r12 bounds, r13 out ptr.
+	b.Movi(3, 0)
+	b.Movi(13, base(out))
+	b.Movi(1, base(mat))
+	b.Label("row")
+	b.Movi(2, base(vec))
+	b.Movi(5, 0)
+	b.Movi(4, 0)
+	b.Movi(12, cols)
+	b.Label("dot")
+	b.Ld(10, 1, 0)
+	b.Ld(11, 2, 0)
+	b.Mul(10, 10, 11)
+	b.Add(5, 5, 10)
+	b.Addi(1, 1, 16) // next line of the matrix row
+	b.Addi(2, 2, 8)
+	b.Addi(4, 4, 1)
+	b.Blt(4, 12, "dot")
+	b.St(5, 13, 0)
+	b.Addi(13, 13, 8)
+	b.Add(15, 15, 5)
+	b.Addi(3, 3, 1)
+	b.Movi(12, rows)
+	b.Blt(3, 12, "row")
+	epilogue(b)
+	return b.MustProgram()
+}
+
+// CANRdr (CN / canrdr01): an unrolled handler chain over a 96-message
+// queue per pass. ~4.6 KB code + ~3 KB data (insensitive).
+func CANRdr() *isa.Program {
+	b := prologue("canrdr")
+	const msgs = 96
+	queue := b.DataWords(words(0xCA4, msgs*4, 1<<20)...)
+	resp := b.ReserveData(msgs * 8)
+
+	// Unrolled: each message gets an inline handler (~12 instrs): load id,
+	// dlc and payload, branch-free mix selected by the builder (the static
+	// dispatch a compiler would produce after specialisation), store the
+	// response.
+	body := func() {
+		for i := 0; i < msgs; i++ {
+			msgOff := base(queue) + int64(i*32)
+			respOff := base(resp) + int64(i*8)
+			b.Movi(1, msgOff)
+			b.Ld(6, 1, 0)  // id
+			b.Ld(7, 1, 8)  // dlc
+			b.Ld(8, 1, 16) // payload
+			switch i % 4 {
+			case 0:
+				b.Add(8, 8, 7)
+			case 1:
+				b.Movi(10, 3)
+				b.Mul(8, 8, 10)
+			case 2:
+				b.Movi(10, 2)
+				b.Shr(8, 8, 10)
+			default:
+				b.Xor(8, 8, 6)
+			}
+			b.Add(8, 8, 3) // fold in the pass counter
+			b.Movi(2, respOff)
+			b.St(8, 2, 0)
+			b.Add(15, 15, 8)
+		}
+	}
+	passLoop(b, 55, body)
+	epilogue(b)
+	return b.MustProgram()
+}
+
+// FIR (AI / aifirf01): an unrolled 8-tap FIR over 44 samples per pass.
+// ~7 KB code + ~0.9 KB data (insensitive).
+func FIR() *isa.Program {
+	b := prologue("aifirf")
+	const taps, samples = 8, 44
+	sig := b.DataWords(words(0xF1, samples+taps, 4095)...)
+	coefs := b.DataWords(words(0xF1C0, taps, 127)...)
+	out := b.ReserveData(samples * 8)
+
+	// Unrolled: each output sample is an inline 8-tap MAC (~16 instrs).
+	body := func() {
+		for s := 0; s < samples; s++ {
+			b.Movi(1, base(sig)+int64(s*8))
+			b.Movi(2, base(coefs))
+			b.Movi(5, 0)
+			for t := 0; t < taps; t++ {
+				b.Ld(10, 1, int64(t*8))
+				b.Ld(11, 2, int64(t*8))
+				b.Mul(10, 10, 11)
+				b.Add(5, 5, 10)
+			}
+			b.Movi(10, 6)
+			b.Shr(5, 5, 10)
+			b.Movi(2, base(out)+int64(s*8))
+			b.St(5, 2, 0)
+			b.Add(15, 15, 5)
+		}
+	}
+	passLoop(b, 55, body)
+	epilogue(b)
+	return b.MustProgram()
+}
+
+// CacheBuster (CA / cacheb01): unrolled read-modify-write sweeps at mixed
+// strides over a 2 KB buffer. ~5.6 KB code + 2 KB data (insensitive).
+func CacheBuster() *isa.Program {
+	b := prologue("cacheb")
+	const lines = 128 // 2 KB
+	buf := b.DataWords(words(0xCB, lines*2, 1<<16)...)
+
+	body := func() {
+		for _, stride := range []int{1, 3, 2} {
+			for i := 0; i < lines/stride; i++ {
+				off := base(buf) + int64((i*stride%lines)*16)
+				b.Movi(1, off)
+				b.Ld(10, 1, 0)
+				b.Addi(10, 10, 3)
+				b.Xor(10, 10, 1)
+				b.St(10, 1, 0)
+				b.Add(15, 15, 10)
+			}
+		}
+	}
+	passLoop(b, 50, body)
+	epilogue(b)
+	return b.MustProgram()
+}
+
+// PWM (PU / puwmod01): unrolled duty-cycle computations over a 2.5 KB
+// period table with division-heavy arithmetic. ~4.3 KB code (insensitive).
+func PWM() *isa.Program {
+	b := prologue("puwmod")
+	const entries = 320 // 2.5 KB
+	period := b.DataWords(words(0xB0D, entries, 9999)...)
+
+	body := func() {
+		for i := 0; i < entries/2; i++ {
+			off := base(period) + int64(((i*7)%entries)*8)
+			b.Movi(1, off)
+			b.Ld(6, 1, 0)
+			b.Movi(9, 100)
+			b.Addi(7, 3, 17) // pass-dependent command
+			b.Mul(7, 7, 9)
+			b.Div(7, 7, 6)
+			b.Add(6, 6, 7)
+			b.St(6, 1, 0)
+			b.Add(15, 15, 7)
+		}
+	}
+	passLoop(b, 55, body)
+	epilogue(b)
+	return b.MustProgram()
+}
+
+// RoadSpeed (RS / rspeed01): unrolled speed computations over a 2.5 KB
+// pulse buffer. ~4.2 KB code (insensitive).
+func RoadSpeed() *isa.Program {
+	b := prologue("rspeed")
+	const entries = 320
+	pulses := b.DataWords(words(0x50D, entries, 50000)...)
+
+	body := func() {
+		for i := 0; i < entries/2; i++ {
+			off := base(pulses) + int64(((i*11)%entries)*8)
+			b.Movi(1, off)
+			b.Ld(6, 1, 0)
+			b.Movi(9, 3600000)
+			b.Div(7, 9, 6)
+			b.Add(6, 6, 7)
+			b.Movi(9, 1)
+			b.Shr(6, 6, 9)
+			b.St(6, 1, 0)
+			b.Add(15, 15, 7)
+		}
+	}
+	passLoop(b, 55, body)
+	epilogue(b)
+	return b.MustProgram()
+}
+
+// IIR (II / iirflt01): a fully unrolled biquad cascade over 220 channels
+// per pass. ~13 KB code + ~4 KB data (sensitive: overloads CP2).
+func IIR() *isa.Program {
+	b := prologue("iirflt")
+	const channels = 190
+	state := b.DataWords(words(0x11F, channels*2, 1<<12)...)
+	input := b.DataWords(words(0x11F0, 64, 4095)...)
+
+	// Unrolled: each channel's update is inline (~15 instrs): two state
+	// words, one input word, a 2nd-order integer filter step.
+	body := func() {
+		for ch := 0; ch < channels; ch++ {
+			stOff := base(state) + int64(ch*16)
+			inOff := base(input) + int64((ch%64)*8)
+			b.Movi(1, stOff)
+			b.Movi(2, inOff)
+			b.Ld(5, 2, 0) // x
+			b.Ld(6, 1, 0) // s1
+			b.Ld(7, 1, 8) // s2
+			b.Movi(9, 3)
+			b.Mul(10, 6, 9)
+			b.Add(13, 5, 10)
+			b.Movi(9, 2)
+			b.Mul(10, 7, 9)
+			b.Sub(13, 13, 10)
+			b.Movi(9, 2)
+			b.Shr(13, 13, 9)
+			b.St(6, 1, 8)  // s2 = s1
+			b.St(13, 1, 0) // s1 = y
+			b.Add(15, 15, 13)
+		}
+	}
+	passLoop(b, 42, body)
+	epilogue(b)
+	return b.MustProgram()
+}
+
+// PointerChase (PN / pntrch01): a fully unrolled chase over a 280-node
+// shuffled list with inline per-hop processing. ~12 KB code + ~4.5 KB
+// data (sensitive).
+func PointerChase() *isa.Program {
+	b := prologue("pntrch")
+	const nodes = 240
+	// Build the cycle: node i at byte offset i*16 holds {next*16+base,
+	// payload}. A deterministic Sattolo shuffle yields a single cycle.
+	perm := make([]int, nodes)
+	for i := range perm {
+		perm[i] = i
+	}
+	l := lcg(0x9C)
+	for i := nodes - 1; i > 0; i-- {
+		j := int(l.next() % uint64(i))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	next := make([]int, nodes)
+	for k := 0; k < nodes; k++ {
+		next[perm[k]] = perm[(k+1)%nodes]
+	}
+	payload := words(0x9C1, nodes, 1<<16)
+	nodeWords := make([]int64, 0, nodes*2)
+	const tableOff = 16 // after the checksum slot
+	for i := 0; i < nodes; i++ {
+		nodeWords = append(nodeWords, base(uint64(tableOff+next[i]*16)), payload[i])
+	}
+	table := b.DataWords(nodeWords...)
+
+	// Unrolled: nodes hops per pass, each with inline payload processing
+	// (~18 instrs/hop).
+	body := func() {
+		b.Movi(1, base(table))
+		for h := 0; h < nodes; h++ {
+			b.Ld(5, 1, 8) // payload
+			b.Ld(1, 1, 0) // next
+			b.Movi(9, 5)
+			b.Mul(10, 5, 9)
+			b.Movi(9, 7)
+			b.Rem(10, 10, 9)
+			b.Add(10, 10, 5)
+			b.Movi(9, 2)
+			b.Shr(10, 10, 9)
+			b.Xor(10, 10, 3)
+			b.Add(15, 15, 10)
+		}
+	}
+	passLoop(b, 42, body)
+	epilogue(b)
+	return b.MustProgram()
+}
+
+// AngleToTime (A2 / a2time01): fully unrolled angle-to-time conversion of
+// 250 tooth samples per pass. ~13 KB code + ~4 KB data (sensitive).
+func AngleToTime() *isa.Program {
+	b := prologue("a2time")
+	const teeth = 215
+	angles := b.DataWords(words(0xA2, teeth, 36000)...)
+	times := b.ReserveData(teeth * 8)
+
+	// Unrolled: each tooth gets an inline conversion (~17 instrs):
+	// deterministic wandering speed, a multiply and a divide.
+	body := func() {
+		b.Movi(6, 700)
+		for tt := 0; tt < teeth; tt++ {
+			aOff := base(angles) + int64(tt*8)
+			tOff := base(times) + int64(tt*8)
+			b.Movi(1, aOff)
+			b.Ld(5, 1, 0)
+			b.Addi(6, 6, 37)
+			b.Movi(9, 1000)
+			b.Rem(6, 6, 9)
+			b.Addi(6, 6, 500)
+			b.Movi(9, 1000)
+			b.Mul(7, 5, 9)
+			b.Div(7, 7, 6)
+			b.Add(7, 7, 3)
+			b.Movi(2, tOff)
+			b.St(7, 2, 0)
+			b.Add(15, 15, 7)
+		}
+	}
+	passLoop(b, 42, body)
+	epilogue(b)
+	return b.MustProgram()
+}

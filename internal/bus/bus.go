@@ -1,0 +1,151 @@
+// Package bus models the core↔LLC interconnect of the paper's platform
+// (§4.1): a shared bus with a 2-cycle access slot and a *random* (lottery)
+// arbitration policy (Jalle et al., "Bus designs for time-probabilistic
+// multicore processors", DATE 2014). Random arbitration makes contention
+// delays probabilistic, which is what MBPTA needs: the winner among the
+// requests pending at a grant point is drawn uniformly.
+//
+// The bus is used in two regimes:
+//
+//   - Deployment: real requests arbitrate. The simulator calls Grant when
+//     the conservative discrete-event condition holds (no core can still
+//     inject an earlier request), which makes the lottery exact.
+//
+//   - Analysis: the task under analysis runs alone, so there is nothing to
+//     arbitrate against — but its pWCET must hold under any co-runners.
+//     AnalysisDelay draws the worst-case contention envelope: the access
+//     competes against Ncores-1 always-ready phantom contenders, losing
+//     each lottery round with probability (n-1)/n and waiting one full
+//     transaction per loss. This is the upper-bounding usage of [13]
+//     applied at analysis time, identically for EFL and for cache
+//     partitioning so the comparison stays fair.
+package bus
+
+import (
+	"fmt"
+
+	"efl/internal/rng"
+)
+
+// Request is one pending bus transaction.
+type Request struct {
+	Core    int   // requesting core
+	Arrival int64 // cycle the request reached the bus
+	Tag     int64 // caller-defined correlation tag (opaque)
+}
+
+// Stats aggregates bus activity.
+type Stats struct {
+	Transactions uint64
+	WaitCycles   int64 // total grant - arrival over all transactions
+	BusyCycles   int64 // total cycles the bus was held
+}
+
+// Bus is the shared interconnect. It is a passive arbiter: the simulator
+// asks when the next grant can happen and then performs it.
+type Bus struct {
+	slot   int64 // arbitration slot (2 cycles in the paper)
+	rnd    rng.Stream
+	freeAt int64
+	wait   []Request
+	stats  Stats
+}
+
+// New creates a bus with the given arbitration slot length.
+func New(slotCycles int64, rnd rng.Stream) *Bus {
+	if slotCycles < 1 {
+		panic("bus: slot must be at least one cycle")
+	}
+	return &Bus{slot: slotCycles, rnd: rnd}
+}
+
+// Slot returns the arbitration slot length in cycles.
+func (b *Bus) Slot() int64 { return b.slot }
+
+// Stats returns a copy of the counters.
+func (b *Bus) Stats() Stats { return b.stats }
+
+// Reset clears queued requests and occupancy for a new run.
+func (b *Bus) Reset() {
+	b.freeAt = 0
+	b.wait = b.wait[:0]
+	b.stats = Stats{}
+}
+
+// Request enqueues a transaction request.
+func (b *Bus) Request(r Request) { b.wait = append(b.wait, r) }
+
+// HasWaiters reports whether any request is pending.
+func (b *Bus) HasWaiters() bool { return len(b.wait) > 0 }
+
+// NextGrantTime returns the earliest cycle the next grant can occur:
+// max(bus free, earliest pending arrival). It panics without waiters.
+func (b *Bus) NextGrantTime() int64 {
+	if len(b.wait) == 0 {
+		panic("bus: NextGrantTime without waiters")
+	}
+	min := b.wait[0].Arrival
+	for _, r := range b.wait[1:] {
+		if r.Arrival < min {
+			min = r.Arrival
+		}
+	}
+	if b.freeAt > min {
+		return b.freeAt
+	}
+	return min
+}
+
+// Grant performs lottery arbitration at the next grant time among every
+// request that has arrived by then, removes the winner from the queue, and
+// occupies the bus for holdCycles (the winner's full transaction: slot +
+// LLC access). It returns the winning request and the cycle its slot
+// starts. The caller must ensure no request with an earlier arrival can
+// still be injected (the conservative DES condition).
+func (b *Bus) Grant(holdCycles int64) (Request, int64) {
+	t := b.NextGrantTime()
+	eligible := b.wait[:0:0]
+	for _, r := range b.wait {
+		if r.Arrival <= t {
+			eligible = append(eligible, r)
+		}
+	}
+	win := eligible[b.rnd.Intn(len(eligible))]
+	// Remove the winner (first matching entry).
+	for i := range b.wait {
+		if b.wait[i] == win {
+			b.wait = append(b.wait[:i], b.wait[i+1:]...)
+			break
+		}
+	}
+	b.freeAt = t + holdCycles
+	b.stats.Transactions++
+	b.stats.WaitCycles += t - win.Arrival
+	b.stats.BusyCycles += holdCycles
+	return win, t
+}
+
+// AnalysisDelay draws the analysis-time contention delay of one bus access:
+// the number of whole transactions (each holdCycles long) the access waits
+// behind phantom contenders. With contenders other always-ready requesters
+// the lottery is won each round with probability 1/(contenders+1), so the
+// number of losing rounds is geometric. Returns the wait in cycles.
+func AnalysisDelay(rnd rng.Stream, contenders int, holdCycles int64) int64 {
+	if contenders < 0 {
+		panic("bus: negative contenders")
+	}
+	if contenders == 0 {
+		return 0
+	}
+	n := contenders + 1
+	losses := int64(0)
+	for int(rnd.Intn(n)) != 0 {
+		losses++
+	}
+	return losses * holdCycles
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (b *Bus) String() string {
+	return fmt.Sprintf("Bus{slot:%d freeAt:%d waiters:%d}", b.slot, b.freeAt, len(b.wait))
+}

@@ -1,0 +1,174 @@
+package bus
+
+import (
+	"math"
+	"testing"
+
+	"efl/internal/rng"
+)
+
+func TestSingleRequester(t *testing.T) {
+	b := New(2, rng.New(1))
+	b.Request(Request{Core: 0, Arrival: 10})
+	if !b.HasWaiters() {
+		t.Fatal("waiter lost")
+	}
+	if g := b.NextGrantTime(); g != 10 {
+		t.Fatalf("grant time %d", g)
+	}
+	win, at := b.Grant(12)
+	if win.Core != 0 || at != 10 {
+		t.Fatalf("grant = %+v at %d", win, at)
+	}
+	if b.HasWaiters() {
+		t.Fatal("winner not dequeued")
+	}
+	// Next request while bus is held waits for freeAt.
+	b.Request(Request{Core: 1, Arrival: 11})
+	if g := b.NextGrantTime(); g != 22 {
+		t.Fatalf("grant time during hold = %d, want 22", g)
+	}
+}
+
+func TestGrantEligibility(t *testing.T) {
+	// A request arriving after the grant time must not participate.
+	b := New(2, rng.New(2))
+	b.Request(Request{Core: 0, Arrival: 5})
+	b.Request(Request{Core: 1, Arrival: 100})
+	win, at := b.Grant(12)
+	if win.Core != 0 || at != 5 {
+		t.Fatalf("late request won: %+v at %d", win, at)
+	}
+	// Now the core-1 request is alone.
+	win, at = b.Grant(12)
+	if win.Core != 1 || at != 100 {
+		t.Fatalf("second grant = %+v at %d", win, at)
+	}
+}
+
+func TestLotteryFairness(t *testing.T) {
+	// Two simultaneous requesters must each win ~half the lotteries.
+	src := rng.New(3)
+	wins := [2]int{}
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		b := New(2, src.Fork())
+		b.Request(Request{Core: 0, Arrival: 0})
+		b.Request(Request{Core: 1, Arrival: 0})
+		w, _ := b.Grant(12)
+		wins[w.Core]++
+	}
+	frac := float64(wins[0]) / trials
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Fatalf("lottery biased: core0 wins %v", frac)
+	}
+}
+
+func TestLotteryFourWay(t *testing.T) {
+	src := rng.New(4)
+	wins := [4]int{}
+	const trials = 40000
+	for i := 0; i < trials; i++ {
+		b := New(2, src.Fork())
+		for c := 0; c < 4; c++ {
+			b.Request(Request{Core: c, Arrival: 0})
+		}
+		w, _ := b.Grant(12)
+		wins[w.Core]++
+	}
+	for c, n := range wins {
+		frac := float64(n) / trials
+		if math.Abs(frac-0.25) > 0.02 {
+			t.Fatalf("core %d wins %v of 4-way lotteries", c, frac)
+		}
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	b := New(2, rng.New(5))
+	b.Request(Request{Core: 0, Arrival: 0})
+	b.Grant(12) // wait 0, busy 12
+	b.Request(Request{Core: 1, Arrival: 2})
+	b.Grant(12) // grant at 12, wait 10
+	st := b.Stats()
+	if st.Transactions != 2 || st.WaitCycles != 10 || st.BusyCycles != 24 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := New(2, rng.New(6))
+	b.Request(Request{Core: 0, Arrival: 0})
+	b.Grant(12)
+	b.Request(Request{Core: 0, Arrival: 0})
+	b.Reset()
+	if b.HasWaiters() || b.Stats() != (Stats{}) {
+		t.Fatal("Reset incomplete")
+	}
+	// After reset the bus is free at cycle 0 again.
+	b.Request(Request{Core: 0, Arrival: 3})
+	if g := b.NextGrantTime(); g != 3 {
+		t.Fatalf("freeAt not reset: %d", g)
+	}
+}
+
+func TestAnalysisDelayDistribution(t *testing.T) {
+	// Against 3 phantom contenders the win probability per round is 1/4:
+	// mean losses = 3, so mean delay = 3 * hold.
+	src := rng.New(7)
+	const hold = 12
+	const n = 100000
+	var sum float64
+	sawZero := false
+	for i := 0; i < n; i++ {
+		d := AnalysisDelay(src, 3, hold)
+		if d%hold != 0 || d < 0 {
+			t.Fatalf("delay %d not a multiple of hold", d)
+		}
+		if d == 0 {
+			sawZero = true
+		}
+		sum += float64(d)
+	}
+	mean := sum / n
+	if math.Abs(mean-3*hold) > hold/2 {
+		t.Fatalf("mean analysis delay %v, want ~%d", mean, 3*hold)
+	}
+	if !sawZero {
+		t.Fatal("immediate wins never happen")
+	}
+}
+
+func TestAnalysisDelayNoContenders(t *testing.T) {
+	src := rng.New(8)
+	for i := 0; i < 100; i++ {
+		if d := AnalysisDelay(src, 0, 12); d != 0 {
+			t.Fatalf("delay with no contenders = %d", d)
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0, rng.New(1)) },
+		func() { New(2, rng.New(1)).NextGrantTime() },
+		func() { AnalysisDelay(rng.New(1), -1, 12) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkGrant(b *testing.B) {
+	bus := New(2, rng.New(1))
+	for i := 0; i < b.N; i++ {
+		bus.Request(Request{Core: i % 4, Arrival: int64(i)})
+		bus.Grant(12)
+	}
+}

@@ -1,0 +1,521 @@
+// Package cache models the set-associative caches of the paper's platform:
+// per-core first-level instruction and data caches (IL1/DL1) and the shared
+// last-level cache (LLC).
+//
+// Two cache "paradigms" are supported (paper §1):
+//
+//   - Time-randomised (TR): random placement through the parametric hash of
+//     package rnghash (re-parameterised with a fresh RII every run) and
+//     Evict-on-Miss (EoM) random replacement. EoM is stateless: hits change
+//     neither the cache contents nor any replacement metadata — only misses
+//     (which create evictions) alter cache state. This is the property EFL
+//     exploits (§3.3): bounding eviction frequency bounds all inter-task
+//     cache interference.
+//
+//   - Time-deterministic (TD): modulo placement and LRU replacement, the
+//     conventional design. Provided as a baseline and for the ablation
+//     experiments.
+//
+// Hardware way-partitioning (the CP baseline, Paolieri ISCA'09) is modelled
+// with per-access way masks: a task restricted to ways {0,1} can only look
+// up, allocate into and evict from those ways.
+//
+// Caches are write-back with write-allocate and the hierarchy built from
+// them is non-inclusive (§4.1): L1 fills do not force LLC residency and LLC
+// evictions do not back-invalidate the L1s.
+package cache
+
+import (
+	"fmt"
+
+	"efl/internal/rng"
+	"efl/internal/rnghash"
+)
+
+// Policy selects the cache paradigm.
+type Policy int
+
+const (
+	// TimeRandomised selects random placement + Evict-on-Miss random
+	// replacement (MBPTA-compliant, paper §3.2).
+	TimeRandomised Policy = iota
+	// TimeDeterministic selects modulo placement + LRU replacement.
+	TimeDeterministic
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case TimeRandomised:
+		return "time-randomised"
+	case TimeDeterministic:
+		return "time-deterministic"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// WayMask restricts which ways of a set an access may use. Bit i set means
+// way i is usable. The zero mask is invalid for accesses; use FullMask or a
+// partition's mask.
+type WayMask uint32
+
+// FullMask returns the mask enabling ways [0, ways).
+func FullMask(ways int) WayMask {
+	if ways <= 0 || ways > 32 {
+		panic("cache: ways out of range")
+	}
+	return WayMask(uint32(1)<<uint(ways)) - 1
+}
+
+// MaskRange returns the mask enabling ways [lo, lo+n).
+func MaskRange(lo, n int) WayMask {
+	if lo < 0 || n <= 0 || lo+n > 32 {
+		panic("cache: bad mask range")
+	}
+	return (WayMask(uint32(1)<<uint(n)) - 1) << uint(lo)
+}
+
+// Count returns the number of enabled ways.
+func (m WayMask) Count() int {
+	n := 0
+	for v := uint32(m); v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+// Config describes a cache's geometry and policy.
+type Config struct {
+	Name      string // for diagnostics ("IL1-0", "LLC", ...)
+	SizeBytes int    // total capacity
+	Ways      int    // associativity
+	LineBytes int    // line size
+	Policy    Policy
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (c Config) Sets() int { return c.SizeBytes / (c.Ways * c.LineBytes) }
+
+// Validate reports whether the configuration is internally consistent.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 || c.LineBytes <= 0 {
+		return fmt.Errorf("cache %q: non-positive geometry %+v", c.Name, c)
+	}
+	if c.Ways > 32 {
+		return fmt.Errorf("cache %q: more than 32 ways unsupported", c.Name)
+	}
+	if c.SizeBytes%(c.Ways*c.LineBytes) != 0 {
+		return fmt.Errorf("cache %q: size %d not divisible by ways*line", c.Name, c.SizeBytes)
+	}
+	s := c.Sets()
+	if s&(s-1) != 0 {
+		return fmt.Errorf("cache %q: %d sets is not a power of two", c.Name, s)
+	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache %q: line size %d not a power of two", c.Name, c.LineBytes)
+	}
+	return nil
+}
+
+// line is one cache line's metadata. Tag stores the full line address
+// (address >> log2(LineBytes)); with hashed placement the whole line
+// address must be kept because the set index is not recoverable from it.
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	owner int8 // partition owner, -1 if unowned; used for invariant checks
+}
+
+// Stats aggregates cache event counts.
+type Stats struct {
+	Accesses    uint64 // demand accesses (reads+writes)
+	Hits        uint64
+	Misses      uint64
+	Evictions   uint64 // valid lines displaced by demand misses
+	Writebacks  uint64 // dirty lines displaced (demand or forced)
+	ForcedEvict uint64 // evictions caused by force-miss (CRG) requests
+	Flushes     uint64 // whole-cache flushes (RII changes)
+}
+
+// MissRatio returns Misses/Accesses, or 0 when there were no accesses.
+func (s Stats) MissRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// AccessResult describes the outcome of one cache access.
+type AccessResult struct {
+	Hit          bool
+	Evicted      bool   // a valid line was displaced
+	EvictedAddr  uint64 // line address of the displaced line
+	EvictedDirty bool   // the displaced line needs a writeback
+}
+
+// Cache is a single set-associative cache instance. It is not safe for
+// concurrent use; the simulator serialises accesses by construction.
+type Cache struct {
+	cfg       Config
+	placement rnghash.Placement
+	rnd       rng.Stream
+	sets      [][]line
+	lruAge    [][]uint32 // LRU timestamps, only maintained for TD policy
+	lruClock  uint32
+	synthTag  uint64 // counter for CRG artificial line tags
+	stats     Stats
+}
+
+// synthTagBase marks CRG artificial line addresses; demand addresses in the
+// simulated 32-bit physical space never reach this range.
+const synthTagBase = uint64(1) << 62
+
+// New creates a cache. rnd drives victim selection (and, for the TR policy,
+// successive RIIs via NewRun). The cache starts empty with, for TR, a
+// placement drawn from rnd.
+func New(cfg Config, rnd rng.Stream) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Cache{cfg: cfg, rnd: rnd}
+	nsets := cfg.Sets()
+	c.sets = make([][]line, nsets)
+	backing := make([]line, nsets*cfg.Ways)
+	for i := range c.sets {
+		c.sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
+		for w := range c.sets[i] {
+			c.sets[i][w].owner = -1
+		}
+	}
+	if cfg.Policy == TimeDeterministic {
+		c.lruAge = make([][]uint32, nsets)
+		ages := make([]uint32, nsets*cfg.Ways)
+		for i := range c.lruAge {
+			c.lruAge[i] = ages[i*cfg.Ways : (i+1)*cfg.Ways]
+		}
+		c.placement = rnghash.NewModulo(nsets)
+	} else {
+		c.placement = rnghash.New(nsets, rnghash.NewRII(rnd))
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the event counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the event counters without touching contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// LineAddr converts a byte address into a line address.
+func (c *Cache) LineAddr(addr uint64) uint64 {
+	shift := uint(0)
+	for 1<<shift < c.cfg.LineBytes {
+		shift++
+	}
+	return addr >> shift
+}
+
+// NewRun prepares the cache for a fresh program run: contents are flushed
+// (the paper's consistency requirement when the RII changes) and, for the
+// TR policy, a new RII is drawn so that every address maps to a new random
+// set. Returns the number of dirty lines that would have been written back.
+func (c *Cache) NewRun() int {
+	wb := c.Flush()
+	if c.cfg.Policy == TimeRandomised {
+		c.placement = rnghash.New(c.cfg.Sets(), rnghash.NewRII(c.rnd))
+	}
+	return wb
+}
+
+// Flush invalidates every line, returning the count of dirty lines
+// (writebacks the flush would generate).
+func (c *Cache) Flush() int {
+	dirty := 0
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			l := &c.sets[si][wi]
+			if l.valid && l.dirty {
+				dirty++
+			}
+			l.valid, l.dirty, l.owner = false, false, -1
+		}
+	}
+	c.stats.Flushes++
+	c.stats.Writebacks += uint64(dirty)
+	return dirty
+}
+
+// Contains reports whether the line holding addr is currently resident.
+// It performs no state change and records no statistics (a debug/test probe,
+// not a hardware access).
+func (c *Cache) Contains(addr uint64) bool {
+	la := c.LineAddr(addr)
+	set := c.sets[c.placement.Set(la)]
+	for i := range set {
+		if set[i].valid && set[i].tag == la {
+			return true
+		}
+	}
+	return false
+}
+
+// ProbeResult is the outcome of a non-mutating lookup.
+type ProbeResult struct {
+	Hit     bool // the line is resident within the masked ways
+	FreeWay bool // a fill could use an invalid masked way (no eviction)
+}
+
+// Probe looks up addr within mask without changing any state and without
+// recording statistics. The EFL hardware uses this distinction: a miss
+// that can fill an invalid way performs no eviction and therefore is not
+// gated by the eviction-allowed bit.
+func (c *Cache) Probe(addr uint64, mask WayMask) ProbeResult {
+	if mask == 0 {
+		panic("cache: probe with empty way mask")
+	}
+	la := c.LineAddr(addr)
+	set := c.sets[c.placement.Set(la)]
+	var res ProbeResult
+	for wi := range set {
+		if mask&(1<<uint(wi)) == 0 {
+			continue
+		}
+		if !set[wi].valid {
+			res.FreeWay = true
+			continue
+		}
+		if set[wi].tag == la {
+			res.Hit = true
+		}
+	}
+	return res
+}
+
+// Access performs a demand read (write=false) or write (write=true) of the
+// line containing addr, restricted to the ways enabled in mask, on behalf
+// of partition owner (use -1 when partitioning is off). On a miss the line
+// is allocated (write-allocate) and a victim may be displaced.
+func (c *Cache) Access(addr uint64, write bool, mask WayMask, owner int) AccessResult {
+	if mask == 0 {
+		panic("cache: access with empty way mask")
+	}
+	la := c.LineAddr(addr)
+	si := c.placement.Set(la)
+	set := c.sets[si]
+	c.stats.Accesses++
+
+	// Lookup across the allowed ways.
+	for wi := range set {
+		if mask&(1<<uint(wi)) == 0 {
+			continue
+		}
+		if set[wi].valid && set[wi].tag == la {
+			c.stats.Hits++
+			if write {
+				set[wi].dirty = true
+			}
+			// EoM random replacement is stateless on hits (§3.3); only
+			// LRU updates its recency stack.
+			if c.cfg.Policy == TimeDeterministic {
+				c.touchLRU(si, wi)
+			}
+			return AccessResult{Hit: true}
+		}
+	}
+
+	// Miss: allocate. Prefer an invalid way inside the mask.
+	c.stats.Misses++
+	victim := c.pickVictim(si, mask)
+	res := AccessResult{}
+	v := &set[victim]
+	if v.valid {
+		res.Evicted = true
+		res.EvictedAddr = v.tag
+		res.EvictedDirty = v.dirty
+		c.stats.Evictions++
+		if v.dirty {
+			c.stats.Writebacks++
+		}
+	}
+	v.tag = la
+	v.valid = true
+	v.dirty = write
+	v.owner = int8(owner)
+	if c.cfg.Policy == TimeDeterministic {
+		c.touchLRU(si, victim)
+	}
+	return res
+}
+
+// pickVictim chooses the way to fill within mask.
+//
+// Time-randomised (EoM): the victim is uniformly random among the masked
+// ways *regardless of valid bits* — the Kosmidis DATE'13 design, whose
+// replacement is stateless and never inspects the set. This is what makes
+// every miss an eviction event (the property EFL's gate counts on) and
+// what makes Equation 1's fully-associative factor exact from an empty
+// cache.
+//
+// Time-deterministic (LRU): conventional — an invalid way if any,
+// otherwise the least recently used masked way.
+func (c *Cache) pickVictim(si int, mask WayMask) int {
+	set := c.sets[si]
+	if c.cfg.Policy == TimeDeterministic {
+		for wi := range set {
+			if mask&(1<<uint(wi)) != 0 && !set[wi].valid {
+				return wi
+			}
+		}
+		best, bestAge := -1, uint32(0)
+		for wi := range set {
+			if mask&(1<<uint(wi)) == 0 {
+				continue
+			}
+			if best == -1 || c.lruAge[si][wi] < bestAge {
+				best, bestAge = wi, c.lruAge[si][wi]
+			}
+		}
+		return best
+	}
+	// EoM: uniformly random victim among the masked ways.
+	n := mask.Count()
+	k := c.rnd.Intn(n)
+	for wi := 0; wi < c.cfg.Ways; wi++ {
+		if mask&(1<<uint(wi)) == 0 {
+			continue
+		}
+		if k == 0 {
+			return wi
+		}
+		k--
+	}
+	panic("cache: victim selection fell through")
+}
+
+// touchLRU marks way wi of set si most recently used.
+func (c *Cache) touchLRU(si, wi int) {
+	c.lruClock++
+	c.lruAge[si][wi] = c.lruClock
+}
+
+// AccessNoAlloc performs a no-allocate access: a hit behaves like Access
+// (including LRU maintenance on the TD policy) but a miss changes nothing —
+// the line is not fetched. This is the DL1 behaviour of a write-through,
+// no-write-allocate design (paper footnote 5): stores update the DL1 only
+// if the line is already present and always propagate outward. Lines are
+// never dirtied (the outer level holds the authoritative copy).
+func (c *Cache) AccessNoAlloc(addr uint64, mask WayMask, owner int) (hit bool) {
+	if mask == 0 {
+		panic("cache: access with empty way mask")
+	}
+	la := c.LineAddr(addr)
+	si := c.placement.Set(la)
+	set := c.sets[si]
+	c.stats.Accesses++
+	for wi := range set {
+		if mask&(1<<uint(wi)) == 0 {
+			continue
+		}
+		if set[wi].valid && set[wi].tag == la {
+			c.stats.Hits++
+			if c.cfg.Policy == TimeDeterministic {
+				c.touchLRU(si, wi)
+			}
+			return true
+		}
+	}
+	c.stats.Misses++
+	return false
+}
+
+// ForceEvict implements the LLC side of a CRG force-miss request (§3.5):
+// a request flagged force-miss behaves as a guaranteed miss, displacing a
+// random victim. With random placement the victim set is uniformly
+// distributed, so the hardware's "hash of an artificial address" is modelled
+// as a uniform (set, way) draw. Returns eviction info (a dirty victim needs
+// a writeback, which occupies memory bandwidth just like a demand one).
+func (c *Cache) ForceEvict() AccessResult {
+	si := c.rnd.Intn(len(c.sets))
+	wi := c.rnd.Intn(c.cfg.Ways)
+	v := &c.sets[si][wi]
+	res := AccessResult{}
+	c.stats.ForcedEvict++
+	if v.valid {
+		res.Evicted = true
+		res.EvictedAddr = v.tag
+		res.EvictedDirty = v.dirty
+		if v.dirty {
+			c.stats.Writebacks++
+		}
+	}
+	// The artificial line stays resident (the way is occupied in hardware)
+	// under a synthetic address that no demand access ever references.
+	c.synthTag++
+	v.tag = synthTagBase | c.synthTag
+	v.valid = true
+	v.dirty = false
+	v.owner = -1
+	return res
+}
+
+// Invalidate removes the line holding addr if resident, returning whether
+// it was dirty. Used by tests and by non-inclusive hierarchy management.
+func (c *Cache) Invalidate(addr uint64) (resident, dirty bool) {
+	la := c.LineAddr(addr)
+	set := c.sets[c.placement.Set(la)]
+	for i := range set {
+		if set[i].valid && set[i].tag == la {
+			d := set[i].dirty
+			set[i].valid, set[i].dirty, set[i].owner = false, false, -1
+			return true, d
+		}
+	}
+	return false, false
+}
+
+// ValidLines returns the number of currently valid lines (test/inspection).
+func (c *Cache) ValidLines() int {
+	n := 0
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			if c.sets[si][wi].valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// CheckInvariants verifies structural invariants, returning a descriptive
+// error when one is violated. Intended for tests and debug builds:
+//   - no duplicate valid tags within a set;
+//   - every valid line's owner (when partitioned) occupies a way inside
+//     that owner's registered mask.
+func (c *Cache) CheckInvariants(ownerMask func(owner int) WayMask) error {
+	for si := range c.sets {
+		seen := map[uint64]int{}
+		for wi := range c.sets[si] {
+			l := c.sets[si][wi]
+			if !l.valid {
+				continue
+			}
+			if prev, dup := seen[l.tag]; dup {
+				return fmt.Errorf("cache %s: set %d has tag %#x in ways %d and %d",
+					c.cfg.Name, si, l.tag, prev, wi)
+			}
+			seen[l.tag] = wi
+			if ownerMask != nil && l.owner >= 0 {
+				if ownerMask(int(l.owner))&(1<<uint(wi)) == 0 {
+					return fmt.Errorf("cache %s: set %d way %d holds owner %d outside its mask",
+						c.cfg.Name, si, wi, l.owner)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,292 @@
+// Package cpu models the paper's core (§4.1): a 4-stage pipelined,
+// in-order, single-issue processor with private first-level instruction
+// (IL1) and data (DL1) caches.
+//
+// Timing model. With in-order single issue, unit-latency stages and
+// blocking caches, the pipeline retires one instruction per cycle when
+// everything hits; the only deviations are (a) instruction-fetch misses,
+// (b) data-access misses, (c) multi-cycle execute operations (MUL/DIV) and
+// (d) taken-branch redirect bubbles. The core therefore advances a cycle
+// counter instruction by instruction: base cost 1 cycle, plus the extra
+// execute latency, plus the branch penalty, plus memory stalls. This is
+// exact for this microarchitecture and lets the surrounding discrete-event
+// simulator handle the shared resources (bus, LLC, memory controller) at
+// cycle granularity.
+//
+// The core is driven as a state machine by package sim: Step runs until
+// the current instruction either retires (NeedNone) or requires one or
+// more shared-memory transactions (NeedLLC); the simulator performs the
+// transactions and calls Resume with the completion cycle.
+package cpu
+
+import (
+	"fmt"
+
+	"efl/internal/cache"
+	"efl/internal/isa"
+)
+
+// Need is what the core requires from the simulator after a Step.
+type Need int
+
+const (
+	// NeedNone: the instruction retired; the core is ready for more work.
+	NeedNone Need = iota
+	// NeedLLC: first-level caches missed; the pending shared transactions
+	// (Requests) must complete before the core can continue.
+	NeedLLC
+	// NeedHalt: the program executed HALT or faulted; the core is done.
+	NeedHalt
+)
+
+// ReqKind distinguishes the two shared-memory transaction types a core
+// issues.
+type ReqKind int
+
+const (
+	// ReqFetch reads a line from the LLC (and memory beyond) into an L1.
+	ReqFetch ReqKind = iota
+	// ReqWriteback writes a dirty L1 victim line into the LLC.
+	ReqWriteback
+	// ReqWriteThrough propagates a store outward under a write-through
+	// DL1 (paper footnote 5): the word is written to the LLC (and, on an
+	// LLC miss without write-allocate, to memory) on every store.
+	ReqWriteThrough
+)
+
+// Request is one shared-memory transaction the simulator must perform on
+// the core's behalf.
+type Request struct {
+	Kind  ReqKind
+	Addr  uint64 // byte address (ReqFetch) or line-aligned address (ReqWriteback)
+	Instr bool   // instruction-side request (IL1) vs data-side (DL1)
+}
+
+// Stats aggregates the core's pipeline-level event counts (cache-level
+// counts live in the caches themselves).
+type Stats struct {
+	FetchStalls   uint64 // instructions whose fetch missed IL1
+	DataStalls    uint64 // memory instructions whose access missed DL1
+	Writebacks    uint64 // dirty DL1 victims pushed to the LLC
+	TakenBranches uint64
+}
+
+type phase int
+
+const (
+	phFetch phase = iota
+	phExec
+	phRetire
+)
+
+// Core is one simulated processor core.
+type Core struct {
+	ID  int
+	M   *isa.Machine
+	IL1 *cache.Cache
+	DL1 *cache.Cache
+
+	// BranchPenalty is the redirect bubble of a taken branch (default 1).
+	BranchPenalty int64
+
+	// WriteThrough switches the DL1 to write-through/no-write-allocate
+	// (paper footnote 5): stores update the DL1 only on a hit, never
+	// dirty it, and always emit a ReqWriteThrough transaction.
+	WriteThrough bool
+
+	// Clock is the core-local cycle counter.
+	Clock int64
+
+	stats   Stats
+	l1Mask  cache.WayMask
+	phase   phase
+	pending []Request
+	halted  bool
+	fault   error
+
+	// addrBase disambiguates per-core physical addresses: every task has
+	// private code and data (the paper's tasks share nothing), so core i's
+	// view of architectural address a is a | (i << 32). Without this,
+	// co-running copies of a program would alias in the shared LLC and
+	// spuriously prefetch for each other.
+	addrBase uint64
+}
+
+// New wires a core around a machine and its private L1 caches.
+func New(id int, m *isa.Machine, il1, dl1 *cache.Cache) *Core {
+	return &Core{
+		ID:            id,
+		M:             m,
+		IL1:           il1,
+		DL1:           dl1,
+		BranchPenalty: 1,
+		l1Mask:        cache.FullMask(il1.Config().Ways),
+		addrBase:      uint64(id) << 32,
+	}
+}
+
+// Stats returns a copy of the pipeline counters.
+func (c *Core) Stats() Stats { return c.stats }
+
+// Retired returns the dynamic instruction count.
+func (c *Core) Retired() uint64 { return c.M.Steps }
+
+// Halted reports whether the core has finished (HALT or fault).
+func (c *Core) Halted() bool { return c.halted }
+
+// Fault returns the runtime fault that halted the core, if any.
+func (c *Core) Fault() error { return c.fault }
+
+// Reset prepares the core for a fresh run: machine state, caches (new RII
+// per run, per the MBPTA protocol), clock and pipeline state.
+func (c *Core) Reset() {
+	c.M.Reset()
+	c.IL1.NewRun()
+	c.DL1.NewRun()
+	c.Clock = 0
+	c.stats = Stats{}
+	c.phase = phFetch
+	c.pending = c.pending[:0]
+	c.halted = false
+	c.fault = nil
+}
+
+// PendingRequests returns the shared transactions the core is blocked on,
+// in issue order. The simulator consumes them one by one.
+func (c *Core) PendingRequests() []Request { return c.pending }
+
+// PopRequest removes and returns the first pending request. It panics when
+// none is pending.
+func (c *Core) PopRequest() Request {
+	if len(c.pending) == 0 {
+		panic("cpu: PopRequest with no pending requests")
+	}
+	r := c.pending[0]
+	c.pending = c.pending[1:]
+	return r
+}
+
+// HasPending reports whether transactions remain for the current stall.
+func (c *Core) HasPending() bool { return len(c.pending) > 0 }
+
+// Resume is called by the simulator when all pending transactions have
+// completed at cycle t; the core's clock jumps to t.
+func (c *Core) Resume(t int64) {
+	if t > c.Clock {
+		c.Clock = t
+	}
+}
+
+// Step advances the core. It returns NeedNone when an instruction retired
+// (the common case: Clock advanced by its cost), NeedLLC when the core
+// must wait for shared transactions (PendingRequests), and NeedHalt when
+// the program is done.
+func (c *Core) Step() Need {
+	if c.halted {
+		return NeedHalt
+	}
+	switch c.phase {
+	case phFetch:
+		if c.M.Halted() {
+			c.halted = true
+			return NeedHalt
+		}
+		pc := c.M.PC
+		if pc < 0 || pc >= len(c.M.Prog.Code) {
+			// Let the interpreter raise the precise fault.
+			c.phase = phExec
+			return c.Step()
+		}
+		fetchAddr := isa.InstrAddr(pc) | c.addrBase
+		r := c.IL1.Access(fetchAddr, false, c.l1Mask, -1)
+		if r.Hit {
+			c.phase = phExec
+			return c.Step()
+		}
+		// Instruction lines are never dirty (no self-modifying code), so
+		// an IL1 fill needs only the fetch transaction.
+		c.stats.FetchStalls++
+		c.pending = append(c.pending, Request{Kind: ReqFetch, Addr: fetchAddr, Instr: true})
+		c.phase = phExec
+		return NeedLLC
+
+	case phExec:
+		si, err := c.M.Step()
+		if err != nil {
+			c.halted = true
+			c.fault = err
+			return NeedHalt
+		}
+		if si.Halted {
+			// The HALT instruction itself occupies one cycle.
+			c.Clock++
+			c.halted = true
+			return NeedHalt
+		}
+		c.Clock += si.Op.Latency()
+		if si.Taken {
+			c.Clock += c.BranchPenalty
+			c.stats.TakenBranches++
+		}
+		if si.Op.IsMem() {
+			memAddr := si.MemAddr | c.addrBase
+			if c.WriteThrough && si.MemWrite {
+				// Write-through store: DL1 updated on hit only (never
+				// dirtied), and the store always goes outward.
+				c.DL1.AccessNoAlloc(memAddr, c.l1Mask, -1)
+				c.pending = append(c.pending, Request{Kind: ReqWriteThrough, Addr: memAddr})
+				c.phase = phRetire
+				return NeedLLC
+			}
+			r := c.DL1.Access(memAddr, si.MemWrite, c.l1Mask, -1)
+			if !r.Hit {
+				c.stats.DataStalls++
+				if r.Evicted && r.EvictedDirty {
+					c.stats.Writebacks++
+					c.pending = append(c.pending, Request{
+						Kind: ReqWriteback,
+						Addr: r.EvictedAddr * uint64(c.DL1.Config().LineBytes),
+					})
+				}
+				c.pending = append(c.pending, Request{Kind: ReqFetch, Addr: memAddr})
+				c.phase = phRetire
+				return NeedLLC
+			}
+		}
+		c.phase = phFetch
+		return NeedNone
+
+	case phRetire:
+		// Data transactions completed (Resume set the clock).
+		c.phase = phFetch
+		return NeedNone
+	}
+	panic(fmt.Sprintf("cpu: core %d in impossible phase %d", c.ID, c.phase))
+}
+
+// RunIsolatedPerfect executes the whole program assuming the L1s never
+// miss below themselves (i.e. every L1 miss costs exactly llcHit extra
+// cycles with no contention). It exists for calibration and tests; the
+// real memory path is driven by package sim.
+func (c *Core) RunIsolatedPerfect(llcExtra int64, maxSteps uint64) error {
+	for {
+		switch c.Step() {
+		case NeedHalt:
+			if c.fault != nil {
+				return c.fault
+			}
+			return nil
+		case NeedLLC:
+			done := c.Clock
+			for c.HasPending() {
+				c.PopRequest()
+				done += llcExtra
+			}
+			c.Resume(done)
+		case NeedNone:
+		}
+		if c.M.Steps > maxSteps {
+			return fmt.Errorf("cpu: core %d exceeded %d instructions", c.ID, maxSteps)
+		}
+	}
+}

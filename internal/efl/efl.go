@@ -1,0 +1,246 @@
+// Package efl implements the paper's primary contribution: the LLC
+// Eviction Frequency Limiting mechanism (EFL, §3.4-§3.5).
+//
+// EFL bounds inter-task interference in a shared time-randomised LLC
+// without partitioning it. The key observation (§3.3) is that in an
+// Evict-on-Miss random-replacement cache only *evictions* change cache
+// state — hits are stateless — and with random placement an eviction
+// touches any resident line with a fixed probability regardless of
+// addresses. Therefore limiting how *often* each core may evict suffices
+// to upper-bound the damage it can do to co-runners.
+//
+// The hardware is an access control unit per core (Figure 2):
+//
+//   - rMID:   the desired Minimum Inter-eviction Delay, set by the OS;
+//   - a PRNG: on each eviction draws the next delay uniformly from
+//     [0, 2*MID] (randomised so interleaving with the analysed task is
+//     probabilistic, not systematic — §3.4);
+//   - cdc:    a count-down counter initialised with the draw;
+//   - EAB:    the eviction-allowed bit, set when cdc reaches zero. An LLC
+//     miss that needs to evict stalls until EAB is 1 and consumes it;
+//     LLC hits always proceed;
+//   - rmode:  analysis/deployment mode. At analysis time the cores not
+//     running the task under analysis activate their Cache Request
+//     Generator (CRG), which issues force-miss eviction requests at the
+//     maximum frequency EFL allows, realising the worst-case interference
+//     the deployment-time bound admits.
+package efl
+
+import (
+	"fmt"
+
+	"efl/internal/rng"
+)
+
+// Mode is the rmode register value (§3.5).
+type Mode int
+
+const (
+	// Deployment: every core runs real software; its LLC evictions are
+	// rate-limited by its EFL unit.
+	Deployment Mode = iota
+	// Analysis: the task under analysis runs alone while the other cores'
+	// CRGs evict at the maximum allowed frequency.
+	Analysis
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Deployment:
+		return "deployment"
+	case Analysis:
+		return "analysis"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Stats aggregates one unit's activity.
+type Stats struct {
+	Evictions   uint64 // evictions performed (EAB consumptions)
+	StallCycles int64  // cycles evicting requests spent waiting for the EAB
+	DelaySum    int64  // sum of drawn inter-eviction delays (for mean-MID checks)
+}
+
+// Unit is one core's access control unit: rMID register, count-down
+// counter and eviction-allowed bit, with the PRNG behind them.
+type Unit struct {
+	mid     int64
+	rnd     rng.Stream
+	eabAt   int64 // cycle at which the EAB (re)becomes 1
+	enabled bool
+	fixed   bool // ablation A2: deterministic delays instead of U[0,2*MID]
+	stats   Stats
+}
+
+// NewUnit creates a unit with the given rMID value. mid <= 0 disables the
+// unit (evictions always allowed), modelling a system without EFL.
+func NewUnit(mid int64, rnd rng.Stream) *Unit {
+	return &Unit{mid: mid, rnd: rnd, enabled: mid > 0}
+}
+
+// MID returns the configured rMID value (0 when disabled).
+func (u *Unit) MID() int64 {
+	if !u.enabled {
+		return 0
+	}
+	return u.mid
+}
+
+// Enabled reports whether the unit limits evictions.
+func (u *Unit) Enabled() bool { return u.enabled }
+
+// Stats returns a copy of the unit's counters.
+func (u *Unit) Stats() Stats { return u.stats }
+
+// SetFixed switches the unit to deterministic inter-eviction delays
+// (always exactly MID instead of U[0, 2*MID]). This drops the paper's
+// interleave randomisation (§3.4) and exists for the ablation showing why
+// the randomisation matters: fixed delays interleave systematically with
+// the analysed task and break the i.i.d. properties MBPTA requires.
+func (u *Unit) SetFixed(fixed bool) { u.fixed = fixed }
+
+// draw produces the next inter-eviction delay.
+func (u *Unit) draw() int64 {
+	if u.fixed {
+		return u.mid
+	}
+	return u.rnd.Range(0, 2*u.mid)
+}
+
+// Reset prepares the unit for a new run: the EAB starts set (an eviction
+// at cycle 0 is allowed) and counters are cleared.
+func (u *Unit) Reset() {
+	u.eabAt = 0
+	u.stats = Stats{}
+}
+
+// EvictionAllowedAt returns the earliest cycle >= now at which an eviction
+// may proceed: now itself if the EAB is set, otherwise the cycle the
+// count-down counter reaches zero. It does not consume the EAB.
+func (u *Unit) EvictionAllowedAt(now int64) int64 {
+	if !u.enabled || u.eabAt <= now {
+		return now
+	}
+	return u.eabAt
+}
+
+// RecordEviction consumes the EAB for an eviction performed at cycle t
+// (the caller must have honoured EvictionAllowedAt) and rewinds the
+// count-down counter with a fresh draw from [0, 2*MID]. waited is the
+// stall the request suffered, recorded for statistics.
+func (u *Unit) RecordEviction(t int64, waited int64) {
+	u.stats.Evictions++
+	if waited > 0 {
+		u.stats.StallCycles += waited
+	}
+	if !u.enabled {
+		return
+	}
+	d := u.draw()
+	u.stats.DelaySum += d
+	u.eabAt = t + d
+}
+
+// CRG is a core's cache request generator (§3.5): in analysis mode it
+// issues force-miss eviction requests to the LLC as fast as the core's EFL
+// unit allows, i.e. one eviction per count-down expiry. Fire times follow
+// t_{i+1} = t_i + U[0, 2*MID].
+type CRG struct {
+	unit *Unit
+	next int64
+}
+
+// NewCRG couples a generator to a unit and schedules its first request.
+// The first fire time is itself a draw, so the three CRGs of the paper's
+// platform start desynchronised.
+func NewCRG(unit *Unit) *CRG {
+	c := &CRG{unit: unit}
+	if unit.enabled {
+		c.next = unit.draw()
+	}
+	return c
+}
+
+// NextFire returns the cycle of the pending artificial eviction request.
+func (c *CRG) NextFire() int64 { return c.next }
+
+// Fire records the eviction the CRG just performed at cycle t and
+// schedules the next request. It returns the next fire time. The CRG
+// issues "uninterruptedly", so the next eviction lands exactly when the
+// fresh count-down expires (never sooner than the next cycle: even a zero
+// draw cannot complete two LLC evictions in the same cycle).
+func (c *CRG) Fire(t int64) int64 {
+	c.unit.RecordEviction(t, 0)
+	c.next = c.unit.EvictionAllowedAt(t)
+	if c.next <= t {
+		c.next = t + 1
+	}
+	return c.next
+}
+
+// AccessControl wires the paper's Figure 2 for an N-core processor: one
+// unit per core, the mode register, and (in analysis mode) one CRG per
+// co-runner core.
+type AccessControl struct {
+	mode     Mode
+	units    []*Unit
+	crgs     []*CRG // nil entries for cores without an active CRG
+	analysed int    // core under analysis (analysis mode)
+}
+
+// NewAccessControl builds the access-control fabric for cores cores with a
+// common rMID value (the paper evaluates identical MIDs across cores; 0
+// disables EFL). In Analysis mode, analysedCore hosts the task under
+// analysis and every other core gets an active CRG.
+func NewAccessControl(cores int, mid int64, mode Mode, analysedCore int, rnd rng.Stream) (*AccessControl, error) {
+	if cores < 1 {
+		return nil, fmt.Errorf("efl: need at least one core")
+	}
+	if mode == Analysis && (analysedCore < 0 || analysedCore >= cores) {
+		return nil, fmt.Errorf("efl: analysed core %d out of range", analysedCore)
+	}
+	ac := &AccessControl{mode: mode, units: make([]*Unit, cores), crgs: make([]*CRG, cores), analysed: analysedCore}
+	for i := range ac.units {
+		ac.units[i] = NewUnit(mid, rnd.Fork())
+	}
+	if mode == Analysis && mid > 0 {
+		for i := range ac.crgs {
+			if i != analysedCore {
+				ac.crgs[i] = NewCRG(ac.units[i])
+			}
+		}
+	}
+	return ac, nil
+}
+
+// Mode returns the rmode value.
+func (ac *AccessControl) Mode() Mode { return ac.mode }
+
+// Unit returns core i's EFL unit.
+func (ac *AccessControl) Unit(i int) *Unit { return ac.units[i] }
+
+// CRG returns core i's generator, or nil when inactive.
+func (ac *AccessControl) CRG(i int) *CRG { return ac.crgs[i] }
+
+// NumCores returns the number of cores the fabric serves.
+func (ac *AccessControl) NumCores() int { return len(ac.units) }
+
+// Reset re-arms every unit and reschedules the active CRGs for a new run.
+func (ac *AccessControl) Reset() {
+	for i, u := range ac.units {
+		u.Reset()
+		if ac.crgs[i] != nil {
+			ac.crgs[i] = NewCRG(u)
+		}
+	}
+}
+
+// SetFixed switches every unit between randomised (paper) and fixed
+// (ablation) inter-eviction delays.
+func (ac *AccessControl) SetFixed(fixed bool) {
+	for _, u := range ac.units {
+		u.SetFixed(fixed)
+	}
+}

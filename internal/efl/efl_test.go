@@ -1,0 +1,199 @@
+package efl
+
+import (
+	"math"
+	"testing"
+
+	"efl/internal/rng"
+)
+
+func TestUnitDisabled(t *testing.T) {
+	u := NewUnit(0, rng.New(1))
+	if u.Enabled() || u.MID() != 0 {
+		t.Fatal("mid=0 must disable the unit")
+	}
+	if got := u.EvictionAllowedAt(123); got != 123 {
+		t.Fatalf("disabled unit delayed an eviction: %d", got)
+	}
+	u.RecordEviction(123, 0)
+	if got := u.EvictionAllowedAt(124); got != 124 {
+		t.Fatal("disabled unit gated after eviction")
+	}
+	if u.Stats().Evictions != 1 {
+		t.Fatal("eviction not counted")
+	}
+}
+
+func TestUnitGatesEvictions(t *testing.T) {
+	u := NewUnit(1000, rng.New(2))
+	// Initially the EAB is set.
+	if got := u.EvictionAllowedAt(0); got != 0 {
+		t.Fatalf("initial eviction delayed to %d", got)
+	}
+	u.RecordEviction(0, 0)
+	next := u.EvictionAllowedAt(1)
+	if next < 1 || next > 2001 {
+		t.Fatalf("post-eviction allowed time %d outside [1, 2001]", next)
+	}
+	// Idempotent: querying does not consume.
+	if again := u.EvictionAllowedAt(1); again != next {
+		t.Fatal("EvictionAllowedAt not idempotent")
+	}
+	// Once past the EAB time, evictions proceed immediately.
+	if got := u.EvictionAllowedAt(next + 50); got != next+50 {
+		t.Fatal("expired counter still gates")
+	}
+}
+
+func TestUnitDrawsAverageMID(t *testing.T) {
+	// §3.4: "actual MID values match, on average, the desired MID value".
+	const mid = 500
+	u := NewUnit(mid, rng.New(3))
+	const n = 20000
+	var now int64
+	for i := 0; i < n; i++ {
+		now = u.EvictionAllowedAt(now)
+		u.RecordEviction(now, 0)
+	}
+	mean := float64(u.Stats().DelaySum) / n
+	if math.Abs(mean-mid) > mid*0.02 {
+		t.Fatalf("mean drawn delay %v, want ~%d", mean, mid)
+	}
+	// The eviction timeline advances by exactly the elapsed draws: the
+	// current time can never outrun the sum of drawn delays.
+	if now > u.Stats().DelaySum {
+		t.Fatalf("timeline %d beyond delay sum %d", now, u.Stats().DelaySum)
+	}
+}
+
+func TestUnitStallAccounting(t *testing.T) {
+	u := NewUnit(100, rng.New(4))
+	u.RecordEviction(0, 0)
+	allowed := u.EvictionAllowedAt(5)
+	waited := allowed - 5
+	u.RecordEviction(allowed, waited)
+	if u.Stats().StallCycles != waited {
+		t.Fatalf("stall cycles %d, want %d", u.Stats().StallCycles, waited)
+	}
+}
+
+func TestUnitReset(t *testing.T) {
+	u := NewUnit(100, rng.New(5))
+	u.RecordEviction(0, 0)
+	u.Reset()
+	if got := u.EvictionAllowedAt(0); got != 0 {
+		t.Fatal("Reset did not re-arm the EAB")
+	}
+	if u.Stats() != (Stats{}) {
+		t.Fatal("Reset did not clear stats")
+	}
+}
+
+func TestCRGRate(t *testing.T) {
+	// A CRG must evict at most once per counter expiry and on average once
+	// per MID cycles.
+	const mid = 250
+	u := NewUnit(mid, rng.New(6))
+	c := NewCRG(u)
+	var fires int
+	horizon := int64(1_000_000)
+	for c.NextFire() < horizon {
+		c.Fire(c.NextFire())
+		fires++
+	}
+	rate := float64(horizon) / float64(fires)
+	if math.Abs(rate-mid) > mid*0.05 {
+		t.Fatalf("CRG fires every %.1f cycles, want ~%d", rate, mid)
+	}
+}
+
+func TestCRGMonotoneFireTimes(t *testing.T) {
+	u := NewUnit(10, rng.New(7)) // small MID: zero draws likely
+	c := NewCRG(u)
+	prev := int64(-1)
+	for i := 0; i < 10000; i++ {
+		ft := c.NextFire()
+		if ft <= prev {
+			t.Fatalf("fire time %d not after previous %d", ft, prev)
+		}
+		prev = ft
+		c.Fire(ft)
+	}
+}
+
+func TestAccessControlAnalysisWiring(t *testing.T) {
+	ac, err := NewAccessControl(4, 500, Analysis, 0, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ac.NumCores() != 4 || ac.Mode() != Analysis {
+		t.Fatal("fabric misconfigured")
+	}
+	if ac.CRG(0) != nil {
+		t.Fatal("analysed core must not have a CRG")
+	}
+	for i := 1; i < 4; i++ {
+		if ac.CRG(i) == nil {
+			t.Fatalf("co-runner core %d missing its CRG", i)
+		}
+		if ac.Unit(i) == nil || !ac.Unit(i).Enabled() {
+			t.Fatalf("core %d unit missing/disabled", i)
+		}
+	}
+}
+
+func TestAccessControlDeploymentWiring(t *testing.T) {
+	ac, err := NewAccessControl(4, 500, Deployment, -1, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if ac.CRG(i) != nil {
+			t.Fatalf("deployment mode core %d has an active CRG", i)
+		}
+	}
+}
+
+func TestAccessControlValidation(t *testing.T) {
+	if _, err := NewAccessControl(0, 500, Deployment, -1, rng.New(1)); err == nil {
+		t.Fatal("zero cores accepted")
+	}
+	if _, err := NewAccessControl(4, 500, Analysis, 7, rng.New(1)); err == nil {
+		t.Fatal("out-of-range analysed core accepted")
+	}
+}
+
+func TestCRGsDesynchronised(t *testing.T) {
+	// The three co-runner CRGs must not fire in lockstep.
+	ac, err := NewAccessControl(4, 1000, Analysis, 0, rng.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := map[int64]int{}
+	for i := 1; i < 4; i++ {
+		first[ac.CRG(i).NextFire()]++
+	}
+	for ft, n := range first {
+		if n > 1 {
+			t.Fatalf("%d CRGs fire first at the same cycle %d", n, ft)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Analysis.String() != "analysis" || Deployment.String() != "deployment" {
+		t.Fatal("Mode.String broken")
+	}
+	if Mode(9).String() == "" {
+		t.Fatal("unknown mode empty")
+	}
+}
+
+func BenchmarkUnitEvictionCycle(b *testing.B) {
+	u := NewUnit(1000, rng.New(1))
+	var now int64
+	for i := 0; i < b.N; i++ {
+		now = u.EvictionAllowedAt(now)
+		u.RecordEviction(now, 0)
+	}
+}

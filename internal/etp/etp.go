@@ -1,0 +1,329 @@
+// Package etp implements Execution Time Profiles (paper §2.1) and the
+// analytic miss-probability model of time-randomised caches (Equation 1,
+// §3.2).
+//
+// An ETP is the discrete probability distribution of an instruction's
+// latency: a pair of vectors ({l1..lk}, {p1..pk}) with sum(pi)=1. ETPs are
+// the formal object that makes MBPTA applicable — each dynamic instruction
+// behaves as a random variable. The package supports the operations timing
+// analysis composes ETPs with: convolution (sequential composition),
+// mixture (control-flow join), scaling and moments.
+package etp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ETP is a discrete execution-time distribution. Latencies are kept sorted
+// and unique; probabilities sum to 1 (within floating-point tolerance).
+type ETP struct {
+	lat  []float64
+	prob []float64
+}
+
+// tolerance for probability-mass checks.
+const probTol = 1e-9
+
+// New builds an ETP from parallel latency/probability slices. Latencies
+// need not be sorted or unique; equal latencies have their probabilities
+// merged. It returns an error when the slices mismatch, a probability is
+// negative, or the mass does not sum to 1.
+func New(latencies, probs []float64) (*ETP, error) {
+	if len(latencies) != len(probs) {
+		return nil, fmt.Errorf("etp: %d latencies vs %d probabilities", len(latencies), len(probs))
+	}
+	if len(latencies) == 0 {
+		return nil, fmt.Errorf("etp: empty profile")
+	}
+	type lp struct{ l, p float64 }
+	items := make([]lp, 0, len(latencies))
+	var mass float64
+	for i := range latencies {
+		if probs[i] < 0 {
+			return nil, fmt.Errorf("etp: negative probability %v", probs[i])
+		}
+		if math.IsNaN(latencies[i]) || math.IsInf(latencies[i], 0) {
+			return nil, fmt.Errorf("etp: invalid latency %v", latencies[i])
+		}
+		mass += probs[i]
+		if probs[i] > 0 {
+			items = append(items, lp{latencies[i], probs[i]})
+		}
+	}
+	if math.Abs(mass-1) > probTol {
+		return nil, fmt.Errorf("etp: probabilities sum to %v, want 1", mass)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].l < items[j].l })
+	e := &ETP{}
+	for _, it := range items {
+		n := len(e.lat)
+		if n > 0 && e.lat[n-1] == it.l {
+			e.prob[n-1] += it.p
+		} else {
+			e.lat = append(e.lat, it.l)
+			e.prob = append(e.prob, it.p)
+		}
+	}
+	return e, nil
+}
+
+// Deterministic returns the ETP of a fixed-latency instruction.
+func Deterministic(latency float64) *ETP {
+	return &ETP{lat: []float64{latency}, prob: []float64{1}}
+}
+
+// HitMiss returns the two-point ETP of a cache access: latency hitLat with
+// probability 1-pMiss and missLat with probability pMiss. This is the
+// canonical ETP of a TR-cache access (§2.1).
+func HitMiss(hitLat, missLat, pMiss float64) (*ETP, error) {
+	if pMiss < 0 || pMiss > 1 {
+		return nil, fmt.Errorf("etp: miss probability %v outside [0,1]", pMiss)
+	}
+	return New([]float64{hitLat, missLat}, []float64{1 - pMiss, pMiss})
+}
+
+// Len returns the number of distinct latencies.
+func (e *ETP) Len() int { return len(e.lat) }
+
+// Support returns copies of the latency and probability vectors.
+func (e *ETP) Support() (latencies, probs []float64) {
+	return append([]float64(nil), e.lat...), append([]float64(nil), e.prob...)
+}
+
+// Mean returns the expected latency.
+func (e *ETP) Mean() float64 {
+	var m float64
+	for i := range e.lat {
+		m += e.lat[i] * e.prob[i]
+	}
+	return m
+}
+
+// Variance returns the latency variance.
+func (e *ETP) Variance() float64 {
+	m := e.Mean()
+	var v float64
+	for i := range e.lat {
+		d := e.lat[i] - m
+		v += d * d * e.prob[i]
+	}
+	return v
+}
+
+// Min and Max return the support bounds.
+func (e *ETP) Min() float64 { return e.lat[0] }
+
+// Max returns the largest latency in the support.
+func (e *ETP) Max() float64 { return e.lat[len(e.lat)-1] }
+
+// CDF returns P(latency <= x).
+func (e *ETP) CDF(x float64) float64 {
+	var c float64
+	for i := range e.lat {
+		if e.lat[i] > x {
+			break
+		}
+		c += e.prob[i]
+	}
+	return c
+}
+
+// ExceedanceQuantile returns the smallest latency l in the support with
+// P(latency > l) <= p — the pWCET of the single instruction at cutoff p.
+func (e *ETP) ExceedanceQuantile(p float64) float64 {
+	var cum float64
+	for i := range e.lat {
+		cum += e.prob[i]
+		if 1-cum <= p+probTol {
+			return e.lat[i]
+		}
+	}
+	return e.lat[len(e.lat)-1]
+}
+
+// Convolve returns the distribution of the sum of two independent ETPs
+// (sequential composition of two instructions).
+func Convolve(a, b *ETP) *ETP {
+	type key = float64
+	acc := map[key]float64{}
+	for i := range a.lat {
+		for j := range b.lat {
+			acc[a.lat[i]+b.lat[j]] += a.prob[i] * b.prob[j]
+		}
+	}
+	return fromMap(acc)
+}
+
+// ConvolveN folds Convolve over a list of ETPs; it panics on an empty list.
+func ConvolveN(etps ...*ETP) *ETP {
+	if len(etps) == 0 {
+		panic("etp: ConvolveN of nothing")
+	}
+	out := etps[0]
+	for _, e := range etps[1:] {
+		out = Convolve(out, e)
+	}
+	return out
+}
+
+// SelfConvolve returns the n-fold convolution of e (n >= 1) — the
+// distribution of n back-to-back executions — using binary exponentiation
+// so large n stays tractable.
+func SelfConvolve(e *ETP, n int) *ETP {
+	if n < 1 {
+		panic("etp: SelfConvolve needs n >= 1")
+	}
+	result := (*ETP)(nil)
+	base := e
+	for n > 0 {
+		if n&1 == 1 {
+			if result == nil {
+				result = base
+			} else {
+				result = Convolve(result, base)
+			}
+		}
+		n >>= 1
+		if n > 0 {
+			base = Convolve(base, base)
+		}
+	}
+	return result
+}
+
+// Mix returns the mixture w*a + (1-w)*b — the ETP of a control-flow join
+// taking branch a with probability w.
+func Mix(a, b *ETP, w float64) (*ETP, error) {
+	if w < 0 || w > 1 {
+		return nil, fmt.Errorf("etp: mixture weight %v outside [0,1]", w)
+	}
+	acc := map[float64]float64{}
+	for i := range a.lat {
+		acc[a.lat[i]] += w * a.prob[i]
+	}
+	for i := range b.lat {
+		acc[b.lat[i]] += (1 - w) * b.prob[i]
+	}
+	return fromMap(acc), nil
+}
+
+func fromMap(acc map[float64]float64) *ETP {
+	lats := make([]float64, 0, len(acc))
+	for l := range acc {
+		lats = append(lats, l)
+	}
+	sort.Float64s(lats)
+	e := &ETP{lat: lats, prob: make([]float64, len(lats))}
+	for i, l := range lats {
+		e.prob[i] = acc[l]
+	}
+	return e
+}
+
+// String implements fmt.Stringer.
+func (e *ETP) String() string {
+	return fmt.Sprintf("ETP{lat:%v prob:%v}", e.lat, e.prob)
+}
+
+// MissProbability evaluates Equation 1 of the paper: the miss probability
+// of the second access to a line A in a TR cache with S sets and W ways
+// deploying random placement and Evict-on-Miss random replacement, given
+// the sequence <A, B1..Bk, A> where each Bl is a distinct line and
+// missProbs[l] is Bl's own miss probability:
+//
+//	P(miss_Aj) = (1 - ((W-1)/W)^sum(missProbs)) * (1 - ((S-1)/S)^k)
+//
+// The first factor is the fully-associative EoM term (each interfering
+// *miss* randomly evicts one of W ways); the second approximates the
+// direct-mapped random-placement term (a Bl interferes only if it maps to
+// A's set).
+func MissProbability(S, W int, missProbs []float64) float64 {
+	if S < 1 || W < 1 {
+		panic("etp: cache geometry must be positive")
+	}
+	var sum float64
+	for _, p := range missProbs {
+		if p < 0 || p > 1 {
+			panic("etp: miss probability outside [0,1]")
+		}
+		sum += p
+	}
+	assoc := 1 - math.Pow(float64(W-1)/float64(W), sum)
+	placed := 1 - math.Pow(float64(S-1)/float64(S), float64(len(missProbs)))
+	return assoc * placed
+}
+
+// MissProbabilityExact returns the exact miss probability of the second
+// access to A in the Equation 1 scenario on a fully-occupied set-
+// associative TR cache: each interfering miss evicts a uniformly random
+// line of the whole cache (random set via placement, random way via EoM),
+// so A survives each with probability 1 - p_l/(S*W):
+//
+//	P(miss_Aj) = 1 - prod_l (1 - p_l/(S*W))
+//
+// Equation 1 as printed in the paper composes the fully-associative and
+// direct-mapped terms multiplicatively, which upper-bounds this exact
+// value (it is exact for S=1 and conservative otherwise — the paper calls
+// it an approximation and notes the exact value is irrelevant for MBPTA).
+// Ablation A1 quantifies the gap.
+func MissProbabilityExact(S, W int, missProbs []float64) float64 {
+	if S < 1 || W < 1 {
+		panic("etp: cache geometry must be positive")
+	}
+	lines := float64(S * W)
+	survive := 1.0
+	for _, p := range missProbs {
+		if p < 0 || p > 1 {
+			panic("etp: miss probability outside [0,1]")
+		}
+		survive *= 1 - p/lines
+	}
+	return 1 - survive
+}
+
+// MissProbabilityExactUniform is MissProbabilityExact for k interfering
+// accesses sharing miss probability p.
+func MissProbabilityExactUniform(S, W, k int, p float64) float64 {
+	ps := make([]float64, k)
+	for i := range ps {
+		ps[i] = p
+	}
+	return MissProbabilityExact(S, W, ps)
+}
+
+// MissProbabilityUniform is MissProbability for k interfering accesses that
+// all share the same miss probability p.
+func MissProbabilityUniform(S, W, k int, p float64) float64 {
+	ps := make([]float64, k)
+	for i := range ps {
+		ps[i] = p
+	}
+	return MissProbability(S, W, ps)
+}
+
+// EvictionImpact returns the probability that n random LLC evictions
+// (CRG force-miss evictions at analysis time, or bounded co-runner misses
+// at deployment) displace a specific resident line in a cache with S sets
+// and W ways: 1 - (1 - 1/(S*W))^n. This is the quantity EFL's MID bound
+// controls (§3.4): between two reuses spaced d cycles apart, at most
+// ceil(d/MID) evictions per co-runner can occur.
+func EvictionImpact(S, W int, n int) float64 {
+	if S < 1 || W < 1 || n < 0 {
+		panic("etp: bad arguments")
+	}
+	lines := float64(S * W)
+	return 1 - math.Pow(1-1/lines, float64(n))
+}
+
+// MaxEvictionsBetween returns the worst-case number of co-runner evictions
+// EFL admits in a window of d cycles with c co-runner cores and the given
+// MID: each core evicts at most once per MID cycles (§3.4), so the bound is
+// c * (floor(d/MID) + 1).
+func MaxEvictionsBetween(d, mid int64, cores int) int64 {
+	if d < 0 || mid <= 0 || cores < 0 {
+		panic("etp: bad arguments")
+	}
+	return int64(cores) * (d/mid + 1)
+}

@@ -1,0 +1,271 @@
+package etp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func mustNew(t *testing.T, l, p []float64) *ETP {
+	t.Helper()
+	e, err := New(l, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		l, p []float64
+		ok   bool
+	}{
+		{"good", []float64{1, 10}, []float64{0.9, 0.1}, true},
+		{"mismatch", []float64{1}, []float64{0.5, 0.5}, false},
+		{"empty", nil, nil, false},
+		{"negative", []float64{1, 2}, []float64{-0.1, 1.1}, false},
+		{"sum!=1", []float64{1, 2}, []float64{0.5, 0.4}, false},
+		{"nan", []float64{math.NaN(), 2}, []float64{0.5, 0.5}, false},
+	}
+	for _, tc := range cases {
+		_, err := New(tc.l, tc.p)
+		if (err == nil) != tc.ok {
+			t.Errorf("%s: err=%v", tc.name, err)
+		}
+	}
+}
+
+func TestNewMergesAndSorts(t *testing.T) {
+	e := mustNew(t, []float64{10, 1, 10}, []float64{0.25, 0.5, 0.25})
+	l, p := e.Support()
+	if len(l) != 2 || l[0] != 1 || l[1] != 10 {
+		t.Fatalf("support = %v", l)
+	}
+	if !almost(p[1], 0.5, 1e-12) {
+		t.Fatalf("merged prob = %v", p)
+	}
+}
+
+func TestHitMissMoments(t *testing.T) {
+	// The paper's canonical access ETP: 1-cycle hit, 100-cycle miss.
+	e, err := HitMiss(1, 100, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := e.Mean(); !almost(m, 0.9*1+0.1*100, 1e-12) {
+		t.Errorf("mean = %v", m)
+	}
+	if e.Min() != 1 || e.Max() != 100 {
+		t.Error("support bounds wrong")
+	}
+	if _, err := HitMiss(1, 100, 1.5); err == nil {
+		t.Error("pMiss>1 accepted")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	e := Deterministic(7)
+	if e.Len() != 1 || e.Mean() != 7 || e.Variance() != 0 {
+		t.Fatalf("Deterministic(7) = %v", e)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	e := mustNew(t, []float64{1, 10, 100}, []float64{0.5, 0.3, 0.2})
+	cases := []struct{ x, want float64 }{
+		{0, 0}, {1, 0.5}, {5, 0.5}, {10, 0.8}, {100, 1}, {1e9, 1},
+	}
+	for _, tc := range cases {
+		if got := e.CDF(tc.x); !almost(got, tc.want, 1e-12) {
+			t.Errorf("CDF(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestExceedanceQuantile(t *testing.T) {
+	e := mustNew(t, []float64{1, 10, 100}, []float64{0.9, 0.09, 0.01})
+	if q := e.ExceedanceQuantile(0.5); q != 1 {
+		t.Errorf("q(0.5) = %v", q)
+	}
+	if q := e.ExceedanceQuantile(0.05); q != 10 {
+		t.Errorf("q(0.05) = %v", q)
+	}
+	if q := e.ExceedanceQuantile(1e-6); q != 100 {
+		t.Errorf("q(1e-6) = %v", q)
+	}
+}
+
+func TestConvolve(t *testing.T) {
+	a := mustNew(t, []float64{1, 2}, []float64{0.5, 0.5})
+	b := mustNew(t, []float64{10, 20}, []float64{0.5, 0.5})
+	c := Convolve(a, b)
+	l, p := c.Support()
+	want := map[float64]float64{11: 0.25, 21: 0.25, 12: 0.25, 22: 0.25}
+	if len(l) != 4 {
+		t.Fatalf("support = %v", l)
+	}
+	for i := range l {
+		if !almost(p[i], want[l[i]], 1e-12) {
+			t.Errorf("P(%v) = %v, want %v", l[i], p[i], want[l[i]])
+		}
+	}
+	// Mean is additive under convolution.
+	if !almost(c.Mean(), a.Mean()+b.Mean(), 1e-12) {
+		t.Error("convolution mean not additive")
+	}
+	// Variance is additive for independent variables.
+	if !almost(c.Variance(), a.Variance()+b.Variance(), 1e-9) {
+		t.Error("convolution variance not additive")
+	}
+}
+
+func TestSelfConvolveMatchesRepeated(t *testing.T) {
+	e := mustNew(t, []float64{1, 100}, []float64{0.95, 0.05})
+	byPow := SelfConvolve(e, 5)
+	byFold := ConvolveN(e, e, e, e, e)
+	lp, pp := byPow.Support()
+	lf, pf := byFold.Support()
+	if len(lp) != len(lf) {
+		t.Fatalf("support sizes differ: %d vs %d", len(lp), len(lf))
+	}
+	for i := range lp {
+		if lp[i] != lf[i] || !almost(pp[i], pf[i], 1e-9) {
+			t.Fatalf("mismatch at %d: (%v,%v) vs (%v,%v)", i, lp[i], pp[i], lf[i], pf[i])
+		}
+	}
+}
+
+func TestSelfConvolveMass(t *testing.T) {
+	e := mustNew(t, []float64{1, 10, 100}, []float64{0.7, 0.2, 0.1})
+	c := SelfConvolve(e, 16)
+	_, p := c.Support()
+	var mass float64
+	for _, v := range p {
+		mass += v
+	}
+	if !almost(mass, 1, 1e-9) {
+		t.Fatalf("mass after 16-fold convolution = %v", mass)
+	}
+	if !almost(c.Mean(), 16*e.Mean(), 1e-6) {
+		t.Fatalf("mean = %v, want %v", c.Mean(), 16*e.Mean())
+	}
+}
+
+func TestMix(t *testing.T) {
+	a := Deterministic(1)
+	b := Deterministic(100)
+	m, err := Mix(a, b, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(m.Mean(), 0.75*1+0.25*100, 1e-12) {
+		t.Fatalf("mixture mean = %v", m.Mean())
+	}
+	if _, err := Mix(a, b, 1.5); err == nil {
+		t.Fatal("weight > 1 accepted")
+	}
+}
+
+func TestMissProbabilityEquation1(t *testing.T) {
+	// Fully-associative limit: S=1 makes the placement factor 0 only when
+	// S-1=0 => second factor = 1 - 0^k = 1 for k>=1.
+	// For S=1, W=8, k misses with p=1:
+	// P = 1 - (7/8)^k.
+	for _, k := range []int{1, 2, 8} {
+		got := MissProbabilityUniform(1, 8, k, 1)
+		want := 1 - math.Pow(7.0/8, float64(k))
+		if !almost(got, want, 1e-12) {
+			t.Errorf("k=%d: %v want %v", k, got, want)
+		}
+	}
+	// Zero interfering misses: no eviction possible.
+	if MissProbabilityUniform(512, 8, 0, 1) != 0 {
+		t.Error("no interference must give 0 miss probability")
+	}
+	// Interfering accesses that never miss cannot evict either.
+	if got := MissProbabilityUniform(512, 8, 10, 0); got != 0 {
+		t.Errorf("hit-only interference gave %v", got)
+	}
+	// Paper LLC geometry: monotone in k and in p.
+	prev := 0.0
+	for _, k := range []int{1, 4, 16, 64, 256} {
+		got := MissProbabilityUniform(512, 8, k, 0.5)
+		if got <= prev && k > 1 {
+			t.Errorf("not monotone in k: %v after %v", got, prev)
+		}
+		prev = got
+	}
+	if MissProbabilityUniform(512, 8, 16, 0.9) <= MissProbabilityUniform(512, 8, 16, 0.1) {
+		t.Error("not monotone in p")
+	}
+}
+
+func TestMissProbabilityBounds(t *testing.T) {
+	err := quick.Check(func(k8 uint8, pRaw uint8) bool {
+		k := int(k8%64) + 1
+		p := float64(pRaw) / 255
+		v := MissProbabilityUniform(512, 8, k, p)
+		return v >= 0 && v <= 1
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMissProbabilityPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { MissProbability(0, 8, nil) },
+		func() { MissProbability(512, 0, nil) },
+		func() { MissProbability(512, 8, []float64{2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestEvictionImpact(t *testing.T) {
+	// One eviction in a 4096-line LLC touches a given line w.p. 1/4096.
+	if got := EvictionImpact(512, 8, 1); !almost(got, 1.0/4096, 1e-9) {
+		t.Fatalf("single eviction impact = %v", got)
+	}
+	if EvictionImpact(512, 8, 0) != 0 {
+		t.Fatal("zero evictions must have zero impact")
+	}
+	// Impact is monotone and bounded by 1.
+	prev := -1.0
+	for _, n := range []int{1, 10, 100, 10000, 1000000} {
+		v := EvictionImpact(512, 8, n)
+		if v <= prev || v > 1 {
+			t.Fatalf("impact not monotone/bounded at n=%d: %v", n, v)
+		}
+		prev = v
+	}
+}
+
+func TestMaxEvictionsBetween(t *testing.T) {
+	// 3 co-runners, MID=1000: within 2500 cycles at most 3*(2+1)=9.
+	if got := MaxEvictionsBetween(2500, 1000, 3); got != 9 {
+		t.Fatalf("MaxEvictionsBetween = %d", got)
+	}
+	// Zero window still admits one in-flight eviction per core.
+	if got := MaxEvictionsBetween(0, 1000, 3); got != 3 {
+		t.Fatalf("zero-window bound = %d", got)
+	}
+}
+
+func BenchmarkSelfConvolve1000(b *testing.B) {
+	e, _ := HitMiss(1, 100, 0.05)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = SelfConvolve(e, 1000)
+	}
+}

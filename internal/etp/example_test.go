@@ -1,0 +1,37 @@
+package etp_test
+
+import (
+	"fmt"
+
+	"efl/internal/etp"
+)
+
+// ExampleHitMiss builds the canonical ETP of one TR-cache access and
+// composes a straight-line sequence of ten of them.
+func ExampleHitMiss() {
+	access, err := etp.HitMiss(1, 101, 0.1) // 1-cycle hit, 101-cycle miss, P(miss)=0.1
+	if err != nil {
+		panic(err)
+	}
+	seq := etp.SelfConvolve(access, 10)
+	fmt.Printf("one access:   mean=%.0f\n", access.Mean())
+	fmt.Printf("ten accesses: mean=%.0f, pWCET@1e-9=%.0f\n",
+		seq.Mean(), seq.ExceedanceQuantile(1e-9))
+	// Output:
+	// one access:   mean=11
+	// ten accesses: mean=110, pWCET@1e-9=910
+}
+
+// ExampleMissProbability evaluates the paper's Equation 1 next to the
+// exact per-eviction law for the paper's LLC geometry.
+func ExampleMissProbability() {
+	const S, W = 512, 8
+	for _, k := range []int{1, 64} {
+		eq1 := etp.MissProbabilityUniform(S, W, k, 1)
+		exact := etp.MissProbabilityExactUniform(S, W, k, 1)
+		fmt.Printf("k=%2d  equation1=%.6f  exact=%.6f\n", k, eq1, exact)
+	}
+	// Output:
+	// k= 1  equation1=0.000244  exact=0.000244
+	// k=64  equation1=0.117588  exact=0.015505
+}

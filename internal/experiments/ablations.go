@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"efl/internal/bench"
+	"efl/internal/cache"
+	"efl/internal/etp"
+	"efl/internal/isa"
+	"efl/internal/mbpta"
+	"efl/internal/rng"
+	"efl/internal/sim"
+)
+
+// Eq1Point compares the paper's Equation 1 and the exact eviction model
+// against simulation for one reuse distance.
+type Eq1Point struct {
+	K         int     // interfering accesses between the two uses of A
+	Equation1 float64 // the paper's approximation (conservative for S>1)
+	Exact     float64 // 1 - (1 - 1/(S*W))^k
+	Measured  float64 // Monte-Carlo TR cache
+}
+
+// AblationEq1 (A1) validates the miss-probability models of §3.2 against
+// the cache implementation: for the access sequence <A, B1..Bk, A> on a
+// fully occupied cache with S sets and W ways where every Bl misses and
+// evicts, the exact model predicts the miss probability of the second A,
+// and Equation 1 as printed in the paper upper-bounds it (it is exact in
+// the fully-associative case; the paper explicitly treats it as an
+// approximation whose exact value is irrelevant for MBPTA).
+func AblationEq1(seed uint64, trials int, ks []int) ([]Eq1Point, error) {
+	if trials < 100 {
+		return nil, fmt.Errorf("experiments: need >= 100 trials")
+	}
+	const S, W = 64, 8 // compact geometry keeps Monte-Carlo cheap
+	cfg := cache.Config{Name: "eq1", SizeBytes: S * W * 16, Ways: W, LineBytes: 16,
+		Policy: cache.TimeRandomised}
+	src := rng.New(seed)
+	var out []Eq1Point
+	for _, k := range ks {
+		misses := 0
+		for trial := 0; trial < trials; trial++ {
+			c := cache.New(cfg, src.Fork())
+			full := cache.FullMask(W)
+			// Pre-fill with 4x the capacity in distinct lines so that
+			// every set is full with overwhelming probability — the
+			// Equation 1 regime where each Bl miss causes an eviction.
+			for f := uint64(0); f < 4*S*W; f++ {
+				c.Access(0x100000+f*16, false, full, -1)
+			}
+			c.Access(0, false, full, -1) // A
+			for b := 1; b <= k; b++ {
+				c.Access(uint64(0x800000+uint64(b)*16), false, full, -1) // Bl, distinct
+			}
+			if r := c.Access(0, false, full, -1); !r.Hit {
+				misses++
+			}
+		}
+		out = append(out, Eq1Point{
+			K:         k,
+			Equation1: etp.MissProbabilityUniform(S, W, k, 1),
+			Exact:     etp.MissProbabilityExactUniform(S, W, k, 1),
+			Measured:  float64(misses) / float64(trials),
+		})
+	}
+	return out, nil
+}
+
+// RenderEq1 prints the A1 table.
+func RenderEq1(points []Eq1Point) string {
+	var sb strings.Builder
+	sb.WriteString("Ablation A1: miss-probability models vs simulated TR cache (S=64, W=8, all Bl miss)\n")
+	fmt.Fprintf(&sb, "%6s %12s %12s %12s %10s\n", "k", "equation1", "exact", "simulated", "eq1 slack")
+	for _, p := range points {
+		fmt.Fprintf(&sb, "%6d %12.4f %12.4f %12.4f %10.4f\n",
+			p.K, p.Equation1, p.Exact, p.Measured, p.Equation1-p.Measured)
+	}
+	return sb.String()
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// FixedMIDRow is the A2 ablation outcome for one benchmark: i.i.d. test
+// results with the paper's randomised inter-eviction delays versus
+// deterministic (fixed) delays.
+type FixedMIDRow struct {
+	Code         string
+	RandomPassed bool
+	RandomAbsZ   float64
+	FixedPassed  bool
+	FixedAbsZ    float64
+	FixedKSP     float64
+	RandomKSP    float64
+}
+
+// AblationFixedMID (A2) demonstrates why §3.4 randomises the MID draw:
+// with deterministic delays the CRG evictions interleave systematically
+// with the analysed task, which tends to reduce run-to-run variability
+// coverage and can break the i.i.d. gate; with U[0,2*MID] draws the
+// interleaving is probabilistic and the gate passes.
+func AblationFixedMID(opt Options, mid int64) ([]FixedMIDRow, error) {
+	opt = opt.withDefaults()
+	var rows []FixedMIDRow
+	for _, s := range allSpecs() {
+		prog := s.Build()
+		row := FixedMIDRow{Code: s.Code}
+		for _, fixed := range []bool{false, true} {
+			cfg := eflConfig(mid)
+			cfg.EFLFixedMID = fixed
+			seed := campaignSeed(opt.Seed, fmt.Sprintf("%s/fixed=%v", s.Code, fixed))
+			times, err := sim.CollectAnalysisTimes(cfg, prog, opt.Runs, seed)
+			if err != nil {
+				return nil, err
+			}
+			iid, err := mbpta.TestIID(times)
+			if err != nil {
+				return nil, err
+			}
+			if fixed {
+				row.FixedPassed, row.FixedAbsZ, row.FixedKSP = iid.Passed, iid.WW.AbsZ, iid.KS.PValue
+			} else {
+				row.RandomPassed, row.RandomAbsZ, row.RandomKSP = iid.Passed, iid.WW.AbsZ, iid.KS.PValue
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderFixedMID prints the A2 table.
+func RenderFixedMID(rows []FixedMIDRow, mid int64) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Ablation A2: randomised vs fixed MID draws (MID=%d)\n", mid)
+	fmt.Fprintf(&sb, "%-5s %18s %18s\n", "bench", "random |Z| / pass", "fixed |Z| / pass")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-5s %10.3f / %-5v %10.3f / %-5v\n",
+			r.Code, r.RandomAbsZ, r.RandomPassed, r.FixedAbsZ, r.FixedPassed)
+	}
+	return sb.String()
+}
+
+// LRURow is the A3 ablation outcome: a time-deterministic (modulo+LRU)
+// platform produces constant execution times run-to-run (no randomisation
+// to expose to EVT), while the TR platform produces a distribution.
+type LRURow struct {
+	Code            string
+	TDDistinctTimes int // distinct execution times over the sample (TD)
+	TRDistinctTimes int // distinct execution times over the sample (TR)
+	TDMean          float64
+	TRMean          float64
+}
+
+// AblationLRU (A3) contrasts the cache paradigms (§1): the TD platform is
+// deterministic given a memory layout — every run takes the same time, so
+// measurement-based analysis cannot expose layout risk — whereas the TR
+// platform randomises placement each run and yields an analysable
+// execution-time distribution.
+func AblationLRU(opt Options, codes []string) ([]LRURow, error) {
+	opt = opt.withDefaults()
+	var rows []LRURow
+	for _, code := range codes {
+		s, err := specByCode(code)
+		if err != nil {
+			return nil, err
+		}
+		prog := s.Build()
+		row := LRURow{Code: code}
+		for _, policy := range []cache.Policy{cache.TimeDeterministic, cache.TimeRandomised} {
+			cfg := sim.DefaultConfig()
+			cfg.Policy = policy
+			// Compare the raw platforms without EFL (EFL requires TR) in
+			// isolated deployment mode: no contention, no phantom bus
+			// draws — any run-to-run variation comes from the caches.
+			seed := campaignSeed(opt.Seed, fmt.Sprintf("%s/policy=%v", code, policy))
+			times, err := collectIsolatedTimes(cfg, prog, opt.Runs, seed)
+			if err != nil {
+				return nil, err
+			}
+			distinct := map[float64]bool{}
+			var mean float64
+			for _, t := range times {
+				distinct[t] = true
+				mean += t
+			}
+			mean /= float64(len(times))
+			if policy == cache.TimeDeterministic {
+				row.TDDistinctTimes, row.TDMean = len(distinct), mean
+			} else {
+				row.TRDistinctTimes, row.TRMean = len(distinct), mean
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// specByCode resolves a benchmark code to its spec.
+func specByCode(code string) (bench.Spec, error) { return bench.ByCode(code) }
+
+// collectIsolatedTimes measures prog running alone at deployment (real,
+// uncontended timing) for runs runs.
+func collectIsolatedTimes(cfg sim.Config, prog *isa.Program, runs int, seed uint64) ([]float64, error) {
+	m, err := sim.New(cfg, []*isa.Program{prog}, seed)
+	if err != nil {
+		return nil, err
+	}
+	times := make([]float64, runs)
+	for i := range times {
+		r, err := m.Run()
+		if err != nil {
+			return nil, err
+		}
+		times[i] = float64(r.PerCore[0].Cycles)
+	}
+	return times, nil
+}
+
+// RenderLRU prints the A3 table.
+func RenderLRU(rows []LRURow) string {
+	var sb strings.Builder
+	sb.WriteString("Ablation A3: time-deterministic vs time-randomised platform\n")
+	fmt.Fprintf(&sb, "%-5s %14s %14s %12s %12s\n", "bench", "TD distinct", "TR distinct", "TD mean", "TR mean")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-5s %14d %14d %12.0f %12.0f\n",
+			r.Code, r.TDDistinctTimes, r.TRDistinctTimes, r.TDMean, r.TRMean)
+	}
+	return sb.String()
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"efl/internal/mbpta"
+	"efl/internal/sim"
+)
+
+// ConvergenceRow tracks how one benchmark's pWCET estimate stabilises as
+// measurement runs accumulate — the paper's §3.3 claim is that MBPTA's
+// convergence criteria are met "between 300 and 1,000 runs" on this kind
+// of platform.
+type ConvergenceRow struct {
+	Code string
+	// Estimates maps run counts to the pWCET estimate at Options.Prob.
+	Estimates map[int]float64
+	// CollectorRuns is where the iterative protocol (grow until the
+	// estimate is stable within 2%) actually stopped.
+	CollectorRuns int
+	// FinalEstimate is the collector's final pWCET.
+	FinalEstimate float64
+}
+
+// ConvergenceResult is the E7 extension experiment.
+type ConvergenceResult struct {
+	Opt       Options
+	RunCounts []int
+	MID       int64
+	Rows      []ConvergenceRow
+}
+
+// ConvergenceStudy measures pWCET stability across sample sizes and runs
+// the full iterative collection protocol for each benchmark under EFL.
+func ConvergenceStudy(opt Options, mid int64, runCounts []int, codes []string) (*ConvergenceResult, error) {
+	opt = opt.withDefaults()
+	if len(runCounts) == 0 {
+		runCounts = []int{100, 200, 400, 800}
+	}
+	res := &ConvergenceResult{Opt: opt, RunCounts: runCounts, MID: mid}
+	maxRuns := runCounts[len(runCounts)-1]
+	for _, code := range codes {
+		spec, err := specByCode(code)
+		if err != nil {
+			return nil, err
+		}
+		prog := spec.Build()
+		seed := campaignSeed(opt.Seed, fmt.Sprintf("%s/convergence", code))
+		// One long collection, analysed at growing prefixes: this is how
+		// the iterative protocol sees the data, and it keeps the study
+		// cheap (no re-simulation per point).
+		times, err := sim.CollectAnalysisTimes(eflConfig(mid), prog, maxRuns, seed)
+		if err != nil {
+			return nil, err
+		}
+		row := ConvergenceRow{Code: code, Estimates: map[int]float64{}}
+		for _, n := range runCounts {
+			if n > len(times) {
+				continue
+			}
+			a, err := mbpta.Analyze(times[:n], mbpta.Options{SkipIIDTests: true})
+			if err != nil {
+				return nil, fmt.Errorf("%s at %d runs: %w", code, n, err)
+			}
+			row.Estimates[n] = a.PWCET(opt.Prob)
+		}
+		// The iterative protocol over the same measurement stream.
+		cursor := 0
+		collector := &mbpta.Collector{
+			Measure: func() float64 {
+				if cursor < len(times) {
+					v := times[cursor]
+					cursor++
+					return v
+				}
+				// Past the precollected window: extend deterministically.
+				extra, err := sim.CollectAnalysisTimes(eflConfig(mid), prog, 50, seed+uint64(cursor))
+				if err != nil || len(extra) == 0 {
+					return times[len(times)-1]
+				}
+				times = append(times, extra...)
+				v := times[cursor]
+				cursor++
+				return v
+			},
+			MaxRuns:   1000,
+			Criterion: mbpta.ConvergenceCriterion{Prob: opt.Prob, Tol: 0.02},
+			Options:   mbpta.Options{SkipIIDTests: true},
+		}
+		final, used, err := collector.Run()
+		if err != nil {
+			return nil, fmt.Errorf("%s: collector: %w", code, err)
+		}
+		row.CollectorRuns = len(used)
+		row.FinalEstimate = final.PWCET(opt.Prob)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render prints the study: estimates normalised to the largest-sample
+// estimate, plus the collector's stopping point.
+func (r *ConvergenceResult) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "MBPTA convergence under EFL (MID=%d), pWCET@%.0e normalised to the largest sample\n",
+		r.MID, r.Opt.Prob)
+	fmt.Fprintf(&sb, "%-5s", "bench")
+	for _, n := range r.RunCounts {
+		fmt.Fprintf(&sb, " %8d", n)
+	}
+	fmt.Fprintf(&sb, " %16s\n", "collector stops")
+	last := r.RunCounts[len(r.RunCounts)-1]
+	for _, row := range r.Rows {
+		base := row.Estimates[last]
+		fmt.Fprintf(&sb, "%-5s", row.Code)
+		for _, n := range r.RunCounts {
+			fmt.Fprintf(&sb, " %8.3f", row.Estimates[n]/base)
+		}
+		fmt.Fprintf(&sb, " %10d runs\n", row.CollectorRuns)
+	}
+	return sb.String()
+}

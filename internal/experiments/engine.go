@@ -1,0 +1,205 @@
+// Package experiments regenerates the paper's evaluation (§4): the MBPTA
+// compliance table, Figure 3 (pWCET of EFL vs cache partitioning per
+// benchmark) and Figure 4 (guaranteed and average performance improvement
+// of EFL over CP across 1,024 random workloads), plus the ablations listed
+// in DESIGN.md.
+//
+// Every experiment is deterministic given Options.Seed: per-campaign seeds
+// are derived by hashing the master seed with the campaign's identity, so
+// results do not depend on goroutine scheduling even though campaigns run
+// in parallel.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"efl/internal/bench"
+	"efl/internal/isa"
+	"efl/internal/mbpta"
+	"efl/internal/sim"
+)
+
+// Options scales the campaigns. The zero value is filled with defaults
+// matching the paper where feasible.
+type Options struct {
+	// Seed is the master seed (default 1).
+	Seed uint64
+	// Runs is the number of measurement runs per (benchmark, config)
+	// MBPTA campaign (default 300; the paper collected at most 1,000).
+	Runs int
+	// Workloads is the number of random 4-benchmark workloads for
+	// Figure 4 (default 1024, the paper's count).
+	Workloads int
+	// DeployRuns is how many deployment runs are averaged per workload
+	// configuration when measuring waIPC (default 2).
+	DeployRuns int
+	// Prob is the pWCET exceedance cutoff (default 1e-15 per run, the
+	// paper's headline probability).
+	Prob float64
+	// MIDs are the EFL configurations (default {250, 500, 1000}).
+	MIDs []int64
+	// CPWays are the per-task way counts for Figure 3 (default {1,2,4}).
+	CPWays []int
+	// Parallelism bounds concurrent campaigns (default GOMAXPROCS).
+	Parallelism int
+	// Progress, when non-nil, receives one line per completed campaign.
+	Progress func(string)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Runs == 0 {
+		o.Runs = 300
+	}
+	if o.Workloads == 0 {
+		o.Workloads = 1024
+	}
+	if o.DeployRuns == 0 {
+		o.DeployRuns = 2
+	}
+	if o.Prob == 0 {
+		o.Prob = 1e-15
+	}
+	if len(o.MIDs) == 0 {
+		o.MIDs = []int64{250, 500, 1000}
+	}
+	if len(o.CPWays) == 0 {
+		o.CPWays = []int{1, 2, 4}
+	}
+	if o.Parallelism == 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// campaignSeed derives a deterministic seed for a named campaign.
+func campaignSeed(master uint64, name string) uint64 {
+	h := master ^ 0x9e3779b97f4a7c15
+	for _, b := range []byte(name) {
+		h ^= uint64(b)
+		h *= 0x100000001b3
+		h ^= h >> 29
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// PWCETResult is one MBPTA campaign outcome.
+type PWCETResult struct {
+	Bench  string
+	Config string
+	Runs   int
+	PWCET  float64 // at Options.Prob
+	Mean   float64 // mean observed execution time
+	Max    float64 // high-water mark
+	IID    mbpta.IIDReport
+}
+
+// analysisPWCET runs the full MBPTA campaign for prog under cfg: collect
+// Runs analysis-mode execution times, check i.i.d., fit, extract the
+// pWCET at prob.
+func analysisPWCET(cfg sim.Config, prog *isa.Program, runs int, seed uint64, prob float64) (PWCETResult, error) {
+	times, err := sim.CollectAnalysisTimes(cfg, prog, runs, seed)
+	if err != nil {
+		return PWCETResult{}, err
+	}
+	res, err := mbpta.Analyze(times, mbpta.Options{SkipIIDTests: true})
+	if err != nil {
+		return PWCETResult{}, fmt.Errorf("experiments: MBPTA on %s: %w", prog.Name, err)
+	}
+	iid, err := mbpta.TestIID(times)
+	if err != nil {
+		return PWCETResult{}, err
+	}
+	var mean float64
+	for _, t := range times {
+		mean += t
+	}
+	mean /= float64(len(times))
+	return PWCETResult{
+		Runs:  len(times),
+		PWCET: res.PWCET(prob),
+		Mean:  mean,
+		Max:   res.MaxSeen,
+		IID:   iid,
+	}, nil
+}
+
+// eflConfig returns the analysis configuration for EFL with the given MID.
+func eflConfig(mid int64) sim.Config {
+	return sim.DefaultConfig().WithEFL(mid).WithAnalysis(0)
+}
+
+// cpConfig returns the analysis configuration for CP with the analysed
+// task given `ways` ways (co-runner slots are idle and unallocated).
+func cpConfig(ways int) sim.Config {
+	cfg := sim.DefaultConfig()
+	parts := make([]int, cfg.Cores)
+	parts[0] = ways
+	return cfg.WithPartition(parts).WithAnalysis(0)
+}
+
+// campaign is a unit of parallel work.
+type campaign struct {
+	bench  bench.Spec
+	config string
+	cfg    sim.Config
+}
+
+// runCampaigns executes campaigns in parallel and returns results keyed by
+// "BENCH/CONFIG".
+func runCampaigns(opt Options, cs []campaign) (map[string]PWCETResult, error) {
+	type out struct {
+		key string
+		res PWCETResult
+		err error
+	}
+	results := make(map[string]PWCETResult, len(cs))
+	work := make(chan campaign)
+	outs := make(chan out)
+	var wg sync.WaitGroup
+	for w := 0; w < opt.Parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range work {
+				key := c.bench.Code + "/" + c.config
+				seed := campaignSeed(opt.Seed, key)
+				res, err := analysisPWCET(c.cfg, c.bench.Build(), opt.Runs, seed, opt.Prob)
+				res.Bench = c.bench.Code
+				res.Config = c.config
+				outs <- out{key: key, res: res, err: err}
+			}
+		}()
+	}
+	go func() {
+		for _, c := range cs {
+			work <- c
+		}
+		close(work)
+		wg.Wait()
+		close(outs)
+	}()
+	var firstErr error
+	for o := range outs {
+		if o.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("%s: %w", o.key, o.err)
+			continue
+		}
+		results[o.key] = o.res
+		if opt.Progress != nil {
+			opt.Progress(fmt.Sprintf("campaign %-12s pWCET=%.0f max=%.0f runs=%d",
+				o.key, o.res.PWCET, o.res.Max, o.res.Runs))
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Fig3Row is one benchmark's pWCET estimates across configurations.
+type Fig3Row struct {
+	Code string
+	EFL  map[int64]float64 // MID -> pWCET
+	CP   map[int]float64   // ways -> pWCET
+}
+
+// NormalisedTo returns the row's pWCETs divided by this benchmark's CP
+// pWCET with `ways` ways — Figure 3 normalises to CP2.
+func (r Fig3Row) NormalisedTo(ways int) Fig3Row {
+	base := r.CP[ways]
+	out := Fig3Row{Code: r.Code, EFL: map[int64]float64{}, CP: map[int]float64{}}
+	for mid, v := range r.EFL {
+		out.EFL[mid] = v / base
+	}
+	for w, v := range r.CP {
+		out.CP[w] = v / base
+	}
+	return out
+}
+
+// Fig3Result reproduces Figure 3: per-benchmark pWCET estimates for
+// EFL{250,500,1000} and CP{1,2,4}, normalised to CP2.
+type Fig3Result struct {
+	Opt     Options
+	Rows    []Fig3Row // Figure 3 benchmark order
+	RawRows []Fig3Row // before normalisation
+}
+
+// Figure3 runs the E2 experiment.
+func Figure3(opt Options) (*Fig3Result, error) {
+	opt = opt.withDefaults()
+	var cs []campaign
+	specs := allSpecs()
+	for _, s := range specs {
+		for _, mid := range opt.MIDs {
+			cs = append(cs, campaign{bench: s, config: fmt.Sprintf("EFL%d", mid), cfg: eflConfig(mid)})
+		}
+		for _, w := range opt.CPWays {
+			cs = append(cs, campaign{bench: s, config: fmt.Sprintf("CP%d", w), cfg: cpConfig(w)})
+		}
+	}
+	results, err := runCampaigns(opt, cs)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig3Result{Opt: opt}
+	for _, s := range specs {
+		row := Fig3Row{Code: s.Code, EFL: map[int64]float64{}, CP: map[int]float64{}}
+		for _, mid := range opt.MIDs {
+			row.EFL[mid] = results[fmt.Sprintf("%s/EFL%d", s.Code, mid)].PWCET
+		}
+		for _, w := range opt.CPWays {
+			row.CP[w] = results[fmt.Sprintf("%s/CP%d", s.Code, w)].PWCET
+		}
+		res.RawRows = append(res.RawRows, row)
+		res.Rows = append(res.Rows, row.NormalisedTo(2))
+	}
+	return res, nil
+}
+
+// Render prints the normalised Figure 3 table in benchmark order.
+func (r *Fig3Result) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 3: pWCET (exceedance %.0e) normalised to CP2\n", r.Opt.Prob)
+	fmt.Fprintf(&sb, "%-5s", "bench")
+	mids := sortedMIDs(r.Opt.MIDs)
+	for _, mid := range mids {
+		fmt.Fprintf(&sb, " %9s", fmt.Sprintf("EFL%d", mid))
+	}
+	ways := append([]int(nil), r.Opt.CPWays...)
+	sort.Ints(ways)
+	for _, w := range ways {
+		fmt.Fprintf(&sb, " %9s", fmt.Sprintf("CP%d", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-5s", row.Code)
+		for _, mid := range mids {
+			fmt.Fprintf(&sb, " %9.3f", row.EFL[mid])
+		}
+		for _, w := range ways {
+			fmt.Fprintf(&sb, " %9.3f", row.CP[w])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// CSV renders the normalised table as comma-separated values.
+func (r *Fig3Result) CSV() string {
+	var sb strings.Builder
+	mids := sortedMIDs(r.Opt.MIDs)
+	ways := append([]int(nil), r.Opt.CPWays...)
+	sort.Ints(ways)
+	sb.WriteString("bench")
+	for _, mid := range mids {
+		fmt.Fprintf(&sb, ",EFL%d", mid)
+	}
+	for _, w := range ways {
+		fmt.Fprintf(&sb, ",CP%d", w)
+	}
+	sb.WriteByte('\n')
+	for _, row := range r.Rows {
+		sb.WriteString(row.Code)
+		for _, mid := range mids {
+			fmt.Fprintf(&sb, ",%.4f", row.EFL[mid])
+		}
+		for _, w := range ways {
+			fmt.Fprintf(&sb, ",%.4f", row.CP[w])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// BestEFL returns, for the given row, the lowest normalised EFL pWCET and
+// its MID — "EFL at its best configuration", the quantity the paper's
+// narrative compares against CP.
+func (r Fig3Row) BestEFL() (mid int64, v float64) {
+	first := true
+	for m, x := range r.EFL {
+		if first || x < v {
+			mid, v, first = m, x, false
+		}
+	}
+	return mid, v
+}
+
+func sortedMIDs(mids []int64) []int64 {
+	out := append([]int64(nil), mids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

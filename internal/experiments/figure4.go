@@ -1,0 +1,338 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"efl/internal/bench"
+	"efl/internal/isa"
+	"efl/internal/partition"
+	"efl/internal/rng"
+	"efl/internal/sim"
+	"efl/internal/stats"
+)
+
+// allSpecs returns the benchmark specs in Figure 3 order.
+func allSpecs() []bench.Spec { return bench.All() }
+
+// Workload is one random 4-benchmark mix.
+type Workload struct {
+	Codes []string
+}
+
+// Fig4Workload is the outcome for one workload.
+type Fig4Workload struct {
+	Workload    Workload
+	BestCPSplit []int   // ways per task maximising wgIPC under CP
+	BestMID     int64   // common MID maximising wgIPC under EFL
+	WgIPCCP     float64 // guaranteed IPC sums
+	WgIPCEFL    float64
+	WaIPCCP     float64 // observed (deployment) IPC sums
+	WaIPCEFL    float64
+}
+
+// GuaranteedImprovement returns EFL's wgIPC gain over CP (e.g. 0.56 for
+// +56%).
+func (w Fig4Workload) GuaranteedImprovement() float64 {
+	return w.WgIPCEFL/w.WgIPCCP - 1
+}
+
+// AverageImprovement returns EFL's waIPC gain over CP.
+func (w Fig4Workload) AverageImprovement() float64 {
+	return w.WaIPCEFL/w.WaIPCCP - 1
+}
+
+// Fig4Summary condenses an improvement curve the way the paper reports it.
+type Fig4Summary struct {
+	Workloads         int
+	EFLWins           int     // workloads where EFL improves on CP
+	MaxGain           float64 // best improvement
+	MeanGain          float64 // average over all workloads
+	MedianGain        float64
+	P75Gain           float64 // gain exceeded by 25% of workloads
+	MeanLossWhenWorse float64 // average degradation over EFL-losing workloads
+	MaxLoss           float64 // worst degradation
+}
+
+// Fig4Result reproduces Figure 4: the sorted wgIPC and waIPC improvement
+// S-curves of EFL over CP across random workloads.
+type Fig4Result struct {
+	Opt         Options
+	PerWorkload []Fig4Workload
+	// GuaranteedCurve and AverageCurve are the improvements sorted from
+	// higher to lower — the S-curves of Figure 4.
+	GuaranteedCurve []float64
+	AverageCurve    []float64
+	Guaranteed      Fig4Summary
+	Average         Fig4Summary
+}
+
+// gIPC tables built from analysis campaigns: instructions / pWCET.
+type gipcTables struct {
+	instrs map[string]float64           // per benchmark
+	cp     map[string]map[int]float64   // benchmark -> ways -> gIPC
+	efl    map[string]map[int64]float64 // benchmark -> MID -> gIPC
+}
+
+// Figure4 runs the E3+E4 experiments. The analysis stage computes each
+// benchmark's pWCET under CP with every feasible way count and under EFL
+// with every MID; the workload stage draws random 4-benchmark mixes,
+// optimises CP's split and EFL's MID for wgIPC, and measures deployment
+// waIPC under both winners.
+func Figure4(opt Options) (*Fig4Result, error) {
+	opt = opt.withDefaults()
+	tables, err := buildGIPCTables(opt)
+	if err != nil {
+		return nil, err
+	}
+
+	specs := allSpecs()
+	progs := map[string]*isa.Program{}
+	for _, s := range specs {
+		progs[s.Code] = s.Build()
+	}
+
+	src := rng.New(campaignSeed(opt.Seed, "fig4-workloads"))
+	res := &Fig4Result{Opt: opt}
+	cores := sim.DefaultConfig().Cores
+	maxWays := sim.DefaultConfig().LLCWays
+
+	type job struct {
+		idx int
+		wl  Workload
+	}
+	type out struct {
+		idx int
+		fw  Fig4Workload
+		err error
+	}
+	jobs := make([]job, opt.Workloads)
+	for i := range jobs {
+		codes := make([]string, cores)
+		for c := range codes {
+			codes[c] = specs[src.Intn(len(specs))].Code
+		}
+		jobs[i] = job{idx: i, wl: Workload{Codes: codes}}
+	}
+
+	work := make(chan job)
+	outs := make(chan out)
+	for w := 0; w < opt.Parallelism; w++ {
+		go func() {
+			for j := range work {
+				fw, err := evalWorkload(opt, tables, progs, j.wl, maxWays, j.idx)
+				outs <- out{idx: j.idx, fw: fw, err: err}
+			}
+		}()
+	}
+	go func() {
+		for _, j := range jobs {
+			work <- j
+		}
+		close(work)
+	}()
+	res.PerWorkload = make([]Fig4Workload, opt.Workloads)
+	for n := 0; n < opt.Workloads; n++ {
+		o := <-outs
+		if o.err != nil {
+			return nil, o.err
+		}
+		res.PerWorkload[o.idx] = o.fw
+		if opt.Progress != nil {
+			opt.Progress(fmt.Sprintf("workload %4d %v: wgIPC %+0.1f%% waIPC %+0.1f%%",
+				o.idx, o.fw.Workload.Codes,
+				100*o.fw.GuaranteedImprovement(), 100*o.fw.AverageImprovement()))
+		}
+	}
+
+	for _, fw := range res.PerWorkload {
+		res.GuaranteedCurve = append(res.GuaranteedCurve, fw.GuaranteedImprovement())
+		res.AverageCurve = append(res.AverageCurve, fw.AverageImprovement())
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(res.GuaranteedCurve)))
+	sort.Sort(sort.Reverse(sort.Float64Slice(res.AverageCurve)))
+	res.Guaranteed = summarise(res.GuaranteedCurve)
+	res.Average = summarise(res.AverageCurve)
+	return res, nil
+}
+
+// buildGIPCTables runs the analysis campaigns Figure 4 needs.
+func buildGIPCTables(opt Options) (*gipcTables, error) {
+	specs := allSpecs()
+	maxWays := sim.DefaultConfig().LLCWays
+	cores := sim.DefaultConfig().Cores
+	// A task can receive at most LLCWays-(Cores-1) ways in a real split.
+	maxPerTask := maxWays - (cores - 1)
+
+	var cs []campaign
+	for _, s := range specs {
+		for w := 1; w <= maxPerTask; w++ {
+			cs = append(cs, campaign{bench: s, config: fmt.Sprintf("CP%d", w), cfg: cpConfig(w)})
+		}
+		for _, mid := range opt.MIDs {
+			cs = append(cs, campaign{bench: s, config: fmt.Sprintf("EFL%d", mid), cfg: eflConfig(mid)})
+		}
+	}
+	results, err := runCampaigns(opt, cs)
+	if err != nil {
+		return nil, err
+	}
+	t := &gipcTables{
+		instrs: map[string]float64{},
+		cp:     map[string]map[int]float64{},
+		efl:    map[string]map[int64]float64{},
+	}
+	for _, s := range specs {
+		prog := s.Build()
+		_, instrs, err := bench.WorkingSet(prog, 16)
+		if err != nil {
+			return nil, err
+		}
+		t.instrs[s.Code] = float64(instrs)
+		t.cp[s.Code] = map[int]float64{}
+		t.efl[s.Code] = map[int64]float64{}
+		for w := 1; w <= maxPerTask; w++ {
+			r := results[fmt.Sprintf("%s/CP%d", s.Code, w)]
+			t.cp[s.Code][w] = float64(instrs) / r.PWCET
+		}
+		for _, mid := range opt.MIDs {
+			r := results[fmt.Sprintf("%s/EFL%d", s.Code, mid)]
+			t.efl[s.Code][mid] = float64(instrs) / r.PWCET
+		}
+	}
+	return t, nil
+}
+
+// evalWorkload optimises and measures one workload.
+func evalWorkload(opt Options, t *gipcTables, progs map[string]*isa.Program,
+	wl Workload, maxWays int, idx int) (Fig4Workload, error) {
+
+	fw := Fig4Workload{Workload: wl}
+
+	// Best CP split (wgIPC-optimal).
+	split, cpTotal, err := partition.Best(maxWays, len(wl.Codes), func(task, ways int) float64 {
+		return t.cp[wl.Codes[task]][ways]
+	})
+	if err != nil {
+		return fw, err
+	}
+	fw.BestCPSplit = split
+	fw.WgIPCCP = cpTotal
+
+	// Best common MID (wgIPC-optimal) — the paper uses one MID for all
+	// tasks.
+	bestMID, bestTotal := int64(0), -1.0
+	for _, mid := range opt.MIDs {
+		total := 0.0
+		for _, code := range wl.Codes {
+			total += t.efl[code][mid]
+		}
+		if total > bestTotal {
+			bestMID, bestTotal = mid, total
+		}
+	}
+	fw.BestMID = bestMID
+	fw.WgIPCEFL = bestTotal
+
+	// Deployment measurements under the two winners.
+	mkProgs := func() []*isa.Program {
+		ps := make([]*isa.Program, len(wl.Codes))
+		for i, code := range wl.Codes {
+			ps[i] = progs[code]
+		}
+		return ps
+	}
+	seed := campaignSeed(opt.Seed, fmt.Sprintf("fig4-deploy-%d", idx))
+	cpIPC, err := deployIPC(sim.DefaultConfig().WithPartition(split), mkProgs(), opt.DeployRuns, seed)
+	if err != nil {
+		return fw, err
+	}
+	eflIPC, err := deployIPC(sim.DefaultConfig().WithEFL(bestMID), mkProgs(), opt.DeployRuns, seed+1)
+	if err != nil {
+		return fw, err
+	}
+	fw.WaIPCCP = cpIPC
+	fw.WaIPCEFL = eflIPC
+	return fw, nil
+}
+
+// deployIPC measures the workload's total observed IPC (sum over tasks)
+// averaged over runs deployment runs.
+func deployIPC(cfg sim.Config, progs []*isa.Program, runs int, seed uint64) (float64, error) {
+	m, err := sim.New(cfg, progs, seed)
+	if err != nil {
+		return 0, err
+	}
+	var total float64
+	for i := 0; i < runs; i++ {
+		r, err := m.Run()
+		if err != nil {
+			return 0, err
+		}
+		for _, cr := range r.PerCore {
+			if cr.Active {
+				total += cr.IPC
+			}
+		}
+	}
+	return total / float64(runs), nil
+}
+
+// summarise computes the paper's reporting statistics from a sorted
+// (descending) improvement curve.
+func summarise(curve []float64) Fig4Summary {
+	s := Fig4Summary{Workloads: len(curve)}
+	if len(curve) == 0 {
+		return s
+	}
+	var lossSum float64
+	losses := 0
+	for _, v := range curve {
+		if v > 0 {
+			s.EFLWins++
+		} else if v < 0 {
+			losses++
+			lossSum += v
+			if v < s.MaxLoss {
+				s.MaxLoss = v
+			}
+		}
+	}
+	s.MaxGain = stats.Max(curve)
+	s.MeanGain = stats.Mean(curve)
+	s.MedianGain = stats.Median(curve)
+	s.P75Gain = stats.Quantile(curve, 0.75)
+	if losses > 0 {
+		s.MeanLossWhenWorse = lossSum / float64(losses)
+	}
+	return s
+}
+
+// Render prints the Figure 4 summary the way the paper narrates it.
+func (r *Fig4Result) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 4: EFL improvement over CP across %d random workloads\n", r.Guaranteed.Workloads)
+	write := func(name string, s Fig4Summary) {
+		fmt.Fprintf(&sb, "%s:\n", name)
+		fmt.Fprintf(&sb, "  EFL better in %d of %d workloads (%.1f%%)\n",
+			s.EFLWins, s.Workloads, 100*float64(s.EFLWins)/float64(s.Workloads))
+		fmt.Fprintf(&sb, "  improvement: mean %+.1f%%  median %+.1f%%  top-quartile >= %+.1f%%  max %+.1f%%\n",
+			100*s.MeanGain, 100*s.MedianGain, 100*s.P75Gain, 100*s.MaxGain)
+		fmt.Fprintf(&sb, "  when EFL loses: mean %.1f%%  worst %.1f%%\n",
+			100*s.MeanLossWhenWorse, 100*s.MaxLoss)
+	}
+	write("wgIPC (guaranteed performance)", r.Guaranteed)
+	write("waIPC (average performance)", r.Average)
+	return sb.String()
+}
+
+// CurveCSV renders the two sorted improvement curves.
+func (r *Fig4Result) CurveCSV() string {
+	var sb strings.Builder
+	sb.WriteString("rank,wgipc_improvement,waipc_improvement\n")
+	for i := range r.GuaranteedCurve {
+		fmt.Fprintf(&sb, "%d,%.4f,%.4f\n", i, r.GuaranteedCurve[i], r.AverageCurve[i])
+	}
+	return sb.String()
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// MIDSweepRow is one benchmark's pWCET across a range of MID values — the
+// sensitivity curve behind the paper's three-point {250, 500, 1000} choice.
+// The paper observes that most benchmarks prefer low MIDs while MA is the
+// trade-off case; the sweep maps the whole curve, exposing each
+// benchmark's knee (where CRG interference at low MIDs starts to outweigh
+// the benchmark's own gate stalls at high MIDs, or vice versa).
+type MIDSweepRow struct {
+	Code    string
+	PWCET   map[int64]float64 // MID -> pWCET at Options.Prob
+	BestMID int64
+}
+
+// MIDSweepResult is the E6 extension experiment.
+type MIDSweepResult struct {
+	Opt  Options
+	MIDs []int64
+	Rows []MIDSweepRow
+}
+
+// MIDSweep measures the pWCET of each benchmark across the given MID
+// values (default: 100..2000 in rough octaves around the paper's set).
+func MIDSweep(opt Options, mids []int64) (*MIDSweepResult, error) {
+	opt = opt.withDefaults()
+	if len(mids) == 0 {
+		mids = []int64{100, 175, 250, 350, 500, 700, 1000, 1400, 2000}
+	}
+	sort.Slice(mids, func(i, j int) bool { return mids[i] < mids[j] })
+
+	var cs []campaign
+	for _, s := range allSpecs() {
+		for _, mid := range mids {
+			cs = append(cs, campaign{bench: s, config: fmt.Sprintf("SWEEP%d", mid), cfg: eflConfig(mid)})
+		}
+	}
+	results, err := runCampaigns(opt, cs)
+	if err != nil {
+		return nil, err
+	}
+	res := &MIDSweepResult{Opt: opt, MIDs: mids}
+	for _, s := range allSpecs() {
+		row := MIDSweepRow{Code: s.Code, PWCET: map[int64]float64{}}
+		best := int64(0)
+		for _, mid := range mids {
+			v := results[fmt.Sprintf("%s/SWEEP%d", s.Code, mid)].PWCET
+			row.PWCET[mid] = v
+			if best == 0 || v < row.PWCET[best] {
+				best = mid
+			}
+		}
+		row.BestMID = best
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render prints the sweep normalised per benchmark to its own best MID.
+func (r *MIDSweepResult) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "MID sweep: pWCET (exceedance %.0e) normalised to each benchmark's best MID\n", r.Opt.Prob)
+	fmt.Fprintf(&sb, "%-5s", "bench")
+	for _, mid := range r.MIDs {
+		fmt.Fprintf(&sb, " %8d", mid)
+	}
+	fmt.Fprintf(&sb, " %9s\n", "best MID")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-5s", row.Code)
+		best := row.PWCET[row.BestMID]
+		for _, mid := range r.MIDs {
+			fmt.Fprintf(&sb, " %8.3f", row.PWCET[mid]/best)
+		}
+		fmt.Fprintf(&sb, " %9d\n", row.BestMID)
+	}
+	return sb.String()
+}
+
+// CSV renders the raw sweep values.
+func (r *MIDSweepResult) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("bench")
+	for _, mid := range r.MIDs {
+		fmt.Fprintf(&sb, ",MID%d", mid)
+	}
+	sb.WriteByte('\n')
+	for _, row := range r.Rows {
+		sb.WriteString(row.Code)
+		for _, mid := range r.MIDs {
+			fmt.Fprintf(&sb, ",%.0f", row.PWCET[mid])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

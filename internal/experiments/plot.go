@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// AsciiCurve renders a sorted improvement curve (Figure 4's S-curve) as a
+// text plot: x = workload rank (sorted from highest to lowest improvement,
+// like the paper), y = improvement in percent. A `0%` axis line makes the
+// EFL-wins/EFL-loses crossover visible.
+func AsciiCurve(title string, curve []float64, width, height int) string {
+	if len(curve) == 0 {
+		return title + ": (no data)\n"
+	}
+	if width < 16 {
+		width = 16
+	}
+	if height < 6 {
+		height = 6
+	}
+	lo, hi := curve[len(curve)-1], curve[0]
+	for _, v := range curve { // guard against unsorted input
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if lo > 0 {
+		lo = 0
+	}
+	if hi < 0 {
+		hi = 0
+	}
+	if hi == lo {
+		hi = lo + 1e-9
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	rowOf := func(v float64) int {
+		frac := (v - lo) / (hi - lo)
+		r := int(math.Round(float64(height-1) * (1 - frac)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	// Zero axis.
+	zr := rowOf(0)
+	for c := 0; c < width; c++ {
+		grid[zr][c] = '-'
+	}
+	// Curve points.
+	for c := 0; c < width; c++ {
+		idx := c * (len(curve) - 1) / maxInt(width-1, 1)
+		r := rowOf(curve[idx])
+		grid[r][c] = '*'
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s (sorted best to worst; '-' marks 0%%)\n", title)
+	for r := 0; r < height; r++ {
+		// Label the top, zero and bottom rows.
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%+7.1f%%", 100*hi)
+		case zr:
+			label = "   0.0% "
+		case height - 1:
+			label = fmt.Sprintf("%+7.1f%%", 100*lo)
+		}
+		fmt.Fprintf(&sb, "%s |%s|\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&sb, "         rank 1 .. %d\n", len(curve))
+	return sb.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// RenderCurves renders both Figure 4 S-curves as text plots.
+func (r *Fig4Result) RenderCurves(width, height int) string {
+	var sb strings.Builder
+	sb.WriteString(AsciiCurve("wgIPC improvement of EFL over CP", r.GuaranteedCurve, width, height))
+	sb.WriteByte('\n')
+	sb.WriteString(AsciiCurve("waIPC improvement of EFL over CP", r.AverageCurve, width, height))
+	return sb.String()
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAsciiCurveBasics(t *testing.T) {
+	curve := []float64{0.5, 0.3, 0.1, 0.0, -0.1, -0.2}
+	out := AsciiCurve("test curve", curve, 24, 8)
+	if !strings.Contains(out, "test curve") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("no points plotted")
+	}
+	if !strings.Contains(out, "+50.0%") || !strings.Contains(out, "-20.0%") {
+		t.Fatalf("extreme labels missing:\n%s", out)
+	}
+	if !strings.Contains(out, "0.0%") {
+		t.Fatal("zero axis label missing")
+	}
+	if !strings.Contains(out, "rank 1 .. 6") {
+		t.Fatal("rank footer missing")
+	}
+	// Every plot line is boxed and equal width.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	var boxed int
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			boxed++
+			if len(l) != len(lines[1]) {
+				t.Fatalf("ragged plot rows:\n%s", out)
+			}
+		}
+	}
+	if boxed != 8 {
+		t.Fatalf("plot has %d rows, want 8", boxed)
+	}
+}
+
+func TestAsciiCurveAllPositive(t *testing.T) {
+	out := AsciiCurve("pos", []float64{0.4, 0.3, 0.2}, 16, 6)
+	// The zero axis must still be drawn (at the bottom).
+	if !strings.Contains(out, "-") {
+		t.Fatal("zero axis missing for all-positive curve")
+	}
+}
+
+func TestAsciiCurveEmptyAndTiny(t *testing.T) {
+	if out := AsciiCurve("empty", nil, 10, 5); !strings.Contains(out, "no data") {
+		t.Fatal("empty curve not handled")
+	}
+	// Constant curve must not divide by zero.
+	out := AsciiCurve("const", []float64{0, 0, 0}, 4, 2)
+	if !strings.Contains(out, "*") {
+		t.Fatal("constant curve not plotted")
+	}
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"efl/internal/isa"
+	"efl/internal/sim"
+)
+
+// WTRow is the A4 ablation outcome for one benchmark: analysis-time mean
+// execution time and EFL stall share under the three DL1 write policies.
+type WTRow struct {
+	Code string
+	// Mean analysis-mode execution times (cycles).
+	WriteBack  float64
+	WTNoAlloc  float64
+	WTAllocate float64
+	// EFL stall cycles per benchmark run (mean), showing where the
+	// WT+allocate time goes.
+	StallWB    float64
+	StallNoAll float64
+	StallAlloc float64
+}
+
+// AblationWriteThrough (A4) reproduces the paper's footnote 5: "If a
+// write-through DL1 cache were used, LLC accesses would be much more
+// frequent due to store instructions. In such case, either write
+// operations are not allowed to allocate data in the LLC on a miss or
+// stalls may be frequent with EFL, thus harming WCET estimates and
+// average performance." The ablation measures, under EFL, the paper's
+// chosen write-back design against both write-through variants.
+func AblationWriteThrough(opt Options, mid int64, codes []string) ([]WTRow, error) {
+	opt = opt.withDefaults()
+	var rows []WTRow
+	for _, code := range codes {
+		spec, err := specByCode(code)
+		if err != nil {
+			return nil, err
+		}
+		prog := spec.Build()
+		row := WTRow{Code: code}
+		for variant := 0; variant < 3; variant++ {
+			cfg := eflConfig(mid)
+			switch variant {
+			case 1:
+				cfg.DL1WriteThrough = true
+			case 2:
+				cfg.DL1WriteThrough = true
+				cfg.WTAllocate = true
+			}
+			seed := campaignSeed(opt.Seed, fmt.Sprintf("%s/wt=%d", code, variant))
+			var meanT, meanStall float64
+			m, err := newAnalysisPlatform(cfg, prog, seed)
+			if err != nil {
+				return nil, err
+			}
+			runs := opt.Runs
+			if runs > 60 {
+				runs = 60 // means converge quickly; A4 needs no tail fit
+			}
+			for r := 0; r < runs; r++ {
+				res, err := m.Run()
+				if err != nil {
+					return nil, err
+				}
+				meanT += float64(res.PerCore[0].Cycles)
+				meanStall += float64(res.PerCore[0].EFL.StallCycles)
+			}
+			meanT /= float64(runs)
+			meanStall /= float64(runs)
+			switch variant {
+			case 0:
+				row.WriteBack, row.StallWB = meanT, meanStall
+			case 1:
+				row.WTNoAlloc, row.StallNoAll = meanT, meanStall
+			case 2:
+				row.WTAllocate, row.StallAlloc = meanT, meanStall
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// newAnalysisPlatform builds an analysis-mode platform for prog on core 0.
+func newAnalysisPlatform(cfg sim.Config, prog *isa.Program, seed uint64) (*sim.Multicore, error) {
+	progs := make([]*isa.Program, cfg.Cores)
+	progs[0] = prog
+	return sim.New(cfg.WithAnalysis(0), progs, seed)
+}
+
+// RenderWriteThrough prints the A4 table.
+func RenderWriteThrough(rows []WTRow, mid int64) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Ablation A4: DL1 write policy under EFL (MID=%d), analysis-mode means\n", mid)
+	fmt.Fprintf(&sb, "%-5s %12s %14s %14s %22s\n",
+		"bench", "write-back", "WT no-alloc", "WT allocate", "stall share (WB/NA/AL)")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-5s %12.0f %14.0f %14.0f      %5.1f%% /%5.1f%% /%5.1f%%\n",
+			r.Code, r.WriteBack, r.WTNoAlloc, r.WTAllocate,
+			100*r.StallWB/r.WriteBack, 100*r.StallNoAll/r.WTNoAlloc, 100*r.StallAlloc/r.WTAllocate)
+	}
+	return sb.String()
+}

@@ -1,0 +1,322 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses assembler text into a Program. The syntax mirrors
+// Instr.String():
+//
+//	; comment                      # comment
+//	label:
+//	    movi r1, 100
+//	    addi r1, r1, -1
+//	    add  r3, r1, r2
+//	    ld   r4, 8(r2)
+//	    st   r4, 16(r2)
+//	    bne  r1, r0, label
+//	    jmp  label
+//	    halt
+//	.word 1, 2, 3        ; appends 8-byte words to the data segment
+//	.space 1024          ; reserves zeroed data bytes
+//	.size 65536          ; forces a minimum data-segment size
+//
+// Instructions and directives may be interleaved; data directives always
+// append to the single data segment in order of appearance.
+func Assemble(name, src string) (*Program, error) {
+	b := NewBuilder(name)
+	lines := strings.Split(src, "\n")
+	for ln, raw := range lines {
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels (possibly followed by an instruction on the same line).
+		for {
+			if i := strings.Index(line, ":"); i >= 0 && isIdent(strings.TrimSpace(line[:i])) {
+				b.Label(strings.TrimSpace(line[:i]))
+				line = strings.TrimSpace(line[i+1:])
+				if line == "" {
+					break
+				}
+				continue
+			}
+			break
+		}
+		if line == "" {
+			continue
+		}
+		if err := assembleLine(b, line); err != nil {
+			return nil, fmt.Errorf("isa: %s:%d: %w", name, ln+1, err)
+		}
+	}
+	return b.Program()
+}
+
+// MustAssemble is Assemble that panics on error.
+func MustAssemble(name, src string) *Program {
+	p, err := Assemble(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func stripComment(s string) string {
+	for _, marker := range []string{";", "#", "//"} {
+		if i := strings.Index(s, marker); i >= 0 {
+			s = s[:i]
+		}
+	}
+	return s
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func assembleLine(b *Builder, line string) error {
+	fields := strings.Fields(line)
+	mnem := strings.ToLower(fields[0])
+	argStr := strings.TrimSpace(strings.TrimPrefix(line, fields[0]))
+	args := splitArgs(argStr)
+
+	switch mnem {
+	case ".word":
+		words := make([]int64, 0, len(args))
+		for _, a := range args {
+			v, err := strconv.ParseInt(a, 0, 64)
+			if err != nil {
+				return fmt.Errorf(".word: %w", err)
+			}
+			words = append(words, v)
+		}
+		b.DataWords(words...)
+		return nil
+	case ".space":
+		if len(args) != 1 {
+			return fmt.Errorf(".space wants 1 argument")
+		}
+		n, err := strconv.Atoi(args[0])
+		if err != nil || n < 0 {
+			return fmt.Errorf(".space: bad size %q", args[0])
+		}
+		b.ReserveData(n)
+		return nil
+	case ".size":
+		if len(args) != 1 {
+			return fmt.Errorf(".size wants 1 argument")
+		}
+		n, err := strconv.Atoi(args[0])
+		if err != nil || n < 0 {
+			return fmt.Errorf(".size: bad size %q", args[0])
+		}
+		b.SetDataSize(n)
+		return nil
+	case "nop":
+		b.Nop()
+		return nil
+	case "halt":
+		b.Halt()
+		return nil
+	case "movi":
+		rd, err := wantReg(args, 0, 2)
+		if err != nil {
+			return err
+		}
+		imm, err := wantImm(args, 1)
+		if err != nil {
+			return err
+		}
+		b.Movi(rd, imm)
+		return nil
+	case "addi":
+		rd, err := wantReg(args, 0, 3)
+		if err != nil {
+			return err
+		}
+		rs, err := wantReg(args, 1, 3)
+		if err != nil {
+			return err
+		}
+		imm, err := wantImm(args, 2)
+		if err != nil {
+			return err
+		}
+		b.Addi(rd, rs, imm)
+		return nil
+	case "add", "sub", "mul", "div", "rem", "and", "or", "xor", "shl", "shr":
+		rd, err := wantReg(args, 0, 3)
+		if err != nil {
+			return err
+		}
+		rs, err := wantReg(args, 1, 3)
+		if err != nil {
+			return err
+		}
+		rt, err := wantReg(args, 2, 3)
+		if err != nil {
+			return err
+		}
+		ops := map[string]func(int, int, int){
+			"add": b.Add, "sub": b.Sub, "mul": b.Mul, "div": b.Div,
+			"rem": b.Rem, "and": b.And, "or": b.Or, "xor": b.Xor,
+			"shl": b.Shl, "shr": b.Shr,
+		}
+		ops[mnem](rd, rs, rt)
+		return nil
+	case "ld", "st":
+		if len(args) != 2 {
+			return fmt.Errorf("%s wants 2 arguments", mnem)
+		}
+		r1, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		off, base, err := parseMemOperand(args[1])
+		if err != nil {
+			return err
+		}
+		if mnem == "ld" {
+			b.Ld(r1, base, off)
+		} else {
+			b.St(r1, base, off)
+		}
+		return nil
+	case "beq", "bne", "blt", "bge":
+		rs, err := wantReg(args, 0, 3)
+		if err != nil {
+			return err
+		}
+		rt, err := wantReg(args, 1, 3)
+		if err != nil {
+			return err
+		}
+		if len(args) != 3 || !isIdent(args[2]) {
+			return fmt.Errorf("%s wants a label operand", mnem)
+		}
+		switch mnem {
+		case "beq":
+			b.Beq(rs, rt, args[2])
+		case "bne":
+			b.Bne(rs, rt, args[2])
+		case "blt":
+			b.Blt(rs, rt, args[2])
+		case "bge":
+			b.Bge(rs, rt, args[2])
+		}
+		return nil
+	case "jmp":
+		if len(args) != 1 || !isIdent(args[0]) {
+			return fmt.Errorf("jmp wants a label operand")
+		}
+		b.Jmp(args[0])
+		return nil
+	default:
+		return fmt.Errorf("unknown mnemonic %q", mnem)
+	}
+}
+
+func splitArgs(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		out = append(out, strings.TrimSpace(p))
+	}
+	return out
+}
+
+func parseReg(s string) (int, error) {
+	if len(s) < 2 || (s[0] != 'r' && s[0] != 'R') {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return n, nil
+}
+
+func wantReg(args []string, i, total int) (int, error) {
+	if len(args) != total {
+		return 0, fmt.Errorf("want %d operands, got %d", total, len(args))
+	}
+	return parseReg(args[i])
+}
+
+func wantImm(args []string, i int) (int64, error) {
+	if i >= len(args) {
+		return 0, fmt.Errorf("missing immediate")
+	}
+	v, err := strconv.ParseInt(args[i], 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", args[i])
+	}
+	return v, nil
+}
+
+// parseMemOperand parses "off(rN)" or "(rN)".
+func parseMemOperand(s string) (off int64, base int, err error) {
+	open := strings.Index(s, "(")
+	closeP := strings.LastIndex(s, ")")
+	if open < 0 || closeP <= open || closeP != len(s)-1 {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	offStr := strings.TrimSpace(s[:open])
+	if offStr != "" {
+		off, err = strconv.ParseInt(offStr, 0, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad offset in %q", s)
+		}
+	}
+	base, err = parseReg(strings.TrimSpace(s[open+1 : closeP]))
+	return off, base, err
+}
+
+// Disassemble renders a program as assembler text that Assemble can parse
+// back (labels are synthesised at branch targets).
+func Disassemble(p *Program) string {
+	targets := map[int]string{}
+	for _, ins := range p.Code {
+		if ins.Op.IsBranch() {
+			if _, ok := targets[ins.Target]; !ok {
+				targets[ins.Target] = fmt.Sprintf("L%d", ins.Target)
+			}
+		}
+	}
+	var sb strings.Builder
+	for idx, ins := range p.Code {
+		if lbl, ok := targets[idx]; ok {
+			fmt.Fprintf(&sb, "%s:\n", lbl)
+		}
+		switch {
+		case ins.Op.IsBranch() && ins.Op != JMP:
+			fmt.Fprintf(&sb, "    %s r%d, r%d, %s\n", ins.Op, ins.Rs, ins.Rt, targets[ins.Target])
+		case ins.Op == JMP:
+			fmt.Fprintf(&sb, "    jmp %s\n", targets[ins.Target])
+		default:
+			fmt.Fprintf(&sb, "    %s\n", ins.String())
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,190 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+const sumSrc = `
+; sum 1..N kept in r2
+    movi r1, 1        ; i
+    movi r2, 0        ; acc
+    movi r3, 11       ; bound
+loop:
+    add  r2, r2, r1
+    addi r1, r1, 1
+    blt  r1, r3, loop
+    halt
+`
+
+func TestAssembleSum(t *testing.T) {
+	p, err := Assemble("sum", sumSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[2] != 55 {
+		t.Fatalf("sum = %d", m.Regs[2])
+	}
+}
+
+func TestAssembleMemoryAndData(t *testing.T) {
+	src := `
+.word 10, 20, 30
+.space 8
+.size 4096
+    movi r1, 0x40000000
+    ld   r2, 0(r1)
+    ld   r3, 8(r1)
+    add  r4, r2, r3
+    st   r4, 24(r1)      ; into the .space area
+    halt
+`
+	p, err := Assemble("mem", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SegmentSize() != 4096 {
+		t.Fatalf("segment size = %d", p.SegmentSize())
+	}
+	m, _ := NewMachine(p)
+	if _, err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.ReadWord(24)
+	if err != nil || v != 30 {
+		t.Fatalf("stored word = %d, %v", v, err)
+	}
+}
+
+func TestAssembleAllMnemonics(t *testing.T) {
+	src := `
+start:
+    nop
+    movi r1, 5
+    movi r2, 3
+    add  r3, r1, r2
+    addi r3, r3, 1
+    sub  r4, r1, r2
+    mul  r5, r1, r2
+    div  r6, r1, r2
+    rem  r7, r1, r2
+    and  r8, r1, r2
+    or   r9, r1, r2
+    xor  r10, r1, r2
+    shl  r11, r1, r2
+    shr  r12, r11, r2
+    beq  r1, r1, next
+    jmp  start
+next:
+    bne  r1, r2, n2
+    halt
+n2:
+    blt  r2, r1, n3
+    halt
+n3:
+    bge  r1, r2, done
+    halt
+done:
+    halt
+`
+	p, err := Assemble("all", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := NewMachine(p)
+	if _, err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	checks := map[int]int64{3: 9, 4: 2, 5: 15, 6: 1, 7: 2, 8: 1, 9: 7, 10: 6, 11: 40, 12: 5}
+	for r, v := range checks {
+		if m.Regs[r] != v {
+			t.Errorf("r%d = %d, want %d", r, m.Regs[r], v)
+		}
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"bogus r1, r2",
+		"movi r99, 1",
+		"add r1, r2",
+		"ld r1, r2",
+		"ld r1, 8(z2)",
+		"beq r1, r2, 42",
+		"jmp",
+		".space -1",
+		".word xyz",
+		"movi r1, notanumber",
+	}
+	for _, src := range cases {
+		if _, err := Assemble("bad", src+"\nhalt\n"); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+	// Undefined label.
+	if _, err := Assemble("bad", "jmp nowhere\nhalt\n"); err == nil {
+		t.Error("undefined label accepted")
+	}
+}
+
+func TestCommentStyles(t *testing.T) {
+	src := "movi r1, 1 ; semi\nmovi r2, 2 # hash\nmovi r3, 3 // slashes\nhalt\n"
+	p, err := Assemble("comments", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Code) != 4 {
+		t.Fatalf("code length = %d", len(p.Code))
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	p := MustAssemble("sum", sumSrc)
+	text := Disassemble(p)
+	if !strings.Contains(text, "blt") || !strings.Contains(text, "L3") {
+		t.Fatalf("disassembly missing pieces:\n%s", text)
+	}
+	p2, err := Assemble("sum2", text)
+	if err != nil {
+		t.Fatalf("reassembly failed: %v\n%s", err, text)
+	}
+	// Same dynamic behaviour.
+	m1, _ := NewMachine(p)
+	m2, _ := NewMachine(p2)
+	m1.Run(1000)
+	m2.Run(1000)
+	if m1.Regs[2] != m2.Regs[2] {
+		t.Fatalf("round trip changed semantics: %d vs %d", m1.Regs[2], m2.Regs[2])
+	}
+}
+
+func TestLabelOnSameLine(t *testing.T) {
+	src := "start: movi r1, 7\n jmp end\nend: halt\n"
+	p, err := Assemble("inline", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := NewMachine(p)
+	if _, err := m.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[1] != 7 {
+		t.Fatal("inline label broke execution")
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAssemble did not panic")
+		}
+	}()
+	MustAssemble("bad", "frobnicate r1\n")
+}

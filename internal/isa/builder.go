@@ -1,0 +1,197 @@
+package isa
+
+import "fmt"
+
+// Builder assembles a Program in Go code with symbolic labels, the API the
+// benchmark kernels (package bench) are written against.
+//
+//	b := isa.NewBuilder("fir")
+//	b.Movi(1, 0)            // i = 0
+//	b.Label("loop")
+//	...
+//	b.Blt(1, 2, "loop")
+//	b.Halt()
+//	prog, err := b.Program()
+type Builder struct {
+	name     string
+	code     []Instr
+	labels   map[string]int
+	fixups   map[int]string // instruction index -> unresolved label
+	data     []byte
+	dataSize int
+	err      error
+}
+
+// NewBuilder starts a program named name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, labels: map[string]int{}, fixups: map[int]string{}}
+}
+
+// setErr records the first error.
+func (b *Builder) setErr(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// Label defines a label at the current instruction position.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		b.setErr(fmt.Errorf("isa: duplicate label %q", name))
+		return
+	}
+	b.labels[name] = len(b.code)
+}
+
+// emit appends an instruction.
+func (b *Builder) emit(i Instr) { b.code = append(b.code, i) }
+
+// emitBranch appends a branch with a label fixup.
+func (b *Builder) emitBranch(i Instr, label string) {
+	b.fixups[len(b.code)] = label
+	b.emit(i)
+}
+
+// Nop appends a no-op.
+func (b *Builder) Nop() { b.emit(Instr{Op: NOP}) }
+
+// Halt appends a halt.
+func (b *Builder) Halt() { b.emit(Instr{Op: HALT}) }
+
+// Movi appends rd = imm.
+func (b *Builder) Movi(rd int, imm int64) {
+	b.emit(Instr{Op: MOVI, Rd: uint8(rd), Imm: imm})
+}
+
+// Add appends rd = rs + rt.
+func (b *Builder) Add(rd, rs, rt int) { b.alu(ADD, rd, rs, rt) }
+
+// Addi appends rd = rs + imm.
+func (b *Builder) Addi(rd, rs int, imm int64) {
+	b.emit(Instr{Op: ADDI, Rd: uint8(rd), Rs: uint8(rs), Imm: imm})
+}
+
+// Sub appends rd = rs - rt.
+func (b *Builder) Sub(rd, rs, rt int) { b.alu(SUB, rd, rs, rt) }
+
+// Mul appends rd = rs * rt.
+func (b *Builder) Mul(rd, rs, rt int) { b.alu(MUL, rd, rs, rt) }
+
+// Div appends rd = rs / rt.
+func (b *Builder) Div(rd, rs, rt int) { b.alu(DIV, rd, rs, rt) }
+
+// Rem appends rd = rs % rt.
+func (b *Builder) Rem(rd, rs, rt int) { b.alu(REM, rd, rs, rt) }
+
+// And appends rd = rs & rt.
+func (b *Builder) And(rd, rs, rt int) { b.alu(AND, rd, rs, rt) }
+
+// Or appends rd = rs | rt.
+func (b *Builder) Or(rd, rs, rt int) { b.alu(OR, rd, rs, rt) }
+
+// Xor appends rd = rs ^ rt.
+func (b *Builder) Xor(rd, rs, rt int) { b.alu(XOR, rd, rs, rt) }
+
+// Shl appends rd = rs << rt.
+func (b *Builder) Shl(rd, rs, rt int) { b.alu(SHL, rd, rs, rt) }
+
+// Shr appends rd = rs >> rt.
+func (b *Builder) Shr(rd, rs, rt int) { b.alu(SHR, rd, rs, rt) }
+
+func (b *Builder) alu(op Op, rd, rs, rt int) {
+	b.emit(Instr{Op: op, Rd: uint8(rd), Rs: uint8(rs), Rt: uint8(rt)})
+}
+
+// Ld appends rd = mem64[rs + off].
+func (b *Builder) Ld(rd, rs int, off int64) {
+	b.emit(Instr{Op: LD, Rd: uint8(rd), Rs: uint8(rs), Imm: off})
+}
+
+// St appends mem64[rs + off] = rt.
+func (b *Builder) St(rt, rs int, off int64) {
+	b.emit(Instr{Op: ST, Rt: uint8(rt), Rs: uint8(rs), Imm: off})
+}
+
+// Beq appends: if rs == rt goto label.
+func (b *Builder) Beq(rs, rt int, label string) { b.branch(BEQ, rs, rt, label) }
+
+// Bne appends: if rs != rt goto label.
+func (b *Builder) Bne(rs, rt int, label string) { b.branch(BNE, rs, rt, label) }
+
+// Blt appends: if rs < rt goto label.
+func (b *Builder) Blt(rs, rt int, label string) { b.branch(BLT, rs, rt, label) }
+
+// Bge appends: if rs >= rt goto label.
+func (b *Builder) Bge(rs, rt int, label string) { b.branch(BGE, rs, rt, label) }
+
+func (b *Builder) branch(op Op, rs, rt int, label string) {
+	b.emitBranch(Instr{Op: op, Rs: uint8(rs), Rt: uint8(rt)}, label)
+}
+
+// Jmp appends an unconditional jump to label.
+func (b *Builder) Jmp(label string) { b.emitBranch(Instr{Op: JMP}, label) }
+
+// Data appends bytes to the data segment and returns their byte offset
+// from DataBase.
+func (b *Builder) Data(bytes []byte) uint64 {
+	off := uint64(len(b.data))
+	b.data = append(b.data, bytes...)
+	return off
+}
+
+// DataWords appends 8-byte words to the data segment and returns the byte
+// offset of the first word.
+func (b *Builder) DataWords(words ...int64) uint64 {
+	off := uint64(len(b.data))
+	for _, w := range words {
+		v := uint64(w)
+		for i := 0; i < WordBytes; i++ {
+			b.data = append(b.data, byte(v>>(8*uint(i))))
+		}
+	}
+	return off
+}
+
+// ReserveData grows the data segment by n zero bytes and returns the byte
+// offset of the reservation.
+func (b *Builder) ReserveData(n int) uint64 {
+	off := uint64(len(b.data))
+	b.data = append(b.data, make([]byte, n)...)
+	return off
+}
+
+// SetDataSize forces the data segment to be at least n bytes.
+func (b *Builder) SetDataSize(n int) { b.dataSize = n }
+
+// Len returns the number of instructions emitted so far.
+func (b *Builder) Len() int { return len(b.code) }
+
+// Program resolves labels and returns the validated program.
+func (b *Builder) Program() (*Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	code := append([]Instr(nil), b.code...)
+	for idx, label := range b.fixups {
+		target, ok := b.labels[label]
+		if !ok {
+			return nil, fmt.Errorf("isa: %q: undefined label %q", b.name, label)
+		}
+		code[idx].Target = target
+	}
+	p := &Program{Name: b.name, Code: code, Data: append([]byte(nil), b.data...), DataSize: b.dataSize}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustProgram is Program that panics on error; for static kernels whose
+// correctness is established by the package tests.
+func (b *Builder) MustProgram() *Program {
+	p, err := b.Program()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

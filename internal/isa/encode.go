@@ -1,0 +1,150 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary encoding. Each instruction occupies exactly InstrBytes (4) bytes,
+// which is what gives instruction addresses their layout (InstrAddr) and
+// the instruction caches their 4-instructions-per-16B-line geometry.
+//
+// Word layout (little-endian uint32):
+//
+//	bits  0..5   opcode
+//	bits  6..9   rd
+//	bits 10..13  rs
+//	bits 14..17  rt
+//	bits 18..31  imm/target field (14 bits)
+//
+// Immediates wider than the field are placed in a trailing literal pool of
+// 8-byte words (the constant-pool idiom of real fixed-width ISAs); the
+// field then stores the pool index with the poolFlag bit set. Branch
+// targets are instruction indices and must fit 13 bits directly, which
+// bounds encodable programs at 8192 instructions — comfortably above every
+// kernel in this repository.
+
+const (
+	immBits  = 14
+	poolFlag = 1 << (immBits - 1) // top bit of the field selects the pool
+	immMax   = poolFlag - 1       // largest directly encoded value
+)
+
+// EncodedSize returns the byte size Encode will produce for p.
+func EncodedSize(p *Program) int {
+	pool := map[int64]bool{}
+	for _, ins := range p.Code {
+		if needsPool(ins) {
+			pool[ins.Imm] = true
+		}
+	}
+	return 4 + len(p.Code)*InstrBytes + len(pool)*8
+}
+
+func needsPool(ins Instr) bool {
+	return !ins.Op.IsBranch() && (ins.Imm < 0 || ins.Imm > immMax)
+}
+
+// Encode serialises the program's code to its binary form: a 4-byte header
+// (instruction count), the instruction words, then the literal pool.
+// The data segment is not part of the image (it is a memory initialiser,
+// not code); use the Program struct or the assembler for full round trips.
+func Encode(p *Program) ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(p.Code) >= poolFlag {
+		return nil, fmt.Errorf("isa: %d instructions exceed the encodable maximum %d", len(p.Code), poolFlag-1)
+	}
+	poolIndex := map[int64]int{}
+	var pool []int64
+	out := make([]byte, 4, 4+len(p.Code)*InstrBytes)
+	binary.LittleEndian.PutUint32(out, uint32(len(p.Code)))
+	for idx, ins := range p.Code {
+		var field uint32
+		switch {
+		case ins.Op.IsBranch():
+			if ins.Target >= poolFlag {
+				return nil, fmt.Errorf("isa: instruction %d: branch target %d unencodable", idx, ins.Target)
+			}
+			field = uint32(ins.Target)
+		case needsPool(ins):
+			pi, ok := poolIndex[ins.Imm]
+			if !ok {
+				pi = len(pool)
+				poolIndex[ins.Imm] = pi
+				pool = append(pool, ins.Imm)
+				if pi >= poolFlag {
+					return nil, fmt.Errorf("isa: literal pool overflow at instruction %d", idx)
+				}
+			}
+			field = poolFlag | uint32(pi)
+		default:
+			field = uint32(ins.Imm)
+		}
+		word := uint32(ins.Op)&0x3f |
+			uint32(ins.Rd)<<6 |
+			uint32(ins.Rs)<<10 |
+			uint32(ins.Rt)<<14 |
+			field<<18
+		var buf [4]byte
+		binary.LittleEndian.PutUint32(buf[:], word)
+		out = append(out, buf[:]...)
+	}
+	for _, lit := range pool {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], uint64(lit))
+		out = append(out, buf[:]...)
+	}
+	return out, nil
+}
+
+// Decode parses an Encode image back into code. The caller supplies the
+// program name and data segment (they are not part of the image).
+func Decode(name string, image []byte) (*Program, error) {
+	if len(image) < 4 {
+		return nil, fmt.Errorf("isa: image truncated")
+	}
+	n := int(binary.LittleEndian.Uint32(image))
+	body := image[4:]
+	if len(body) < n*InstrBytes {
+		return nil, fmt.Errorf("isa: image holds %d bytes for %d instructions", len(body), n)
+	}
+	poolBytes := body[n*InstrBytes:]
+	if len(poolBytes)%8 != 0 {
+		return nil, fmt.Errorf("isa: ragged literal pool (%d bytes)", len(poolBytes))
+	}
+	pool := make([]int64, len(poolBytes)/8)
+	for i := range pool {
+		pool[i] = int64(binary.LittleEndian.Uint64(poolBytes[i*8:]))
+	}
+	code := make([]Instr, n)
+	for i := 0; i < n; i++ {
+		word := binary.LittleEndian.Uint32(body[i*InstrBytes:])
+		ins := Instr{
+			Op: Op(word & 0x3f),
+			Rd: uint8(word >> 6 & 0xf),
+			Rs: uint8(word >> 10 & 0xf),
+			Rt: uint8(word >> 14 & 0xf),
+		}
+		field := word >> 18
+		switch {
+		case ins.Op.IsBranch():
+			ins.Target = int(field)
+		case field&poolFlag != 0:
+			pi := int(field &^ uint32(poolFlag))
+			if pi >= len(pool) {
+				return nil, fmt.Errorf("isa: instruction %d references literal %d of %d", i, pi, len(pool))
+			}
+			ins.Imm = pool[pi]
+		default:
+			ins.Imm = int64(field)
+		}
+		code[i] = ins
+	}
+	p := &Program{Name: name, Code: code}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,187 @@
+package isa
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := MustAssemble("rt", `
+        movi r1, 0x40000000   ; needs the literal pool
+        movi r2, 100          ; fits the field
+        movi r3, -7           ; negative: pool
+    loop:
+        ld   r4, 8(r1)
+        addi r4, r4, 1
+        st   r4, 8(r1)
+        addi r2, r2, -1       ; negative imm: pool
+        bne  r2, r0, loop
+        halt
+    `)
+	img, err := Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(img); got != EncodedSize(p) {
+		t.Fatalf("image %d bytes, EncodedSize says %d", got, EncodedSize(p))
+	}
+	q, err := Decode("rt", img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Code) != len(p.Code) {
+		t.Fatalf("decoded %d instructions, want %d", len(q.Code), len(p.Code))
+	}
+	for i := range p.Code {
+		if p.Code[i] != q.Code[i] {
+			t.Fatalf("instruction %d: %+v != %+v", i, p.Code[i], q.Code[i])
+		}
+	}
+}
+
+func TestEncodePoolDeduplicates(t *testing.T) {
+	b := NewBuilder("dedup")
+	for i := 0; i < 10; i++ {
+		b.Movi(1, 0x40000000) // same wide literal ten times
+	}
+	b.Halt()
+	p := b.MustProgram()
+	img, err := Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 header + 11 instructions * 4 + ONE pooled literal.
+	want := 4 + 11*4 + 8
+	if len(img) != want {
+		t.Fatalf("image %d bytes, want %d (pool not deduplicated?)", len(img), want)
+	}
+}
+
+func TestEncodeAllKernelsRoundTrip(t *testing.T) {
+	// Every shipped program must be encodable, and the decoded copy must
+	// behave identically.
+	progs := []*Program{
+		MustAssemble("sum", sumSrc),
+	}
+	for _, p := range progs {
+		img, err := Encode(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		q, err := Decode(p.Name, img)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		q.Data, q.DataSize = p.Data, p.DataSize
+		m1, _ := NewMachine(p)
+		m2, _ := NewMachine(q)
+		if _, err := m1.Run(1_000_000); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m2.Run(1_000_000); err != nil {
+			t.Fatal(err)
+		}
+		if m1.Regs != m2.Regs {
+			t.Fatalf("%s: decoded program diverged", p.Name)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode("x", []byte{1, 2}); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	// Header claims more instructions than present.
+	img := []byte{10, 0, 0, 0, 1, 2, 3, 4}
+	if _, err := Decode("x", img); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+	// Valid header but ragged pool.
+	p := MustAssemble("mini", "halt\n")
+	good, _ := Encode(p)
+	bad := append(append([]byte{}, good...), 0xff)
+	if _, err := Decode("x", bad); err == nil {
+		t.Fatal("ragged pool accepted")
+	}
+	// Pool reference out of range: craft movi with poolFlag|5 and no pool.
+	word := uint32(MOVI)&0x3f | uint32(1)<<6 | (uint32(poolFlag)|5)<<18
+	img = make([]byte, 8)
+	img[0] = 1
+	img[4] = byte(word)
+	img[5] = byte(word >> 8)
+	img[6] = byte(word >> 16)
+	img[7] = byte(word >> 24)
+	if _, err := Decode("x", img); err == nil {
+		t.Fatal("dangling pool reference accepted")
+	}
+}
+
+func TestEncodeRejectsInvalid(t *testing.T) {
+	if _, err := Encode(&Program{Name: "empty"}); err == nil {
+		t.Fatal("empty program encoded")
+	}
+}
+
+func TestEncodeImageDiffersPerProgram(t *testing.T) {
+	a, _ := Encode(MustAssemble("a", "movi r1, 1\nhalt\n"))
+	b, _ := Encode(MustAssemble("b", "movi r1, 2\nhalt\n"))
+	if bytes.Equal(a, b) {
+		t.Fatal("distinct programs encoded identically")
+	}
+}
+
+func TestEncodeDecodeQuickCheck(t *testing.T) {
+	// Property: any structurally valid random program round-trips.
+	src := int64(1)
+	next := func(n int64) int64 {
+		src = src*6364136223846793005 + 1442695040888963407
+		if n <= 0 {
+			return 0
+		}
+		v := src >> 16
+		if v < 0 {
+			v = -v
+		}
+		return v % n
+	}
+	for trial := 0; trial < 200; trial++ {
+		n := int(next(40)) + 2
+		code := make([]Instr, n)
+		for i := range code {
+			op := Op(next(int64(numOps)))
+			ins := Instr{Op: op,
+				Rd: uint8(next(NumRegs)), Rs: uint8(next(NumRegs)), Rt: uint8(next(NumRegs))}
+			if op.IsBranch() {
+				ins.Target = int(next(int64(n)))
+			} else {
+				// Mix small, large and negative immediates.
+				switch next(3) {
+				case 0:
+					ins.Imm = next(1000)
+				case 1:
+					ins.Imm = int64(0x40000000) + next(1<<20)
+				default:
+					ins.Imm = -next(1 << 30)
+				}
+			}
+			code[i] = ins
+		}
+		p := &Program{Name: "quick", Code: code}
+		if p.Validate() != nil {
+			continue // rare invalid combos (shouldn't happen, but stay safe)
+		}
+		img, err := Encode(p)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		q, err := Decode("quick", img)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range code {
+			if code[i] != q.Code[i] {
+				t.Fatalf("trial %d instr %d: %+v != %+v", trial, i, code[i], q.Code[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,296 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpString(t *testing.T) {
+	if ADD.String() != "add" || HALT.String() != "halt" {
+		t.Fatal("opcode names broken")
+	}
+	if !strings.Contains(Op(200).String(), "200") {
+		t.Fatal("unknown opcode String broken")
+	}
+}
+
+func TestOpClasses(t *testing.T) {
+	if !LD.IsMem() || !ST.IsMem() || ADD.IsMem() {
+		t.Fatal("IsMem broken")
+	}
+	for _, o := range []Op{BEQ, BNE, BLT, BGE, JMP} {
+		if !o.IsBranch() {
+			t.Fatalf("%v not branch", o)
+		}
+	}
+	if ADD.IsBranch() || LD.IsBranch() {
+		t.Fatal("IsBranch false positives")
+	}
+	if ADD.Latency() != 1 || MUL.Latency() != 3 || DIV.Latency() != 12 {
+		t.Fatal("latencies broken")
+	}
+}
+
+func TestBuilderArithmetic(t *testing.T) {
+	b := NewBuilder("arith")
+	b.Movi(1, 6)
+	b.Movi(2, 7)
+	b.Mul(3, 1, 2)  // r3 = 42
+	b.Addi(3, 3, 8) // r3 = 50
+	b.Movi(4, 5)
+	b.Div(5, 3, 4) // r5 = 10
+	b.Rem(6, 3, 4) // r6 = 0
+	b.Sub(7, 3, 4) // r7 = 45
+	b.Xor(8, 3, 3) // r8 = 0
+	b.Movi(9, 2)
+	b.Shl(10, 4, 9) // r10 = 20
+	b.Shr(11, 3, 9) // r11 = 12
+	b.And(12, 3, 4) // 50 & 5 = 0
+	b.Or(13, 3, 4)  // 50 | 5 = 55
+	b.Halt()
+	m, err := NewMachine(b.MustProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]int64{3: 50, 5: 10, 6: 0, 7: 45, 8: 0, 10: 20, 11: 12, 12: 0, 13: 55}
+	for r, v := range want {
+		if m.Regs[r] != v {
+			t.Errorf("r%d = %d, want %d", r, m.Regs[r], v)
+		}
+	}
+}
+
+func TestBuilderLoopSum(t *testing.T) {
+	// Sum 1..100 with a loop.
+	b := NewBuilder("sum")
+	b.Movi(1, 1)   // i
+	b.Movi(2, 0)   // acc
+	b.Movi(3, 101) // bound
+	b.Label("loop")
+	b.Add(2, 2, 1)
+	b.Addi(1, 1, 1)
+	b.Blt(1, 3, "loop")
+	b.Halt()
+	m, _ := NewMachine(b.MustProgram())
+	steps, err := m.Run(10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[2] != 5050 {
+		t.Fatalf("sum = %d", m.Regs[2])
+	}
+	if steps != 4+3*100 {
+		t.Fatalf("steps = %d", steps)
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	b := NewBuilder("mem")
+	off := b.DataWords(11, 22, 33)
+	b.Movi(1, int64(DataBase)+int64(off))
+	b.Ld(2, 1, 0)  // 11
+	b.Ld(3, 1, 8)  // 22
+	b.Ld(4, 1, 16) // 33
+	b.Add(5, 2, 3)
+	b.Add(5, 5, 4) // 66
+	b.St(5, 1, 16)
+	b.Halt()
+	m, _ := NewMachine(b.MustProgram())
+	if _, err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[5] != 66 {
+		t.Fatalf("r5 = %d", m.Regs[5])
+	}
+	v, err := m.ReadWord(off + 16)
+	if err != nil || v != 66 {
+		t.Fatalf("mem word = %d, %v", v, err)
+	}
+}
+
+func TestFaults(t *testing.T) {
+	// Division by zero.
+	b := NewBuilder("divzero")
+	b.Movi(1, 1)
+	b.Div(2, 1, 0)
+	b.Halt()
+	m, _ := NewMachine(b.MustProgram())
+	if _, err := m.Run(10); err == nil {
+		t.Fatal("div by zero not faulted")
+	}
+	if !m.Halted() {
+		t.Fatal("fault did not halt machine")
+	}
+
+	// Out-of-segment load.
+	b2 := NewBuilder("badload")
+	b2.Movi(1, int64(DataBase))
+	b2.Ld(2, 1, 1<<20)
+	b2.Halt()
+	m2, _ := NewMachine(b2.MustProgram())
+	if _, err := m2.Run(10); err == nil {
+		t.Fatal("out-of-segment load not faulted")
+	}
+
+	// Load below DataBase.
+	b3 := NewBuilder("lowload")
+	b3.Movi(1, 0)
+	b3.Ld(2, 1, 0)
+	b3.Halt()
+	m3, _ := NewMachine(b3.MustProgram())
+	if _, err := m3.Run(10); err == nil {
+		t.Fatal("load below DataBase not faulted")
+	}
+}
+
+func TestRunBudget(t *testing.T) {
+	b := NewBuilder("spin")
+	b.Label("forever")
+	b.Jmp("forever")
+	m, _ := NewMachine(b.MustProgram())
+	if _, err := m.Run(100); err == nil {
+		t.Fatal("infinite loop not stopped by budget")
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := NewBuilder("reset")
+	off := b.DataWords(5)
+	b.Movi(1, int64(DataBase)+int64(off))
+	b.Movi(2, 99)
+	b.St(2, 1, 0)
+	b.Halt()
+	m, _ := NewMachine(b.MustProgram())
+	if _, err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.ReadWord(off); v != 99 {
+		t.Fatal("store lost")
+	}
+	m.Reset()
+	if v, _ := m.ReadWord(off); v != 5 {
+		t.Fatalf("Reset did not restore data segment: %d", v)
+	}
+	if m.Halted() || m.PC != 0 || m.Steps != 0 || m.Regs[2] != 0 {
+		t.Fatal("Reset incomplete")
+	}
+	if _, err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.ReadWord(off); v != 99 {
+		t.Fatal("second run broken")
+	}
+}
+
+func TestStepInfo(t *testing.T) {
+	b := NewBuilder("info")
+	off := b.DataWords(7)
+	b.Movi(1, int64(DataBase)+int64(off))
+	b.Ld(2, 1, 0)
+	b.St(2, 1, 0)
+	b.Movi(3, 0)
+	b.Beq(3, 3, "end") // taken
+	b.Nop()
+	b.Label("end")
+	b.Halt()
+	m, _ := NewMachine(b.MustProgram())
+	infos := []StepInfo{}
+	for !m.Halted() {
+		si, err := m.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		infos = append(infos, si)
+	}
+	if infos[0].FetchAddr != CodeBase {
+		t.Fatal("fetch addr of first instruction wrong")
+	}
+	if infos[1].Op != LD || infos[1].MemWrite || infos[1].MemAddr != DataBase+off {
+		t.Fatalf("LD info = %+v", infos[1])
+	}
+	if infos[2].Op != ST || !infos[2].MemWrite {
+		t.Fatalf("ST info = %+v", infos[2])
+	}
+	if !infos[4].Taken {
+		t.Fatal("taken branch not flagged")
+	}
+	if !infos[len(infos)-1].Halted {
+		t.Fatal("halt not flagged")
+	}
+	// Step after halt is a no-op.
+	si, err := m.Step()
+	if err != nil || !si.Halted {
+		t.Fatal("step-after-halt broken")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	p := &Program{Name: "bad", Code: []Instr{{Op: BEQ, Target: 99}}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("out-of-range branch target accepted")
+	}
+	p2 := &Program{Name: "badreg", Code: []Instr{{Op: ADD, Rd: 40}}}
+	if err := p2.Validate(); err == nil {
+		t.Fatal("bad register accepted")
+	}
+	p3 := &Program{Name: "empty"}
+	if err := p3.Validate(); err == nil {
+		t.Fatal("empty program accepted")
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder("dup")
+	b.Label("x")
+	b.Label("x")
+	b.Halt()
+	if _, err := b.Program(); err == nil {
+		t.Fatal("duplicate label accepted")
+	}
+	b2 := NewBuilder("undef")
+	b2.Jmp("nowhere")
+	if _, err := b2.Program(); err == nil {
+		t.Fatal("undefined label accepted")
+	}
+}
+
+func TestInstrAddrAndString(t *testing.T) {
+	if InstrAddr(0) != CodeBase || InstrAddr(4) != CodeBase+16 {
+		t.Fatal("InstrAddr broken")
+	}
+	i := Instr{Op: LD, Rd: 2, Rs: 1, Imm: 8}
+	if got := i.String(); got != "ld r2, 8(r1)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestSegmentSize(t *testing.T) {
+	p := &Program{Name: "s", Code: []Instr{{Op: HALT}}, Data: make([]byte, 10), DataSize: 100}
+	if p.SegmentSize() != 100 {
+		t.Fatal("SegmentSize broken")
+	}
+	p.DataSize = 0
+	if p.SegmentSize() != 10 {
+		t.Fatal("SegmentSize default broken")
+	}
+}
+
+func BenchmarkMachineStep(b *testing.B) {
+	bd := NewBuilder("spin")
+	bd.Movi(1, 0)
+	bd.Movi(2, 1<<40)
+	bd.Label("loop")
+	bd.Addi(1, 1, 1)
+	bd.Blt(1, 2, "loop")
+	bd.Halt()
+	m, _ := NewMachine(bd.MustProgram())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+// Package mbpta implements Measurement-Based Probabilistic Timing Analysis
+// (paper §2.1, following Cucu-Grosjean et al., ECRTS 2012): execution times
+// observed on an MBPTA-compliant (time-randomised) platform are checked for
+// independence and identical distribution, the sample's block maxima are
+// fitted with a Gumbel (EVT type I) distribution, and the fit's tail is
+// used to produce pWCET estimates — execution-time bounds with an
+// associated exceedance probability (e.g. 10⁻¹⁵ per run).
+package mbpta
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"efl/internal/stats"
+)
+
+// EulerGamma is the Euler–Mascheroni constant, the mean of a standard
+// Gumbel distribution.
+const EulerGamma = 0.5772156649015329
+
+// Gumbel is an extreme value type I (Gumbel) distribution with location mu
+// and scale beta > 0. EVT dictates that maxima of i.i.d. samples with
+// exponential-class tails converge to this family, which is why MBPTA fits
+// it to block maxima of execution times.
+type Gumbel struct {
+	Mu   float64
+	Beta float64
+}
+
+// CDF returns P(X <= x).
+func (g Gumbel) CDF(x float64) float64 {
+	return math.Exp(-math.Exp(-(x - g.Mu) / g.Beta))
+}
+
+// CCDF returns the exceedance probability P(X > x), computed in a way that
+// stays accurate for the deep tail (tiny probabilities).
+func (g Gumbel) CCDF(x float64) float64 {
+	z := math.Exp(-(x - g.Mu) / g.Beta)
+	// 1 - exp(-z); for tiny z use expm1 to avoid cancellation.
+	return -math.Expm1(-z)
+}
+
+// Quantile returns the x with CDF(x) = p, for p in (0, 1).
+func (g Gumbel) Quantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic("mbpta: Gumbel quantile requires p in (0,1)")
+	}
+	return g.Mu - g.Beta*math.Log(-math.Log(p))
+}
+
+// QuantileExceedance returns the x whose exceedance probability P(X > x)
+// equals p. Numerically robust for the very small p MBPTA uses (1e-15 and
+// below), where 1-p rounds to 1 in float64.
+func (g Gumbel) QuantileExceedance(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic("mbpta: exceedance quantile requires p in (0,1)")
+	}
+	// Solve exp(-exp(-(x-mu)/beta)) = 1-p  =>  -(x-mu)/beta = ln(-ln(1-p)).
+	// ln(1-p) via log1p keeps precision for tiny p: -ln(1-p) ≈ p.
+	l := -math.Log1p(-p)
+	return g.Mu - g.Beta*math.Log(l)
+}
+
+// Mean returns the distribution mean mu + gamma*beta.
+func (g Gumbel) Mean() float64 { return g.Mu + EulerGamma*g.Beta }
+
+// Var returns the distribution variance (pi^2/6) beta^2.
+func (g Gumbel) Var() float64 { return math.Pi * math.Pi / 6 * g.Beta * g.Beta }
+
+// String implements fmt.Stringer.
+func (g Gumbel) String() string { return fmt.Sprintf("Gumbel(mu=%.4g, beta=%.4g)", g.Mu, g.Beta) }
+
+// ErrDegenerateSample indicates a sample whose spread is (near) zero, for
+// which an EVT fit is meaningless; callers fall back to the sample maximum.
+var ErrDegenerateSample = errors.New("mbpta: degenerate (near-constant) sample")
+
+// FitGumbelMoments fits a Gumbel distribution by the method of moments:
+// beta = s*sqrt(6)/pi, mu = mean - gamma*beta.
+func FitGumbelMoments(xs []float64) (Gumbel, error) {
+	if len(xs) < 2 {
+		return Gumbel{}, stats.ErrTooFewSamples
+	}
+	s := stats.StdDev(xs)
+	m := stats.Mean(xs)
+	if s <= 0 || s < 1e-12*math.Max(1, math.Abs(m)) {
+		return Gumbel{}, ErrDegenerateSample
+	}
+	beta := s * math.Sqrt(6) / math.Pi
+	return Gumbel{Mu: m - EulerGamma*beta, Beta: beta}, nil
+}
+
+// FitGumbelML fits a Gumbel distribution by maximum likelihood, seeded by
+// the method of moments and refined with the standard fixed-point iteration
+//
+//	beta = mean(x) - sum(x*exp(-x/beta)) / sum(exp(-x/beta))
+//	mu   = -beta * ln(mean(exp(-x/beta)))
+//
+// ML is the estimator used in MBPTA practice: it weights the right tail
+// more faithfully than the moments fit.
+func FitGumbelML(xs []float64) (Gumbel, error) {
+	g0, err := FitGumbelMoments(xs)
+	if err != nil {
+		return Gumbel{}, err
+	}
+	beta := g0.Beta
+	mean := stats.Mean(xs)
+	// Centre the sample for numerical stability of the exponentials.
+	c := mean
+	const maxIter = 200
+	for iter := 0; iter < maxIter; iter++ {
+		var se, sxe float64
+		for _, x := range xs {
+			e := math.Exp(-(x - c) / beta)
+			se += e
+			sxe += (x - c) * e
+		}
+		next := mean - (c + sxe/se)
+		if next <= 0 {
+			// Iteration escaped the feasible region; keep the moments fit.
+			return g0, nil
+		}
+		if math.Abs(next-beta) <= 1e-10*beta {
+			beta = next
+			break
+		}
+		beta = next
+	}
+	var se float64
+	n := float64(len(xs))
+	for _, x := range xs {
+		se += math.Exp(-(x - c) / beta)
+	}
+	mu := c - beta*math.Log(se/n)
+	return Gumbel{Mu: mu, Beta: beta}, nil
+}
+
+// BlockMaxima splits xs into consecutive blocks of size block and returns
+// each block's maximum. A trailing partial block is discarded (standard
+// practice). It returns an error when fewer than minBlocks full blocks are
+// available.
+func BlockMaxima(xs []float64, block, minBlocks int) ([]float64, error) {
+	if block < 1 {
+		return nil, fmt.Errorf("mbpta: block size %d < 1", block)
+	}
+	nb := len(xs) / block
+	if nb < minBlocks {
+		return nil, fmt.Errorf("mbpta: %d samples give %d blocks of %d, need >= %d: %w",
+			len(xs), nb, block, minBlocks, stats.ErrTooFewSamples)
+	}
+	out := make([]float64, nb)
+	for b := 0; b < nb; b++ {
+		m := xs[b*block]
+		for i := b*block + 1; i < (b+1)*block; i++ {
+			if xs[i] > m {
+				m = xs[i]
+			}
+		}
+		out[b] = m
+	}
+	return out, nil
+}

@@ -1,0 +1,260 @@
+package mbpta
+
+import (
+	"fmt"
+	"math"
+
+	"efl/internal/stats"
+)
+
+// Options configures the MBPTA protocol.
+type Options struct {
+	// BlockSize is the block-maxima block size. The default (0) selects
+	// a size targeting around 30-50 blocks from the available sample.
+	BlockSize int
+	// MinBlocks is the minimum number of block maxima required for a fit
+	// (default 20).
+	MinBlocks int
+	// Alpha is the i.i.d. test significance level; only 0.05 is supported
+	// (the paper's value) and it is recorded for reporting.
+	Alpha float64
+	// SkipIIDTests disables the i.i.d. gate (used by experiments that test
+	// i.i.d. separately, or by ablations that deliberately break it).
+	SkipIIDTests bool
+}
+
+func (o *Options) fill(n int) {
+	if o.Alpha == 0 {
+		o.Alpha = 0.05
+	}
+	if o.MinBlocks == 0 {
+		o.MinBlocks = 20
+	}
+	if o.BlockSize == 0 {
+		// Aim for ~40 blocks, but never fewer than MinBlocks and never a
+		// block smaller than 2.
+		bs := n / 40
+		if bs < 2 {
+			bs = 2
+		}
+		for n/bs < o.MinBlocks && bs > 2 {
+			bs--
+		}
+		o.BlockSize = bs
+	}
+}
+
+// IIDReport carries the outcome of the MBPTA compliance tests (paper §4.2):
+// Wald-Wolfowitz for independence (accept when |Z| < 1.96) and two-sample
+// Kolmogorov-Smirnov between the two halves of the observation sequence for
+// identical distribution (accept when p > 0.05). A Ljung-Box portmanteau
+// test is reported as a supplementary independence diagnostic (it detects
+// linear autocorrelation the runs test can miss); it does not gate Passed,
+// which follows the paper's two-test criterion exactly.
+type IIDReport struct {
+	WW     stats.RunsTestResult
+	KS     stats.KSResult
+	LB     stats.LjungBoxResult
+	Passed bool
+}
+
+// TestIID runs the paper's i.i.d. battery over an execution-time sample in
+// observation order.
+func TestIID(times []float64) (IIDReport, error) {
+	if len(times) < 20 {
+		return IIDReport{}, stats.ErrTooFewSamples
+	}
+	ww, err := stats.WaldWolfowitz(times)
+	if err != nil {
+		return IIDReport{}, fmt.Errorf("mbpta: runs test: %w", err)
+	}
+	half := len(times) / 2
+	ks, err := stats.KolmogorovSmirnov2(times[:half], times[half:])
+	if err != nil {
+		return IIDReport{}, fmt.Errorf("mbpta: KS test: %w", err)
+	}
+	rep := IIDReport{WW: ww, KS: ks, Passed: !ww.Rejected && !ks.Rejected}
+	if lb, err := stats.LjungBox(times, 0); err == nil {
+		rep.LB = lb
+	}
+	return rep, nil
+}
+
+// Result is the outcome of one MBPTA analysis.
+type Result struct {
+	Runs       int    // number of execution-time observations used
+	BlockSize  int    // block-maxima block size
+	NumBlocks  int    // number of blocks fitted
+	Fit        Gumbel // fitted tail distribution (of block maxima)
+	FitKS      stats.KSResult
+	IID        IIDReport
+	IIDChecked bool
+	MaxSeen    float64 // high-water mark of the observations
+	Degenerate bool    // sample was (near-)constant; pWCET = MaxSeen
+}
+
+// Analyze runs the MBPTA pipeline over the execution times (in observation
+// order): i.i.d. gate, block maxima, Gumbel ML fit, fit validation.
+func Analyze(times []float64, opt Options) (*Result, error) {
+	if len(times) < 20 {
+		return nil, stats.ErrTooFewSamples
+	}
+	opt.fill(len(times))
+	res := &Result{Runs: len(times), BlockSize: opt.BlockSize, MaxSeen: stats.Max(times)}
+	if !opt.SkipIIDTests {
+		iid, err := TestIID(times)
+		if err != nil {
+			return nil, err
+		}
+		res.IID = iid
+		res.IIDChecked = true
+		if !iid.Passed {
+			return res, fmt.Errorf("mbpta: sample failed i.i.d. tests (WW |Z|=%.3f, KS p=%.4f)",
+				iid.WW.AbsZ, iid.KS.PValue)
+		}
+	}
+	maxima, err := BlockMaxima(times, opt.BlockSize, opt.MinBlocks)
+	if err != nil {
+		return nil, err
+	}
+	res.NumBlocks = len(maxima)
+	fit, err := FitGumbelML(maxima)
+	if err == ErrDegenerateSample {
+		// Constant execution time: the pWCET at any probability is the
+		// observed value itself.
+		res.Degenerate = true
+		return res, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Fit = fit
+	if ks, err := stats.KolmogorovSmirnov1(maxima, fit.CDF); err == nil {
+		res.FitKS = ks
+	}
+	return res, nil
+}
+
+// PWCET returns the pWCET estimate at per-run exceedance probability p
+// (e.g. 1e-15): the execution time whose probability of being exceeded by
+// one run is at most p. The fitted distribution describes block maxima of
+// BlockSize runs, so the per-run probability is first converted to a
+// per-block probability: P(block max > x) = 1-(1-p)^B, computed stably for
+// tiny p. The estimate is never below the observed maximum (EVT
+// extrapolates the tail; the empirical part is exact).
+func (r *Result) PWCET(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic("mbpta: exceedance probability must be in (0,1)")
+	}
+	if r.Degenerate {
+		return r.MaxSeen
+	}
+	// pBlock = 1-(1-p)^B = -expm1(B*log1p(-p)), stable for small p.
+	pBlock := -math.Expm1(float64(r.BlockSize) * math.Log1p(-p))
+	est := r.Fit.QuantileExceedance(pBlock)
+	if est < r.MaxSeen {
+		return r.MaxSeen
+	}
+	return est
+}
+
+// CCDFPoint returns the fitted per-run exceedance probability at execution
+// time x: P(one run > x) = 1 - (1 - P(block max > x))^(1/B).
+func (r *Result) CCDFPoint(x float64) float64 {
+	if r.Degenerate {
+		if x >= r.MaxSeen {
+			return 0
+		}
+		return 1
+	}
+	pb := r.Fit.CCDF(x)
+	// per-run = 1-(1-pb)^(1/B) = -expm1(log1p(-pb)/B)
+	return -math.Expm1(math.Log1p(-pb) / float64(r.BlockSize))
+}
+
+// ConvergenceCriterion decides when enough runs have been collected: the
+// MBPTA convergence loop adds observations until the pWCET estimate at the
+// target probability is stable within tol (relative).
+type ConvergenceCriterion struct {
+	Prob float64 // target exceedance probability (e.g. 1e-15)
+	Tol  float64 // relative stability tolerance (e.g. 0.02)
+}
+
+// Converged reports whether estimates prev and cur agree within tolerance.
+func (c ConvergenceCriterion) Converged(prev, cur float64) bool {
+	if prev == 0 {
+		return cur == 0
+	}
+	return math.Abs(cur-prev)/math.Abs(prev) <= c.Tol
+}
+
+// Collector runs the iterative MBPTA protocol: it pulls batches of
+// execution times from a measurement source until the i.i.d. gate passes
+// and the pWCET estimate converges, mirroring the paper's "the software
+// unit under study is executed enough times according to MBPTA's
+// convergence criteria" (§3.3; 300-1,000 runs in practice).
+type Collector struct {
+	// Measure produces the execution time of one fresh run.
+	Measure func() float64
+	// InitialRuns is the first batch size (default 100).
+	InitialRuns int
+	// StepRuns is the batch added per iteration (default 50).
+	StepRuns int
+	// MaxRuns caps the total (default 1000, the paper's ceiling).
+	MaxRuns int
+	// Criterion is the convergence rule (default: 1e-15 within 2%).
+	Criterion ConvergenceCriterion
+	// Options forwards to Analyze.
+	Options Options
+}
+
+// Run executes the protocol and returns the final analysis, the collected
+// execution times, and an error if the sample never reached an analysable
+// state. A sample that exhausts MaxRuns returns the last analysis with a
+// nil error if that analysis succeeded (matching practice: the run budget
+// is the operative stop condition).
+func (c *Collector) Run() (*Result, []float64, error) {
+	if c.Measure == nil {
+		return nil, nil, fmt.Errorf("mbpta: Collector.Measure is nil")
+	}
+	if c.InitialRuns == 0 {
+		c.InitialRuns = 100
+	}
+	if c.StepRuns == 0 {
+		c.StepRuns = 50
+	}
+	if c.MaxRuns == 0 {
+		c.MaxRuns = 1000
+	}
+	if c.Criterion.Prob == 0 {
+		c.Criterion = ConvergenceCriterion{Prob: 1e-15, Tol: 0.02}
+	}
+	var times []float64
+	for len(times) < c.InitialRuns {
+		times = append(times, c.Measure())
+	}
+	var prevEst float64
+	var lastRes *Result
+	var lastErr error
+	havePrev := false
+	for {
+		res, err := Analyze(times, c.Options)
+		lastRes, lastErr = res, err
+		if err == nil {
+			est := res.PWCET(c.Criterion.Prob)
+			if havePrev && c.Criterion.Converged(prevEst, est) {
+				return res, times, nil
+			}
+			prevEst, havePrev = est, true
+		}
+		if len(times) >= c.MaxRuns {
+			if lastErr != nil {
+				return nil, times, fmt.Errorf("mbpta: exhausted %d runs: %w", c.MaxRuns, lastErr)
+			}
+			return lastRes, times, nil
+		}
+		for i := 0; i < c.StepRuns && len(times) < c.MaxRuns; i++ {
+			times = append(times, c.Measure())
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package mbpta
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"efl/internal/stats"
+)
+
+// This file implements the peaks-over-threshold (POT) alternative to
+// block maxima. Where block maxima fit a Gumbel to per-block records, POT
+// fits a Generalised Pareto Distribution (GPD) to the excesses over a
+// high threshold. Both are standard EVT routes used in the MBPTA
+// literature; the repository offers both so their pWCETs can be
+// cross-checked (a large disagreement flags a fragile tail).
+
+// GPD is a Generalised Pareto Distribution of excesses over a threshold:
+// location 0, scale Sigma > 0, shape Xi. Xi = 0 degenerates to the
+// exponential tail; Xi < 0 gives a finite right endpoint; Xi > 0 a heavy
+// tail (suspicious for execution times on a bounded platform).
+type GPD struct {
+	Sigma float64
+	Xi    float64
+}
+
+// CCDF returns P(excess > x) for x >= 0.
+func (g GPD) CCDF(x float64) float64 {
+	if x < 0 {
+		return 1
+	}
+	if g.Xi == 0 {
+		return math.Exp(-x / g.Sigma)
+	}
+	arg := 1 + g.Xi*x/g.Sigma
+	if arg <= 0 {
+		// Beyond the finite endpoint (Xi < 0).
+		return 0
+	}
+	return math.Pow(arg, -1/g.Xi)
+}
+
+// QuantileExceedance returns the excess whose exceedance probability is p.
+func (g GPD) QuantileExceedance(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic("mbpta: GPD quantile requires p in (0,1)")
+	}
+	if g.Xi == 0 {
+		return -g.Sigma * math.Log(p)
+	}
+	return g.Sigma / g.Xi * (math.Pow(p, -g.Xi) - 1)
+}
+
+// String implements fmt.Stringer.
+func (g GPD) String() string { return fmt.Sprintf("GPD(sigma=%.4g, xi=%.4g)", g.Sigma, g.Xi) }
+
+// FitGPDMoments fits a GPD to excesses by the method of moments:
+//
+//	xi    = (1 - mean^2/var) / 2
+//	sigma = mean * (1 + mean^2/var) / 2
+//
+// Valid when xi < 1/2 (finite variance), which execution-time excesses on
+// a bounded platform satisfy.
+func FitGPDMoments(excesses []float64) (GPD, error) {
+	if len(excesses) < 10 {
+		return GPD{}, stats.ErrTooFewSamples
+	}
+	m := stats.Mean(excesses)
+	v := stats.Variance(excesses)
+	if m <= 0 {
+		return GPD{}, fmt.Errorf("mbpta: non-positive mean excess")
+	}
+	if v <= 0 || v < 1e-12*m*m {
+		return GPD{}, ErrDegenerateSample
+	}
+	r := m * m / v
+	return GPD{
+		Xi:    (1 - r) / 2,
+		Sigma: m * (1 + r) / 2,
+	}, nil
+}
+
+// POTResult is the outcome of a peaks-over-threshold analysis.
+type POTResult struct {
+	Runs       int
+	Threshold  float64
+	Excesses   int     // sample points above the threshold
+	Rate       float64 // P(one run exceeds the threshold)
+	Fit        GPD
+	MaxSeen    float64
+	Degenerate bool
+}
+
+// POTOptions configures AnalyzePOT.
+type POTOptions struct {
+	// ThresholdQuantile selects the threshold as this empirical quantile
+	// of the sample (default 0.85 — keeps the top 15% as excesses).
+	ThresholdQuantile float64
+	// MinExcesses is the minimum exceedance count for a fit (default 20).
+	MinExcesses int
+}
+
+// AnalyzePOT runs the POT pipeline over execution times (the caller is
+// expected to have applied the i.i.d. gate, e.g. via TestIID).
+func AnalyzePOT(times []float64, opt POTOptions) (*POTResult, error) {
+	if opt.ThresholdQuantile == 0 {
+		opt.ThresholdQuantile = 0.85
+	}
+	if opt.ThresholdQuantile <= 0 || opt.ThresholdQuantile >= 1 {
+		return nil, fmt.Errorf("mbpta: threshold quantile %v outside (0,1)", opt.ThresholdQuantile)
+	}
+	if opt.MinExcesses == 0 {
+		opt.MinExcesses = 20
+	}
+	if len(times) < 5*opt.MinExcesses {
+		return nil, stats.ErrTooFewSamples
+	}
+	sorted := append([]float64(nil), times...)
+	sort.Float64s(sorted)
+	res := &POTResult{Runs: len(times), MaxSeen: sorted[len(sorted)-1]}
+	res.Threshold = stats.Quantile(times, opt.ThresholdQuantile)
+
+	var excesses []float64
+	for _, t := range times {
+		if t > res.Threshold {
+			excesses = append(excesses, t-res.Threshold)
+		}
+	}
+	res.Excesses = len(excesses)
+	res.Rate = float64(len(excesses)) / float64(len(times))
+	if res.Excesses < opt.MinExcesses {
+		return nil, fmt.Errorf("mbpta: only %d excesses over the %.0f threshold (need %d)",
+			res.Excesses, res.Threshold, opt.MinExcesses)
+	}
+	fit, err := FitGPDMoments(excesses)
+	if err == ErrDegenerateSample {
+		res.Degenerate = true
+		return res, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Fit = fit
+	return res, nil
+}
+
+// PWCET returns the POT pWCET estimate at per-run exceedance probability
+// p: threshold + GPD excess quantile at p/rate. Like the block-maxima
+// estimate it never falls below the observed maximum.
+func (r *POTResult) PWCET(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic("mbpta: exceedance probability must be in (0,1)")
+	}
+	if r.Degenerate {
+		return r.MaxSeen
+	}
+	cond := p / r.Rate // P(excess > x | above threshold)
+	if cond >= 1 {
+		return r.MaxSeen
+	}
+	est := r.Threshold + r.Fit.QuantileExceedance(cond)
+	if est < r.MaxSeen {
+		return r.MaxSeen
+	}
+	return est
+}
+
+// CrossCheck compares the block-maxima and POT pWCET estimates at prob and
+// returns their relative disagreement |bm-pot| / max(bm,pot). MBPTA
+// practice treats a small disagreement as evidence the extrapolation is
+// stable.
+func CrossCheck(times []float64, prob float64) (bm, pot, disagreement float64, err error) {
+	bmRes, err := Analyze(times, Options{SkipIIDTests: true})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	potRes, err := AnalyzePOT(times, POTOptions{})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	bm = bmRes.PWCET(prob)
+	pot = potRes.PWCET(prob)
+	hi := math.Max(bm, pot)
+	if hi == 0 {
+		return bm, pot, 0, nil
+	}
+	return bm, pot, math.Abs(bm-pot) / hi, nil
+}

@@ -1,0 +1,139 @@
+package mbpta
+
+import (
+	"math"
+	"testing"
+
+	"efl/internal/rng"
+)
+
+// expSample draws n exponential(σ) samples (a GPD with Xi = 0).
+func expSample(src rng.Stream, sigma float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		u := src.Float64()
+		for u == 0 {
+			u = src.Float64()
+		}
+		out[i] = -sigma * math.Log(u)
+	}
+	return out
+}
+
+func TestGPDCCDFQuantileRoundTrip(t *testing.T) {
+	for _, g := range []GPD{{Sigma: 10, Xi: 0}, {Sigma: 5, Xi: -0.2}, {Sigma: 5, Xi: 0.1}} {
+		for _, p := range []float64{1e-3, 1e-6, 1e-12} {
+			x := g.QuantileExceedance(p)
+			got := g.CCDF(x)
+			if math.Abs(got-p)/p > 1e-6 {
+				t.Errorf("%v: CCDF(Q(%g)) = %g", g, p, got)
+			}
+		}
+	}
+}
+
+func TestGPDFiniteEndpoint(t *testing.T) {
+	g := GPD{Sigma: 10, Xi: -0.5} // endpoint at sigma/|xi| = 20
+	if got := g.CCDF(25); got != 0 {
+		t.Fatalf("CCDF beyond endpoint = %v", got)
+	}
+	if q := g.QuantileExceedance(1e-15); q > 20.0001 {
+		t.Fatalf("quantile %v beyond finite endpoint", q)
+	}
+}
+
+func TestFitGPDMomentsExponential(t *testing.T) {
+	src := rng.New(4)
+	xs := expSample(src, 42, 20000)
+	fit, err := FitGPDMoments(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Xi) > 0.05 {
+		t.Fatalf("exponential sample fit xi = %v, want ~0", fit.Xi)
+	}
+	if math.Abs(fit.Sigma-42)/42 > 0.05 {
+		t.Fatalf("sigma = %v, want ~42", fit.Sigma)
+	}
+}
+
+func TestFitGPDErrors(t *testing.T) {
+	if _, err := FitGPDMoments([]float64{1, 2}); err == nil {
+		t.Fatal("tiny sample accepted")
+	}
+	same := make([]float64, 100)
+	for i := range same {
+		same[i] = 5
+	}
+	if _, err := FitGPDMoments(same); err != ErrDegenerateSample {
+		t.Fatalf("constant sample: %v", err)
+	}
+}
+
+func TestAnalyzePOTBoundsAndMonotone(t *testing.T) {
+	src := rng.New(9)
+	// Execution-time-like sample: base + exponential tail.
+	xs := make([]float64, 2000)
+	for i, v := range expSample(src, 300, 2000) {
+		xs[i] = 100000 + v
+	}
+	res, err := AnalyzePOT(xs, POTOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Threshold <= 100000 || res.Rate <= 0 || res.Rate >= 1 {
+		t.Fatalf("POT result = %+v", res)
+	}
+	p15 := res.PWCET(1e-15)
+	p19 := res.PWCET(1e-19)
+	if p15 < res.MaxSeen || p19 < p15 {
+		t.Fatalf("POT pWCETs inconsistent: max=%v p15=%v p19=%v", res.MaxSeen, p15, p19)
+	}
+	// For an exponential tail the analytic quantile is known:
+	// threshold + sigma*ln(rate/p).
+	analytic := res.Threshold + 300*math.Log(res.Rate/1e-15)
+	if math.Abs(p15-analytic)/analytic > 0.15 {
+		t.Fatalf("POT p15 = %v, analytic ~%v", p15, analytic)
+	}
+}
+
+func TestAnalyzePOTValidation(t *testing.T) {
+	src := rng.New(10)
+	xs := expSample(src, 10, 300)
+	if _, err := AnalyzePOT(xs[:50], POTOptions{}); err == nil {
+		t.Fatal("tiny sample accepted")
+	}
+	if _, err := AnalyzePOT(xs, POTOptions{ThresholdQuantile: 1.5}); err == nil {
+		t.Fatal("bad quantile accepted")
+	}
+	if _, err := AnalyzePOT(xs, POTOptions{ThresholdQuantile: 0.99, MinExcesses: 20}); err == nil {
+		t.Fatal("insufficient excesses accepted")
+	}
+}
+
+func TestCrossCheckAgreesOnGumbel(t *testing.T) {
+	// Both EVT routes should give comparable deep-tail estimates for a
+	// well-behaved (Gumbel) sample.
+	src := rng.New(11)
+	g := Gumbel{Mu: 50000, Beta: 250}
+	xs := gumbelSample(src, g, 3000)
+	bm, pot, dis, err := CrossCheck(xs, 1e-15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bm <= 0 || pot <= 0 {
+		t.Fatalf("estimates: bm=%v pot=%v", bm, pot)
+	}
+	if dis > 0.25 {
+		t.Fatalf("EVT routes disagree by %.0f%% (bm=%v pot=%v)", 100*dis, bm, pot)
+	}
+}
+
+func BenchmarkAnalyzePOT(b *testing.B) {
+	src := rng.New(1)
+	xs := expSample(src, 100, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = AnalyzePOT(xs, POTOptions{})
+	}
+}

@@ -1,0 +1,176 @@
+// Package memctrl models the analysable memory controller of the paper's
+// platform (§4.1), after Paolieri et al., "An Analyzable Memory Controller
+// for Hard Real-Time CMPs" (IEEE Embedded Systems Letters, 2009).
+//
+// The AMC's design goal is a composable per-request Upper Bound Delay
+// (UBD): regardless of co-runner behaviour, a core's request completes
+// within a fixed bound. It achieves this with bank interleaving and
+// round-robin issue: the controller can overlap requests (banked DRAM), so
+// its bandwidth limit is one issue per IssueSlot cycles, while each request
+// takes Service cycles from issue to data return. Blocking reads have
+// priority over posted writebacks (write draining uses spare bandwidth), so
+// a read waits at most Cores-1 foreign reads plus one in-flight write slot:
+//
+//	UBD = Cores*IssueSlot + Service
+//
+// The simulator uses the controller in two regimes:
+//
+//   - Deployment: requests queue; one issues per IssueSlot (oldest read
+//     first, arrival ties broken round-robin by core, writes only when no
+//     read is eligible) and completes Service cycles later.
+//   - Analysis: the task under analysis charges the UBD for every memory
+//     read, upper-bounding any deployment-time queueing.
+package memctrl
+
+import "fmt"
+
+// Kind distinguishes blocking reads from posted writes.
+type Kind int
+
+const (
+	// Read is a blocking line fetch; the requesting core resumes when it
+	// completes.
+	Read Kind = iota
+	// Write is a posted writeback; it only consumes bandwidth.
+	Write
+)
+
+// Request is one pending memory transaction.
+type Request struct {
+	Core    int
+	Arrival int64
+	Kind    Kind
+	Tag     int64 // caller-defined correlation tag
+}
+
+// Stats aggregates controller activity.
+type Stats struct {
+	Reads      uint64
+	Writes     uint64
+	WaitCycles int64 // issue - arrival summed over requests
+	BusySlots  int64 // issue slots consumed
+}
+
+// Controller is the shared memory controller.
+type Controller struct {
+	service int64 // access latency from issue to completion (100)
+	slot    int64 // minimum spacing between issues (bandwidth limit)
+	cores   int
+	nextAt  int64 // earliest next issue cycle
+	rr      int   // round-robin pointer for tie-breaking
+	wait    []Request
+	stats   Stats
+}
+
+// New creates a controller: serviceCycles from issue to completion, one
+// issue per slotCycles, for an N-core system.
+func New(serviceCycles, slotCycles int64, cores int) *Controller {
+	if serviceCycles < 1 || slotCycles < 1 || cores < 1 {
+		panic("memctrl: bad parameters")
+	}
+	return &Controller{service: serviceCycles, slot: slotCycles, cores: cores}
+}
+
+// Service returns the issue-to-completion latency.
+func (c *Controller) Service() int64 { return c.service }
+
+// IssueSlot returns the bandwidth slot length.
+func (c *Controller) IssueSlot() int64 { return c.slot }
+
+// UpperBoundDelay returns the analysis-time latency charged per memory
+// read: at most Cores-1 foreign reads plus one in-flight write occupy
+// issue slots ahead of the request, then it completes Service cycles after
+// its own issue.
+func (c *Controller) UpperBoundDelay() int64 {
+	return int64(c.cores)*c.slot + c.service
+}
+
+// Stats returns a copy of the counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// Reset clears the queue and occupancy for a new run.
+func (c *Controller) Reset() {
+	c.nextAt = 0
+	c.rr = 0
+	c.wait = c.wait[:0]
+	c.stats = Stats{}
+}
+
+// Request enqueues a transaction.
+func (c *Controller) Request(r Request) { c.wait = append(c.wait, r) }
+
+// HasWaiters reports whether any request is pending.
+func (c *Controller) HasWaiters() bool { return len(c.wait) > 0 }
+
+// NextStartTime returns the earliest cycle the next issue can happen.
+// It panics without waiters.
+func (c *Controller) NextStartTime() int64 {
+	if len(c.wait) == 0 {
+		panic("memctrl: NextStartTime without waiters")
+	}
+	min := c.wait[0].Arrival
+	for _, r := range c.wait[1:] {
+		if r.Arrival < min {
+			min = r.Arrival
+		}
+	}
+	if c.nextAt > min {
+		return c.nextAt
+	}
+	return min
+}
+
+// Serve issues the next request: among requests that have arrived by the
+// issue time, reads precede writes; within a kind the oldest wins, with
+// arrival ties broken round-robin by core. It returns the issued request
+// and its completion cycle. The caller must ensure no earlier request can
+// still be injected.
+func (c *Controller) Serve() (Request, int64) {
+	t := c.NextStartTime()
+	best := -1
+	better := func(i, b int) bool {
+		r, cur := c.wait[i], c.wait[b]
+		if (r.Kind == Read) != (cur.Kind == Read) {
+			return r.Kind == Read
+		}
+		if r.Arrival != cur.Arrival {
+			return r.Arrival < cur.Arrival
+		}
+		return c.rrBefore(r.Core, cur.Core)
+	}
+	for i, r := range c.wait {
+		if r.Arrival > t {
+			continue
+		}
+		if best == -1 || better(i, best) {
+			best = i
+		}
+	}
+	req := c.wait[best]
+	c.wait = append(c.wait[:best], c.wait[best+1:]...)
+	done := t + c.service
+	c.nextAt = t + c.slot
+	c.rr = (req.Core + 1) % c.cores
+	if req.Kind == Read {
+		c.stats.Reads++
+	} else {
+		c.stats.Writes++
+	}
+	c.stats.WaitCycles += t - req.Arrival
+	c.stats.BusySlots++
+	return req, done
+}
+
+// rrBefore reports whether core a precedes core b in the current
+// round-robin order.
+func (c *Controller) rrBefore(a, b int) bool {
+	ra := (a - c.rr + c.cores) % c.cores
+	rb := (b - c.rr + c.cores) % c.cores
+	return ra < rb
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (c *Controller) String() string {
+	return fmt.Sprintf("MemCtrl{service:%d slot:%d nextAt:%d waiters:%d}",
+		c.service, c.slot, c.nextAt, len(c.wait))
+}

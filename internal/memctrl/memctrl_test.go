@@ -1,0 +1,179 @@
+package memctrl
+
+import "testing"
+
+func TestServeSingle(t *testing.T) {
+	c := New(100, 15, 4)
+	c.Request(Request{Core: 0, Arrival: 10, Kind: Read})
+	if got := c.NextStartTime(); got != 10 {
+		t.Fatalf("start = %d", got)
+	}
+	req, done := c.Serve()
+	if req.Core != 0 || done != 110 {
+		t.Fatalf("serve = %+v done %d", req, done)
+	}
+	if c.HasWaiters() {
+		t.Fatal("queue not drained")
+	}
+}
+
+func TestIssueSlotSpacing(t *testing.T) {
+	c := New(100, 15, 4)
+	c.Request(Request{Core: 0, Arrival: 0, Kind: Read})
+	c.Request(Request{Core: 1, Arrival: 0, Kind: Read})
+	_, d1 := c.Serve()
+	_, d2 := c.Serve()
+	if d1 != 100 {
+		t.Fatalf("first completion %d", d1)
+	}
+	// Second issues one slot later, overlapping with the first (banked).
+	if d2 != 115 {
+		t.Fatalf("second completion %d, want 115", d2)
+	}
+}
+
+func TestOldestReadFirst(t *testing.T) {
+	c := New(100, 15, 4)
+	c.Request(Request{Core: 2, Arrival: 50, Kind: Read})
+	c.Request(Request{Core: 1, Arrival: 20, Kind: Read})
+	req, done := c.Serve()
+	if req.Core != 1 || done != 120 {
+		t.Fatalf("oldest-first violated: %+v done %d", req, done)
+	}
+	req, _ = c.Serve()
+	if req.Core != 2 {
+		t.Fatalf("second serve = %+v", req)
+	}
+}
+
+func TestReadsPrecedeWrites(t *testing.T) {
+	c := New(100, 15, 4)
+	c.Request(Request{Core: 0, Arrival: 0, Kind: Write})
+	c.Request(Request{Core: 1, Arrival: 0, Kind: Read})
+	req, _ := c.Serve()
+	if req.Kind != Read {
+		t.Fatal("write issued ahead of a pending read")
+	}
+	req, _ = c.Serve()
+	if req.Kind != Write {
+		t.Fatal("write lost")
+	}
+}
+
+func TestRoundRobinTieBreak(t *testing.T) {
+	c := New(100, 15, 4)
+	c.Request(Request{Core: 3, Arrival: 0, Kind: Read})
+	c.Request(Request{Core: 1, Arrival: 0, Kind: Read})
+	req, _ := c.Serve()
+	if req.Core != 1 {
+		t.Fatalf("tie-break served core %d first", req.Core)
+	}
+	req, _ = c.Serve()
+	if req.Core != 3 {
+		t.Fatalf("second tie-break served core %d", req.Core)
+	}
+}
+
+func TestRoundRobinPointerAdvances(t *testing.T) {
+	c := New(100, 15, 4)
+	c.Request(Request{Core: 0, Arrival: 0, Kind: Read})
+	c.Serve() // pointer now at 1
+	c.Request(Request{Core: 0, Arrival: 100, Kind: Read})
+	c.Request(Request{Core: 1, Arrival: 100, Kind: Read})
+	req, _ := c.Serve()
+	if req.Core != 1 {
+		t.Fatalf("pointer did not advance: served %d", req.Core)
+	}
+}
+
+// TestUBDHolds: with any mix of one read per core plus writes already
+// queued, a newly arriving read completes within UBD.
+func TestUBDHolds(t *testing.T) {
+	c := New(100, 15, 4)
+	// Adversarial backlog: 3 foreign reads and a write, all earlier.
+	c.Request(Request{Core: 1, Arrival: 0, Kind: Read})
+	c.Request(Request{Core: 2, Arrival: 0, Kind: Read})
+	c.Request(Request{Core: 3, Arrival: 0, Kind: Write})
+	c.Request(Request{Core: 3, Arrival: 1, Kind: Read})
+	// The request under test arrives last.
+	c.Request(Request{Core: 0, Arrival: 2, Kind: Read})
+	var done0 int64 = -1
+	for c.HasWaiters() {
+		req, done := c.Serve()
+		if req.Core == 0 && req.Kind == Read {
+			done0 = done
+		}
+	}
+	if done0 < 0 {
+		t.Fatal("request never served")
+	}
+	latency := done0 - 2
+	if latency > c.UpperBoundDelay() {
+		t.Fatalf("read latency %d exceeds UBD %d", latency, c.UpperBoundDelay())
+	}
+}
+
+func TestUBD(t *testing.T) {
+	if ubd := New(100, 15, 4).UpperBoundDelay(); ubd != 160 {
+		t.Fatalf("UBD = %d", ubd)
+	}
+	if ubd := New(100, 15, 1).UpperBoundDelay(); ubd != 115 {
+		t.Fatalf("single-core UBD = %d", ubd)
+	}
+}
+
+func TestWriteAccounting(t *testing.T) {
+	c := New(100, 15, 4)
+	c.Request(Request{Core: 0, Arrival: 0, Kind: Write})
+	c.Request(Request{Core: 1, Arrival: 0, Kind: Read})
+	c.Serve()
+	c.Serve()
+	st := c.Stats()
+	if st.Reads != 1 || st.Writes != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.BusySlots != 2 {
+		t.Fatalf("busy slots = %d", st.BusySlots)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(100, 15, 4)
+	c.Request(Request{Core: 0, Arrival: 0, Kind: Read})
+	c.Serve()
+	c.Request(Request{Core: 0, Arrival: 0, Kind: Read})
+	c.Reset()
+	if c.HasWaiters() || c.Stats() != (Stats{}) {
+		t.Fatal("Reset incomplete")
+	}
+	c.Request(Request{Core: 0, Arrival: 5, Kind: Read})
+	if c.NextStartTime() != 5 {
+		t.Fatal("nextAt not reset")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0, 15, 4) },
+		func() { New(100, 0, 4) },
+		func() { New(100, 15, 0) },
+		func() { New(100, 15, 4).NextStartTime() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkServe(b *testing.B) {
+	c := New(100, 15, 4)
+	for i := 0; i < b.N; i++ {
+		c.Request(Request{Core: i % 4, Arrival: int64(i * 10), Kind: Read})
+		c.Serve()
+	}
+}

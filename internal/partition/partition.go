@@ -1,0 +1,118 @@
+// Package partition implements the cache-partitioning baseline's search
+// problem: splitting the W ways of the shared LLC across N tasks so that
+// the workload's total guaranteed performance (wgIPC) is maximised — the
+// procedure the paper uses to give CP its best configuration in Figure 4
+// ("find the partition of the 8 ways of the LLC across the tasks such that
+// wgIPC is maximised").
+package partition
+
+import "fmt"
+
+// Compositions enumerates every split of ways cache ways among n tasks
+// with each task receiving at least one way, in lexicographic order. For
+// the paper's setup (8 ways, 4 tasks) there are C(7,3) = 35 splits.
+func Compositions(ways, n int) [][]int {
+	if n < 1 || ways < n {
+		return nil
+	}
+	var out [][]int
+	cur := make([]int, n)
+	var rec func(pos, left int)
+	rec = func(pos, left int) {
+		if pos == n-1 {
+			cur[pos] = left
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		// Leave at least one way for each remaining task.
+		for w := 1; w <= left-(n-1-pos); w++ {
+			cur[pos] = w
+			rec(pos+1, left-w)
+		}
+	}
+	rec(0, ways)
+	return out
+}
+
+// NumCompositions returns the number of splits Compositions produces:
+// C(ways-1, n-1).
+func NumCompositions(ways, n int) int {
+	if n < 1 || ways < n {
+		return 0
+	}
+	// Binomial coefficient C(ways-1, n-1).
+	k := n - 1
+	if k > ways-1-k {
+		k = ways - 1 - k
+	}
+	c := 1
+	for i := 0; i < k; i++ {
+		c = c * (ways - 1 - i) / (i + 1)
+	}
+	return c
+}
+
+// Best returns the split maximising the summed value, where value(task,
+// ways) is task's contribution when given that many ways (e.g. its gIPC
+// under CP with that allocation). It returns the winning split and total.
+// n is the workload size; ways the LLC associativity. value must tolerate
+// queries for 1..ways ways per task (the dynamic program also evaluates
+// unreachable states); only allocations up to ways-n+1 can appear in the
+// returned split.
+func Best(ways, n int, value func(task, ways int) float64) ([]int, float64, error) {
+	if n < 1 {
+		return nil, 0, fmt.Errorf("partition: empty workload")
+	}
+	if ways < n {
+		return nil, 0, fmt.Errorf("partition: %d ways cannot host %d tasks", ways, n)
+	}
+	// Dynamic program over tasks x remaining ways. For the paper's sizes
+	// brute force over the 35 compositions would also do; the DP keeps
+	// the search exact for larger setups (e.g. 16-way LLCs).
+	const neg = -1e300
+	// best[t][w]: max total for tasks t..n-1 using exactly w ways.
+	best := make([][]float64, n+1)
+	choice := make([][]int, n+1)
+	for t := range best {
+		best[t] = make([]float64, ways+1)
+		choice[t] = make([]int, ways+1)
+		for w := range best[t] {
+			best[t][w] = neg
+		}
+	}
+	best[n][0] = 0
+	for t := n - 1; t >= 0; t-- {
+		for w := n - t; w <= ways; w++ {
+			for give := 1; give <= w-(n-t-1); give++ {
+				rest := best[t+1][w-give]
+				if rest == neg {
+					continue
+				}
+				v := value(t, give) + rest
+				if v > best[t][w] {
+					best[t][w] = v
+					choice[t][w] = give
+				}
+			}
+		}
+	}
+	// The optimum may leave ways unused only if values can decrease with
+	// more ways; allow totals over any w <= ways by taking the best final
+	// column... values are monotone in practice, but be safe:
+	bestW, bestV := -1, neg
+	for w := n; w <= ways; w++ {
+		if best[0][w] > bestV {
+			bestV, bestW = best[0][w], w
+		}
+	}
+	if bestW < 0 {
+		return nil, 0, fmt.Errorf("partition: no feasible split")
+	}
+	split := make([]int, n)
+	w := bestW
+	for t := 0; t < n; t++ {
+		split[t] = choice[t][w]
+		w -= split[t]
+	}
+	return split, bestV, nil
+}

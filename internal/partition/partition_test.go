@@ -1,0 +1,147 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCompositionsPaperSize(t *testing.T) {
+	comps := Compositions(8, 4)
+	if len(comps) != 35 {
+		t.Fatalf("8 ways over 4 tasks: %d splits, want 35 (C(7,3))", len(comps))
+	}
+	seen := map[[4]int]bool{}
+	for _, c := range comps {
+		if len(c) != 4 {
+			t.Fatalf("split %v has wrong arity", c)
+		}
+		sum := 0
+		for _, w := range c {
+			if w < 1 {
+				t.Fatalf("split %v has an empty partition", c)
+			}
+			sum += w
+		}
+		if sum != 8 {
+			t.Fatalf("split %v does not use 8 ways", c)
+		}
+		var key [4]int
+		copy(key[:], c)
+		if seen[key] {
+			t.Fatalf("duplicate split %v", c)
+		}
+		seen[key] = true
+	}
+}
+
+func TestCompositionsEdge(t *testing.T) {
+	if c := Compositions(4, 4); len(c) != 1 || c[0][0] != 1 {
+		t.Fatalf("tight split = %v", c)
+	}
+	if c := Compositions(3, 4); c != nil {
+		t.Fatalf("infeasible split produced %v", c)
+	}
+	if c := Compositions(5, 1); len(c) != 1 || c[0][0] != 5 {
+		t.Fatalf("single task split = %v", c)
+	}
+}
+
+func TestNumCompositionsMatches(t *testing.T) {
+	err := quick.Check(func(w8, n8 uint8) bool {
+		ways := int(w8%10) + 1
+		n := int(n8%5) + 1
+		return NumCompositions(ways, n) == len(Compositions(ways, n))
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBestMatchesBruteForce(t *testing.T) {
+	// Concave-ish random values: DP must agree with brute force.
+	vals := [][]float64{
+		{1, 3, 4, 4.5, 4.7, 4.8, 4.85, 4.9},
+		{0.5, 0.9, 2.5, 2.6, 2.7, 2.8, 2.9, 3.0},
+		{2, 2.1, 2.2, 2.3, 2.4, 2.5, 2.6, 2.7},
+		{0.1, 0.2, 3.9, 4.0, 4.1, 4.2, 4.3, 4.4},
+	}
+	value := func(task, ways int) float64 { return vals[task][ways-1] }
+	split, total, err := Best(8, 4, value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Brute force.
+	bestTotal := -1.0
+	var bestSplit []int
+	for _, c := range Compositions(8, 4) {
+		v := 0.0
+		for i, w := range c {
+			v += value(i, w)
+		}
+		if v > bestTotal {
+			bestTotal, bestSplit = v, c
+		}
+	}
+	if total != bestTotal {
+		t.Fatalf("DP total %v vs brute force %v (split %v vs %v)", total, bestTotal, split, bestSplit)
+	}
+	sum := 0
+	for i, w := range split {
+		if w < 1 {
+			t.Fatalf("split %v has empty partition", split)
+		}
+		sum += w
+		if value(i, w) < 0 {
+			t.Fatal("nonsense")
+		}
+	}
+	if sum > 8 {
+		t.Fatalf("split %v oversubscribes", split)
+	}
+}
+
+func TestBestNonMonotoneValues(t *testing.T) {
+	// A task whose value *decreases* with extra ways (can happen with
+	// noisy pWCETs): Best may leave ways unused and must still maximise.
+	value := func(task, ways int) float64 {
+		if ways == 1 {
+			return 10
+		}
+		return 10 - float64(ways) // more ways strictly worse
+	}
+	split, total, err := Best(8, 2, value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 20 {
+		t.Fatalf("total %v, want 20 (1 way each)", total)
+	}
+	for _, w := range split {
+		if w != 1 {
+			t.Fatalf("split %v, want [1 1]", split)
+		}
+	}
+}
+
+func TestBestErrors(t *testing.T) {
+	if _, _, err := Best(3, 4, func(int, int) float64 { return 0 }); err == nil {
+		t.Fatal("infeasible split accepted")
+	}
+	if _, _, err := Best(8, 0, func(int, int) float64 { return 0 }); err == nil {
+		t.Fatal("empty workload accepted")
+	}
+}
+
+func TestBestSingleTask(t *testing.T) {
+	split, total, err := Best(8, 1, func(_, w int) float64 { return float64(w) })
+	if err != nil || len(split) != 1 || split[0] != 8 || total != 8 {
+		t.Fatalf("split=%v total=%v err=%v", split, total, err)
+	}
+}
+
+func BenchmarkBest8x4(b *testing.B) {
+	value := func(task, ways int) float64 { return float64(task+1) * float64(ways) }
+	for i := 0; i < b.N; i++ {
+		_, _, _ = Best(8, 4, value)
+	}
+}

@@ -1,0 +1,273 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMWCDeterminism(t *testing.T) {
+	a := NewMWC(42)
+	b := NewMWC(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint32(), b.Uint32(); av != bv {
+			t.Fatalf("step %d: same seed diverged: %#x vs %#x", i, av, bv)
+		}
+	}
+}
+
+func TestMWCSeedsDiffer(t *testing.T) {
+	a := NewMWC(1)
+	b := NewMWC(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint32() == b.Uint32() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 coincide on %d of 1000 outputs", same)
+	}
+}
+
+func TestMWCDegenerateSeeds(t *testing.T) {
+	// Every seed must yield a non-stuck generator.
+	for _, seed := range []uint64{0, 1, ^uint64(0), 0xffffffff} {
+		m := NewMWC(seed)
+		first := m.Uint32()
+		stuck := true
+		for i := 0; i < 16; i++ {
+			if m.Uint32() != first {
+				stuck = false
+				break
+			}
+		}
+		if stuck {
+			t.Errorf("seed %d produced a stuck generator", seed)
+		}
+	}
+}
+
+// chiSquareUniform computes the chi-square statistic of observed bucket
+// counts against a uniform expectation.
+func chiSquareUniform(counts []int, total int) float64 {
+	exp := float64(total) / float64(len(counts))
+	var x2 float64
+	for _, c := range counts {
+		d := float64(c) - exp
+		x2 += d * d / exp
+	}
+	return x2
+}
+
+func TestMWCUniformBuckets(t *testing.T) {
+	const buckets, n = 64, 64 * 2048
+	s := New(7)
+	counts := make([]int, buckets)
+	for i := 0; i < n; i++ {
+		counts[s.Intn(buckets)]++
+	}
+	// 63 dof; 99.9% critical value ≈ 103.4.
+	if x2 := chiSquareUniform(counts, n); x2 > 103.4 {
+		t.Fatalf("chi-square %v too high for uniform buckets", x2)
+	}
+}
+
+func TestCMWCUniformBuckets(t *testing.T) {
+	const buckets, n = 64, 64 * 2048
+	s := Stream{Src: NewCMWC(7)}
+	counts := make([]int, buckets)
+	for i := 0; i < n; i++ {
+		counts[s.Intn(buckets)]++
+	}
+	if x2 := chiSquareUniform(counts, n); x2 > 103.4 {
+		t.Fatalf("chi-square %v too high for uniform buckets", x2)
+	}
+}
+
+func TestMWCMonobit(t *testing.T) {
+	// Rough NIST monobit: the fraction of one-bits must be very close to 1/2.
+	m := NewMWC(99)
+	ones := 0
+	const words = 1 << 16
+	for i := 0; i < words; i++ {
+		v := m.Uint32()
+		for ; v != 0; v &= v - 1 {
+			ones++
+		}
+	}
+	total := words * 32
+	frac := float64(ones) / float64(total)
+	if math.Abs(frac-0.5) > 0.005 {
+		t.Fatalf("one-bit fraction %v too far from 0.5", frac)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(3)
+	for _, n := range []int{1, 2, 3, 7, 8, 100, 512, 4096} {
+		for i := 0; i < 200; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestRangeBounds(t *testing.T) {
+	s := New(5)
+	lo, hi := int64(0), int64(2000) // the EFL draw: [0, 2*MID]
+	seenLo, seenHi := false, false
+	for i := 0; i < 200000; i++ {
+		v := s.Range(lo, hi)
+		if v < lo || v > hi {
+			t.Fatalf("Range(%d,%d) = %d out of range", lo, hi, v)
+		}
+		if v == lo {
+			seenLo = true
+		}
+		if v == hi {
+			seenHi = true
+		}
+	}
+	if !seenLo || !seenHi {
+		t.Errorf("range endpoints not reachable: lo=%v hi=%v", seenLo, seenHi)
+	}
+}
+
+func TestRangeMean(t *testing.T) {
+	// §3.4: draws from [0, 2*MID] must average to MID.
+	s := New(11)
+	const mid = 500
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(s.Range(0, 2*mid))
+	}
+	mean := sum / n
+	if math.Abs(mean-mid) > 5 {
+		t.Fatalf("mean of U[0,2*%d] draws = %v, want ~%d", mid, mean, mid)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(13)
+	err := quick.Check(func(nn uint8) bool {
+		n := int(nn%32) + 1
+		p := s.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermUniformFirstElement(t *testing.T) {
+	s := New(17)
+	const n, iters = 4, 40000
+	counts := make([]int, n)
+	for i := 0; i < iters; i++ {
+		counts[s.Perm(n)[0]]++
+	}
+	// 3 dof; 99.9% critical ≈ 16.27.
+	if x2 := chiSquareUniform(counts, iters); x2 > 16.27 {
+		t.Fatalf("first element of Perm(4) not uniform: chi2=%v counts=%v", x2, counts)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := New(21)
+	a := parent.Fork()
+	b := parent.Fork()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint32() == b.Uint32() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("forked streams coincide on %d of 1000 outputs", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(23)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %v too far from 0.5", mean)
+	}
+}
+
+func TestMWCStateRoundTrip(t *testing.T) {
+	m := NewMWC(31)
+	for i := 0; i < 5; i++ {
+		m.Uint32()
+	}
+	x, c := m.State()
+	clone := &MWC{x: x, c: c}
+	for i := 0; i < 100; i++ {
+		if a, b := m.Uint32(), clone.Uint32(); a != b {
+			t.Fatalf("state clone diverged at step %d", i)
+		}
+	}
+}
+
+func TestInt63nLarge(t *testing.T) {
+	s := New(37)
+	const n = int64(1) << 40
+	for i := 0; i < 1000; i++ {
+		v := s.Int63n(n)
+		if v < 0 || v >= n {
+			t.Fatalf("Int63n out of range: %d", v)
+		}
+	}
+}
+
+func BenchmarkMWCUint32(b *testing.B) {
+	m := NewMWC(1)
+	for i := 0; i < b.N; i++ {
+		_ = m.Uint32()
+	}
+}
+
+func BenchmarkStreamIntnPow2(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Intn(512)
+	}
+}
+
+func BenchmarkStreamRange(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Range(0, 2000)
+	}
+}

@@ -1,0 +1,149 @@
+// Package rnghash implements the parametric hash function used for random
+// cache placement in time-randomised caches (Kosmidis et al., "A cache
+// design for probabilistically analysable real-time systems", DATE 2013),
+// as used by the paper's IL1, DL1 and LLC.
+//
+// Random placement maps a memory address to a cache set through a hash that
+// is parameterised by a random index identifier (RII). For a fixed RII the
+// mapping is a pure function — an address always lands in the same set, so
+// the cache is consistent during a run. When the RII changes (at program
+// execution boundaries, e.g. IMA minor frames, with a flush for
+// consistency) every address is re-mapped to a new, effectively random set.
+// Across the population of RIIs each address is equally likely to land in
+// every set, which is the property that makes hit/miss behaviour a random
+// variable and hence MBPTA-analysable.
+package rnghash
+
+import "efl/internal/rng"
+
+// RII is the random index identifier parameterising a placement hash.
+// Hardware-wise it is a register written at program-boundary flushes.
+type RII uint64
+
+// NewRII draws a fresh random index identifier from src.
+func NewRII(src rng.Stream) RII {
+	return RII(src.Uint64())
+}
+
+// Hash is a parametric placement hash for a cache with a power-of-two
+// number of sets. The zero value is not valid; construct with New.
+//
+// The hash follows the structure of the DATE'13 proposal: the line address
+// is combined with the RII through a small network of xor/rotate/multiply
+// stages chosen so that (a) for a fixed RII the function is deterministic,
+// and (b) over uniformly drawn RIIs every address maps uniformly over the
+// sets. Property (b) is validated statistically in the package tests.
+type Hash struct {
+	rii      RII
+	setMask  uint64
+	setBits  uint
+	numSets  int
+	k1, k2   uint64 // RII-derived odd multipliers
+	r1, r2   uint   // RII-derived rotations
+	xorConst uint64 // RII-derived xor constant
+}
+
+// New returns a placement hash for numSets sets (must be a power of two
+// and >= 1) parameterised by the given RII.
+func New(numSets int, rii RII) *Hash {
+	if numSets < 1 || numSets&(numSets-1) != 0 {
+		panic("rnghash: numSets must be a positive power of two")
+	}
+	bits := uint(0)
+	for 1<<bits < numSets {
+		bits++
+	}
+	h := &Hash{
+		rii:     rii,
+		numSets: numSets,
+		setMask: uint64(numSets - 1),
+		setBits: bits,
+	}
+	h.derive()
+	return h
+}
+
+// derive expands the RII into the per-stage parameters. Using SplitMix-style
+// expansion keeps successive RIIs (e.g. counter-updated) uncorrelated.
+func (h *Hash) derive() {
+	s := uint64(h.rii)
+	mix := func() uint64 {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	h.k1 = mix() | 1 // multipliers must be odd to be bijective mod 2^64
+	h.k2 = mix() | 1
+	h.xorConst = mix()
+	r := mix()
+	h.r1 = uint(r&63) | 1
+	h.r2 = uint((r>>8)&63) | 1
+}
+
+// RII returns the hash's random index identifier.
+func (h *Hash) RII() RII { return h.rii }
+
+// NumSets returns the number of sets the hash maps into.
+func (h *Hash) NumSets() int { return h.numSets }
+
+// Set maps a line address (i.e. the memory address with the line-offset
+// bits already stripped) to a cache set in [0, numSets).
+func (h *Hash) Set(lineAddr uint64) int {
+	v := lineAddr ^ h.xorConst
+	v *= h.k1
+	v = rotl(v, h.r1)
+	v *= h.k2
+	v = rotl(v, h.r2)
+	v ^= v >> 33
+	// Fold the high bits down so every address bit influences the set.
+	v ^= v >> h.setBitsFold()
+	return int(v & h.setMask)
+}
+
+// setBitsFold chooses the folding shift; any shift >= setBits works, 21 is
+// a convenient constant that keeps the fold independent of the set count
+// for small caches.
+func (h *Hash) setBitsFold() uint {
+	if h.setBits < 21 {
+		return 21
+	}
+	return h.setBits
+}
+
+func rotl(v uint64, r uint) uint64 { return v<<r | v>>(64-r) }
+
+// Modulo is the conventional time-deterministic placement used by the
+// baseline TD cache: the set is simply the low-order bits of the line
+// address. It satisfies the same Placement interface as Hash.
+type Modulo struct {
+	setMask uint64
+	numSets int
+}
+
+// NewModulo returns a modulo placement for numSets sets (power of two).
+func NewModulo(numSets int) *Modulo {
+	if numSets < 1 || numSets&(numSets-1) != 0 {
+		panic("rnghash: numSets must be a positive power of two")
+	}
+	return &Modulo{setMask: uint64(numSets - 1), numSets: numSets}
+}
+
+// Set maps a line address to a set by modulo indexing.
+func (m *Modulo) Set(lineAddr uint64) int { return int(lineAddr & m.setMask) }
+
+// NumSets returns the number of sets.
+func (m *Modulo) NumSets() int { return m.numSets }
+
+// Placement abstracts a set-mapping function so caches can be configured
+// with either random (Hash) or deterministic (Modulo) placement.
+type Placement interface {
+	Set(lineAddr uint64) int
+	NumSets() int
+}
+
+var (
+	_ Placement = (*Hash)(nil)
+	_ Placement = (*Modulo)(nil)
+)

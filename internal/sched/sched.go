@@ -1,0 +1,251 @@
+// Package sched implements the Integrated-Modular-Avionics-style frame
+// scheduling the paper's deployment story assumes (§3.5): execution time
+// is split into fixed-size MInor Frames (MIFs), a MAjor Frame (MAF) is a
+// repeating sequence of MIFs, and every core runs at most one task per
+// MIF. The random index identifier (RII) of the shared LLC can only be
+// updated coordinately across cores, so the OS changes it — and flushes
+// the cache — at MIF boundaries, which "occur coordinately across all
+// cores".
+//
+// The scheduler is the missing OS-level piece that turns per-task pWCET
+// estimates into a system-level argument: a schedule is *feasible* when
+// every task's pWCET at the chosen exceedance probability fits within its
+// MIF slot, and EFL's time-composability means those pWCETs remain valid
+// no matter how tasks are (re)placed across cores and frames — the very
+// flexibility hardware partitioning denies (partition flushes, mapping
+// conflicts; §2.2).
+package sched
+
+import (
+	"fmt"
+	"strings"
+
+	"efl/internal/isa"
+	"efl/internal/sim"
+)
+
+// Task couples a program with its analysis artefacts.
+type Task struct {
+	Name string
+	Prog *isa.Program
+	// PWCET is the task's probabilistic WCET bound in cycles at the
+	// system's exceedance probability (from package mbpta/the efl facade).
+	PWCET float64
+}
+
+// Slot assigns a task to a core within one minor frame; a nil Task leaves
+// the core idle.
+type Slot struct {
+	Core int
+	Task *Task
+}
+
+// MIF is one minor frame: its length in cycles and the per-core slots.
+type MIF struct {
+	Cycles int64
+	Slots  []Slot
+}
+
+// Schedule is a major frame: a repeating sequence of minor frames.
+type Schedule struct {
+	// Cfg is the platform configuration tasks run under (EFL MID etc.).
+	Cfg sim.Config
+	// Frames is the MAF's MIF sequence.
+	Frames []MIF
+}
+
+// Validate checks structural properties: frame lengths are positive, no
+// core is double-booked within a frame, cores are in range.
+func (s *Schedule) Validate() error {
+	if len(s.Frames) == 0 {
+		return fmt.Errorf("sched: empty major frame")
+	}
+	if err := s.Cfg.Validate(); err != nil {
+		return err
+	}
+	for fi, f := range s.Frames {
+		if f.Cycles <= 0 {
+			return fmt.Errorf("sched: MIF %d has non-positive length", fi)
+		}
+		seen := map[int]bool{}
+		for _, slot := range f.Slots {
+			if slot.Core < 0 || slot.Core >= s.Cfg.Cores {
+				return fmt.Errorf("sched: MIF %d assigns core %d (platform has %d)", fi, slot.Core, s.Cfg.Cores)
+			}
+			if seen[slot.Core] {
+				return fmt.Errorf("sched: MIF %d double-books core %d", fi, slot.Core)
+			}
+			seen[slot.Core] = true
+		}
+	}
+	return nil
+}
+
+// FeasibilityReport is the schedulability analysis outcome.
+type FeasibilityReport struct {
+	Feasible bool
+	// PerSlot lists each occupied slot's budget check.
+	PerSlot []SlotCheck
+}
+
+// SlotCheck is one slot's pWCET-versus-frame-length comparison.
+type SlotCheck struct {
+	Frame  int
+	Core   int
+	Task   string
+	PWCET  float64
+	Budget int64
+	Fits   bool
+	Slack  float64 // Budget - PWCET
+}
+
+// CheckFeasibility performs the schedulability test: every task's pWCET
+// must fit its minor frame. Thanks to EFL's time composability the test
+// is per-slot — no combined multi-task analysis is needed (§2.2 explains
+// why that would be intractable and brittle).
+func (s *Schedule) CheckFeasibility() (*FeasibilityReport, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	rep := &FeasibilityReport{Feasible: true}
+	for fi, f := range s.Frames {
+		for _, slot := range f.Slots {
+			if slot.Task == nil {
+				continue
+			}
+			if slot.Task.PWCET <= 0 {
+				return nil, fmt.Errorf("sched: task %q has no pWCET", slot.Task.Name)
+			}
+			check := SlotCheck{
+				Frame:  fi,
+				Core:   slot.Core,
+				Task:   slot.Task.Name,
+				PWCET:  slot.Task.PWCET,
+				Budget: f.Cycles,
+				Fits:   slot.Task.PWCET <= float64(f.Cycles),
+				Slack:  float64(f.Cycles) - slot.Task.PWCET,
+			}
+			if !check.Fits {
+				rep.Feasible = false
+			}
+			rep.PerSlot = append(rep.PerSlot, check)
+		}
+	}
+	return rep, nil
+}
+
+// FrameResult records one executed minor frame.
+type FrameResult struct {
+	Frame int
+	// Cycles per occupied core (task completion time within the frame).
+	TaskCycles map[int]int64
+	// Names per occupied core.
+	TaskNames map[int]string
+	// Overruns lists cores whose task exceeded the frame (should be
+	// probabilistically impossible when the schedule is feasible and the
+	// co-runners are EFL-compliant).
+	Overruns []int
+}
+
+// Run executes one major frame on the platform: for each MIF it assembles
+// the slot tasks, runs them together at deployment (fresh RIIs and
+// flushed caches at the frame boundary — the sim's per-run reset is
+// exactly the MIF-boundary protocol), and checks completion against the
+// frame budget. seed derives each frame's randomness.
+func (s *Schedule) Run(seed uint64) ([]FrameResult, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	var out []FrameResult
+	for fi, f := range s.Frames {
+		progs := make([]*isa.Program, s.Cfg.Cores)
+		names := map[int]string{}
+		for _, slot := range f.Slots {
+			if slot.Task == nil {
+				continue
+			}
+			progs[slot.Core] = slot.Task.Prog
+			names[slot.Core] = slot.Task.Name
+		}
+		fr := FrameResult{Frame: fi, TaskCycles: map[int]int64{}, TaskNames: names}
+		if len(names) > 0 {
+			m, err := sim.New(s.Cfg, progs, seed+uint64(fi)*0x9e37)
+			if err != nil {
+				return nil, err
+			}
+			res, err := m.Run()
+			if err != nil {
+				return nil, fmt.Errorf("sched: MIF %d: %w", fi, err)
+			}
+			for core, cr := range res.PerCore {
+				if !cr.Active {
+					continue
+				}
+				fr.TaskCycles[core] = cr.Cycles
+				if cr.Cycles > f.Cycles {
+					fr.Overruns = append(fr.Overruns, core)
+				}
+			}
+		}
+		out = append(out, fr)
+	}
+	return out, nil
+}
+
+// Render prints a feasibility report.
+func (r *FeasibilityReport) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "schedule feasible: %v\n", r.Feasible)
+	fmt.Fprintf(&sb, "%5s %5s %-10s %12s %12s %12s %s\n",
+		"frame", "core", "task", "pWCET", "budget", "slack", "fits")
+	for _, c := range r.PerSlot {
+		fmt.Fprintf(&sb, "%5d %5d %-10s %12.0f %12d %12.0f %v\n",
+			c.Frame, c.Core, c.Task, c.PWCET, c.Budget, c.Slack, c.Fits)
+	}
+	return sb.String()
+}
+
+// PackGreedy builds a simple feasible schedule for tasks on an N-core
+// platform: tasks are placed first-fit-decreasing by pWCET into minor
+// frames of the given length, opening new frames as needed. It returns an
+// error when a task cannot fit any frame (pWCET > mifCycles). This is the
+// OS-level convenience EFL enables: *any* placement is sound, so a greedy
+// packer suffices where partitioned systems need co-schedulability
+// analysis.
+func PackGreedy(cfg sim.Config, tasks []*Task, mifCycles int64) (*Schedule, error) {
+	for _, t := range tasks {
+		if t.PWCET <= 0 {
+			return nil, fmt.Errorf("sched: task %q has no pWCET", t.Name)
+		}
+		if t.PWCET > float64(mifCycles) {
+			return nil, fmt.Errorf("sched: task %q pWCET %.0f exceeds the MIF length %d",
+				t.Name, t.PWCET, mifCycles)
+		}
+	}
+	// First-fit decreasing.
+	sorted := append([]*Task(nil), tasks...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j].PWCET > sorted[j-1].PWCET; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	s := &Schedule{Cfg: cfg}
+	for _, t := range sorted {
+		placed := false
+		for fi := range s.Frames {
+			if len(s.Frames[fi].Slots) < cfg.Cores {
+				core := len(s.Frames[fi].Slots)
+				s.Frames[fi].Slots = append(s.Frames[fi].Slots, Slot{Core: core, Task: t})
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			s.Frames = append(s.Frames, MIF{
+				Cycles: mifCycles,
+				Slots:  []Slot{{Core: 0, Task: t}},
+			})
+		}
+	}
+	return s, nil
+}

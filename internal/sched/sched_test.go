@@ -1,0 +1,177 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"efl/internal/isa"
+	"efl/internal/sim"
+)
+
+// tinyTask builds a short deterministic task and assigns it an arbitrary
+// pWCET for structural tests.
+func tinyTask(t *testing.T, name string, iters int, pwcet float64) *Task {
+	t.Helper()
+	b := isa.NewBuilder(name)
+	b.Movi(1, 0)
+	b.Movi(2, int64(iters))
+	b.Label("loop")
+	b.Addi(1, 1, 1)
+	b.Blt(1, 2, "loop")
+	b.Halt()
+	return &Task{Name: name, Prog: b.MustProgram(), PWCET: pwcet}
+}
+
+func TestValidate(t *testing.T) {
+	cfg := sim.DefaultConfig().WithEFL(500)
+	a := tinyTask(t, "a", 100, 1000)
+
+	good := &Schedule{Cfg: cfg, Frames: []MIF{{Cycles: 10000, Slots: []Slot{{Core: 0, Task: a}}}}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, s := range map[string]*Schedule{
+		"empty":       {Cfg: cfg},
+		"zero-len":    {Cfg: cfg, Frames: []MIF{{Cycles: 0}}},
+		"bad-core":    {Cfg: cfg, Frames: []MIF{{Cycles: 10, Slots: []Slot{{Core: 9, Task: a}}}}},
+		"double-book": {Cfg: cfg, Frames: []MIF{{Cycles: 10, Slots: []Slot{{Core: 0, Task: a}, {Core: 0, Task: a}}}}},
+	} {
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestFeasibility(t *testing.T) {
+	cfg := sim.DefaultConfig().WithEFL(500)
+	fits := tinyTask(t, "fits", 100, 5000)
+	big := tinyTask(t, "big", 100, 50000)
+	s := &Schedule{Cfg: cfg, Frames: []MIF{{
+		Cycles: 10000,
+		Slots:  []Slot{{Core: 0, Task: fits}, {Core: 1, Task: big}},
+	}}}
+	rep, err := s.CheckFeasibility()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Feasible {
+		t.Fatal("infeasible schedule reported feasible")
+	}
+	if len(rep.PerSlot) != 2 {
+		t.Fatalf("%d slot checks", len(rep.PerSlot))
+	}
+	for _, c := range rep.PerSlot {
+		switch c.Task {
+		case "fits":
+			if !c.Fits || c.Slack != 5000 {
+				t.Fatalf("fits check = %+v", c)
+			}
+		case "big":
+			if c.Fits {
+				t.Fatalf("big check = %+v", c)
+			}
+		}
+	}
+	if !strings.Contains(rep.Render(), "big") {
+		t.Error("render missing task")
+	}
+}
+
+func TestFeasibilityNeedsPWCET(t *testing.T) {
+	cfg := sim.DefaultConfig().WithEFL(500)
+	bad := tinyTask(t, "bad", 100, 0)
+	s := &Schedule{Cfg: cfg, Frames: []MIF{{Cycles: 10000, Slots: []Slot{{Core: 0, Task: bad}}}}}
+	if _, err := s.CheckFeasibility(); err == nil {
+		t.Fatal("missing pWCET accepted")
+	}
+}
+
+func TestRunExecutesFrames(t *testing.T) {
+	cfg := sim.DefaultConfig().WithEFL(500)
+	a := tinyTask(t, "a", 2000, 100000)
+	b := tinyTask(t, "b", 1000, 100000)
+	s := &Schedule{Cfg: cfg, Frames: []MIF{
+		{Cycles: 200000, Slots: []Slot{{Core: 0, Task: a}, {Core: 1, Task: b}}},
+		{Cycles: 200000, Slots: []Slot{{Core: 2, Task: a}}},
+		{Cycles: 200000}, // idle frame
+	}}
+	results, err := s.Run(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("%d frames", len(results))
+	}
+	if len(results[0].TaskCycles) != 2 || results[0].TaskNames[0] != "a" {
+		t.Fatalf("frame 0 = %+v", results[0])
+	}
+	if len(results[0].Overruns) != 0 {
+		t.Fatalf("unexpected overrun: %+v", results[0])
+	}
+	// Task a runs in frames 0 and 1 on different cores — the placement
+	// freedom EFL buys (no partition flushing, no mapping conflicts).
+	if results[1].TaskNames[2] != "a" {
+		t.Fatalf("frame 1 = %+v", results[1])
+	}
+	if len(results[2].TaskCycles) != 0 {
+		t.Fatal("idle frame executed something")
+	}
+}
+
+func TestRunDetectsOverrun(t *testing.T) {
+	cfg := sim.DefaultConfig().WithEFL(500)
+	a := tinyTask(t, "a", 50000, 1000)
+	s := &Schedule{Cfg: cfg, Frames: []MIF{
+		{Cycles: 100, Slots: []Slot{{Core: 0, Task: a}}}, // absurdly short frame
+	}}
+	results, err := s.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results[0].Overruns) != 1 || results[0].Overruns[0] != 0 {
+		t.Fatalf("overrun not detected: %+v", results[0])
+	}
+}
+
+func TestPackGreedy(t *testing.T) {
+	cfg := sim.DefaultConfig().WithEFL(500)
+	var tasks []*Task
+	for i, w := range []float64{9000, 2000, 7000, 4000, 6000, 1000} {
+		tasks = append(tasks, tinyTask(t, string(rune('a'+i)), 100, w))
+	}
+	s, err := PackGreedy(cfg, tasks, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.CheckFeasibility()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Feasible {
+		t.Fatalf("greedy pack infeasible:\n%s", rep.Render())
+	}
+	// 6 tasks over 4 cores per frame: at most 2 frames.
+	if len(s.Frames) > 2 {
+		t.Fatalf("greedy used %d frames for 6 tasks on 4 cores", len(s.Frames))
+	}
+	placed := 0
+	for _, f := range s.Frames {
+		placed += len(f.Slots)
+	}
+	if placed != 6 {
+		t.Fatalf("placed %d of 6 tasks", placed)
+	}
+}
+
+func TestPackGreedyRejectsOversized(t *testing.T) {
+	cfg := sim.DefaultConfig().WithEFL(500)
+	big := tinyTask(t, "big", 100, 20000)
+	if _, err := PackGreedy(cfg, []*Task{big}, 10000); err == nil {
+		t.Fatal("oversized task packed")
+	}
+	noPWCET := tinyTask(t, "n", 100, 0)
+	if _, err := PackGreedy(cfg, []*Task{noPWCET}, 10000); err == nil {
+		t.Fatal("task without pWCET packed")
+	}
+}

@@ -1,0 +1,216 @@
+// Package sim assembles the full multicore platform of the paper (§4.1)
+// and runs programs on it in the two operation modes of Figure 1:
+//
+//   - Analysis: the task under analysis runs alone on one core; with EFL
+//     enabled, the other cores' CRGs inject force-miss evictions into the
+//     shared LLC at the maximum allowed frequency, and the analysed core's
+//     bus and memory accesses are charged the worst-case contention
+//     envelope (lottery against Ncores-1 phantom contenders on the bus,
+//     the memory controller's upper-bound delay per access).
+//
+//   - Deployment: up to Ncores programs run together; bus arbitration,
+//     memory queueing and LLC interference are simulated exactly, and each
+//     core's LLC evictions are rate-limited by its EFL unit.
+//
+// The simulator is a conservative discrete-event engine: per-core timing
+// is advanced instruction by instruction (package cpu), and shared
+// resources are arbitrated at exact cycle granularity by processing events
+// in nondecreasing time order, granting a resource only when no earlier
+// request can still appear. LLC state mutations are applied at lookup
+// time (the line fill is not delayed by the memory latency); this is the
+// usual trace-simulator simplification and shifts interference by at most
+// one memory round-trip.
+package sim
+
+import (
+	"fmt"
+
+	"efl/internal/cache"
+	"efl/internal/efl"
+)
+
+// Config describes the platform. DefaultConfig returns the paper's setup.
+type Config struct {
+	// Cores is the number of cores (the paper evaluates 4).
+	Cores int
+
+	// L1SizeBytes/L1Ways describe each private IL1 and DL1 cache.
+	L1SizeBytes int
+	L1Ways      int
+	// LLCSizeBytes/LLCWays describe the shared last-level cache.
+	LLCSizeBytes int
+	LLCWays      int
+	// LineBytes is the line size used by every cache.
+	LineBytes int
+	// Policy selects time-randomised (paper) or time-deterministic caches
+	// (ablation A3).
+	Policy cache.Policy
+
+	// Latencies (cycles): L1 hits are 1 cycle (implicit in the pipeline).
+	BusSlotCycles int64 // bus access slot (2)
+	LLCHitCycles  int64 // LLC hit latency (10)
+	MemCycles     int64 // memory latency from issue to completion (100)
+	MemSlotCycles int64 // memory controller issue-slot (bandwidth) length (5)
+	BranchPenalty int64 // taken-branch redirect bubble (1)
+
+	// DL1WriteThrough switches the data caches to write-through /
+	// no-write-allocate (paper footnote 5 ablation): every store emits an
+	// LLC write transaction.
+	DL1WriteThrough bool
+	// WTAllocate, with DL1WriteThrough, lets those LLC write misses
+	// allocate (fetching the line from memory and paying the EFL gate) —
+	// the variant footnote 5 warns makes "stalls frequent with EFL".
+	// Without it, LLC write misses are forwarded to memory unallocated.
+	WTAllocate bool
+
+	// MID is the EFL minimum inter-eviction delay; 0 disables EFL.
+	MID int64
+	// EFLFixedMID uses deterministic inter-eviction delays instead of the
+	// paper's U[0, 2*MID] randomisation (ablation A2 only).
+	EFLFixedMID bool
+
+	// PartitionWays, when non-nil, enables hardware way-partitioning (the
+	// CP baseline): core i may only use PartitionWays[i] ways of the LLC.
+	// Cores with 0 ways are invalid. The partitions are disjoint and
+	// assigned in increasing way order.
+	PartitionWays []int
+
+	// Mode selects analysis or deployment operation (Figure 1).
+	Mode efl.Mode
+	// AnalysedCore is the core hosting the task under analysis (analysis
+	// mode only).
+	AnalysedCore int
+
+	// MaxInstrPerCore aborts runaway programs (default 50M).
+	MaxInstrPerCore uint64
+	// MaxCycles aborts runaway simulations (default 2^62).
+	MaxCycles int64
+}
+
+// DefaultConfig returns the paper's experimental platform (§4.1): 4 cores;
+// 4KB 4-way 16B-line IL1/DL1; 64KB 8-way 16B-line shared LLC; 2-cycle bus,
+// 10-cycle LLC hit, 100-cycle memory; time-randomised caches everywhere.
+func DefaultConfig() Config {
+	return Config{
+		Cores:           4,
+		L1SizeBytes:     4 * 1024,
+		L1Ways:          4,
+		LLCSizeBytes:    64 * 1024,
+		LLCWays:         8,
+		LineBytes:       16,
+		Policy:          cache.TimeRandomised,
+		BusSlotCycles:   2,
+		LLCHitCycles:    10,
+		MemCycles:       100,
+		MemSlotCycles:   5,
+		BranchPenalty:   1,
+		Mode:            efl.Deployment,
+		MaxInstrPerCore: 50_000_000,
+		MaxCycles:       1 << 62,
+	}
+}
+
+// WithEFL returns a copy of c with EFL enabled at the given MID and
+// partitioning disabled.
+func (c Config) WithEFL(mid int64) Config {
+	c.MID = mid
+	c.PartitionWays = nil
+	return c
+}
+
+// WithPartition returns a copy of c with hardware way-partitioning (CP)
+// giving each core the respective number of ways, and EFL disabled.
+func (c Config) WithPartition(ways []int) Config {
+	c.PartitionWays = append([]int(nil), ways...)
+	c.MID = 0
+	return c
+}
+
+// WithAnalysis returns a copy of c in analysis mode for the given core.
+func (c Config) WithAnalysis(core int) Config {
+	c.Mode = efl.Analysis
+	c.AnalysedCore = core
+	return c
+}
+
+// Validate reports configuration problems.
+func (c Config) Validate() error {
+	if c.Cores < 1 {
+		return fmt.Errorf("sim: need at least one core")
+	}
+	l1 := cache.Config{Name: "L1", SizeBytes: c.L1SizeBytes, Ways: c.L1Ways,
+		LineBytes: c.LineBytes, Policy: c.Policy}
+	if err := l1.Validate(); err != nil {
+		return err
+	}
+	llc := cache.Config{Name: "LLC", SizeBytes: c.LLCSizeBytes, Ways: c.LLCWays,
+		LineBytes: c.LineBytes, Policy: c.Policy}
+	if err := llc.Validate(); err != nil {
+		return err
+	}
+	if c.BusSlotCycles < 1 || c.LLCHitCycles < 1 || c.MemCycles < 1 || c.MemSlotCycles < 1 {
+		return fmt.Errorf("sim: latencies must be positive")
+	}
+	if c.BranchPenalty < 0 {
+		return fmt.Errorf("sim: negative branch penalty")
+	}
+	if c.MID < 0 {
+		return fmt.Errorf("sim: negative MID")
+	}
+	if c.WTAllocate && !c.DL1WriteThrough {
+		return fmt.Errorf("sim: WTAllocate requires DL1WriteThrough")
+	}
+	if c.MID > 0 && c.PartitionWays != nil {
+		return fmt.Errorf("sim: EFL and way-partitioning are alternative mechanisms; enable one")
+	}
+	if c.PartitionWays != nil {
+		if len(c.PartitionWays) != c.Cores {
+			return fmt.Errorf("sim: PartitionWays has %d entries for %d cores", len(c.PartitionWays), c.Cores)
+		}
+		sum := 0
+		for i, w := range c.PartitionWays {
+			if w < 0 {
+				return fmt.Errorf("sim: core %d assigned %d ways", i, w)
+			}
+			// 0 ways is allowed for cores that run no program (e.g. the
+			// idle co-runner slots of an analysis-mode CP configuration);
+			// New rejects active cores with empty partitions.
+			sum += w
+		}
+		if sum > c.LLCWays {
+			return fmt.Errorf("sim: partition uses %d of %d LLC ways", sum, c.LLCWays)
+		}
+	}
+	if c.Mode == efl.Analysis && (c.AnalysedCore < 0 || c.AnalysedCore >= c.Cores) {
+		return fmt.Errorf("sim: analysed core %d out of range", c.AnalysedCore)
+	}
+	return nil
+}
+
+// l1Config returns the private-cache geometry.
+func (c Config) l1Config(name string) cache.Config {
+	return cache.Config{Name: name, SizeBytes: c.L1SizeBytes, Ways: c.L1Ways,
+		LineBytes: c.LineBytes, Policy: c.Policy}
+}
+
+// llcConfig returns the shared-cache geometry.
+func (c Config) llcConfig() cache.Config {
+	return cache.Config{Name: "LLC", SizeBytes: c.LLCSizeBytes, Ways: c.LLCWays,
+		LineBytes: c.LineBytes, Policy: c.Policy}
+}
+
+// llcMask returns core i's LLC way mask under the configuration. A core
+// with a 0-way partition gets an empty mask; it must stay idle.
+func (c Config) llcMask(core int) cache.WayMask {
+	if c.PartitionWays == nil {
+		return cache.FullMask(c.LLCWays)
+	}
+	if c.PartitionWays[core] == 0 {
+		return 0
+	}
+	lo := 0
+	for i := 0; i < core; i++ {
+		lo += c.PartitionWays[i]
+	}
+	return cache.MaskRange(lo, c.PartitionWays[core])
+}

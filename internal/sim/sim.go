@@ -1,0 +1,512 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"efl/internal/bus"
+	"efl/internal/cache"
+	"efl/internal/cpu"
+	"efl/internal/efl"
+	"efl/internal/isa"
+	"efl/internal/memctrl"
+	"efl/internal/rng"
+	"efl/internal/trace"
+)
+
+// ctlState tracks where a core is in its current shared transaction.
+type ctlState int
+
+const (
+	stReady    ctlState = iota // can execute instructions
+	stWaitBus                  // request queued at the bus arbiter
+	stWaitEval                 // bus granted; LLC lookup completes at wakeAt
+	stWaitEAB                  // evicting miss stalled on the EFL counter
+	stWaitMem                  // blocking read queued at the memory controller
+	stWaitWake                 // resumes unconditionally at wakeAt
+	stDone                     // program finished
+	stIdle                     // no program on this core
+)
+
+// coreCtl is the simulator-side wrapper of one core.
+type coreCtl struct {
+	id    int
+	core  *cpu.Core // nil for idle cores
+	state ctlState
+
+	wakeAt   int64       // stWaitEval / stWaitEAB / stWaitWake
+	req      cpu.Request // transaction being processed
+	issuedAt int64       // when req was issued (stall accounting)
+	evalAt   int64       // when the LLC lookup completed (EAB wait basis)
+
+	llcMask cache.WayMask
+	owner   int
+
+	analysisBusWait int64 // phantom-contender cycles charged (analysis mode)
+}
+
+// CoreResult is the per-core outcome of a run.
+type CoreResult struct {
+	Active bool
+	Cycles int64
+	Instrs uint64
+	IPC    float64
+	IL1    cache.Stats
+	DL1    cache.Stats
+	Pipe   cpu.Stats
+	EFL    efl.Stats
+	// AnalysisBusWait is the total phantom bus contention charged
+	// (analysis mode only).
+	AnalysisBusWait int64
+}
+
+// Result is the outcome of one complete run.
+type Result struct {
+	PerCore     []CoreResult
+	LLC         cache.Stats
+	Bus         bus.Stats
+	Mem         memctrl.Stats
+	TotalCycles int64 // slowest active core
+}
+
+// IPCOf returns core i's instructions per cycle.
+func (r *Result) IPCOf(i int) float64 { return r.PerCore[i].IPC }
+
+// Multicore is the assembled platform. Construct with New, execute runs
+// with Run; each Run starts from a fresh state with new cache RIIs (the
+// per-run randomisation the MBPTA protocol requires).
+type Multicore struct {
+	cfg    Config
+	rnd    rng.Stream
+	llc    *cache.Cache
+	bus    *bus.Bus
+	mc     *memctrl.Controller
+	ac     *efl.AccessControl
+	cores  []*coreCtl
+	progs  []*isa.Program
+	tracer *trace.Buffer
+}
+
+// SetTracer attaches an event buffer; nil detaches. The buffer accumulates
+// across Run calls until the caller resets it, so single-run traces should
+// call buf.Reset() between runs.
+func (m *Multicore) SetTracer(buf *trace.Buffer) { m.tracer = buf }
+
+// emit records a trace event when a tracer is attached.
+func (m *Multicore) emit(cycle int64, core int, kind trace.Kind, addr uint64, arg int64) {
+	if m.tracer != nil {
+		m.tracer.Add(trace.Event{Cycle: cycle, Core: int16(core), Kind: kind, Addr: addr, Arg: arg})
+	}
+}
+
+// New builds a platform running progs (indexed by core; nil entries are
+// idle cores). In analysis mode exactly the AnalysedCore entry must be
+// non-nil. seed determines every random draw of the platform.
+func New(cfg Config, progs []*isa.Program, seed uint64) (*Multicore, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(progs) > cfg.Cores {
+		return nil, fmt.Errorf("sim: %d programs for %d cores", len(progs), cfg.Cores)
+	}
+	if cfg.Mode == efl.Analysis {
+		for i, p := range progs {
+			if (p != nil) != (i == cfg.AnalysedCore) {
+				return nil, fmt.Errorf("sim: analysis mode requires exactly the analysed core (%d) to have a program", cfg.AnalysedCore)
+			}
+		}
+	}
+	m := &Multicore{cfg: cfg, rnd: rng.New(seed)}
+	m.progs = make([]*isa.Program, cfg.Cores)
+	copy(m.progs, progs)
+
+	m.llc = cache.New(cfg.llcConfig(), m.rnd.Fork())
+	m.bus = bus.New(cfg.BusSlotCycles, m.rnd.Fork())
+	m.mc = memctrl.New(cfg.MemCycles, cfg.MemSlotCycles, cfg.Cores)
+	analysed := -1
+	if cfg.Mode == efl.Analysis {
+		analysed = cfg.AnalysedCore
+	}
+	ac, err := efl.NewAccessControl(cfg.Cores, cfg.MID, cfg.Mode, analysed, m.rnd.Fork())
+	if err != nil {
+		return nil, err
+	}
+	ac.SetFixed(cfg.EFLFixedMID)
+	m.ac = ac
+
+	m.cores = make([]*coreCtl, cfg.Cores)
+	for i := range m.cores {
+		ctl := &coreCtl{id: i, state: stIdle, llcMask: cfg.llcMask(i), owner: -1}
+		if cfg.PartitionWays != nil {
+			ctl.owner = i
+		}
+		if m.progs[i] != nil {
+			if cfg.PartitionWays != nil && cfg.PartitionWays[i] == 0 {
+				return nil, fmt.Errorf("sim: core %d runs a program but has a 0-way partition", i)
+			}
+			machine, err := isa.NewMachine(m.progs[i])
+			if err != nil {
+				return nil, err
+			}
+			il1 := cache.New(cfg.l1Config(fmt.Sprintf("IL1-%d", i)), m.rnd.Fork())
+			dl1 := cache.New(cfg.l1Config(fmt.Sprintf("DL1-%d", i)), m.rnd.Fork())
+			ctl.core = cpu.New(i, machine, il1, dl1)
+			ctl.core.BranchPenalty = cfg.BranchPenalty
+			ctl.core.WriteThrough = cfg.DL1WriteThrough
+			ctl.state = stReady
+		}
+		m.cores[i] = ctl
+	}
+	return m, nil
+}
+
+// Config returns the platform configuration.
+func (m *Multicore) Config() Config { return m.cfg }
+
+// reset rewinds everything for a fresh run: machines, pipeline state,
+// caches (new RIIs), bus, memory controller and EFL fabric.
+func (m *Multicore) reset() {
+	m.llc.NewRun()
+	m.llc.ResetStats()
+	m.bus.Reset()
+	m.mc.Reset()
+	m.ac.Reset()
+	for _, ctl := range m.cores {
+		ctl.wakeAt = 0
+		ctl.issuedAt = 0
+		ctl.evalAt = 0
+		ctl.analysisBusWait = 0
+		if ctl.core != nil {
+			ctl.core.Reset()
+			ctl.state = stReady
+		} else {
+			ctl.state = stIdle
+		}
+	}
+}
+
+// analysisCore reports whether ctl hosts the task under analysis.
+func (m *Multicore) analysisCore(ctl *coreCtl) bool {
+	return m.cfg.Mode == efl.Analysis && ctl.id == m.cfg.AnalysedCore
+}
+
+// Run executes one complete run (all programs to completion) and returns
+// per-core and platform statistics.
+func (m *Multicore) Run() (*Result, error) {
+	m.reset()
+	// The bus is held for the arbitration slot only; the LLC itself is
+	// pipelined, so its 10-cycle access latency follows the grant without
+	// blocking other transactions.
+	hold := m.cfg.BusSlotCycles
+
+	const never = int64(math.MaxInt64)
+	for {
+		// Candidate event times.
+		tCore, coreIdx := never, -1
+		tWake, wakeIdx := never, -1
+		for _, ctl := range m.cores {
+			switch ctl.state {
+			case stReady:
+				if ctl.core.Clock < tCore {
+					tCore, coreIdx = ctl.core.Clock, ctl.id
+				}
+			case stWaitEval, stWaitEAB, stWaitWake:
+				if ctl.wakeAt < tWake {
+					tWake, wakeIdx = ctl.wakeAt, ctl.id
+				}
+			}
+		}
+		tCRG, crgIdx := never, -1
+		for i := 0; i < m.ac.NumCores(); i++ {
+			if c := m.ac.CRG(i); c != nil && c.NextFire() < tCRG {
+				tCRG, crgIdx = c.NextFire(), i
+			}
+		}
+		tBus := never
+		if m.bus.HasWaiters() {
+			tBus = m.bus.NextGrantTime()
+		}
+		tMC := never
+		if m.mc.HasWaiters() {
+			tMC = m.mc.NextStartTime()
+		}
+
+		// Done?
+		if tCore == never && tWake == never && tBus == never && tMC == never {
+			allDone := true
+			for _, ctl := range m.cores {
+				if ctl.state != stDone && ctl.state != stIdle {
+					allDone = false
+				}
+			}
+			if allDone {
+				break
+			}
+			return nil, fmt.Errorf("sim: deadlock: no events but cores not done")
+		}
+
+		// Priority at equal times: core execution and wakes create bus/MC
+		// arrivals, so they must run before grants/serves at the same
+		// cycle; CRG evictions apply before LLC lookups at the same cycle
+		// (conservative).
+		min := tCore
+		if tWake < min {
+			min = tWake
+		}
+		if tCRG < min {
+			min = tCRG
+		}
+		if tBus < min {
+			min = tBus
+		}
+		if tMC < min {
+			min = tMC
+		}
+		if min > m.cfg.MaxCycles {
+			return nil, fmt.Errorf("sim: exceeded %d cycles", m.cfg.MaxCycles)
+		}
+
+		switch {
+		case tCore == min:
+			if err := m.stepCore(m.cores[coreIdx]); err != nil {
+				return nil, err
+			}
+		case tCRG == min:
+			m.fireCRG(crgIdx)
+		case tWake == min:
+			m.wake(m.cores[wakeIdx])
+		case tMC == min:
+			req, done := m.mc.Serve()
+			if req.Kind == memctrl.Read {
+				ctl := m.cores[req.Core]
+				ctl.state = stWaitWake
+				ctl.wakeAt = done
+				m.emit(done, req.Core, trace.EvMemRead, 0, done-req.Arrival)
+			} else {
+				m.emit(min, req.Core, trace.EvMemWrite, 0, 0)
+			}
+		default: // tBus
+			win, at := m.bus.Grant(hold)
+			ctl := m.cores[win.Core]
+			ctl.state = stWaitEval
+			ctl.wakeAt = at + m.cfg.BusSlotCycles + m.cfg.LLCHitCycles
+			ctl.evalAt = ctl.wakeAt
+			m.emit(at, win.Core, trace.EvBusGrant, ctl.req.Addr, at-win.Arrival)
+		}
+	}
+
+	return m.collect(), nil
+}
+
+// stepCore advances a ready core by one pipeline step.
+func (m *Multicore) stepCore(ctl *coreCtl) error {
+	switch ctl.core.Step() {
+	case cpu.NeedNone:
+		if ctl.core.Retired() > m.cfg.MaxInstrPerCore {
+			return fmt.Errorf("sim: core %d exceeded %d instructions", ctl.id, m.cfg.MaxInstrPerCore)
+		}
+	case cpu.NeedHalt:
+		if err := ctl.core.Fault(); err != nil {
+			return fmt.Errorf("sim: core %d: %w", ctl.id, err)
+		}
+		ctl.state = stDone
+		m.emit(ctl.core.Clock, ctl.id, trace.EvCoreHalt, 0, int64(ctl.core.Retired()))
+	case cpu.NeedLLC:
+		m.issueRequest(ctl, ctl.core.Clock)
+	}
+	return nil
+}
+
+// issueRequest starts the core's next shared transaction at cycle t.
+func (m *Multicore) issueRequest(ctl *coreCtl, t int64) {
+	ctl.req = ctl.core.PopRequest()
+	ctl.issuedAt = t
+	if m.analysisCore(ctl) {
+		// Worst-case contention envelope: lottery against Ncores-1
+		// always-ready phantom contenders, each holding the bus for one
+		// arbitration slot.
+		wait := bus.AnalysisDelay(m.rnd, m.cfg.Cores-1, m.cfg.BusSlotCycles)
+		ctl.analysisBusWait += wait
+		ctl.state = stWaitEval
+		ctl.wakeAt = t + wait + m.cfg.BusSlotCycles + m.cfg.LLCHitCycles
+		ctl.evalAt = ctl.wakeAt
+		return
+	}
+	m.bus.Request(bus.Request{Core: ctl.id, Arrival: t})
+	ctl.state = stWaitBus
+}
+
+// wake dispatches a timed wake-up.
+func (m *Multicore) wake(ctl *coreCtl) {
+	switch ctl.state {
+	case stWaitEval:
+		m.evalLLC(ctl, ctl.wakeAt)
+	case stWaitEAB:
+		waited := ctl.wakeAt - ctl.evalAt
+		m.performEviction(ctl, ctl.wakeAt, waited)
+	case stWaitWake:
+		m.finishRequest(ctl, ctl.wakeAt)
+	default:
+		panic("sim: wake in unexpected state")
+	}
+}
+
+// evalLLC processes the LLC lookup of ctl.req completing at cycle t.
+// Hits always proceed (EoM hits are stateless, §3.3). Every miss of a
+// time-randomised LLC selects a uniformly random victim regardless of
+// valid bits (the EoM design), so every miss is an eviction event and is
+// subject to the EFL eviction-allowed bit. Only the TD ablation platform
+// fills invalid ways without evicting.
+func (m *Multicore) evalLLC(ctl *coreCtl, t int64) {
+	write := ctl.req.Kind != cpu.ReqFetch
+	pr := m.llc.Probe(ctl.req.Addr, ctl.llcMask)
+	switch {
+	case pr.Hit:
+		m.llc.Access(ctl.req.Addr, write, ctl.llcMask, ctl.owner)
+		m.emit(t, ctl.id, trace.EvLLCHit, ctl.req.Addr, 0)
+		m.finishRequest(ctl, t)
+	case ctl.req.Kind == cpu.ReqWriteThrough && !m.cfg.WTAllocate:
+		// Write-through, no-write-allocate: the LLC is untouched and the
+		// store is forwarded to memory as a posted write.
+		if m.cfg.Mode == efl.Deployment {
+			m.mc.Request(memctrl.Request{Core: ctl.id, Arrival: t, Kind: memctrl.Write})
+		}
+		m.finishRequest(ctl, t)
+	case m.cfg.Policy == cache.TimeDeterministic && pr.FreeWay:
+		// Conventional fill without eviction (ablation platform only).
+		m.llc.Access(ctl.req.Addr, write, ctl.llcMask, ctl.owner)
+		m.afterFill(ctl, t)
+	default:
+		// Evicting miss: subject to the EFL eviction-allowed bit.
+		m.emit(t, ctl.id, trace.EvLLCMiss, ctl.req.Addr, 0)
+		unit := m.ac.Unit(ctl.id)
+		allowed := unit.EvictionAllowedAt(t)
+		if allowed > t {
+			ctl.state = stWaitEAB
+			ctl.wakeAt = allowed
+			ctl.evalAt = t
+			m.emit(t, ctl.id, trace.EvEFLStall, ctl.req.Addr, allowed-t)
+			return
+		}
+		m.performEviction(ctl, t, 0)
+	}
+}
+
+// performEviction executes the gated eviction+fill at cycle t.
+func (m *Multicore) performEviction(ctl *coreCtl, t int64, waited int64) {
+	write := ctl.req.Kind != cpu.ReqFetch
+	res := m.llc.Access(ctl.req.Addr, write, ctl.llcMask, ctl.owner)
+	m.ac.Unit(ctl.id).RecordEviction(t, waited)
+	if res.EvictedDirty && m.cfg.Mode == efl.Deployment {
+		// Posted writeback of the dirty LLC victim: consumes memory
+		// bandwidth, nobody waits. (At analysis time the analysed core's
+		// memory accesses are charged the UBD, which covers any such
+		// bandwidth by construction.)
+		m.mc.Request(memctrl.Request{Core: ctl.id, Arrival: t, Kind: memctrl.Write})
+	}
+	m.afterFill(ctl, t)
+}
+
+// afterFill continues a transaction once the LLC line is allocated:
+// writebacks complete (the line data came from the core), fetches must
+// read the line from memory.
+func (m *Multicore) afterFill(ctl *coreCtl, t int64) {
+	if ctl.req.Kind == cpu.ReqWriteback {
+		m.finishRequest(ctl, t)
+		return
+	}
+	if m.analysisCore(ctl) {
+		ctl.state = stWaitWake
+		ctl.wakeAt = t + m.mc.UpperBoundDelay()
+		return
+	}
+	m.mc.Request(memctrl.Request{Core: ctl.id, Arrival: t, Kind: memctrl.Read})
+	ctl.state = stWaitMem
+}
+
+// finishRequest completes the current transaction at cycle t and either
+// issues the core's next pending transaction or resumes execution.
+func (m *Multicore) finishRequest(ctl *coreCtl, t int64) {
+	if ctl.core.HasPending() {
+		m.issueRequest(ctl, t)
+		return
+	}
+	ctl.core.Resume(t)
+	ctl.state = stReady
+}
+
+// fireCRG performs one artificial eviction of core crgIdx's generator.
+func (m *Multicore) fireCRG(crgIdx int) {
+	c := m.ac.CRG(crgIdx)
+	t := c.NextFire()
+	m.llc.ForceEvict()
+	c.Fire(t)
+	m.emit(t, crgIdx, trace.EvCRGEvict, 0, 0)
+}
+
+// collect gathers the run's results.
+func (m *Multicore) collect() *Result {
+	res := &Result{
+		PerCore: make([]CoreResult, len(m.cores)),
+		LLC:     m.llc.Stats(),
+		Bus:     m.bus.Stats(),
+		Mem:     m.mc.Stats(),
+	}
+	for i, ctl := range m.cores {
+		cr := CoreResult{}
+		if ctl.core != nil {
+			cr.Active = true
+			cr.Cycles = ctl.core.Clock
+			cr.Instrs = ctl.core.Retired()
+			if cr.Cycles > 0 {
+				cr.IPC = float64(cr.Instrs) / float64(cr.Cycles)
+			}
+			cr.IL1 = ctl.core.IL1.Stats()
+			cr.DL1 = ctl.core.DL1.Stats()
+			cr.Pipe = ctl.core.Stats()
+			cr.EFL = m.ac.Unit(i).Stats()
+			cr.AnalysisBusWait = ctl.analysisBusWait
+			if cr.Cycles > res.TotalCycles {
+				res.TotalCycles = cr.Cycles
+			}
+		}
+		res.PerCore[i] = cr
+	}
+	return res
+}
+
+// RunAnalysis is a convenience wrapper: it builds an analysis-mode
+// platform for prog on core 0 under cfg and returns the execution time
+// (cycles) of one run. cfg's Mode/AnalysedCore are overridden.
+func RunAnalysis(cfg Config, prog *isa.Program, seed uint64) (*Result, error) {
+	cfg = cfg.WithAnalysis(0)
+	progs := make([]*isa.Program, cfg.Cores)
+	progs[0] = prog
+	m, err := New(cfg, progs, seed)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run()
+}
+
+// CollectAnalysisTimes performs runs analysis-mode executions of prog with
+// derived seeds and returns the execution times in run order — the input
+// MBPTA needs.
+func CollectAnalysisTimes(cfg Config, prog *isa.Program, runs int, seed uint64) ([]float64, error) {
+	cfg = cfg.WithAnalysis(0)
+	progs := make([]*isa.Program, cfg.Cores)
+	progs[0] = prog
+	m, err := New(cfg, progs, seed)
+	if err != nil {
+		return nil, err
+	}
+	times := make([]float64, runs)
+	for i := 0; i < runs; i++ {
+		r, err := m.Run()
+		if err != nil {
+			return nil, err
+		}
+		times[i] = float64(r.PerCore[0].Cycles)
+	}
+	return times, nil
+}

@@ -1,0 +1,274 @@
+// Package spta implements a small static probabilistic timing analysis —
+// the analytical counterpart of the measurement-based route the paper
+// uses. Where MBPTA fits observed end-to-end times, SPTA derives each
+// access's hit/miss probability from the program's reuse distances under
+// the time-randomised cache model (the per-eviction survival law behind
+// the paper's Equation 1), attaches an execution time profile (ETP) to
+// every access, and bounds the tail of their sum.
+//
+// SPTA appears in the PTA literature the paper builds on (e.g. the
+// PROARTIS line of work); this package exists to cross-validate the
+// simulator: the analytic per-access miss probabilities must match the
+// Monte-Carlo behaviour of internal/cache, and the Chernoff tail bound
+// must upper-bound simulated end-to-end times.
+//
+// Model and scope: single-level time-randomised cache (S sets, W ways,
+// uniform-victim Evict-on-Miss), single task in isolation, a fixed access
+// trace (straight-line or fully unrolled control flow). Interference can
+// be added as an extra per-cycle eviction rate (EFL's bounded co-runner
+// evictions).
+package spta
+
+import (
+	"fmt"
+	"math"
+
+	"efl/internal/isa"
+)
+
+// CacheModel parameterises the analysed cache.
+type CacheModel struct {
+	Sets    int
+	Ways    int
+	HitLat  float64
+	MissLat float64
+}
+
+// Lines returns the cache's line capacity.
+func (c CacheModel) Lines() float64 { return float64(c.Sets * c.Ways) }
+
+// Validate reports parameter problems.
+func (c CacheModel) Validate() error {
+	if c.Sets < 1 || c.Ways < 1 {
+		return fmt.Errorf("spta: non-positive geometry")
+	}
+	if c.MissLat < c.HitLat || c.HitLat < 0 {
+		return fmt.Errorf("spta: latencies must satisfy 0 <= hit <= miss")
+	}
+	return nil
+}
+
+// MissProbabilities performs the forward pass over a line-address trace:
+// the i-th output is the probability that access i misses. The first
+// access to a line always misses (cold). A later access to line L survives
+// each intervening *miss* with probability 1 - 1/(S*W) (uniform-victim
+// EoM: every miss evicts a uniformly random line of the cache), so
+//
+//	P(hit_i) = prod_{j in (last_i, i)} (1 - p_miss_j / (S*W))
+//
+// where last_i is the previous access to the same line. The p_miss_j are
+// taken from the same forward pass (they are already computed when needed),
+// the standard SPTA fixed order.
+//
+// extraEvictionsPerCycle adds an interference term: co-runner evictions at
+// that rate kill the line during the gap of gapCycles(i) cycles. Pass nil
+// gaps for a contention-free analysis.
+//
+// The forward pass is the *balanced* estimate: accurate in moderate-
+// pressure regimes but not guaranteed conservative when accesses are
+// strongly correlated (cyclic thrash). MissProbabilitiesConservative
+// provides the sound upper bound.
+func MissProbabilities(trace []uint64, m CacheModel, extraEvictionsPerCycle float64, gapCycles func(i int) float64) ([]float64, error) {
+	return missProbs(trace, m, extraEvictionsPerCycle, gapCycles, false)
+}
+
+// MissProbabilitiesConservative is the DATE'13-style sound variant: every
+// intervening access is charged as a certain eviction (pressure 1), which
+// upper-bounds each access's miss probability regardless of the true miss
+// probabilities of the interferers — at the price of pessimism for
+// cache-friendly traces.
+func MissProbabilitiesConservative(trace []uint64, m CacheModel, extraEvictionsPerCycle float64, gapCycles func(i int) float64) ([]float64, error) {
+	return missProbs(trace, m, extraEvictionsPerCycle, gapCycles, true)
+}
+
+func missProbs(trace []uint64, m CacheModel, extraEvictionsPerCycle float64, gapCycles func(i int) float64, conservative bool) ([]float64, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if extraEvictionsPerCycle < 0 {
+		return nil, fmt.Errorf("spta: negative interference rate")
+	}
+	lines := m.Lines()
+	probs := make([]float64, len(trace))
+	// survival[line] tracks P(line still cached) since its last access;
+	// we update lazily via a running product over misses.
+	// logSurvivalAll accumulates sum of log(1 - p_j/lines) over ALL
+	// accesses so far; per-line hit probability is exp(current - atLast).
+	logAll := 0.0
+	lastLog := map[uint64]float64{}
+	perMiss := math.Log1p(-1 / lines)
+	for i, line := range trace {
+		atLast, seen := lastLog[line]
+		var pMiss float64
+		if !seen {
+			pMiss = 1 // cold
+		} else {
+			logHit := logAll - atLast
+			if extraEvictionsPerCycle > 0 && gapCycles != nil {
+				logHit += gapCycles(i) * extraEvictionsPerCycle * perMiss
+			}
+			pMiss = 1 - math.Exp(logHit)
+			if pMiss < 0 {
+				pMiss = 0
+			}
+		}
+		probs[i] = pMiss
+		// This access's own miss probability contributes eviction
+		// pressure on everyone else (pressure 1 in conservative mode).
+		if conservative {
+			logAll += perMiss
+		} else {
+			logAll += pMiss * perMiss
+		}
+		lastLog[line] = logAll
+	}
+	return probs, nil
+}
+
+// Result carries the analytic timing distribution summary.
+type Result struct {
+	Accesses   int
+	ColdMisses int
+	// Mean and Var of the total access latency (cycles).
+	Mean float64
+	Var  float64
+	// MissProbs are the per-access miss probabilities.
+	MissProbs []float64
+
+	m CacheModel
+}
+
+// Analyze computes the distribution of the summed access latencies of the
+// trace: each access is an independent two-point ETP (hit/miss) with the
+// forward-pass miss probability. (Independence is the SPTA modelling step;
+// the tests check the resulting bounds against Monte-Carlo simulation.)
+// Set conservative for the sound DATE'13-style pressure model — use it
+// whenever the result feeds a WCET argument.
+func Analyze(trace []uint64, m CacheModel, extraEvictionsPerCycle float64, gapCycles func(i int) float64, conservative bool) (*Result, error) {
+	probs, err := missProbs(trace, m, extraEvictionsPerCycle, gapCycles, conservative)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Accesses: len(trace), MissProbs: probs, m: m}
+	d := m.MissLat - m.HitLat
+	for _, p := range probs {
+		if p == 1 {
+			res.ColdMisses++
+		}
+		res.Mean += m.HitLat + p*d
+		res.Var += p * (1 - p) * d * d
+	}
+	return res, nil
+}
+
+// PWCET returns an analytic execution-time bound exceeded with probability
+// at most prob, via the Chernoff bound over the independent per-access
+// ETPs:
+//
+//	P(X >= t) <= exp(-s t) * prod_i E[exp(s X_i)]
+//
+// minimised over s > 0 by golden-section search. The bound is sound for
+// the modelled distribution (unlike EVT fits, it cannot under-estimate its
+// own model).
+func (r *Result) PWCET(prob float64) float64 {
+	if prob <= 0 || prob >= 1 {
+		panic("spta: probability must be in (0,1)")
+	}
+	d := r.m.MissLat - r.m.HitLat
+	if d == 0 || len(r.MissProbs) == 0 {
+		return r.Mean
+	}
+	base := r.Mean // fixed part: sum of hit latencies is constant
+	_ = base
+	// logMGF(s) = sum_i [s*hit + log(1-p_i+p_i*exp(s*d))]
+	logMGF := func(s float64) float64 {
+		total := 0.0
+		esd := math.Exp(s * d)
+		for _, p := range r.MissProbs {
+			total += s*r.m.HitLat + math.Log(1-p+p*esd)
+		}
+		return total
+	}
+	// For a target t, bound(s) = logMGF(s) - s*t; find t such that the
+	// minimal bound equals log(prob). Outer: binary search on t in
+	// [Mean, Max]; inner: ternary search on s.
+	maxTotal := float64(len(r.MissProbs)) * r.m.MissLat
+	logProb := math.Log(prob)
+	minBound := func(t float64) float64 {
+		lo, hi := 1e-9, 5.0/d // s range; exp(s*d) stays finite
+		for iter := 0; iter < 80; iter++ {
+			m1 := lo + (hi-lo)/3
+			m2 := hi - (hi-lo)/3
+			if logMGF(m1)-m1*t < logMGF(m2)-m2*t {
+				hi = m2
+			} else {
+				lo = m1
+			}
+		}
+		s := (lo + hi) / 2
+		return logMGF(s) - s*t
+	}
+	lo, hi := r.Mean, maxTotal
+	if minBound(hi) > logProb {
+		// Even the absolute maximum doesn't reach the target probability
+		// bound; the trace's worst case is the answer.
+		return maxTotal
+	}
+	for iter := 0; iter < 60; iter++ {
+		mid := (lo + hi) / 2
+		if minBound(mid) > logProb {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+// TraceOptions selects which accesses enter the trace.
+type TraceOptions struct {
+	LineBytes   int  // cache line size (default 16)
+	Instruction bool // include instruction-fetch lines
+	Data        bool // include load/store lines
+	MaxSteps    uint64
+}
+
+// Trace functionally executes prog and extracts its line-address trace in
+// program order — the input SPTA analyses.
+func Trace(prog *isa.Program, opt TraceOptions) ([]uint64, error) {
+	if opt.LineBytes == 0 {
+		opt.LineBytes = 16
+	}
+	if opt.MaxSteps == 0 {
+		opt.MaxSteps = 10_000_000
+	}
+	if !opt.Instruction && !opt.Data {
+		return nil, fmt.Errorf("spta: trace selects no access kinds")
+	}
+	m, err := isa.NewMachine(prog)
+	if err != nil {
+		return nil, err
+	}
+	lb := uint64(opt.LineBytes)
+	var out []uint64
+	for !m.Halted() {
+		si, err := m.Step()
+		if err != nil {
+			return nil, err
+		}
+		if si.Halted {
+			break
+		}
+		if opt.Instruction {
+			out = append(out, si.FetchAddr/lb)
+		}
+		if opt.Data && si.Op.IsMem() {
+			// Tag data lines so they never alias instruction lines.
+			out = append(out, si.MemAddr/lb|1<<62)
+		}
+		if m.Steps > opt.MaxSteps {
+			return nil, fmt.Errorf("spta: trace budget exceeded")
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,273 @@
+package spta
+
+import (
+	"math"
+	"testing"
+
+	"efl/internal/cache"
+	"efl/internal/isa"
+	"efl/internal/rng"
+)
+
+func seqTrace(n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = uint64(i)
+	}
+	return out
+}
+
+func TestMissProbabilitiesColdAndReuse(t *testing.T) {
+	m := CacheModel{Sets: 64, Ways: 8, HitLat: 1, MissLat: 100}
+	// Touch A, then B..E (distinct), then A again.
+	trace := []uint64{10, 1, 2, 3, 4, 10}
+	probs, err := MissProbabilities(trace, m, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if probs[i] != 1 {
+			t.Fatalf("access %d should be cold: %v", i, probs[i])
+		}
+	}
+	// Second A survived 4 certain misses: P(hit) = (1-1/512)^4.
+	wantMiss := 1 - math.Pow(1-1.0/512, 4)
+	if math.Abs(probs[5]-wantMiss) > 1e-12 {
+		t.Fatalf("reuse miss prob = %v, want %v", probs[5], wantMiss)
+	}
+}
+
+func TestMissProbabilitiesChained(t *testing.T) {
+	// Probabilistic intervening accesses contribute their own miss
+	// probability as eviction pressure: <A, B, A, B> — the second B's
+	// pressure includes the second A's (partial) miss probability.
+	m := CacheModel{Sets: 1, Ways: 8, HitLat: 1, MissLat: 100}
+	trace := []uint64{1, 2, 1, 2}
+	probs, err := MissProbabilities(trace, m, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pA2 := 1 - math.Pow(1-1.0/8, 1) // A after one certain miss (B cold)
+	if math.Abs(probs[2]-pA2) > 1e-12 {
+		t.Fatalf("probs[2] = %v, want %v", probs[2], pA2)
+	}
+	pB2 := 1 - math.Exp(pA2*math.Log1p(-1.0/8))
+	if math.Abs(probs[3]-pB2) > 1e-12 {
+		t.Fatalf("probs[3] = %v, want %v", probs[3], pB2)
+	}
+}
+
+// TestMatchesMonteCarlo cross-validates the analytic forward pass against
+// the real cache implementation: average simulated miss counts over many
+// RIIs must match the analytic expectation.
+func TestMatchesMonteCarlo(t *testing.T) {
+	m := CacheModel{Sets: 16, Ways: 4, HitLat: 1, MissLat: 100}
+	// A cyclic working set slightly exceeding capacity, repeated passes —
+	// a thrash-prone pattern where probabilities are non-trivial.
+	var trace []uint64
+	const lines, passes = 80, 6 // 80 > 64 capacity
+	for p := 0; p < passes; p++ {
+		for l := 0; l < lines; l++ {
+			trace = append(trace, uint64(l))
+		}
+	}
+	probs, err := MissProbabilities(trace, m, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var analytic float64
+	for _, p := range probs {
+		analytic += p
+	}
+
+	cfg := cache.Config{Name: "mc", SizeBytes: 16 * 4 * 16, Ways: 4, LineBytes: 16,
+		Policy: cache.TimeRandomised}
+	src := rng.New(5)
+	const trials = 400
+	var simulated float64
+	for trial := 0; trial < trials; trial++ {
+		c := cache.New(cfg, src.Fork())
+		full := cache.FullMask(4)
+		for _, line := range trace {
+			if r := c.Access(line*16, false, full, -1); !r.Hit {
+				simulated++
+			}
+		}
+	}
+	simulated /= trials
+	// The balanced forward pass is approximate under strong cyclic
+	// correlation; it must stay within ~12% of Monte-Carlo here.
+	if math.Abs(simulated-analytic)/analytic > 0.12 {
+		t.Fatalf("analytic misses %v vs simulated %v", analytic, simulated)
+	}
+	// The conservative model must upper-bound the simulated expectation.
+	cons, err := MissProbabilitiesConservative(trace, m, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var consTotal float64
+	for i, p := range cons {
+		consTotal += p
+		if p+1e-12 < probs[i] {
+			t.Fatalf("access %d: conservative prob %v below balanced %v", i, p, probs[i])
+		}
+	}
+	if consTotal < simulated {
+		t.Fatalf("conservative expectation %v below simulated %v", consTotal, simulated)
+	}
+}
+
+func TestAnalyzeMoments(t *testing.T) {
+	m := CacheModel{Sets: 64, Ways: 8, HitLat: 1, MissLat: 101}
+	trace := seqTrace(100) // all cold
+	res, err := Analyze(trace, m, 0, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ColdMisses != 100 {
+		t.Fatalf("cold misses = %d", res.ColdMisses)
+	}
+	if res.Mean != 100*101 {
+		t.Fatalf("mean = %v", res.Mean)
+	}
+	if res.Var != 0 {
+		t.Fatalf("variance of certain misses = %v", res.Var)
+	}
+}
+
+func TestPWCETBoundsMonteCarlo(t *testing.T) {
+	// The Chernoff pWCET at 1e-3 must exceed the 99.9th percentile of
+	// Monte-Carlo totals (soundness of the bound w.r.t. its model), and
+	// be finite/sane.
+	m := CacheModel{Sets: 16, Ways: 4, HitLat: 1, MissLat: 100}
+	var trace []uint64
+	for p := 0; p < 4; p++ {
+		for l := 0; l < 80; l++ {
+			trace = append(trace, uint64(l))
+		}
+	}
+	res, err := Analyze(trace, m, 0, nil, true) // conservative pressure model
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := res.PWCET(1e-3)
+	if bound < res.Mean {
+		t.Fatalf("bound %v below mean %v", bound, res.Mean)
+	}
+	maxTotal := float64(len(trace)) * m.MissLat
+	if bound > maxTotal {
+		t.Fatalf("bound %v beyond the absolute maximum %v", bound, maxTotal)
+	}
+
+	cfg := cache.Config{Name: "mc", SizeBytes: 16 * 4 * 16, Ways: 4, LineBytes: 16,
+		Policy: cache.TimeRandomised}
+	src := rng.New(7)
+	const trials = 2000
+	exceed := 0
+	for trial := 0; trial < trials; trial++ {
+		c := cache.New(cfg, src.Fork())
+		full := cache.FullMask(4)
+		total := 0.0
+		for _, line := range trace {
+			if r := c.Access(line*16, false, full, -1); r.Hit {
+				total += m.HitLat
+			} else {
+				total += m.MissLat
+			}
+		}
+		if total > bound {
+			exceed++
+		}
+	}
+	// At 1e-3 nominal, 2000 trials should essentially never exceed;
+	// allow a couple for model error (access correlations).
+	if exceed > 4 {
+		t.Fatalf("Chernoff bound exceeded %d/%d times", exceed, trials)
+	}
+	// Monotonicity in probability.
+	if res.PWCET(1e-9) < bound {
+		t.Fatal("pWCET not monotone in probability")
+	}
+}
+
+func TestInterferenceRaisesMissProbs(t *testing.T) {
+	m := CacheModel{Sets: 64, Ways: 8, HitLat: 1, MissLat: 100}
+	trace := []uint64{1, 2, 3, 1, 2, 3, 1, 2, 3}
+	gap := func(i int) float64 { return 1000 } // 1000 cycles between touches
+	clean, _ := MissProbabilities(trace, m, 0, nil)
+	// EFL-style bounded interference: 3 co-runners at one eviction per
+	// 250 cycles.
+	noisy, err := MissProbabilities(trace, m, 3.0/250, gap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 3; i < len(trace); i++ {
+		if noisy[i] <= clean[i] {
+			t.Fatalf("access %d: interference did not raise miss prob (%v vs %v)",
+				i, noisy[i], clean[i])
+		}
+	}
+}
+
+func TestTraceExtraction(t *testing.T) {
+	b := isa.NewBuilder("t")
+	b.DataWords(1, 2)
+	b.Movi(1, int64(isa.DataBase))
+	b.Ld(2, 1, 0)
+	b.St(2, 1, 8)
+	b.Halt()
+	prog := b.MustProgram()
+
+	both, err := Trace(prog, TraceOptions{Instruction: true, Data: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 fetches (movi, ld, st, halt is not counted... HALT breaks before
+	// recording) + 2 data accesses.
+	if len(both) != 3+2 {
+		t.Fatalf("trace = %v", both)
+	}
+	dataOnly, err := Trace(prog, TraceOptions{Data: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dataOnly) != 2 {
+		t.Fatalf("data trace = %v", dataOnly)
+	}
+	// Data lines are tagged: both data accesses hit the same 16B line.
+	if dataOnly[0] != dataOnly[1] || dataOnly[0]&(1<<62) == 0 {
+		t.Fatalf("data tagging broken: %v", dataOnly)
+	}
+	if _, err := Trace(prog, TraceOptions{}); err == nil {
+		t.Fatal("empty selection accepted")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := CacheModel{Sets: 0, Ways: 1, HitLat: 1, MissLat: 2}
+	if _, err := MissProbabilities(seqTrace(3), bad, 0, nil); err == nil {
+		t.Fatal("bad geometry accepted")
+	}
+	m := CacheModel{Sets: 4, Ways: 2, HitLat: 5, MissLat: 1}
+	if _, err := MissProbabilities(seqTrace(3), m, 0, nil); err == nil {
+		t.Fatal("miss < hit accepted")
+	}
+	ok := CacheModel{Sets: 4, Ways: 2, HitLat: 1, MissLat: 5}
+	if _, err := MissProbabilities(seqTrace(3), ok, -1, nil); err == nil {
+		t.Fatal("negative interference accepted")
+	}
+}
+
+func BenchmarkMissProbabilities(b *testing.B) {
+	m := CacheModel{Sets: 512, Ways: 8, HitLat: 1, MissLat: 100}
+	var trace []uint64
+	for p := 0; p < 10; p++ {
+		for l := 0; l < 1000; l++ {
+			trace = append(trace, uint64(l))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = MissProbabilities(trace, m, 0, nil)
+	}
+}

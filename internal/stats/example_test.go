@@ -1,0 +1,41 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"efl/internal/stats"
+)
+
+// ExampleWaldWolfowitz applies the paper's independence test to a
+// dependent series (a ramp) and an alternating one — both must be
+// rejected, for opposite reasons (too few runs vs too many).
+func ExampleWaldWolfowitz() {
+	ramp := make([]float64, 100)
+	alt := make([]float64, 100)
+	for i := range ramp {
+		ramp[i] = float64(i)
+		alt[i] = float64(i % 2)
+	}
+	r1, _ := stats.WaldWolfowitz(ramp)
+	r2, _ := stats.WaldWolfowitz(alt)
+	fmt.Printf("ramp: runs=%d rejected=%v (clustered)\n", r1.Runs, r1.Rejected)
+	fmt.Printf("alternation: runs=%d rejected=%v (anti-clustered)\n", r2.Runs, r2.Rejected)
+	// Output:
+	// ramp: runs=2 rejected=true (clustered)
+	// alternation: runs=100 rejected=true (anti-clustered)
+}
+
+// ExampleKolmogorovSmirnov2 compares two halves of a drifting sample —
+// the identical-distribution check MBPTA applies to execution times.
+func ExampleKolmogorovSmirnov2() {
+	a := make([]float64, 100)
+	b := make([]float64, 100)
+	for i := range a {
+		a[i] = float64(i % 10)
+		b[i] = float64(i%10) + 5 // shifted distribution
+	}
+	r, _ := stats.KolmogorovSmirnov2(a, b)
+	fmt.Printf("D=%.2f rejected=%v\n", r.D, r.Rejected)
+	// Output:
+	// D=0.60 rejected=true
+}

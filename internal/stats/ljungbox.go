@@ -1,0 +1,140 @@
+package stats
+
+import "math"
+
+// LjungBoxResult holds the outcome of a Ljung-Box portmanteau test for
+// autocorrelation — a second, complementary independence check next to
+// the Wald-Wolfowitz runs test: WW detects level clustering around the
+// median, Ljung-Box detects linear autocorrelation at multiple lags.
+type LjungBoxResult struct {
+	Q        float64   // the Ljung-Box statistic
+	Lags     int       // number of lags aggregated
+	PValue   float64   // chi-square tail probability with Lags dof
+	AutoCorr []float64 // sample autocorrelations r_1..r_Lags
+	Rejected bool      // independence rejected at alpha = 0.05
+}
+
+// LjungBox computes the Ljung-Box statistic over the first `lags` sample
+// autocorrelations of xs (in observation order):
+//
+//	Q = n(n+2) * sum_{k=1..m} r_k^2 / (n-k)
+//
+// Under independence Q is asymptotically chi-square with m degrees of
+// freedom. lags <= 0 selects the common default min(10, n/5).
+func LjungBox(xs []float64, lags int) (LjungBoxResult, error) {
+	n := len(xs)
+	if n < 20 {
+		return LjungBoxResult{}, ErrTooFewSamples
+	}
+	if lags <= 0 {
+		lags = 10
+		if n/5 < lags {
+			lags = n / 5
+		}
+	}
+	if lags >= n {
+		lags = n - 1
+	}
+	mean := Mean(xs)
+	var c0 float64
+	for _, x := range xs {
+		d := x - mean
+		c0 += d * d
+	}
+	if c0 == 0 {
+		// Constant series: autocorrelation undefined; treat as dependent
+		// (a constant sample carries no randomness to analyse).
+		return LjungBoxResult{Q: math.Inf(1), Lags: lags, PValue: 0, Rejected: true}, nil
+	}
+	res := LjungBoxResult{Lags: lags, AutoCorr: make([]float64, lags)}
+	fn := float64(n)
+	for k := 1; k <= lags; k++ {
+		var ck float64
+		for i := 0; i+k < n; i++ {
+			ck += (xs[i] - mean) * (xs[i+k] - mean)
+		}
+		r := ck / c0
+		res.AutoCorr[k-1] = r
+		res.Q += r * r / (fn - float64(k))
+	}
+	res.Q *= fn * (fn + 2)
+	res.PValue = chiSquareSF(res.Q, float64(lags))
+	res.Rejected = res.PValue <= 0.05
+	return res, nil
+}
+
+// chiSquareSF returns P(X > x) for a chi-square distribution with k
+// degrees of freedom, via the regularised upper incomplete gamma function
+// Q(k/2, x/2).
+func chiSquareSF(x, k float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return upperGammaRegularized(k/2, x/2)
+}
+
+// upperGammaRegularized computes Q(a, x) = Γ(a,x)/Γ(a) using the series
+// for x < a+1 and the continued fraction otherwise (Numerical Recipes
+// gammp/gammq).
+func upperGammaRegularized(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 1
+	}
+	if x < a+1 {
+		return 1 - lowerGammaSeries(a, x)
+	}
+	return upperGammaCF(a, x)
+}
+
+// lowerGammaSeries computes P(a, x) by its power series.
+func lowerGammaSeries(a, x float64) float64 {
+	const maxIter = 500
+	const eps = 1e-14
+	ap := a
+	sum := 1.0 / a
+	del := sum
+	for i := 0; i < maxIter; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*eps {
+			break
+		}
+	}
+	lg, _ := math.Lgamma(a)
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// upperGammaCF computes Q(a, x) by the Lentz continued fraction.
+func upperGammaCF(a, x float64) float64 {
+	const maxIter = 500
+	const eps = 1e-14
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= maxIter; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	lg, _ := math.Lgamma(a)
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}

@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"efl/internal/rng"
+)
+
+func TestLjungBoxAcceptsIID(t *testing.T) {
+	src := rng.New(31)
+	rejected := 0
+	const trials = 120
+	for trial := 0; trial < trials; trial++ {
+		xs := make([]float64, 300)
+		for i := range xs {
+			xs[i] = src.Float64()
+		}
+		r, err := LjungBox(xs, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Rejected {
+			rejected++
+		}
+	}
+	// Nominal alpha = 5%; allow up to ~10%.
+	if rejected > trials/10 {
+		t.Fatalf("Ljung-Box rejected %d/%d i.i.d. samples", rejected, trials)
+	}
+}
+
+func TestLjungBoxDetectsAR1(t *testing.T) {
+	// Strongly autocorrelated AR(1) series must be rejected.
+	src := rng.New(32)
+	xs := make([]float64, 400)
+	prev := 0.0
+	for i := range xs {
+		prev = 0.8*prev + src.Float64()
+		xs[i] = prev
+	}
+	r, err := LjungBox(xs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Rejected {
+		t.Fatalf("AR(1) not rejected: %+v", r)
+	}
+	if r.AutoCorr[0] < 0.5 {
+		t.Fatalf("lag-1 autocorrelation %v, want large", r.AutoCorr[0])
+	}
+}
+
+func TestLjungBoxDetectsAlternation(t *testing.T) {
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = float64(i % 2)
+	}
+	r, err := LjungBox(xs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Rejected || r.AutoCorr[0] > -0.5 {
+		t.Fatalf("alternation not detected: %+v", r)
+	}
+}
+
+func TestLjungBoxEdgeCases(t *testing.T) {
+	if _, err := LjungBox(make([]float64, 5), 0); err == nil {
+		t.Fatal("tiny sample accepted")
+	}
+	same := make([]float64, 50)
+	r, err := LjungBox(same, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Rejected {
+		t.Fatal("constant series must be flagged")
+	}
+	// Explicit lag selection.
+	src := rng.New(33)
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = src.Float64()
+	}
+	r, err = LjungBox(xs, 5)
+	if err != nil || r.Lags != 5 || len(r.AutoCorr) != 5 {
+		t.Fatalf("lag selection broken: %+v, %v", r, err)
+	}
+}
+
+func TestChiSquareSF(t *testing.T) {
+	// Reference values: P(X > x) for chi-square.
+	cases := []struct {
+		x, k, want float64
+	}{
+		{0, 10, 1},
+		{10, 10, 0.4405},   // median-ish
+		{18.307, 10, 0.05}, // 95th percentile of chi2(10)
+		{23.209, 10, 0.01}, // 99th
+		{3.841, 1, 0.05},   // 95th of chi2(1)
+		{31.410, 20, 0.05}, // 95th of chi2(20)
+	}
+	for _, c := range cases {
+		got := chiSquareSF(c.x, c.k)
+		if math.Abs(got-c.want) > 0.002 {
+			t.Errorf("chiSquareSF(%v, %v) = %v, want %v", c.x, c.k, got, c.want)
+		}
+	}
+}
+
+func TestGammaFunctions(t *testing.T) {
+	// Q(a, 0) = 1; Q(a, inf) -> 0; Q(1, x) = exp(-x).
+	if got := upperGammaRegularized(3, 0); got != 1 {
+		t.Fatalf("Q(3,0) = %v", got)
+	}
+	for _, x := range []float64{0.5, 1, 2, 5, 10} {
+		got := upperGammaRegularized(1, x)
+		want := math.Exp(-x)
+		if math.Abs(got-want) > 1e-10 {
+			t.Errorf("Q(1,%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func BenchmarkLjungBox(b *testing.B) {
+	src := rng.New(1)
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = src.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = LjungBox(xs, 0)
+	}
+}

@@ -1,0 +1,338 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"efl/internal/rng"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); !almost(m, 5, 1e-12) {
+		t.Errorf("Mean = %v", m)
+	}
+	// Sample variance with n-1: sum sq dev = 32, /7.
+	if v := Variance(xs); !almost(v, 32.0/7, 1e-12) {
+		t.Errorf("Variance = %v", v)
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("empty/singleton edge cases broken")
+	}
+}
+
+func TestMinMaxMedian(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6}
+	if Min(xs) != 1 || Max(xs) != 9 {
+		t.Fatal("Min/Max broken")
+	}
+	if m := Median(xs); !almost(m, 3.5, 1e-12) {
+		t.Errorf("Median = %v", m)
+	}
+	if m := Median([]float64{1, 2, 3}); m != 2 {
+		t.Errorf("odd Median = %v", m)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.75, 4}, {0.1, 1.4},
+	}
+	for _, tc := range cases {
+		if got := Quantile(xs, tc.q); !almost(got, tc.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if Quantile([]float64{7}, 0.3) != 7 {
+		t.Error("singleton quantile broken")
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Quantile(nil, 0.5) },
+		func() { Quantile([]float64{1}, -0.1) },
+		func() { Quantile([]float64{1}, 1.1) },
+		func() { Min(nil) },
+		func() { Max(nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestECDF(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 2, 3})
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.75}, {3, 1}, {4, 1},
+	}
+	for _, tc := range cases {
+		if got := e.At(tc.x); !almost(got, tc.want, 1e-12) {
+			t.Errorf("ECDF(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+	if got := e.CCDFAt(2); !almost(got, 0.25, 1e-12) {
+		t.Errorf("CCDF(2) = %v", got)
+	}
+	if e.Len() != 4 {
+		t.Errorf("Len = %d", e.Len())
+	}
+}
+
+func TestECDFMonotone(t *testing.T) {
+	src := rng.New(1)
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = src.Float64() * 100
+	}
+	e := NewECDF(xs)
+	err := quick.Check(func(a, b float64) bool {
+		x, y := math.Mod(math.Abs(a), 100), math.Mod(math.Abs(b), 100)
+		if x > y {
+			x, y = y, x
+		}
+		return e.At(x) <= e.At(y)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaldWolfowitzIndependent(t *testing.T) {
+	// i.i.d. samples must pass (|Z| < 1.96) the vast majority of the time.
+	src := rng.New(2)
+	rejected := 0
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		xs := make([]float64, 300)
+		for i := range xs {
+			xs[i] = src.Float64()
+		}
+		r, err := WaldWolfowitz(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Rejected {
+			rejected++
+		}
+	}
+	// Nominal alpha = 5%; allow up to ~10%.
+	if rejected > trials/10 {
+		t.Fatalf("WW rejected %d/%d i.i.d. samples", rejected, trials)
+	}
+}
+
+func TestWaldWolfowitzDetectsTrend(t *testing.T) {
+	// A strongly trending series has far fewer runs than expected.
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	r, err := WaldWolfowitz(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Rejected {
+		t.Fatalf("WW failed to reject a monotone trend: %+v", r)
+	}
+}
+
+func TestWaldWolfowitzDetectsAlternation(t *testing.T) {
+	// Perfect alternation has the maximum number of runs: also dependent.
+	xs := make([]float64, 200)
+	for i := range xs {
+		if i%2 == 0 {
+			xs[i] = 0
+		} else {
+			xs[i] = 1
+		}
+	}
+	r, err := WaldWolfowitz(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Rejected || r.Z < 0 {
+		t.Fatalf("WW failed on alternation: %+v", r)
+	}
+}
+
+func TestWaldWolfowitzTooFew(t *testing.T) {
+	if _, err := WaldWolfowitz([]float64{1, 2, 3}); err == nil {
+		t.Fatal("expected ErrTooFewSamples")
+	}
+	// All samples equal to the median: everything discarded.
+	same := make([]float64, 50)
+	if _, err := WaldWolfowitz(same); err == nil {
+		t.Fatal("expected error for constant sample")
+	}
+}
+
+func TestKS2SameDistribution(t *testing.T) {
+	src := rng.New(3)
+	rejected := 0
+	const trials = 100
+	for trial := 0; trial < trials; trial++ {
+		a := make([]float64, 200)
+		b := make([]float64, 200)
+		for i := range a {
+			a[i] = src.Float64()
+			b[i] = src.Float64()
+		}
+		r, err := KolmogorovSmirnov2(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Rejected {
+			rejected++
+		}
+	}
+	if rejected > trials/8 {
+		t.Fatalf("KS2 rejected %d/%d identically distributed pairs", rejected, trials)
+	}
+}
+
+func TestKS2DifferentDistributions(t *testing.T) {
+	src := rng.New(4)
+	a := make([]float64, 400)
+	b := make([]float64, 400)
+	for i := range a {
+		a[i] = src.Float64()       // U[0,1)
+		b[i] = src.Float64() + 0.4 // shifted
+	}
+	r, err := KolmogorovSmirnov2(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Rejected {
+		t.Fatalf("KS2 failed to reject shifted distributions: %+v", r)
+	}
+}
+
+func TestKS1AgainstTrueCDF(t *testing.T) {
+	src := rng.New(5)
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = src.Float64()
+	}
+	uniformCDF := func(x float64) float64 {
+		switch {
+		case x < 0:
+			return 0
+		case x > 1:
+			return 1
+		default:
+			return x
+		}
+	}
+	r, err := KolmogorovSmirnov1(xs, uniformCDF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rejected {
+		t.Fatalf("KS1 rejected uniform samples against the uniform CDF: %+v", r)
+	}
+	// And against a wrong CDF it must reject.
+	wrongCDF := func(x float64) float64 { return uniformCDF(x * x) }
+	r, err = KolmogorovSmirnov1(xs, wrongCDF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Rejected {
+		t.Fatalf("KS1 accepted a wrong CDF: %+v", r)
+	}
+}
+
+func TestKSTooFew(t *testing.T) {
+	if _, err := KolmogorovSmirnov2([]float64{1}, []float64{1, 2, 3, 4, 5}); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := KolmogorovSmirnov1([]float64{1, 2}, func(float64) float64 { return 0.5 }); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestKSPValueMonotone(t *testing.T) {
+	// Larger D (for same n) must give smaller p.
+	a := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	slightly := []float64{1.1, 2.1, 3.1, 4.1, 5.1, 6.1, 7.1, 8.1, 9.1, 10.1}
+	way := []float64{101, 102, 103, 104, 105, 106, 107, 108, 109, 110}
+	r1, _ := KolmogorovSmirnov2(a, slightly)
+	r2, _ := KolmogorovSmirnov2(a, way)
+	if r2.PValue >= r1.PValue {
+		t.Fatalf("p-values not monotone in separation: %v vs %v", r1.PValue, r2.PValue)
+	}
+}
+
+func TestChiSquareUniform(t *testing.T) {
+	stat, dof := ChiSquareUniform([]int{10, 10, 10, 10})
+	if stat != 0 || dof != 3 {
+		t.Fatalf("uniform counts: stat=%v dof=%d", stat, dof)
+	}
+	stat, _ = ChiSquareUniform([]int{40, 0, 0, 0})
+	if stat <= 0 {
+		t.Fatal("skewed counts gave non-positive stat")
+	}
+	if _, dof := ChiSquareUniform(nil); dof != 0 {
+		t.Fatal("empty counts must have dof 0")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	s := Summarize(xs)
+	if s.N != 10 || s.Min != 1 || s.Max != 10 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if !almost(s.Median, 5.5, 1e-12) || !almost(s.Mean, 5.5, 1e-12) {
+		t.Fatalf("Summary = %+v", s)
+	}
+}
+
+func TestQuantileMatchesSortedExtremes(t *testing.T) {
+	src := rng.New(6)
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = src.Float64()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if Quantile(xs, 0) != s[0] || Quantile(xs, 1) != s[len(s)-1] {
+		t.Fatal("extreme quantiles disagree with sorted sample")
+	}
+}
+
+func BenchmarkWaldWolfowitz(b *testing.B) {
+	src := rng.New(1)
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = src.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = WaldWolfowitz(xs)
+	}
+}
+
+func BenchmarkKS2(b *testing.B) {
+	src := rng.New(1)
+	xs := make([]float64, 500)
+	ys := make([]float64, 500)
+	for i := range xs {
+		xs[i], ys[i] = src.Float64(), src.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = KolmogorovSmirnov2(xs, ys)
+	}
+}

@@ -1,0 +1,170 @@
+// Package trace provides event tracing for the platform simulator: the
+// shared-resource interactions (bus grants, LLC hits/misses, EFL gate
+// stalls, CRG evictions, memory transactions) are recorded with exact
+// cycle timestamps into a bounded buffer and can be rendered as a text
+// timeline or exported in the Chrome trace-event JSON format
+// (chrome://tracing, Perfetto) for visual inspection.
+//
+// Tracing exists for the same reason hardware people attach logic
+// analysers: when a pWCET looks wrong, the question is always *where the
+// cycles went* — and the answer is a timeline, not an aggregate counter.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind classifies an event.
+type Kind uint8
+
+// Event kinds emitted by the simulator.
+const (
+	EvBusGrant Kind = iota // core won bus arbitration; Arg = wait cycles
+	EvLLCHit               // LLC lookup hit; Addr = line byte address
+	EvLLCMiss              // LLC lookup missed (eviction follows)
+	EvEFLStall             // miss stalled on the eviction-allowed bit; Arg = stall cycles
+	EvCRGEvict             // a CRG injected an artificial eviction
+	EvMemRead              // memory read issued; Arg = completion cycle
+	EvMemWrite             // posted memory write issued
+	EvCoreHalt             // core finished; Arg = retired instructions
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"bus-grant", "llc-hit", "llc-miss", "efl-stall", "crg-evict",
+	"mem-read", "mem-write", "core-halt",
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one timeline record.
+type Event struct {
+	Cycle int64
+	Core  int16 // -1 for platform-level events
+	Kind  Kind
+	Addr  uint64
+	Arg   int64
+}
+
+// String renders one event.
+func (e Event) String() string {
+	return fmt.Sprintf("@%d core%d %s addr=%#x arg=%d", e.Cycle, e.Core, e.Kind, e.Addr, e.Arg)
+}
+
+// Buffer is a bounded event sink. When full it drops further events and
+// counts them — tracing must never change simulation behaviour or grow
+// without bound on long runs.
+type Buffer struct {
+	events  []Event
+	max     int
+	dropped uint64
+	// Filter, when non-zero, keeps only the kinds whose bit is set
+	// (bit i = Kind(i)).
+	Filter uint32
+}
+
+// NewBuffer creates a sink holding at most capacity events.
+func NewBuffer(capacity int) *Buffer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Buffer{events: make([]Event, 0, capacity), max: capacity}
+}
+
+// Keep restricts the buffer to the given kinds (replacing any previous
+// filter) and returns the buffer for chaining.
+func (b *Buffer) Keep(kinds ...Kind) *Buffer {
+	b.Filter = 0
+	for _, k := range kinds {
+		b.Filter |= 1 << uint(k)
+	}
+	return b
+}
+
+// Add records an event (dropping it when the buffer is full or filtered).
+func (b *Buffer) Add(e Event) {
+	if b.Filter != 0 && b.Filter&(1<<uint(e.Kind)) == 0 {
+		return
+	}
+	if len(b.events) >= b.max {
+		b.dropped++
+		return
+	}
+	b.events = append(b.events, e)
+}
+
+// Events returns the recorded events in insertion order. The caller must
+// not modify the returned slice.
+func (b *Buffer) Events() []Event { return b.events }
+
+// Dropped returns how many events were discarded after the buffer filled.
+func (b *Buffer) Dropped() uint64 { return b.dropped }
+
+// Reset clears the buffer for a new run.
+func (b *Buffer) Reset() {
+	b.events = b.events[:0]
+	b.dropped = 0
+}
+
+// Stats summarises the buffer per (core, kind).
+func (b *Buffer) Stats() map[int16]map[Kind]int {
+	out := map[int16]map[Kind]int{}
+	for _, e := range b.events {
+		m := out[e.Core]
+		if m == nil {
+			m = map[Kind]int{}
+			out[e.Core] = m
+		}
+		m[e.Kind]++
+	}
+	return out
+}
+
+// Render prints the events with cycles in [from, to) as a text timeline,
+// one line per event, sorted by cycle (stable on insertion order).
+func (b *Buffer) Render(from, to int64) string {
+	evs := append([]Event(nil), b.events...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Cycle < evs[j].Cycle })
+	var sb strings.Builder
+	n := 0
+	for _, e := range evs {
+		if e.Cycle < from || e.Cycle >= to {
+			continue
+		}
+		sb.WriteString(e.String())
+		sb.WriteByte('\n')
+		n++
+	}
+	fmt.Fprintf(&sb, "(%d events in [%d, %d)", n, from, to)
+	if b.dropped > 0 {
+		fmt.Fprintf(&sb, ", %d dropped after the buffer filled", b.dropped)
+	}
+	sb.WriteString(")\n")
+	return sb.String()
+}
+
+// ChromeJSON exports the buffer in the Chrome trace-event format: instant
+// events on one row per core, with the kind as the name. Cycles map to
+// microseconds 1:1 (the viewer's unit).
+func (b *Buffer) ChromeJSON() []byte {
+	var sb strings.Builder
+	sb.WriteString("[")
+	for i, e := range b.events {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		fmt.Fprintf(&sb,
+			`{"name":%q,"ph":"i","ts":%d,"pid":1,"tid":%d,"s":"t","args":{"addr":"%#x","arg":%d}}`,
+			e.Kind.String(), e.Cycle, e.Core+1, e.Addr, e.Arg)
+	}
+	sb.WriteString("]")
+	return []byte(sb.String())
+}

@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestBufferBasics(t *testing.T) {
+	b := NewBuffer(4)
+	for i := 0; i < 6; i++ {
+		b.Add(Event{Cycle: int64(i), Core: 0, Kind: EvLLCHit})
+	}
+	if len(b.Events()) != 4 {
+		t.Fatalf("%d events kept", len(b.Events()))
+	}
+	if b.Dropped() != 2 {
+		t.Fatalf("dropped = %d", b.Dropped())
+	}
+	b.Reset()
+	if len(b.Events()) != 0 || b.Dropped() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	b := NewBuffer(100).Keep(EvEFLStall, EvCRGEvict)
+	b.Add(Event{Kind: EvLLCHit})
+	b.Add(Event{Kind: EvEFLStall, Arg: 42})
+	b.Add(Event{Kind: EvCRGEvict})
+	if len(b.Events()) != 2 {
+		t.Fatalf("filter kept %d events", len(b.Events()))
+	}
+	for _, e := range b.Events() {
+		if e.Kind == EvLLCHit {
+			t.Fatal("filtered kind recorded")
+		}
+	}
+}
+
+func TestRenderWindow(t *testing.T) {
+	b := NewBuffer(100)
+	b.Add(Event{Cycle: 10, Core: 1, Kind: EvBusGrant, Arg: 2})
+	b.Add(Event{Cycle: 30, Core: 2, Kind: EvLLCMiss, Addr: 0x40})
+	b.Add(Event{Cycle: 50, Core: 0, Kind: EvMemRead, Arg: 150})
+	out := b.Render(0, 40)
+	if !strings.Contains(out, "bus-grant") || !strings.Contains(out, "llc-miss") {
+		t.Fatalf("render missing events:\n%s", out)
+	}
+	if strings.Contains(out, "mem-read") {
+		t.Fatalf("render included out-of-window event:\n%s", out)
+	}
+	if !strings.Contains(out, "2 events in [0, 40)") {
+		t.Fatalf("footer wrong:\n%s", out)
+	}
+}
+
+func TestStats(t *testing.T) {
+	b := NewBuffer(100)
+	b.Add(Event{Core: 0, Kind: EvLLCHit})
+	b.Add(Event{Core: 0, Kind: EvLLCHit})
+	b.Add(Event{Core: 1, Kind: EvCRGEvict})
+	st := b.Stats()
+	if st[0][EvLLCHit] != 2 || st[1][EvCRGEvict] != 1 {
+		t.Fatalf("stats = %v", st)
+	}
+}
+
+func TestChromeJSONIsValid(t *testing.T) {
+	b := NewBuffer(10)
+	b.Add(Event{Cycle: 5, Core: 2, Kind: EvEFLStall, Addr: 0x1234, Arg: 99})
+	b.Add(Event{Cycle: 9, Core: -1, Kind: EvCRGEvict})
+	var parsed []map[string]any
+	if err := json.Unmarshal(b.ChromeJSON(), &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.ChromeJSON())
+	}
+	if len(parsed) != 2 {
+		t.Fatalf("%d records", len(parsed))
+	}
+	if parsed[0]["name"] != "efl-stall" || parsed[0]["ts"] != float64(5) {
+		t.Fatalf("record = %v", parsed[0])
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if k.String() == "" || strings.Contains(k.String(), "kind(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	if !strings.Contains(Kind(99).String(), "99") {
+		t.Fatal("unknown kind String broken")
+	}
+}

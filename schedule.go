@@ -1,0 +1,32 @@
+package efl
+
+import (
+	"efl/internal/sched"
+	"efl/internal/sim"
+)
+
+// This file exposes the IMA-style frame scheduling layer (paper §3.5): the
+// OS splits time into minor frames, updates the shared LLC's random index
+// identifier coordinately at frame boundaries, and — because EFL's pWCETs
+// are time-composable — admits tasks with a simple per-slot budget check.
+
+// ScheduledTask couples a program with its pWCET bound for admission.
+type ScheduledTask = sched.Task
+
+// Schedule is a major frame: a repeating sequence of minor frames with
+// per-core task slots.
+type Schedule = sched.Schedule
+
+// FeasibilityReport is the outcome of a schedulability check.
+type FeasibilityReport = sched.FeasibilityReport
+
+// FrameResult records one executed minor frame.
+type FrameResult = sched.FrameResult
+
+// PackSchedule builds a feasible schedule for tasks on the platform
+// described by cfg: first-fit decreasing by pWCET into minor frames of
+// mifCycles, opening frames as needed. Any placement is sound under EFL
+// (time composability), so no co-schedulability analysis is involved.
+func PackSchedule(cfg Config, tasks []*ScheduledTask, mifCycles int64) (*Schedule, error) {
+	return sched.PackGreedy(sim.Config(cfg), tasks, mifCycles)
+}

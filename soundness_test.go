@@ -1,0 +1,68 @@
+package efl
+
+// The capstone test: the paper's central claim (§3.4) is that a pWCET
+// estimated at analysis time — with CRGs evicting at the maximum allowed
+// frequency — is trustworthy *regardless of the particular co-runner
+// tasks*, as long as their eviction frequency respects the same MID,
+// which the EFL hardware enforces at deployment. This test measures each
+// benchmark's analysis-time pWCET and then attacks it with the most
+// adversarial EFL-compliant co-runner mix in the suite (three copies of
+// the streaming MA kernel, which saturate their eviction budgets), across
+// many deployment runs. No observation may exceed the bound.
+
+import (
+	"testing"
+)
+
+func TestPWCETTrustworthyUnderAdversarialCoRunners(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long soundness campaign")
+	}
+	const mid = 500
+	cfg := DefaultConfig().WithEFL(mid)
+
+	bully, err := Benchmark("MA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bullyProg := bully.Build()
+
+	for _, code := range []string{"CN", "II", "A2"} {
+		code := code
+		t.Run(code, func(t *testing.T) {
+			spec, err := Benchmark(code)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog := spec.Build()
+
+			est, err := EstimatePWCET(cfg, prog, AnalysisOptions{
+				Runs: 200, Seed: 0xb0b0 + uint64(code[0]), SkipIIDCheck: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			bound := est.PWCET(1e-15)
+
+			results, err := MeasureDeployment(cfg,
+				[]*Program{prog, bullyProg, bullyProg, bullyProg},
+				15, 0xcafe+uint64(code[0]))
+			if err != nil {
+				t.Fatal(err)
+			}
+			worst := 0.0
+			for _, r := range results {
+				if c := float64(r.PerCore[0].Cycles); c > worst {
+					worst = c
+				}
+			}
+			if worst > bound {
+				t.Fatalf("%s: deployment run (%.0f cycles) exceeded the pWCET bound (%.0f) — "+
+					"the analysis-time CRG envelope failed to cover EFL-compliant co-runners",
+					code, worst, bound)
+			}
+			t.Logf("%s: pWCET=%.0f, worst adversarial deployment=%.0f (margin %.2fx)",
+				code, bound, worst, bound/worst)
+		})
+	}
+}

@@ -1,0 +1,55 @@
+package efl
+
+import (
+	"efl/internal/bench"
+	"efl/internal/mbpta"
+	"efl/internal/spta"
+)
+
+// This file exposes the analysis extensions that complement the paper's
+// MBPTA route: the static analysis (SPTA) cross-check and the
+// peaks-over-threshold EVT alternative.
+
+// StaticCacheModel parameterises StaticPWCET's cache (see internal/spta).
+type StaticCacheModel = spta.CacheModel
+
+// StaticResult is the outcome of a static probabilistic timing analysis.
+type StaticResult = spta.Result
+
+// StaticTraceOptions selects which accesses enter the static analysis.
+type StaticTraceOptions = spta.TraceOptions
+
+// StaticPWCET runs the static (analytical) route end to end: extract
+// prog's access trace, derive per-access miss probabilities from reuse
+// distances under the uniform-victim EoM model — optionally with EFL-style
+// bounded co-runner interference at evictionsPerCycle, using meanGapCycles
+// as the per-access re-reference spacing — and return the analytic
+// distribution whose PWCET method gives Chernoff tail bounds. Set
+// conservative (recommended for WCET arguments) for the sound DATE'13
+// pressure model.
+func StaticPWCET(prog *Program, model StaticCacheModel, opt StaticTraceOptions,
+	evictionsPerCycle, meanGapCycles float64, conservative bool) (*StaticResult, error) {
+	trace, err := spta.Trace(prog, opt)
+	if err != nil {
+		return nil, err
+	}
+	var gaps func(int) float64
+	if evictionsPerCycle > 0 {
+		gaps = func(int) float64 { return meanGapCycles }
+	}
+	return spta.Analyze(trace, model, evictionsPerCycle, gaps, conservative)
+}
+
+// CrossCheckEVT compares the two measurement-based EVT routes — block
+// maxima (Gumbel) and peaks-over-threshold (GPD) — on the same execution
+// times at the given exceedance probability, returning both estimates and
+// their relative disagreement. MBPTA practice treats a small disagreement
+// as evidence the tail extrapolation is stable.
+func CrossCheckEVT(times []float64, prob float64) (blockMaxima, pot, disagreement float64, err error) {
+	return mbpta.CrossCheck(times, prob)
+}
+
+// ExtendedBenchmarks returns the six Autobench kernels beyond the paper's
+// evaluated set (the programs the paper's framework could not run); they
+// use the same Spec/Build API as Benchmarks.
+func ExtendedBenchmarks() []BenchmarkSpec { return bench.Extended() }

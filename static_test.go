@@ -1,0 +1,76 @@
+package efl
+
+import "testing"
+
+func TestStaticPWCETEndToEnd(t *testing.T) {
+	spec, err := Benchmark("CA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := spec.Build()
+	// Model the shared LLC (512 sets x 8 ways) fed by the data accesses.
+	model := StaticCacheModel{Sets: 512, Ways: 8, HitLat: 12, MissLat: 132}
+	res, err := StaticPWCET(prog, model, StaticTraceOptions{Data: true},
+		0, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accesses == 0 || res.ColdMisses == 0 {
+		t.Fatalf("static result = %+v", res)
+	}
+	p := res.PWCET(1e-15)
+	if p < res.Mean {
+		t.Fatalf("static pWCET %v below mean %v", p, res.Mean)
+	}
+	// Interference must push the bound up.
+	noisy, err := StaticPWCET(prog, model, StaticTraceOptions{Data: true},
+		3.0/250, 500, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noisy.Mean <= res.Mean {
+		t.Fatalf("interference did not raise the static mean (%v vs %v)", noisy.Mean, res.Mean)
+	}
+}
+
+func TestCrossCheckEVT(t *testing.T) {
+	spec, _ := Benchmark("CN")
+	// The i.i.d. gate is tested elsewhere; this test is about the EVT
+	// routes, so skip the gate to stay robust to alpha-level trips.
+	est, err := EstimatePWCET(DefaultConfig().WithEFL(500), spec.Build(),
+		AnalysisOptions{Runs: 200, Seed: 9, SkipIIDCheck: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, pot, dis, err := CrossCheckEVT(est.Times, 1e-15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bm <= 0 || pot <= 0 || dis < 0 {
+		t.Fatalf("cross-check: bm=%v pot=%v dis=%v", bm, pot, dis)
+	}
+	// Both routes extrapolate the same sample; they should land within a
+	// factor of ~2 of each other at 1e-15 for a healthy sample.
+	if dis > 0.5 {
+		t.Fatalf("EVT routes disagree by %.0f%%: bm=%v pot=%v", 100*dis, bm, pot)
+	}
+}
+
+func TestExtendedBenchmarksExposed(t *testing.T) {
+	ext := ExtendedBenchmarks()
+	if len(ext) != 6 {
+		t.Fatalf("%d extended benchmarks", len(ext))
+	}
+	// They must run on the public platform like any other program.
+	p, err := NewPlatform(DefaultConfig().WithEFL(500), []*Program{ext[2].Build()}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerCore[0].Instrs == 0 {
+		t.Fatal("extended benchmark did not execute")
+	}
+}
