@@ -1,0 +1,24 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: build test verify bench profile
+
+build:
+	go build ./...
+
+test:
+	go test -count=1 ./...
+
+# Full verification gate: vet + build + tests + race detector on the
+# simulation hot-path packages. SHORT=1 skips the long experiments suite.
+verify:
+	./scripts/verify.sh
+
+# Regenerate the performance regression report (BENCH_SIM.json).
+bench:
+	go run ./cmd/experiments -exp bench
+
+# Capture CPU/heap profiles of an analysis campaign (see README,
+# "Profiling the simulator").
+profile:
+	go run ./cmd/experiments -exp iid -runs 100 -cpuprofile cpu.prof -memprofile mem.prof
+	@echo "inspect with: go tool pprof -top cpu.prof"

@@ -12,16 +12,22 @@
 //	experiments -exp wt                    # ablation A4 (DL1 write policy, footnote 5)
 //	experiments -exp midsweep              # E6 extension: pWCET vs MID curve
 //	experiments -exp convergence           # E7 extension: MBPTA convergence study
+//	experiments -exp bench                 # performance regression suite
 //	experiments -exp all                   # everything, paper order
 //
 // Add -csv to also emit machine-readable output where available, -seed to
-// change the master seed, and -v for per-campaign progress.
+// change the master seed, and -v for per-campaign progress. The bench
+// suite writes its JSON report to the -benchout path (BENCH_SIM.json by
+// default). -cpuprofile/-memprofile write pprof profiles of whatever
+// experiment ran, for the profiling workflow documented in the README.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"efl/internal/experiments"
@@ -38,8 +44,40 @@ func main() {
 		mid       = flag.Int64("mid", 500, "MID for the iid/fixedmid experiments")
 		csv       = flag.Bool("csv", false, "also print CSV output where available")
 		verbose   = flag.Bool("v", false, "per-campaign progress on stderr")
+		benchout  = flag.String("benchout", "BENCH_SIM.json", "output path of the -exp bench JSON report")
+		benchkern = flag.String("benchkernel", "CA", "kernel code the bench suite simulates")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memprof   = flag.String("memprofile", "", "write a heap profile to this path on exit")
 	)
 	flag.Parse()
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprof != "" {
+		defer func() {
+			f, err := os.Create(*memprof)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: -memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	opt := experiments.Options{
 		Seed:       *seed,
@@ -173,8 +211,28 @@ func main() {
 			return nil
 		})
 	}
+	// The bench suite only runs when asked for explicitly ("all" regenerates
+	// the paper artefacts; a perf report is not one of them).
+	if *exp == "bench" {
+		run("bench", func() error {
+			report, err := experiments.BenchSuite(opt, *benchkern, *mid)
+			if err != nil {
+				return err
+			}
+			fmt.Println(report.Render())
+			data, err := report.JSON()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*benchout, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "[bench report written to %s]\n", *benchout)
+			return nil
+		})
+	}
 	switch *exp {
-	case "setup", "iid", "fig3", "fig4", "eq1", "fixedmid", "wt", "lru", "midsweep", "convergence", "all":
+	case "setup", "iid", "fig3", "fig4", "eq1", "fixedmid", "wt", "lru", "midsweep", "convergence", "bench", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "experiments: unknown -exp %q\n", *exp)
 		flag.Usage()

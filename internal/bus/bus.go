@@ -104,20 +104,29 @@ func (b *Bus) NextGrantTime() int64 {
 // still be injected (the conservative DES condition).
 func (b *Bus) Grant(holdCycles int64) (Request, int64) {
 	t := b.NextGrantTime()
-	eligible := b.wait[:0:0]
-	for _, r := range b.wait {
-		if r.Arrival <= t {
-			eligible = append(eligible, r)
-		}
-	}
-	win := eligible[b.rnd.Intn(len(eligible))]
-	// Remove the winner (first matching entry).
+	// Lottery without materialising the eligible set: count the eligible
+	// requests, draw k, and take the k-th eligible in queue order. The
+	// draw (one Intn over the eligible count) and the winner are exactly
+	// the ones the build-a-slice version produced, with no allocation.
+	eligible := 0
 	for i := range b.wait {
-		if b.wait[i] == win {
-			b.wait = append(b.wait[:i], b.wait[i+1:]...)
-			break
+		if b.wait[i].Arrival <= t {
+			eligible++
 		}
 	}
+	k := b.rnd.Intn(eligible)
+	winIdx := -1
+	for i := range b.wait {
+		if b.wait[i].Arrival <= t {
+			if k == 0 {
+				winIdx = i
+				break
+			}
+			k--
+		}
+	}
+	win := b.wait[winIdx]
+	b.wait = append(b.wait[:winIdx], b.wait[winIdx+1:]...)
 	b.freeAt = t + holdCycles
 	b.stats.Transactions++
 	b.stats.WaitCycles += t - win.Arrival

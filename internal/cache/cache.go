@@ -27,6 +27,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"efl/internal/rng"
 	"efl/internal/rnghash"
@@ -77,13 +78,7 @@ func MaskRange(lo, n int) WayMask {
 }
 
 // Count returns the number of enabled ways.
-func (m WayMask) Count() int {
-	n := 0
-	for v := uint32(m); v != 0; v &= v - 1 {
-		n++
-	}
-	return n
-}
+func (m WayMask) Count() int { return bits.OnesCount32(uint32(m)) }
 
 // Config describes a cache's geometry and policy.
 type Config struct {
@@ -157,20 +152,61 @@ type AccessResult struct {
 
 // Cache is a single set-associative cache instance. It is not safe for
 // concurrent use; the simulator serialises accesses by construction.
+//
+// Placement state is inlined rather than held behind the rnghash.Placement
+// interface: the set computation runs on every access of every simulated
+// instruction, and a direct call on a concrete *Hash (or a masked index for
+// the TD policy) is measurably cheaper than an interface dispatch.
 type Cache struct {
 	cfg       Config
-	placement rnghash.Placement
+	hash      rnghash.Hash // TR placement, re-parameterised in place per run
+	modulo    bool         // TD placement: set = lineAddr & idxMask
+	idxMask   uint64       // Sets()-1
+	lineShift uint         // log2(LineBytes), precomputed in New
+	eom       bool         // Policy == TimeRandomised (EoM replacement)
+	allMask   WayMask      // FullMask(Ways)
 	rnd       rng.Stream
 	sets      [][]line
+	lines     []line     // flat backing array of sets, for O(1) flushes
 	lruAge    [][]uint32 // LRU timestamps, only maintained for TD policy
 	lruClock  uint32
 	synthTag  uint64 // counter for CRG artificial line tags
 	stats     Stats
+
+	// Last-hit memo: the line address, flat line index, way and set of the
+	// most recently touched resident line. Spatial locality makes the next
+	// access very often land on the same line (instruction fetch especially:
+	// several sequential fetches per line), and the memo answers those hits
+	// without the placement hash or the tag scan. Every mutation that could
+	// displace the memoed line invalidates the memo; a memo hit is therefore
+	// exactly equivalent to the full lookup (same set, same way, no
+	// duplicate tags by invariant).
+	memoLine uint64
+	memoIdx  int32
+	memoWay  int32
+	memoSet  int32
+
+	// validCount/dirtyCount track resident and dirty lines so Flush is O(1)
+	// instead of a full-array scan per run. CheckInvariants cross-checks
+	// them against the actual line states.
+	validCount int
+	dirtyCount int
+
+	// victim way tables for partitioned masks: waysFor(mask)[k] is the
+	// k-th enabled way, so an EoM victim draw is one Intn plus one index
+	// instead of a popcount and a scan. Keyed linearly — a cache sees at
+	// most a handful of distinct masks (one per partition).
+	vtabMask []WayMask
+	vtabWays [][]uint8
 }
 
 // synthTagBase marks CRG artificial line addresses; demand addresses in the
 // simulated 32-bit physical space never reach this range.
 const synthTagBase = uint64(1) << 62
+
+// memoNone invalidates the last-hit memo: no demand line address (at most
+// ~2^59 after the per-core address base) ever equals it.
+const memoNone = ^uint64(0)
 
 // New creates a cache. rnd drives victim selection (and, for the TR policy,
 // successive RIIs via NewRun). The cache starts empty with, for TR, a
@@ -179,12 +215,16 @@ func New(cfg Config, rnd rng.Stream) *Cache {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	c := &Cache{cfg: cfg, rnd: rnd}
+	c := &Cache{cfg: cfg, rnd: rnd, allMask: FullMask(cfg.Ways), memoLine: memoNone}
 	nsets := cfg.Sets()
+	c.idxMask = uint64(nsets - 1)
+	for 1<<c.lineShift < cfg.LineBytes {
+		c.lineShift++
+	}
 	c.sets = make([][]line, nsets)
-	backing := make([]line, nsets*cfg.Ways)
+	c.lines = make([]line, nsets*cfg.Ways)
 	for i := range c.sets {
-		c.sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
+		c.sets[i] = c.lines[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
 		for w := range c.sets[i] {
 			c.sets[i][w].owner = -1
 		}
@@ -195,11 +235,34 @@ func New(cfg Config, rnd rng.Stream) *Cache {
 		for i := range c.lruAge {
 			c.lruAge[i] = ages[i*cfg.Ways : (i+1)*cfg.Ways]
 		}
-		c.placement = rnghash.NewModulo(nsets)
+		c.modulo = true
 	} else {
-		c.placement = rnghash.New(nsets, rnghash.NewRII(rnd))
+		c.eom = true
+		c.hash = *rnghash.New(nsets, rnghash.NewRII(rnd))
 	}
 	return c
+}
+
+// setIndex maps a line address to its set: a masked index for the TD
+// policy, the parametric hash for the TR policy. Both are direct calls.
+func (c *Cache) setIndex(la uint64) int {
+	if c.modulo {
+		return int(la & c.idxMask)
+	}
+	return c.hash.Set(la)
+}
+
+// setMemo records the resident line (la, set si, way wi) as the last hit.
+func (c *Cache) setMemo(la uint64, si, wi int) {
+	c.memoLine = la
+	c.memoSet = int32(si)
+	c.memoWay = int32(wi)
+	c.memoIdx = int32(si*c.cfg.Ways + wi)
+}
+
+// memoHit reports whether the memo answers a lookup of la within mask.
+func (c *Cache) memoHit(la uint64, mask WayMask) bool {
+	return la == c.memoLine && mask&(1<<uint(c.memoWay)) != 0
 }
 
 // Config returns the cache's configuration.
@@ -212,13 +275,7 @@ func (c *Cache) Stats() Stats { return c.stats }
 func (c *Cache) ResetStats() { c.stats = Stats{} }
 
 // LineAddr converts a byte address into a line address.
-func (c *Cache) LineAddr(addr uint64) uint64 {
-	shift := uint(0)
-	for 1<<shift < c.cfg.LineBytes {
-		shift++
-	}
-	return addr >> shift
-}
+func (c *Cache) LineAddr(addr uint64) uint64 { return addr >> c.lineShift }
 
 // NewRun prepares the cache for a fresh program run: contents are flushed
 // (the paper's consistency requirement when the RII changes) and, for the
@@ -227,24 +284,21 @@ func (c *Cache) LineAddr(addr uint64) uint64 {
 func (c *Cache) NewRun() int {
 	wb := c.Flush()
 	if c.cfg.Policy == TimeRandomised {
-		c.placement = rnghash.New(c.cfg.Sets(), rnghash.NewRII(c.rnd))
+		c.hash.Reseed(rnghash.NewRII(c.rnd))
 	}
 	return wb
 }
 
 // Flush invalidates every line, returning the count of dirty lines
-// (writebacks the flush would generate).
+// (writebacks the flush would generate). The dirty count comes from the
+// maintained counter and the array is zeroed wholesale (memclr), so the
+// per-run flush no longer scans every line twice.
 func (c *Cache) Flush() int {
-	dirty := 0
-	for si := range c.sets {
-		for wi := range c.sets[si] {
-			l := &c.sets[si][wi]
-			if l.valid && l.dirty {
-				dirty++
-			}
-			l.valid, l.dirty, l.owner = false, false, -1
-		}
-	}
+	dirty := c.dirtyCount
+	clear(c.lines)
+	c.validCount = 0
+	c.dirtyCount = 0
+	c.memoLine = memoNone
 	c.stats.Flushes++
 	c.stats.Writebacks += uint64(dirty)
 	return dirty
@@ -255,7 +309,7 @@ func (c *Cache) Flush() int {
 // not a hardware access).
 func (c *Cache) Contains(addr uint64) bool {
 	la := c.LineAddr(addr)
-	set := c.sets[c.placement.Set(la)]
+	set := c.sets[c.setIndex(la)]
 	for i := range set {
 		if set[i].valid && set[i].tag == la {
 			return true
@@ -275,23 +329,113 @@ type ProbeResult struct {
 // that can fill an invalid way performs no eviction and therefore is not
 // gated by the eviction-allowed bit.
 func (c *Cache) Probe(addr uint64, mask WayMask) ProbeResult {
+	lk := c.Lookup(addr, mask)
+	return ProbeResult{Hit: lk.Hit, FreeWay: lk.FreeWay}
+}
+
+// Lookup is the fused probe: one placement hash and one tag scan produce
+// everything both the hit path and the miss path of an LLC transaction
+// need. It changes no state and records no statistics; complete it with
+// CommitHit (hits) or Fill (misses). The set index and line address carried
+// in the Lookup stay valid across an EFL eviction-allowed stall (the RII
+// cannot change mid-run), so the fill does not hash or scan again.
+type Lookup struct {
+	Hit     bool // the line is resident within the masked ways
+	FreeWay bool // a fill could use an invalid masked way (no eviction)
+	way     int32
+	set     int32
+	line    uint64
+}
+
+// Lookup performs the fused non-mutating lookup of addr within mask.
+// FreeWay is only meaningful when Hit is false (the miss path is the only
+// consumer); a memo-answered hit does not compute it.
+func (c *Cache) Lookup(addr uint64, mask WayMask) Lookup {
 	if mask == 0 {
-		panic("cache: probe with empty way mask")
+		panic("cache: lookup with empty way mask")
 	}
 	la := c.LineAddr(addr)
-	set := c.sets[c.placement.Set(la)]
-	var res ProbeResult
+	if c.memoHit(la, mask) {
+		return Lookup{Hit: true, way: c.memoWay, set: c.memoSet, line: la}
+	}
+	si := c.setIndex(la)
+	set := c.sets[si]
+	lk := Lookup{way: -1, set: int32(si), line: la}
 	for wi := range set {
 		if mask&(1<<uint(wi)) == 0 {
 			continue
 		}
 		if !set[wi].valid {
-			res.FreeWay = true
+			lk.FreeWay = true
 			continue
 		}
 		if set[wi].tag == la {
-			res.Hit = true
+			lk.Hit = true
+			lk.way = int32(wi)
 		}
+	}
+	if lk.Hit {
+		c.setMemo(la, si, int(lk.way))
+	}
+	return lk
+}
+
+// CommitHit completes a hitting Lookup as a demand access: statistics are
+// recorded, a write dirties the line, and LRU recency is maintained on the
+// TD policy. EoM replacement is stateless on hits (§3.3).
+func (c *Cache) CommitHit(lk Lookup, write bool) {
+	if !lk.Hit {
+		panic("cache: CommitHit on a missing lookup")
+	}
+	c.stats.Accesses++
+	c.stats.Hits++
+	if write {
+		l := &c.sets[lk.set][lk.way]
+		if !l.dirty {
+			l.dirty = true
+			c.dirtyCount++
+		}
+	}
+	if c.modulo {
+		c.touchLRU(int(lk.set), int(lk.way))
+	}
+}
+
+// Fill completes a missing Lookup as a demand allocation (write-allocate):
+// statistics are recorded, a victim is selected within mask at fill time
+// (set contents may have changed during an EFL stall — CRG force-misses
+// can occupy ways — so valid bits are re-read here, exactly as a re-scan
+// would) and the line is installed. The PRNG draw is the same single
+// victim draw Access performs.
+func (c *Cache) Fill(lk Lookup, write bool, mask WayMask, owner int) AccessResult {
+	c.stats.Accesses++
+	c.stats.Misses++
+	si := int(lk.set)
+	victim := c.pickVictim(si, mask)
+	res := AccessResult{}
+	v := &c.sets[si][victim]
+	if v.valid {
+		res.Evicted = true
+		res.EvictedAddr = v.tag
+		res.EvictedDirty = v.dirty
+		c.stats.Evictions++
+		if v.dirty {
+			c.stats.Writebacks++
+			c.dirtyCount--
+		}
+	} else {
+		c.validCount++
+	}
+	v.tag = lk.line
+	v.valid = true
+	v.dirty = write
+	v.owner = int8(owner)
+	if write {
+		c.dirtyCount++
+	}
+	c.setMemo(lk.line, si, victim)
+	if c.modulo {
+		c.touchLRU(si, victim)
 	}
 	return res
 }
@@ -305,7 +449,27 @@ func (c *Cache) Access(addr uint64, write bool, mask WayMask, owner int) AccessR
 		panic("cache: access with empty way mask")
 	}
 	la := c.LineAddr(addr)
-	si := c.placement.Set(la)
+
+	// Same-line fast path: the memoed line answers the access without the
+	// placement hash or the tag scan. Identical outcome to the scan below
+	// (same stats, same dirty transition, same LRU touch, no PRNG draw).
+	if c.memoHit(la, mask) {
+		c.stats.Accesses++
+		c.stats.Hits++
+		if write {
+			l := &c.lines[c.memoIdx]
+			if !l.dirty {
+				l.dirty = true
+				c.dirtyCount++
+			}
+		}
+		if c.modulo {
+			c.touchLRU(int(c.memoSet), int(c.memoWay))
+		}
+		return AccessResult{Hit: true}
+	}
+
+	si := c.setIndex(la)
 	set := c.sets[si]
 	c.stats.Accesses++
 
@@ -316,12 +480,14 @@ func (c *Cache) Access(addr uint64, write bool, mask WayMask, owner int) AccessR
 		}
 		if set[wi].valid && set[wi].tag == la {
 			c.stats.Hits++
-			if write {
+			if write && !set[wi].dirty {
 				set[wi].dirty = true
+				c.dirtyCount++
 			}
+			c.setMemo(la, si, wi)
 			// EoM random replacement is stateless on hits (§3.3); only
 			// LRU updates its recency stack.
-			if c.cfg.Policy == TimeDeterministic {
+			if c.modulo {
 				c.touchLRU(si, wi)
 			}
 			return AccessResult{Hit: true}
@@ -340,13 +506,20 @@ func (c *Cache) Access(addr uint64, write bool, mask WayMask, owner int) AccessR
 		c.stats.Evictions++
 		if v.dirty {
 			c.stats.Writebacks++
+			c.dirtyCount--
 		}
+	} else {
+		c.validCount++
 	}
 	v.tag = la
 	v.valid = true
 	v.dirty = write
 	v.owner = int8(owner)
-	if c.cfg.Policy == TimeDeterministic {
+	if write {
+		c.dirtyCount++
+	}
+	c.setMemo(la, si, victim)
+	if c.modulo {
 		c.touchLRU(si, victim)
 	}
 	return res
@@ -364,8 +537,8 @@ func (c *Cache) Access(addr uint64, write bool, mask WayMask, owner int) AccessR
 // Time-deterministic (LRU): conventional — an invalid way if any,
 // otherwise the least recently used masked way.
 func (c *Cache) pickVictim(si int, mask WayMask) int {
-	set := c.sets[si]
-	if c.cfg.Policy == TimeDeterministic {
+	if c.modulo {
+		set := c.sets[si]
 		for wi := range set {
 			if mask&(1<<uint(wi)) != 0 && !set[wi].valid {
 				return wi
@@ -382,19 +555,35 @@ func (c *Cache) pickVictim(si int, mask WayMask) int {
 		}
 		return best
 	}
-	// EoM: uniformly random victim among the masked ways.
-	n := mask.Count()
-	k := c.rnd.Intn(n)
-	for wi := 0; wi < c.cfg.Ways; wi++ {
-		if mask&(1<<uint(wi)) == 0 {
-			continue
-		}
-		if k == 0 {
-			return wi
-		}
-		k--
+	// EoM: uniformly random victim among the masked ways. The unpartitioned
+	// mask — the common case — needs no table: way k is enabled way k, so
+	// the draw Intn(Count(mask)) *is* the victim. Partitioned masks go
+	// through a precomputed enabled-way table; either path performs exactly
+	// the one Intn draw (same n, same stream position, same victim) the
+	// popcount-and-scan version did.
+	if mask == c.allMask {
+		return c.rnd.Intn(c.cfg.Ways)
 	}
-	panic("cache: victim selection fell through")
+	ways := c.waysFor(mask)
+	return int(ways[c.rnd.Intn(len(ways))])
+}
+
+// waysFor returns (building on first use) the enabled-way table of mask.
+func (c *Cache) waysFor(mask WayMask) []uint8 {
+	for i, m := range c.vtabMask {
+		if m == mask {
+			return c.vtabWays[i]
+		}
+	}
+	ways := make([]uint8, 0, mask.Count())
+	for wi := 0; wi < c.cfg.Ways; wi++ {
+		if mask&(1<<uint(wi)) != 0 {
+			ways = append(ways, uint8(wi))
+		}
+	}
+	c.vtabMask = append(c.vtabMask, mask)
+	c.vtabWays = append(c.vtabWays, ways)
+	return ways
 }
 
 // touchLRU marks way wi of set si most recently used.
@@ -414,7 +603,15 @@ func (c *Cache) AccessNoAlloc(addr uint64, mask WayMask, owner int) (hit bool) {
 		panic("cache: access with empty way mask")
 	}
 	la := c.LineAddr(addr)
-	si := c.placement.Set(la)
+	if c.memoHit(la, mask) {
+		c.stats.Accesses++
+		c.stats.Hits++
+		if c.modulo {
+			c.touchLRU(int(c.memoSet), int(c.memoWay))
+		}
+		return true
+	}
+	si := c.setIndex(la)
 	set := c.sets[si]
 	c.stats.Accesses++
 	for wi := range set {
@@ -423,7 +620,8 @@ func (c *Cache) AccessNoAlloc(addr uint64, mask WayMask, owner int) (hit bool) {
 		}
 		if set[wi].valid && set[wi].tag == la {
 			c.stats.Hits++
-			if c.cfg.Policy == TimeDeterministic {
+			c.setMemo(la, si, wi)
+			if c.modulo {
 				c.touchLRU(si, wi)
 			}
 			return true
@@ -451,7 +649,13 @@ func (c *Cache) ForceEvict() AccessResult {
 		res.EvictedDirty = v.dirty
 		if v.dirty {
 			c.stats.Writebacks++
+			c.dirtyCount--
 		}
+	} else {
+		c.validCount++
+	}
+	if int32(si*c.cfg.Ways+wi) == c.memoIdx {
+		c.memoLine = memoNone
 	}
 	// The artificial line stays resident (the way is occupied in hardware)
 	// under a synthetic address that no demand access ever references.
@@ -467,11 +671,18 @@ func (c *Cache) ForceEvict() AccessResult {
 // it was dirty. Used by tests and by non-inclusive hierarchy management.
 func (c *Cache) Invalidate(addr uint64) (resident, dirty bool) {
 	la := c.LineAddr(addr)
-	set := c.sets[c.placement.Set(la)]
+	set := c.sets[c.setIndex(la)]
 	for i := range set {
 		if set[i].valid && set[i].tag == la {
 			d := set[i].dirty
 			set[i].valid, set[i].dirty, set[i].owner = false, false, -1
+			c.validCount--
+			if d {
+				c.dirtyCount--
+			}
+			if la == c.memoLine {
+				c.memoLine = memoNone
+			}
 			return true, d
 		}
 	}
@@ -481,11 +692,9 @@ func (c *Cache) Invalidate(addr uint64) (resident, dirty bool) {
 // ValidLines returns the number of currently valid lines (test/inspection).
 func (c *Cache) ValidLines() int {
 	n := 0
-	for si := range c.sets {
-		for wi := range c.sets[si] {
-			if c.sets[si][wi].valid {
-				n++
-			}
+	for i := range c.lines {
+		if c.lines[i].valid {
+			n++
 		}
 	}
 	return n
@@ -497,6 +706,26 @@ func (c *Cache) ValidLines() int {
 //   - every valid line's owner (when partitioned) occupies a way inside
 //     that owner's registered mask.
 func (c *Cache) CheckInvariants(ownerMask func(owner int) WayMask) error {
+	valid, dirty := 0, 0
+	for i := range c.lines {
+		if c.lines[i].valid {
+			valid++
+			if c.lines[i].dirty {
+				dirty++
+			}
+		}
+	}
+	if valid != c.validCount || dirty != c.dirtyCount {
+		return fmt.Errorf("cache %s: counters valid=%d dirty=%d but lines have %d/%d",
+			c.cfg.Name, c.validCount, c.dirtyCount, valid, dirty)
+	}
+	if c.memoLine != memoNone {
+		l := c.lines[c.memoIdx]
+		if !l.valid || l.tag != c.memoLine {
+			return fmt.Errorf("cache %s: stale memo line %#x at index %d",
+				c.cfg.Name, c.memoLine, c.memoIdx)
+		}
+	}
 	for si := range c.sets {
 		seen := map[uint64]int{}
 		for wi := range c.sets[si] {

@@ -97,12 +97,20 @@ type Core struct {
 	// Clock is the core-local cycle counter.
 	Clock int64
 
-	stats   Stats
-	l1Mask  cache.WayMask
-	phase   phase
+	stats  Stats
+	l1Mask cache.WayMask
+	phase  phase
+	// pending is the queue of shared transactions for the current stall.
+	// It drains by advancing popIdx rather than re-slicing, so the backing
+	// array is reused for the run's whole lifetime instead of creeping
+	// forward and forcing an allocation every few transactions.
 	pending []Request
+	popIdx  int
 	halted  bool
 	fault   error
+	// si is the scratch StepInfo the interpreter writes into (one per core,
+	// reused every instruction).
+	si isa.StepInfo
 
 	// addrBase disambiguates per-core physical addresses: every task has
 	// private code and data (the paper's tasks share nothing), so core i's
@@ -147,27 +155,32 @@ func (c *Core) Reset() {
 	c.stats = Stats{}
 	c.phase = phFetch
 	c.pending = c.pending[:0]
+	c.popIdx = 0
 	c.halted = false
 	c.fault = nil
 }
 
 // PendingRequests returns the shared transactions the core is blocked on,
 // in issue order. The simulator consumes them one by one.
-func (c *Core) PendingRequests() []Request { return c.pending }
+func (c *Core) PendingRequests() []Request { return c.pending[c.popIdx:] }
 
 // PopRequest removes and returns the first pending request. It panics when
 // none is pending.
 func (c *Core) PopRequest() Request {
-	if len(c.pending) == 0 {
+	if c.popIdx >= len(c.pending) {
 		panic("cpu: PopRequest with no pending requests")
 	}
-	r := c.pending[0]
-	c.pending = c.pending[1:]
+	r := c.pending[c.popIdx]
+	c.popIdx++
+	if c.popIdx == len(c.pending) {
+		c.pending = c.pending[:0]
+		c.popIdx = 0
+	}
 	return r
 }
 
 // HasPending reports whether transactions remain for the current stall.
-func (c *Core) HasPending() bool { return len(c.pending) > 0 }
+func (c *Core) HasPending() bool { return c.popIdx < len(c.pending) }
 
 // Resume is called by the simulator when all pending transactions have
 // completed at cycle t; the core's clock jumps to t.
@@ -185,83 +198,91 @@ func (c *Core) Step() Need {
 	if c.halted {
 		return NeedHalt
 	}
-	switch c.phase {
-	case phFetch:
-		if c.M.Halted() {
-			c.halted = true
-			return NeedHalt
-		}
-		pc := c.M.PC
-		if pc < 0 || pc >= len(c.M.Prog.Code) {
-			// Let the interpreter raise the precise fault.
-			c.phase = phExec
-			return c.Step()
-		}
-		fetchAddr := isa.InstrAddr(pc) | c.addrBase
-		r := c.IL1.Access(fetchAddr, false, c.l1Mask, -1)
-		if r.Hit {
-			c.phase = phExec
-			return c.Step()
-		}
-		// Instruction lines are never dirty (no self-modifying code), so
-		// an IL1 fill needs only the fetch transaction.
-		c.stats.FetchStalls++
-		c.pending = append(c.pending, Request{Kind: ReqFetch, Addr: fetchAddr, Instr: true})
-		c.phase = phExec
-		return NeedLLC
-
-	case phExec:
-		si, err := c.M.Step()
-		if err != nil {
-			c.halted = true
-			c.fault = err
-			return NeedHalt
-		}
-		if si.Halted {
-			// The HALT instruction itself occupies one cycle.
-			c.Clock++
-			c.halted = true
-			return NeedHalt
-		}
-		c.Clock += si.Op.Latency()
-		if si.Taken {
-			c.Clock += c.BranchPenalty
-			c.stats.TakenBranches++
-		}
-		if si.Op.IsMem() {
-			memAddr := si.MemAddr | c.addrBase
-			if c.WriteThrough && si.MemWrite {
-				// Write-through store: DL1 updated on hit only (never
-				// dirtied), and the store always goes outward.
-				c.DL1.AccessNoAlloc(memAddr, c.l1Mask, -1)
-				c.pending = append(c.pending, Request{Kind: ReqWriteThrough, Addr: memAddr})
-				c.phase = phRetire
-				return NeedLLC
+	// The common path — IL1 fetch hit followed by execute — flows through
+	// both phases in one call; iterating here instead of tail-recursing
+	// keeps the per-instruction path a single stack frame.
+	for {
+		switch c.phase {
+		case phFetch:
+			if c.M.Halted() {
+				c.halted = true
+				return NeedHalt
 			}
-			r := c.DL1.Access(memAddr, si.MemWrite, c.l1Mask, -1)
-			if !r.Hit {
-				c.stats.DataStalls++
-				if r.Evicted && r.EvictedDirty {
-					c.stats.Writebacks++
-					c.pending = append(c.pending, Request{
-						Kind: ReqWriteback,
-						Addr: r.EvictedAddr * uint64(c.DL1.Config().LineBytes),
-					})
+			pc := c.M.PC
+			if pc < 0 || pc >= len(c.M.Prog.Code) {
+				// Let the interpreter raise the precise fault.
+				c.phase = phExec
+				continue
+			}
+			fetchAddr := isa.InstrAddr(pc) | c.addrBase
+			r := c.IL1.Access(fetchAddr, false, c.l1Mask, -1)
+			if r.Hit {
+				c.phase = phExec
+				continue
+			}
+			// Instruction lines are never dirty (no self-modifying code), so
+			// an IL1 fill needs only the fetch transaction.
+			c.stats.FetchStalls++
+			c.pending = append(c.pending, Request{Kind: ReqFetch, Addr: fetchAddr, Instr: true})
+			c.phase = phExec
+			return NeedLLC
+
+		case phExec:
+			si := &c.si
+			err := c.M.StepInto(si)
+			if err != nil {
+				c.halted = true
+				c.fault = err
+				return NeedHalt
+			}
+			if si.Halted {
+				// The HALT instruction itself occupies one cycle.
+				c.Clock++
+				c.halted = true
+				return NeedHalt
+			}
+			c.Clock += si.Op.Latency()
+			if si.Taken {
+				c.Clock += c.BranchPenalty
+				c.stats.TakenBranches++
+			}
+			if si.Op.IsMem() {
+				memAddr := si.MemAddr | c.addrBase
+				if c.WriteThrough && si.MemWrite {
+					// Write-through store: DL1 updated on hit only (never
+					// dirtied), and the store always goes outward.
+					c.DL1.AccessNoAlloc(memAddr, c.l1Mask, -1)
+					c.pending = append(c.pending, Request{Kind: ReqWriteThrough, Addr: memAddr})
+					c.phase = phRetire
+					return NeedLLC
 				}
-				c.pending = append(c.pending, Request{Kind: ReqFetch, Addr: memAddr})
-				c.phase = phRetire
-				return NeedLLC
+				r := c.DL1.Access(memAddr, si.MemWrite, c.l1Mask, -1)
+				if !r.Hit {
+					c.stats.DataStalls++
+					if r.Evicted && r.EvictedDirty {
+						c.stats.Writebacks++
+						c.pending = append(c.pending, Request{
+							Kind: ReqWriteback,
+							Addr: r.EvictedAddr * uint64(c.DL1.Config().LineBytes),
+						})
+					}
+					c.pending = append(c.pending, Request{Kind: ReqFetch, Addr: memAddr})
+					c.phase = phRetire
+					return NeedLLC
+				}
 			}
-		}
-		c.phase = phFetch
-		return NeedNone
+			c.phase = phFetch
+			return NeedNone
 
-	case phRetire:
-		// Data transactions completed (Resume set the clock).
-		c.phase = phFetch
-		return NeedNone
+		case phRetire:
+			// Data transactions completed (Resume set the clock).
+			c.phase = phFetch
+			return NeedNone
+
+		default:
+			panic(fmt.Sprintf("cpu: core %d in impossible phase %d", c.ID, c.phase))
+		}
 	}
-	panic(fmt.Sprintf("cpu: core %d in impossible phase %d", c.ID, c.phase))
 }
 
 // RunIsolatedPerfect executes the whole program assuming the L1s never

@@ -157,10 +157,18 @@ type CRG struct {
 // platform start desynchronised.
 func NewCRG(unit *Unit) *CRG {
 	c := &CRG{unit: unit}
-	if unit.enabled {
-		c.next = unit.draw()
-	}
+	c.Rearm()
 	return c
+}
+
+// Rearm reschedules the generator for a new run, drawing a fresh first
+// fire time. Equivalent to replacing the CRG with NewCRG(unit) but
+// allocation-free (the per-run reset path calls this for every co-runner).
+func (c *CRG) Rearm() {
+	c.next = 0
+	if c.unit.enabled {
+		c.next = c.unit.draw()
+	}
 }
 
 // NextFire returns the cycle of the pending artificial eviction request.
@@ -232,7 +240,7 @@ func (ac *AccessControl) Reset() {
 	for i, u := range ac.units {
 		u.Reset()
 		if ac.crgs[i] != nil {
-			ac.crgs[i] = NewCRG(u)
+			ac.crgs[i].Rearm()
 		}
 	}
 }

@@ -15,7 +15,10 @@
 // 16-byte cache line holds 4 instructions or 2 data words.
 package isa
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
 // Address-space layout constants.
 const (
@@ -263,11 +266,7 @@ func (m *Machine) read64(addr uint64) (int64, bool) {
 	if off+WordBytes > uint64(len(m.Data)) {
 		return 0, false
 	}
-	var v uint64
-	for i := 0; i < WordBytes; i++ {
-		v |= uint64(m.Data[off+uint64(i)]) << (8 * uint(i))
-	}
-	return int64(v), true
+	return int64(binary.LittleEndian.Uint64(m.Data[off:])), true
 }
 
 // write64 stores a data word; addr is a byte address.
@@ -279,10 +278,7 @@ func (m *Machine) write64(addr uint64, val int64) bool {
 	if off+WordBytes > uint64(len(m.Data)) {
 		return false
 	}
-	v := uint64(val)
-	for i := 0; i < WordBytes; i++ {
-		m.Data[off+uint64(i)] = byte(v >> (8 * uint(i)))
-	}
+	binary.LittleEndian.PutUint64(m.Data[off:], uint64(val))
 	return true
 }
 
@@ -308,20 +304,35 @@ func (m *Machine) WriteWord(off uint64, val int64) error {
 // halted machine returns Halted=true without executing. A fault (bad
 // address, division by zero) halts the machine and returns the fault.
 func (m *Machine) Step() (StepInfo, error) {
+	var info StepInfo
+	err := m.StepInto(&info)
+	return info, err
+}
+
+// StepInto is Step writing through a caller-owned StepInfo — the timing
+// model calls it once per simulated instruction, and skipping the struct
+// return copy is measurable at that rate.
+func (m *Machine) StepInto(info *StepInfo) error {
 	if m.halted {
-		return StepInfo{Halted: true}, nil
+		*info = StepInfo{Halted: true}
+		return nil
 	}
 	if m.PC < 0 || m.PC >= len(m.Prog.Code) {
 		m.halted = true
-		return StepInfo{Halted: true}, &Fault{PC: m.PC, Reason: "pc out of range"}
+		*info = StepInfo{Halted: true}
+		return &Fault{PC: m.PC, Reason: "pc out of range"}
 	}
 	ins := m.Prog.Code[m.PC]
-	info := StepInfo{Index: m.PC, FetchAddr: InstrAddr(m.PC), Op: ins.Op}
+	*info = StepInfo{Index: m.PC, FetchAddr: InstrAddr(m.PC), Op: ins.Op}
+	// Register indices are validated < NumRegs at program load; the masks
+	// restate that bound where the compiler can see it, eliminating the
+	// bounds check on every register file access.
+	rd, rs, rt := ins.Rd&(NumRegs-1), ins.Rs&(NumRegs-1), ins.Rt&(NumRegs-1)
 	next := m.PC + 1
-	fault := func(reason string) (StepInfo, error) {
+	fault := func(reason string) error {
 		m.halted = true
 		info.Halted = true
-		return info, &Fault{PC: m.PC, Instr: ins, Reason: reason}
+		return &Fault{PC: m.PC, Instr: ins, Reason: reason}
 	}
 	switch ins.Op {
 	case NOP:
@@ -329,67 +340,67 @@ func (m *Machine) Step() (StepInfo, error) {
 		m.halted = true
 		info.Halted = true
 	case MOVI:
-		m.Regs[ins.Rd] = ins.Imm
+		m.Regs[rd] = ins.Imm
 	case ADD:
-		m.Regs[ins.Rd] = m.Regs[ins.Rs] + m.Regs[ins.Rt]
+		m.Regs[rd] = m.Regs[rs] + m.Regs[rt]
 	case ADDI:
-		m.Regs[ins.Rd] = m.Regs[ins.Rs] + ins.Imm
+		m.Regs[rd] = m.Regs[rs] + ins.Imm
 	case SUB:
-		m.Regs[ins.Rd] = m.Regs[ins.Rs] - m.Regs[ins.Rt]
+		m.Regs[rd] = m.Regs[rs] - m.Regs[rt]
 	case MUL:
-		m.Regs[ins.Rd] = m.Regs[ins.Rs] * m.Regs[ins.Rt]
+		m.Regs[rd] = m.Regs[rs] * m.Regs[rt]
 	case DIV:
-		if m.Regs[ins.Rt] == 0 {
+		if m.Regs[rt] == 0 {
 			return fault("division by zero")
 		}
-		m.Regs[ins.Rd] = m.Regs[ins.Rs] / m.Regs[ins.Rt]
+		m.Regs[rd] = m.Regs[rs] / m.Regs[rt]
 	case REM:
-		if m.Regs[ins.Rt] == 0 {
+		if m.Regs[rt] == 0 {
 			return fault("remainder by zero")
 		}
-		m.Regs[ins.Rd] = m.Regs[ins.Rs] % m.Regs[ins.Rt]
+		m.Regs[rd] = m.Regs[rs] % m.Regs[rt]
 	case AND:
-		m.Regs[ins.Rd] = m.Regs[ins.Rs] & m.Regs[ins.Rt]
+		m.Regs[rd] = m.Regs[rs] & m.Regs[rt]
 	case OR:
-		m.Regs[ins.Rd] = m.Regs[ins.Rs] | m.Regs[ins.Rt]
+		m.Regs[rd] = m.Regs[rs] | m.Regs[rt]
 	case XOR:
-		m.Regs[ins.Rd] = m.Regs[ins.Rs] ^ m.Regs[ins.Rt]
+		m.Regs[rd] = m.Regs[rs] ^ m.Regs[rt]
 	case SHL:
-		m.Regs[ins.Rd] = m.Regs[ins.Rs] << uint64(m.Regs[ins.Rt]&63)
+		m.Regs[rd] = m.Regs[rs] << uint64(m.Regs[rt]&63)
 	case SHR:
-		m.Regs[ins.Rd] = m.Regs[ins.Rs] >> uint64(m.Regs[ins.Rt]&63)
+		m.Regs[rd] = m.Regs[rs] >> uint64(m.Regs[rt]&63)
 	case LD:
-		addr := uint64(m.Regs[ins.Rs] + ins.Imm)
+		addr := uint64(m.Regs[rs] + ins.Imm)
 		v, ok := m.read64(addr)
 		if !ok {
 			return fault(fmt.Sprintf("load from %#x outside data segment", addr))
 		}
-		m.Regs[ins.Rd] = v
+		m.Regs[rd] = v
 		info.MemAddr = addr
 	case ST:
-		addr := uint64(m.Regs[ins.Rs] + ins.Imm)
-		if !m.write64(addr, m.Regs[ins.Rt]) {
+		addr := uint64(m.Regs[rs] + ins.Imm)
+		if !m.write64(addr, m.Regs[rt]) {
 			return fault(fmt.Sprintf("store to %#x outside data segment", addr))
 		}
 		info.MemAddr = addr
 		info.MemWrite = true
 	case BEQ:
-		if m.Regs[ins.Rs] == m.Regs[ins.Rt] {
+		if m.Regs[rs] == m.Regs[rt] {
 			next = ins.Target
 			info.Taken = true
 		}
 	case BNE:
-		if m.Regs[ins.Rs] != m.Regs[ins.Rt] {
+		if m.Regs[rs] != m.Regs[rt] {
 			next = ins.Target
 			info.Taken = true
 		}
 	case BLT:
-		if m.Regs[ins.Rs] < m.Regs[ins.Rt] {
+		if m.Regs[rs] < m.Regs[rt] {
 			next = ins.Target
 			info.Taken = true
 		}
 	case BGE:
-		if m.Regs[ins.Rs] >= m.Regs[ins.Rt] {
+		if m.Regs[rs] >= m.Regs[rt] {
 			next = ins.Target
 			info.Taken = true
 		}
@@ -401,7 +412,7 @@ func (m *Machine) Step() (StepInfo, error) {
 	}
 	m.PC = next
 	m.Steps++
-	return info, nil
+	return nil
 }
 
 // Run executes until HALT or maxSteps instructions, returning the dynamic

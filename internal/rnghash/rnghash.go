@@ -82,6 +82,15 @@ func (h *Hash) derive() {
 	h.r2 = uint((r>>8)&63) | 1
 }
 
+// Reseed re-parameterises the hash in place with a new RII, as the hardware
+// does when the OS writes the RII register at a program-boundary flush. It
+// is equivalent to New(h.NumSets(), rii) but allocation-free, which matters
+// on the per-run reset path (MBPTA campaigns reseed every cache every run).
+func (h *Hash) Reseed(rii RII) {
+	h.rii = rii
+	h.derive()
+}
+
 // RII returns the hash's random index identifier.
 func (h *Hash) RII() RII { return h.rii }
 

@@ -34,10 +34,11 @@ type coreCtl struct {
 	core  *cpu.Core // nil for idle cores
 	state ctlState
 
-	wakeAt   int64       // stWaitEval / stWaitEAB / stWaitWake
-	req      cpu.Request // transaction being processed
-	issuedAt int64       // when req was issued (stall accounting)
-	evalAt   int64       // when the LLC lookup completed (EAB wait basis)
+	wakeAt   int64        // stWaitEval / stWaitEAB / stWaitWake
+	req      cpu.Request  // transaction being processed
+	issuedAt int64        // when req was issued (stall accounting)
+	evalAt   int64        // when the LLC lookup completed (EAB wait basis)
+	lk       cache.Lookup // fused LLC lookup result, carried across an EAB stall
 
 	llcMask cache.WayMask
 	owner   int
@@ -73,8 +74,9 @@ type Result struct {
 func (r *Result) IPCOf(i int) float64 { return r.PerCore[i].IPC }
 
 // Multicore is the assembled platform. Construct with New, execute runs
-// with Run; each Run starts from a fresh state with new cache RIIs (the
-// per-run randomisation the MBPTA protocol requires).
+// with Run (or the allocation-free RunInto); each run starts from a fresh
+// state with new cache RIIs (the per-run randomisation the MBPTA protocol
+// requires).
 type Multicore struct {
 	cfg    Config
 	rnd    rng.Stream
@@ -85,7 +87,31 @@ type Multicore struct {
 	cores  []*coreCtl
 	progs  []*isa.Program
 	tracer *trace.Buffer
+
+	// Incrementally maintained next-event candidates. The event loop
+	// dispatches millions of events per run; rescanning every core, CRG
+	// and shared resource on each iteration was the single largest cost
+	// of the scheduler, so each candidate is updated only when the
+	// corresponding structure changes:
+	//
+	//   evReady[i] — core i's Clock while stReady, else never
+	//   evWake[i]  — core i's wakeAt while in a timed wait, else never
+	//   evCRG[i]   — core i's CRG next fire time, never when inactive
+	//   evBus/evMC — next grant/issue time, never when idle
+	//
+	// Dispatch-order semantics (scan order, strict-less tie-breaks, the
+	// ready-before-wake-before-grant priority at equal times) are
+	// identical to the rescanning loop, which keeps PRNG draw order and
+	// therefore results bit-identical.
+	evReady []int64
+	evWake  []int64
+	evCRG   []int64
+	evBus   int64
+	evMC    int64
 }
+
+// never is the sentinel for "no pending event".
+const never = int64(math.MaxInt64)
 
 // SetTracer attaches an event buffer; nil detaches. The buffer accumulates
 // across Run calls until the caller resets it, so single-run traces should
@@ -135,6 +161,9 @@ func New(cfg Config, progs []*isa.Program, seed uint64) (*Multicore, error) {
 	m.ac = ac
 
 	m.cores = make([]*coreCtl, cfg.Cores)
+	m.evReady = make([]int64, cfg.Cores)
+	m.evWake = make([]int64, cfg.Cores)
+	m.evCRG = make([]int64, cfg.Cores)
 	for i := range m.cores {
 		ctl := &coreCtl{id: i, state: stIdle, llcMask: cfg.llcMask(i), owner: -1}
 		if cfg.PartitionWays != nil {
@@ -163,8 +192,43 @@ func New(cfg Config, progs []*isa.Program, seed uint64) (*Multicore, error) {
 // Config returns the platform configuration.
 func (m *Multicore) Config() Config { return m.cfg }
 
+// noteCore refreshes core ctl's next-event candidates from its state.
+func (m *Multicore) noteCore(ctl *coreCtl) {
+	r, w := never, never
+	switch ctl.state {
+	case stReady:
+		r = ctl.core.Clock
+	case stWaitEval, stWaitEAB, stWaitWake:
+		w = ctl.wakeAt
+	}
+	m.evReady[ctl.id] = r
+	m.evWake[ctl.id] = w
+}
+
+// noteCRG refreshes core i's CRG fire-time candidate.
+func (m *Multicore) noteCRG(i int) {
+	if c := m.ac.CRG(i); c != nil {
+		m.evCRG[i] = c.NextFire()
+	} else {
+		m.evCRG[i] = never
+	}
+}
+
+// busRequest enqueues a bus request and refreshes the grant candidate.
+func (m *Multicore) busRequest(r bus.Request) {
+	m.bus.Request(r)
+	m.evBus = m.bus.NextGrantTime()
+}
+
+// mcRequest enqueues a memory request and refreshes the issue candidate.
+func (m *Multicore) mcRequest(r memctrl.Request) {
+	m.mc.Request(r)
+	m.evMC = m.mc.NextStartTime()
+}
+
 // reset rewinds everything for a fresh run: machines, pipeline state,
-// caches (new RIIs), bus, memory controller and EFL fabric.
+// caches (new RIIs), bus, memory controller, EFL fabric and the cached
+// event candidates.
 func (m *Multicore) reset() {
 	m.llc.NewRun()
 	m.llc.ResetStats()
@@ -182,7 +246,13 @@ func (m *Multicore) reset() {
 		} else {
 			ctl.state = stIdle
 		}
+		m.noteCore(ctl)
 	}
+	for i := range m.evCRG {
+		m.noteCRG(i)
+	}
+	m.evBus = never
+	m.evMC = never
 }
 
 // analysisCore reports whether ctl hosts the task under analysis.
@@ -193,45 +263,51 @@ func (m *Multicore) analysisCore(ctl *coreCtl) bool {
 // Run executes one complete run (all programs to completion) and returns
 // per-core and platform statistics.
 func (m *Multicore) Run() (*Result, error) {
+	res := &Result{}
+	if err := m.RunInto(res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RunInto is Run with a caller-owned result buffer: res's slices are
+// reused when large enough, so repeated-measurement campaigns (MBPTA
+// collects hundreds of runs per configuration) allocate nothing per run.
+func (m *Multicore) RunInto(res *Result) error {
 	m.reset()
 	// The bus is held for the arbitration slot only; the LLC itself is
 	// pipelined, so its 10-cycle access latency follows the grant without
 	// blocking other transactions.
 	hold := m.cfg.BusSlotCycles
 
-	const never = int64(math.MaxInt64)
 	for {
-		// Candidate event times.
-		tCore, coreIdx := never, -1
+		// Candidate event times, read from the incrementally maintained
+		// caches in one pass. Scan order and strict-less comparisons
+		// reproduce the original rescanning loop exactly (lowest core id
+		// wins ties). tCore2 tracks the runner-up ready clock for the
+		// batching bound below.
+		tCore, coreIdx, tCore2 := never, -1, never
 		tWake, wakeIdx := never, -1
-		for _, ctl := range m.cores {
-			switch ctl.state {
-			case stReady:
-				if ctl.core.Clock < tCore {
-					tCore, coreIdx = ctl.core.Clock, ctl.id
-				}
-			case stWaitEval, stWaitEAB, stWaitWake:
-				if ctl.wakeAt < tWake {
-					tWake, wakeIdx = ctl.wakeAt, ctl.id
-				}
-			}
-		}
 		tCRG, crgIdx := never, -1
-		for i := 0; i < m.ac.NumCores(); i++ {
-			if c := m.ac.CRG(i); c != nil && c.NextFire() < tCRG {
-				tCRG, crgIdx = c.NextFire(), i
+		for i := range m.evReady {
+			if t := m.evReady[i]; t < tCore {
+				tCore2 = tCore
+				tCore, coreIdx = t, i
+			} else if t < tCore2 {
+				tCore2 = t
+			}
+			if t := m.evWake[i]; t < tWake {
+				tWake, wakeIdx = t, i
+			}
+			if t := m.evCRG[i]; t < tCRG {
+				tCRG, crgIdx = t, i
 			}
 		}
-		tBus := never
-		if m.bus.HasWaiters() {
-			tBus = m.bus.NextGrantTime()
-		}
-		tMC := never
-		if m.mc.HasWaiters() {
-			tMC = m.mc.NextStartTime()
-		}
+		tBus := m.evBus
+		tMC := m.evMC
 
-		// Done?
+		// Done? (CRG events alone do not keep a run alive: the analysis
+		// run ends when the analysed task halts.)
 		if tCore == never && tWake == never && tBus == never && tMC == never {
 			allDone := true
 			for _, ctl := range m.cores {
@@ -242,7 +318,7 @@ func (m *Multicore) Run() (*Result, error) {
 			if allDone {
 				break
 			}
-			return nil, fmt.Errorf("sim: deadlock: no events but cores not done")
+			return fmt.Errorf("sim: deadlock: no events but cores not done")
 		}
 
 		// Priority at equal times: core execution and wakes create bus/MC
@@ -263,39 +339,87 @@ func (m *Multicore) Run() (*Result, error) {
 			min = tMC
 		}
 		if min > m.cfg.MaxCycles {
-			return nil, fmt.Errorf("sim: exceeded %d cycles", m.cfg.MaxCycles)
+			return fmt.Errorf("sim: exceeded %d cycles", m.cfg.MaxCycles)
 		}
 
 		switch {
 		case tCore == min:
-			if err := m.stepCore(m.cores[coreIdx]); err != nil {
-				return nil, err
+			ctl := m.cores[coreIdx]
+			// Batch: keep stepping this core while it stays ready and its
+			// clock remains strictly below every other candidate — no
+			// other event can interleave, so the scheduler need not be
+			// consulted per instruction. The bound is strict: at equal
+			// times the outer scan re-resolves priorities exactly as the
+			// original loop did.
+			otherMin := tCore2
+			if tWake < otherMin {
+				otherMin = tWake
 			}
+			if tCRG < otherMin {
+				otherMin = tCRG
+			}
+			if tBus < otherMin {
+				otherMin = tBus
+			}
+			if tMC < otherMin {
+				otherMin = tMC
+			}
+			for {
+				if err := m.stepCore(ctl); err != nil {
+					return err
+				}
+				if ctl.state != stReady {
+					break
+				}
+				clk := ctl.core.Clock
+				if clk >= otherMin {
+					break
+				}
+				if clk > m.cfg.MaxCycles {
+					return fmt.Errorf("sim: exceeded %d cycles", m.cfg.MaxCycles)
+				}
+			}
+			m.noteCore(ctl)
 		case tCRG == min:
 			m.fireCRG(crgIdx)
 		case tWake == min:
-			m.wake(m.cores[wakeIdx])
+			ctl := m.cores[wakeIdx]
+			m.wake(ctl)
+			m.noteCore(ctl)
 		case tMC == min:
 			req, done := m.mc.Serve()
+			if m.mc.HasWaiters() {
+				m.evMC = m.mc.NextStartTime()
+			} else {
+				m.evMC = never
+			}
 			if req.Kind == memctrl.Read {
 				ctl := m.cores[req.Core]
 				ctl.state = stWaitWake
 				ctl.wakeAt = done
+				m.noteCore(ctl)
 				m.emit(done, req.Core, trace.EvMemRead, 0, done-req.Arrival)
 			} else {
 				m.emit(min, req.Core, trace.EvMemWrite, 0, 0)
 			}
 		default: // tBus
 			win, at := m.bus.Grant(hold)
+			if m.bus.HasWaiters() {
+				m.evBus = m.bus.NextGrantTime()
+			} else {
+				m.evBus = never
+			}
 			ctl := m.cores[win.Core]
 			ctl.state = stWaitEval
 			ctl.wakeAt = at + m.cfg.BusSlotCycles + m.cfg.LLCHitCycles
 			ctl.evalAt = ctl.wakeAt
+			m.noteCore(ctl)
 			m.emit(at, win.Core, trace.EvBusGrant, ctl.req.Addr, at-win.Arrival)
 		}
 	}
 
-	return m.collect(), nil
+	m.collectInto(res)
+	return nil
 }
 
 // stepCore advances a ready core by one pipeline step.
@@ -332,7 +456,7 @@ func (m *Multicore) issueRequest(ctl *coreCtl, t int64) {
 		ctl.evalAt = ctl.wakeAt
 		return
 	}
-	m.bus.Request(bus.Request{Core: ctl.id, Arrival: t})
+	m.busRequest(bus.Request{Core: ctl.id, Arrival: t})
 	ctl.state = stWaitBus
 }
 
@@ -357,28 +481,33 @@ func (m *Multicore) wake(ctl *coreCtl) {
 // valid bits (the EoM design), so every miss is an eviction event and is
 // subject to the EFL eviction-allowed bit. Only the TD ablation platform
 // fills invalid ways without evicting.
+//
+// The lookup is fused: one placement hash and one tag scan (cache.Lookup)
+// serve both the hit path and the fill, where the pre-Lookup/Access split
+// paid the hash and the scan twice per transaction.
 func (m *Multicore) evalLLC(ctl *coreCtl, t int64) {
 	write := ctl.req.Kind != cpu.ReqFetch
-	pr := m.llc.Probe(ctl.req.Addr, ctl.llcMask)
+	lk := m.llc.Lookup(ctl.req.Addr, ctl.llcMask)
 	switch {
-	case pr.Hit:
-		m.llc.Access(ctl.req.Addr, write, ctl.llcMask, ctl.owner)
+	case lk.Hit:
+		m.llc.CommitHit(lk, write)
 		m.emit(t, ctl.id, trace.EvLLCHit, ctl.req.Addr, 0)
 		m.finishRequest(ctl, t)
 	case ctl.req.Kind == cpu.ReqWriteThrough && !m.cfg.WTAllocate:
 		// Write-through, no-write-allocate: the LLC is untouched and the
 		// store is forwarded to memory as a posted write.
 		if m.cfg.Mode == efl.Deployment {
-			m.mc.Request(memctrl.Request{Core: ctl.id, Arrival: t, Kind: memctrl.Write})
+			m.mcRequest(memctrl.Request{Core: ctl.id, Arrival: t, Kind: memctrl.Write})
 		}
 		m.finishRequest(ctl, t)
-	case m.cfg.Policy == cache.TimeDeterministic && pr.FreeWay:
+	case m.cfg.Policy == cache.TimeDeterministic && lk.FreeWay:
 		// Conventional fill without eviction (ablation platform only).
-		m.llc.Access(ctl.req.Addr, write, ctl.llcMask, ctl.owner)
+		m.llc.Fill(lk, write, ctl.llcMask, ctl.owner)
 		m.afterFill(ctl, t)
 	default:
 		// Evicting miss: subject to the EFL eviction-allowed bit.
 		m.emit(t, ctl.id, trace.EvLLCMiss, ctl.req.Addr, 0)
+		ctl.lk = lk
 		unit := m.ac.Unit(ctl.id)
 		allowed := unit.EvictionAllowedAt(t)
 		if allowed > t {
@@ -392,17 +521,20 @@ func (m *Multicore) evalLLC(ctl *coreCtl, t int64) {
 	}
 }
 
-// performEviction executes the gated eviction+fill at cycle t.
+// performEviction executes the gated eviction+fill at cycle t, completing
+// the Lookup saved by evalLLC (the set index survives an EAB stall; victim
+// state is re-read at fill time, so CRG force-misses that landed during
+// the stall are observed exactly as a fresh access would).
 func (m *Multicore) performEviction(ctl *coreCtl, t int64, waited int64) {
 	write := ctl.req.Kind != cpu.ReqFetch
-	res := m.llc.Access(ctl.req.Addr, write, ctl.llcMask, ctl.owner)
+	res := m.llc.Fill(ctl.lk, write, ctl.llcMask, ctl.owner)
 	m.ac.Unit(ctl.id).RecordEviction(t, waited)
 	if res.EvictedDirty && m.cfg.Mode == efl.Deployment {
 		// Posted writeback of the dirty LLC victim: consumes memory
 		// bandwidth, nobody waits. (At analysis time the analysed core's
 		// memory accesses are charged the UBD, which covers any such
 		// bandwidth by construction.)
-		m.mc.Request(memctrl.Request{Core: ctl.id, Arrival: t, Kind: memctrl.Write})
+		m.mcRequest(memctrl.Request{Core: ctl.id, Arrival: t, Kind: memctrl.Write})
 	}
 	m.afterFill(ctl, t)
 }
@@ -420,7 +552,7 @@ func (m *Multicore) afterFill(ctl *coreCtl, t int64) {
 		ctl.wakeAt = t + m.mc.UpperBoundDelay()
 		return
 	}
-	m.mc.Request(memctrl.Request{Core: ctl.id, Arrival: t, Kind: memctrl.Read})
+	m.mcRequest(memctrl.Request{Core: ctl.id, Arrival: t, Kind: memctrl.Read})
 	ctl.state = stWaitMem
 }
 
@@ -441,17 +573,20 @@ func (m *Multicore) fireCRG(crgIdx int) {
 	t := c.NextFire()
 	m.llc.ForceEvict()
 	c.Fire(t)
+	m.evCRG[crgIdx] = c.NextFire()
 	m.emit(t, crgIdx, trace.EvCRGEvict, 0, 0)
 }
 
-// collect gathers the run's results.
-func (m *Multicore) collect() *Result {
-	res := &Result{
-		PerCore: make([]CoreResult, len(m.cores)),
-		LLC:     m.llc.Stats(),
-		Bus:     m.bus.Stats(),
-		Mem:     m.mc.Stats(),
+// collectInto gathers the run's results into res, reusing its buffers.
+func (m *Multicore) collectInto(res *Result) {
+	if cap(res.PerCore) < len(m.cores) {
+		res.PerCore = make([]CoreResult, len(m.cores))
 	}
+	res.PerCore = res.PerCore[:len(m.cores)]
+	res.LLC = m.llc.Stats()
+	res.Bus = m.bus.Stats()
+	res.Mem = m.mc.Stats()
+	res.TotalCycles = 0
 	for i, ctl := range m.cores {
 		cr := CoreResult{}
 		if ctl.core != nil {
@@ -472,7 +607,6 @@ func (m *Multicore) collect() *Result {
 		}
 		res.PerCore[i] = cr
 	}
-	return res
 }
 
 // RunAnalysis is a convenience wrapper: it builds an analysis-mode
@@ -491,7 +625,7 @@ func RunAnalysis(cfg Config, prog *isa.Program, seed uint64) (*Result, error) {
 
 // CollectAnalysisTimes performs runs analysis-mode executions of prog with
 // derived seeds and returns the execution times in run order — the input
-// MBPTA needs.
+// MBPTA needs. One Result buffer is reused across the whole campaign.
 func CollectAnalysisTimes(cfg Config, prog *isa.Program, runs int, seed uint64) ([]float64, error) {
 	cfg = cfg.WithAnalysis(0)
 	progs := make([]*isa.Program, cfg.Cores)
@@ -501,12 +635,12 @@ func CollectAnalysisTimes(cfg Config, prog *isa.Program, runs int, seed uint64) 
 		return nil, err
 	}
 	times := make([]float64, runs)
+	var res Result
 	for i := 0; i < runs; i++ {
-		r, err := m.Run()
-		if err != nil {
+		if err := m.RunInto(&res); err != nil {
 			return nil, err
 		}
-		times[i] = float64(r.PerCore[0].Cycles)
+		times[i] = float64(res.PerCore[0].Cycles)
 	}
 	return times, nil
 }

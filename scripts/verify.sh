@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# verify.sh — the repo's verification gate: static checks, full build,
+# full test suite, and the race detector on the simulation hot-path
+# packages (the ones the performance work touches). Run from anywhere:
+#
+#   ./scripts/verify.sh          # everything (full test suite is slow: ~2min)
+#   SHORT=1 ./scripts/verify.sh  # skip the long experiments suite
+#
+# `make verify` is an alias for the full run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+if [[ "${SHORT:-}" == 1 ]]; then
+    echo "== go test (short: skipping internal/experiments)"
+    go test -count=1 $(go list ./... | grep -v internal/experiments)
+else
+    echo "== go test ./..."
+    go test -count=1 ./...
+fi
+
+echo "== go test -race (hot-path packages)"
+go test -race -count=1 \
+    ./internal/sim/ ./internal/cache/ ./internal/cpu/ ./internal/bus/ \
+    ./internal/efl/ ./internal/isa/ ./internal/rnghash/ ./internal/memctrl/
+
+echo "verify: OK"
