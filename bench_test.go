@@ -106,7 +106,7 @@ func BenchmarkAblationEq1(b *testing.B) {
 		}
 		maxErr := 0.0
 		for _, p := range points {
-			if e := abs(p.Exact - p.Measured); e > maxErr {
+			if e := math.Abs(p.Exact - p.Measured); e > maxErr {
 				maxErr = e
 			}
 		}
@@ -166,13 +166,6 @@ func pow(x, e float64) float64 {
 		return 0
 	}
 	return math.Pow(x, e)
-}
-
-func abs(x float64) float64 {
-	if x < 0 {
-		return -x
-	}
-	return x
 }
 
 // BenchmarkAblationWriteThrough regenerates ablation A4 (paper footnote

@@ -15,6 +15,20 @@
 //	experiments -exp bench                 # performance regression suite
 //	experiments -exp all                   # everything, paper order
 //
+// Every result is routed through a schema-versioned JSON artifact: with
+// -out DIR the artifact is persisted as DIR/<kind>.json, and what is
+// printed is always rendered from the decoded artifact, never from
+// in-memory state the artifact might not capture. Campaigns are
+// deterministic in -seed and invariant under -parallel, so artifacts are
+// byte-identical across worker counts.
+//
+// Figure 4 campaigns are resumable: with -out set, completed workloads are
+// checkpointed to DIR/fig4.ckpt after every item, and Ctrl-C (SIGINT)
+// stops the campaign cleanly. Rerunning with -resume (same seed and
+// scales) continues where the campaign stopped and produces an artifact
+// byte-identical to an uninterrupted run. The checkpoint is removed on
+// success.
+//
 // Add -csv to also emit machine-readable output where available, -seed to
 // change the master seed, and -v for per-campaign progress. The bench
 // suite writes its JSON report to the -benchout path (BENCH_SIM.json by
@@ -23,20 +37,25 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"time"
 
+	"efl/internal/artifact"
 	"efl/internal/experiments"
 	"efl/internal/sim"
 )
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: setup|iid|fig3|fig4|eq1|fixedmid|lru|all")
+		exp       = flag.String("exp", "all", "experiment: setup|iid|fig3|fig4|eq1|fixedmid|lru|wt|midsweep|convergence|bench|all")
 		runs      = flag.Int("runs", 300, "measurement runs per MBPTA campaign")
 		workloads = flag.Int("workloads", 1024, "random workloads for Figure 4")
 		deploy    = flag.Int("deployruns", 2, "deployment runs averaged per workload config")
@@ -44,12 +63,20 @@ func main() {
 		mid       = flag.Int64("mid", 500, "MID for the iid/fixedmid experiments")
 		csv       = flag.Bool("csv", false, "also print CSV output where available")
 		verbose   = flag.Bool("v", false, "per-campaign progress on stderr")
+		outDir    = flag.String("out", "", "directory for machine-readable JSON artifacts (empty: print only)")
+		resume    = flag.Bool("resume", false, "resume an interrupted fig4 campaign from its checkpoint (requires -out)")
+		parallel  = flag.Int("parallel", 0, "concurrent campaigns (default GOMAXPROCS)")
 		benchout  = flag.String("benchout", "BENCH_SIM.json", "output path of the -exp bench JSON report")
 		benchkern = flag.String("benchkernel", "CA", "kernel code the bench suite simulates")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memprof   = flag.String("memprofile", "", "write a heap profile to this path on exit")
 	)
 	flag.Parse()
+
+	if *resume && *outDir == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -resume requires -out (the checkpoint lives in the artifact directory)")
+		os.Exit(2)
+	}
 
 	if *cpuprof != "" {
 		f, err := os.Create(*cpuprof)
@@ -79,11 +106,18 @@ func main() {
 		}()
 	}
 
+	// Ctrl-C cancels in-flight campaigns cleanly: checkpointed work
+	// survives, artifacts are never left torn (atomic writes).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	opt := experiments.Options{
-		Seed:       *seed,
-		Runs:       *runs,
-		Workloads:  *workloads,
-		DeployRuns: *deploy,
+		Seed:        *seed,
+		Runs:        *runs,
+		Workloads:   *workloads,
+		DeployRuns:  *deploy,
+		Parallelism: *parallel,
+		Ctx:         ctx,
 	}
 	if *verbose {
 		opt.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
@@ -92,6 +126,14 @@ func main() {
 	run := func(name string, f func() error) {
 		start := time.Now()
 		if err := f(); err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "experiments: %s interrupted", name)
+				if name == "fig4" && *outDir != "" {
+					fmt.Fprintf(os.Stderr, " — resume with: -exp fig4 -resume -out %s (same seed and scales)", *outDir)
+				}
+				fmt.Fprintln(os.Stderr)
+				os.Exit(130)
+			}
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
 			os.Exit(1)
 		}
@@ -116,8 +158,9 @@ func main() {
 			if err != nil {
 				return err
 			}
-			fmt.Println(res.Render())
-			return nil
+			return emit(*outDir, "iid", *seed, *res, func(r experiments.IIDResult) string {
+				return r.Render()
+			})
 		})
 	}
 	if want("fig3") {
@@ -126,25 +169,40 @@ func main() {
 			if err != nil {
 				return err
 			}
-			fmt.Println(res.Render())
-			if *csv {
-				fmt.Println(res.CSV())
-			}
-			return nil
+			return emit(*outDir, "fig3", *seed, *res, func(r experiments.Fig3Result) string {
+				out := r.Render()
+				if *csv {
+					out += "\n" + r.CSV()
+				}
+				return out
+			})
 		})
 	}
 	if want("fig4") {
 		run("fig4", func() error {
-			res, err := experiments.Figure4(opt)
+			fopt := opt
+			if *outDir != "" {
+				ckPath := filepath.Join(*outDir, "fig4.ckpt")
+				if !*resume {
+					// A fresh campaign must not pick up a stale checkpoint.
+					os.Remove(ckPath)
+				}
+				fopt.Checkpoint = ckPath
+			}
+			res, err := experiments.Figure4(fopt)
 			if err != nil {
 				return err
 			}
-			fmt.Println(res.Render())
-			fmt.Println(res.RenderCurves(72, 14))
-			if *csv {
-				fmt.Println(res.CurveCSV())
+			if fopt.Checkpoint != "" {
+				os.Remove(fopt.Checkpoint)
 			}
-			return nil
+			return emit(*outDir, "fig4", *seed, *res, func(r experiments.Fig4Result) string {
+				out := r.Render() + "\n" + r.RenderCurves(72, 14)
+				if *csv {
+					out += "\n" + r.CurveCSV()
+				}
+				return out
+			})
 		})
 	}
 	if want("eq1") {
@@ -153,8 +211,7 @@ func main() {
 			if err != nil {
 				return err
 			}
-			fmt.Println(experiments.RenderEq1(points))
-			return nil
+			return emit(*outDir, "eq1", *seed, points, experiments.RenderEq1)
 		})
 	}
 	if want("fixedmid") {
@@ -163,8 +220,9 @@ func main() {
 			if err != nil {
 				return err
 			}
-			fmt.Println(experiments.RenderFixedMID(rows, *mid))
-			return nil
+			return emit(*outDir, "fixedmid", *seed, rows, func(rs []experiments.FixedMIDRow) string {
+				return experiments.RenderFixedMID(rs, *mid)
+			})
 		})
 	}
 	if want("convergence") {
@@ -174,8 +232,9 @@ func main() {
 			if err != nil {
 				return err
 			}
-			fmt.Println(res.Render())
-			return nil
+			return emit(*outDir, "convergence", *seed, *res, func(r experiments.ConvergenceResult) string {
+				return r.Render()
+			})
 		})
 	}
 	if want("midsweep") {
@@ -184,11 +243,13 @@ func main() {
 			if err != nil {
 				return err
 			}
-			fmt.Println(res.Render())
-			if *csv {
-				fmt.Println(res.CSV())
-			}
-			return nil
+			return emit(*outDir, "midsweep", *seed, *res, func(r experiments.MIDSweepResult) string {
+				out := r.Render()
+				if *csv {
+					out += "\n" + r.CSV()
+				}
+				return out
+			})
 		})
 	}
 	if want("wt") {
@@ -197,8 +258,9 @@ func main() {
 			if err != nil {
 				return err
 			}
-			fmt.Println(experiments.RenderWriteThrough(rows, *mid))
-			return nil
+			return emit(*outDir, "wt", *seed, rows, func(rs []experiments.WTRow) string {
+				return experiments.RenderWriteThrough(rs, *mid)
+			})
 		})
 	}
 	if want("lru") {
@@ -207,8 +269,9 @@ func main() {
 			if err != nil {
 				return err
 			}
-			fmt.Println(experiments.RenderLRU(rows))
-			return nil
+			return emit(*outDir, "lru", *seed, rows, func(rs []experiments.LRURow) string {
+				return experiments.RenderLRU(rs)
+			})
 		})
 	}
 	// The bench suite only runs when asked for explicitly ("all" regenerates
@@ -219,7 +282,11 @@ func main() {
 			if err != nil {
 				return err
 			}
-			fmt.Println(report.Render())
+			if err := emit(*outDir, "bench", *seed, *report, func(r experiments.BenchReport) string {
+				return r.Render()
+			}); err != nil {
+				return err
+			}
 			data, err := report.JSON()
 			if err != nil {
 				return err
@@ -238,4 +305,28 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// emit routes a result through its artifact: encode canonically, persist
+// to outDir/<kind>.json when outDir is set, decode into a fresh value and
+// render from the decoded copy — so the printed tables always reflect
+// exactly what the artifact holds.
+func emit[T any](outDir, kind string, seed uint64, payload T, render func(T) string) error {
+	data, err := artifact.Encode(kind, seed, payload)
+	if err != nil {
+		return err
+	}
+	if outDir != "" {
+		path := filepath.Join(outDir, kind+".json")
+		if err := artifact.WriteFile(path, data); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "[artifact written to %s]\n", path)
+	}
+	var decoded T
+	if _, err := artifact.Decode(data, kind, &decoded); err != nil {
+		return err
+	}
+	fmt.Println(render(decoded))
+	return nil
 }

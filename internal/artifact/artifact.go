@@ -1,0 +1,218 @@
+// Package artifact persists experiment results as schema-versioned,
+// machine-readable JSON, and provides the workload-granularity checkpoint
+// files behind resumable campaigns.
+//
+// Determinism contract: Encode is canonical — the same payload value
+// always yields the same bytes (encoding/json sorts map keys, Go's float
+// formatting is shortest-round-trip) — so campaigns that re-derive their
+// per-item results from stable seeds produce byte-identical artifacts at
+// any worker count, and a resumed campaign re-produces the bytes of an
+// uninterrupted one. Files are written atomically (temp file + rename) so
+// an interrupt never leaves a torn artifact or checkpoint behind.
+package artifact
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+)
+
+// SchemaVersion is bumped whenever the envelope or any payload layout
+// changes incompatibly; readers refuse artifacts from other schemas.
+const SchemaVersion = 1
+
+// Envelope wraps every artifact payload with its identity.
+type Envelope struct {
+	Schema  int             `json:"schema"`
+	Kind    string          `json:"kind"` // experiment identity: "fig3", "fig4", ...
+	Seed    uint64          `json:"seed"` // master seed the campaign ran under
+	Payload json.RawMessage `json:"payload"`
+}
+
+// Encode renders an artifact canonically: 2-space indentation, sorted map
+// keys, trailing newline.
+func Encode(kind string, seed uint64, payload any) ([]byte, error) {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return nil, fmt.Errorf("artifact: encode %s payload: %w", kind, err)
+	}
+	data, err := json.MarshalIndent(Envelope{
+		Schema:  SchemaVersion,
+		Kind:    kind,
+		Seed:    seed,
+		Payload: raw,
+	}, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("artifact: encode %s: %w", kind, err)
+	}
+	return append(data, '\n'), nil
+}
+
+// Decode validates the envelope (schema and kind) and unmarshals the
+// payload into out. It returns the campaign's master seed.
+func Decode(data []byte, kind string, out any) (uint64, error) {
+	var env Envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return 0, fmt.Errorf("artifact: decode: %w", err)
+	}
+	if env.Schema != SchemaVersion {
+		return 0, fmt.Errorf("artifact: schema %d, this build reads %d", env.Schema, SchemaVersion)
+	}
+	if env.Kind != kind {
+		return 0, fmt.Errorf("artifact: kind %q, want %q", env.Kind, kind)
+	}
+	if err := json.Unmarshal(env.Payload, out); err != nil {
+		return 0, fmt.Errorf("artifact: decode %s payload: %w", kind, err)
+	}
+	return env.Seed, nil
+}
+
+// Write encodes and atomically writes an artifact to path.
+func Write(path, kind string, seed uint64, payload any) error {
+	data, err := Encode(kind, seed, payload)
+	if err != nil {
+		return err
+	}
+	return WriteFile(path, data)
+}
+
+// Read loads and decodes an artifact from path, returning the seed.
+func Read(path, kind string, out any) (uint64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	return Decode(data, kind, out)
+}
+
+// WriteFile atomically replaces path with data via a same-directory temp
+// file and rename, so readers (and interrupted writers) never observe a
+// torn file.
+func WriteFile(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// checkpointFile is the on-disk layout of a campaign checkpoint.
+type checkpointFile struct {
+	Schema int    `json:"schema"`
+	Kind   string `json:"kind"`
+	// Key fingerprints the campaign parameters; a checkpoint only resumes
+	// a campaign with the identical key.
+	Key   string                     `json:"key"`
+	Total int                        `json:"total"`
+	Items map[string]json.RawMessage `json:"items"` // item index -> payload
+}
+
+// Checkpoint accumulates per-item results of an interruptible campaign.
+// Put persists after every item, so however the process dies, completed
+// items survive; a resumed campaign skips them via Get and — because the
+// remaining items re-derive their results from stable seeds — finishes
+// with an artifact byte-identical to an uninterrupted run. Methods are
+// safe for concurrent use by campaign workers.
+type Checkpoint struct {
+	mu   sync.Mutex
+	path string
+	file checkpointFile
+}
+
+// LoadCheckpoint opens (or creates) the checkpoint at path for a campaign
+// identified by kind/key with total items. A missing file yields a fresh
+// checkpoint; an existing one must match kind, key, total and schema
+// exactly, otherwise an error describes the mismatch (resuming a
+// different campaign would corrupt results).
+func LoadCheckpoint(path, kind, key string, total int) (*Checkpoint, error) {
+	c := &Checkpoint{path: path, file: checkpointFile{
+		Schema: SchemaVersion, Kind: kind, Key: key, Total: total,
+		Items: map[string]json.RawMessage{},
+	}}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return c, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var f checkpointFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("artifact: checkpoint %s: %w", path, err)
+	}
+	if f.Schema != SchemaVersion || f.Kind != kind || f.Key != key || f.Total != total {
+		return nil, fmt.Errorf("artifact: checkpoint %s was written by a different campaign (kind %q key %q total %d; want kind %q key %q total %d)",
+			path, f.Kind, f.Key, f.Total, kind, key, total)
+	}
+	if f.Items == nil {
+		f.Items = map[string]json.RawMessage{}
+	}
+	c.file = f
+	return c, nil
+}
+
+// Done returns how many items the checkpoint holds.
+func (c *Checkpoint) Done() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.file.Items)
+}
+
+// Get unmarshals item idx into out, reporting whether it was present.
+func (c *Checkpoint) Get(idx int, out any) (bool, error) {
+	c.mu.Lock()
+	raw, ok := c.file.Items[strconv.Itoa(idx)]
+	c.mu.Unlock()
+	if !ok {
+		return false, nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return false, fmt.Errorf("artifact: checkpoint item %d: %w", idx, err)
+	}
+	return true, nil
+}
+
+// Put records item idx and persists the checkpoint atomically.
+func (c *Checkpoint) Put(idx int, v any) error {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("artifact: checkpoint item %d: %w", idx, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.file.Items[strconv.Itoa(idx)] = raw
+	data, err := json.MarshalIndent(c.file, "", "  ")
+	if err != nil {
+		return err
+	}
+	return WriteFile(c.path, append(data, '\n'))
+}
+
+// Remove deletes the checkpoint file (the campaign completed).
+func (c *Checkpoint) Remove() error {
+	err := os.Remove(c.path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,188 @@
+package artifact
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type payload struct {
+	Name   string             `json:"name"`
+	Values []float64          `json:"values"`
+	ByMID  map[int]float64    `json:"by_mid"`
+	Nested map[string][]int   `json:"nested"`
+	Extra  map[string]float64 `json:"extra,omitempty"`
+}
+
+func samplePayload() payload {
+	return payload{
+		Name:   "fig3",
+		Values: []float64{1.5, 2.25, 0.0009765625, 3.141592653589793},
+		ByMID:  map[int]float64{500: 1.25, 100: 2.5, 1000: 0.125},
+		Nested: map[string][]int{"b": {2}, "a": {1, 3}},
+	}
+}
+
+// TestEncodeCanonical pins the byte-determinism leg of the artifact
+// contract: equal payload values encode to equal bytes even when maps were
+// populated in different orders.
+func TestEncodeCanonical(t *testing.T) {
+	a, err := Encode("fig3", 42, samplePayload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := samplePayload()
+	other.ByMID = map[int]float64{1000: 0.125, 100: 2.5, 500: 1.25}
+	b, err := Encode("fig3", 42, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("encodings differ:\n%s\n---\n%s", a, b)
+	}
+	if !bytes.HasSuffix(a, []byte("\n")) {
+		t.Error("no trailing newline")
+	}
+}
+
+// TestRoundTrip verifies Decode(Encode(p)) == p including exact float64
+// recovery, and that re-encoding decoded data is byte-identical — the
+// property resume relies on when checkpointed items are decoded back.
+func TestRoundTrip(t *testing.T) {
+	p := samplePayload()
+	data, err := Encode("fig4", 7, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	seed, err := Decode(data, "fig4", &got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seed != 7 {
+		t.Errorf("seed = %d", seed)
+	}
+	data2, err := Encode("fig4", seed, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatalf("re-encode after decode not byte-identical:\n%s\n---\n%s", data, data2)
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	data, err := Encode("fig3", 1, samplePayload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if _, err := Decode(data, "fig4", &out); err == nil || !strings.Contains(err.Error(), "kind") {
+		t.Errorf("wrong kind accepted: %v", err)
+	}
+	bad := bytes.Replace(data, []byte(`"schema": 1`), []byte(`"schema": 99`), 1)
+	if _, err := Decode(bad, "fig3", &out); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("wrong schema accepted: %v", err)
+	}
+	if _, err := Decode([]byte("not json"), "fig3", &out); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestWriteRead(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sub", "fig3.json")
+	if err := Write(path, "fig3", 3, samplePayload()); err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	seed, err := Read(path, "fig3", &got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seed != 3 || got.Name != "fig3" {
+		t.Errorf("seed=%d payload=%+v", seed, got)
+	}
+	// Atomic write leaves no temp droppings.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory not clean: %v", entries)
+	}
+}
+
+type item struct {
+	Idx  int     `json:"idx"`
+	GIPC float64 `json:"gipc"`
+}
+
+func TestCheckpointLifecycle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fig4.ckpt")
+	c, err := LoadCheckpoint(path, "fig4", "seed=1;workloads=8", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Done() != 0 {
+		t.Errorf("fresh checkpoint holds %d items", c.Done())
+	}
+	for _, i := range []int{0, 3, 5} {
+		if err := c.Put(i, item{Idx: i, GIPC: float64(i) * 1.5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Reload simulates the resumed process.
+	r, err := LoadCheckpoint(path, "fig4", "seed=1;workloads=8", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Done() != 3 {
+		t.Errorf("reloaded checkpoint holds %d items, want 3", r.Done())
+	}
+	var it item
+	ok, err := r.Get(3, &it)
+	if err != nil || !ok || it.GIPC != 4.5 {
+		t.Errorf("Get(3) = %v %v %+v", ok, err, it)
+	}
+	ok, err = r.Get(4, &it)
+	if err != nil || ok {
+		t.Errorf("Get(4) = %v %v, want absent", ok, err)
+	}
+
+	if err := r.Remove(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("checkpoint file survived Remove")
+	}
+	if err := r.Remove(); err != nil {
+		t.Errorf("second Remove: %v", err)
+	}
+}
+
+func TestCheckpointRejectsMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fig4.ckpt")
+	c, err := LoadCheckpoint(path, "fig4", "seed=1", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(0, item{}); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		kind, key string
+		total     int
+	}{
+		{"fig3", "seed=1", 8},
+		{"fig4", "seed=2", 8},
+		{"fig4", "seed=1", 9},
+	}
+	for _, tc := range cases {
+		if _, err := LoadCheckpoint(path, tc.kind, tc.key, tc.total); err == nil {
+			t.Errorf("mismatched campaign %+v accepted", tc)
+		}
+	}
+}

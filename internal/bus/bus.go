@@ -72,6 +72,14 @@ func (b *Bus) Reset() {
 	b.stats = Stats{}
 }
 
+// Reseed rewinds the bus to its just-constructed state with the lottery
+// stream re-initialised as rng.New(seed) would be — equivalent to
+// New(b.Slot(), rng.New(seed)) but reusing the queue's backing array.
+func (b *Bus) Reseed(seed uint64) {
+	b.rnd.Reseed(seed)
+	b.Reset()
+}
+
 // Request enqueues a transaction request.
 func (b *Bus) Request(r Request) { b.wait = append(b.wait, r) }
 

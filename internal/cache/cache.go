@@ -243,6 +243,33 @@ func New(cfg Config, rnd rng.Stream) *Cache {
 	return c
 }
 
+// Reseed rewinds the cache to its just-constructed state under a fresh
+// stream seed: contents invalidated, statistics and clocks cleared, the
+// victim/placement stream re-initialised as rng.New(seed) would be, and
+// (for the TR policy) a fresh construction RII drawn from that stream.
+// The result is bit-identical to New(cfg, rng.New(seed)) — the same PRNG
+// draws are consumed in the same order — but the line arrays are reused,
+// which is what makes platform pooling (sim.Multicore.Reuse) cheap.
+func (c *Cache) Reseed(seed uint64) {
+	c.rnd.Reseed(seed)
+	clear(c.lines)
+	for i := range c.lines {
+		c.lines[i].owner = -1
+	}
+	for i := range c.lruAge {
+		clear(c.lruAge[i])
+	}
+	c.lruClock = 0
+	c.synthTag = 0
+	c.validCount = 0
+	c.dirtyCount = 0
+	c.memoLine = memoNone
+	c.stats = Stats{}
+	if c.cfg.Policy == TimeRandomised {
+		c.hash.Reseed(rnghash.NewRII(c.rnd))
+	}
+}
+
 // setIndex maps a line address to its set: a masked index for the TD
 // policy, the parametric hash for the TR policy. Both are direct calls.
 func (c *Cache) setIndex(la uint64) int {

@@ -245,6 +245,24 @@ func (ac *AccessControl) Reset() {
 	}
 }
 
+// Reseed rewinds the fabric to its just-constructed state under a fresh
+// seed: every unit's stream is re-derived in construction fork order (so
+// the same per-unit generators a fresh NewAccessControl would build) and
+// the active CRGs redraw their first fire times exactly as NewCRG does.
+// Bit-identical to rebuilding the fabric with rng.New(seed).
+func (ac *AccessControl) Reseed(seed uint64) {
+	parent := rng.New(seed)
+	for _, u := range ac.units {
+		u.rnd.Reseed(parent.Uint64())
+		u.Reset()
+	}
+	for _, c := range ac.crgs {
+		if c != nil {
+			c.Rearm()
+		}
+	}
+}
+
 // SetFixed switches every unit between randomised (paper) and fixed
 // (ablation) inter-eviction delays.
 func (ac *AccessControl) SetFixed(fixed bool) {

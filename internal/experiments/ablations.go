@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -10,6 +11,7 @@ import (
 	"efl/internal/isa"
 	"efl/internal/mbpta"
 	"efl/internal/rng"
+	"efl/internal/runner"
 	"efl/internal/sim"
 )
 
@@ -79,13 +81,6 @@ func RenderEq1(points []Eq1Point) string {
 	return sb.String()
 }
 
-func abs(x float64) float64 {
-	if x < 0 {
-		return -x
-	}
-	return x
-}
-
 // FixedMIDRow is the A2 ablation outcome for one benchmark: i.i.d. test
 // results with the paper's randomised inter-eviction delays versus
 // deterministic (fixed) delays.
@@ -106,31 +101,30 @@ type FixedMIDRow struct {
 // interleaving is probabilistic and the gate passes.
 func AblationFixedMID(opt Options, mid int64) ([]FixedMIDRow, error) {
 	opt = opt.withDefaults()
-	var rows []FixedMIDRow
-	for _, s := range allSpecs() {
-		prog := s.Build()
-		row := FixedMIDRow{Code: s.Code}
-		for _, fixed := range []bool{false, true} {
-			cfg := eflConfig(mid)
-			cfg.EFLFixedMID = fixed
-			seed := campaignSeed(opt.Seed, fmt.Sprintf("%s/fixed=%v", s.Code, fixed))
-			times, err := sim.CollectAnalysisTimes(cfg, prog, opt.Runs, seed)
-			if err != nil {
-				return nil, err
+	return runner.MapWithState(opt.context(), opt.runnerOptions(), sim.NewPool, allSpecs(),
+		func(ctx context.Context, pool *sim.Pool, _ int, s bench.Spec) (FixedMIDRow, error) {
+			prog := s.Build()
+			row := FixedMIDRow{Code: s.Code}
+			for _, fixed := range []bool{false, true} {
+				cfg := eflConfig(mid)
+				cfg.EFLFixedMID = fixed
+				seed := campaignSeed(opt.Seed, fmt.Sprintf("%s/fixed=%v", s.Code, fixed))
+				times, err := pool.CollectAnalysisTimes(ctx, cfg, prog, opt.Runs, seed)
+				if err != nil {
+					return row, err
+				}
+				iid, err := mbpta.TestIID(times)
+				if err != nil {
+					return row, err
+				}
+				if fixed {
+					row.FixedPassed, row.FixedAbsZ, row.FixedKSP = iid.Passed, iid.WW.AbsZ, iid.KS.PValue
+				} else {
+					row.RandomPassed, row.RandomAbsZ, row.RandomKSP = iid.Passed, iid.WW.AbsZ, iid.KS.PValue
+				}
 			}
-			iid, err := mbpta.TestIID(times)
-			if err != nil {
-				return nil, err
-			}
-			if fixed {
-				row.FixedPassed, row.FixedAbsZ, row.FixedKSP = iid.Passed, iid.WW.AbsZ, iid.KS.PValue
-			} else {
-				row.RandomPassed, row.RandomAbsZ, row.RandomKSP = iid.Passed, iid.WW.AbsZ, iid.KS.PValue
-			}
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+			return row, nil
+		})
 }
 
 // RenderFixedMID prints the A2 table.
@@ -163,55 +157,57 @@ type LRURow struct {
 // execution-time distribution.
 func AblationLRU(opt Options, codes []string) ([]LRURow, error) {
 	opt = opt.withDefaults()
-	var rows []LRURow
-	for _, code := range codes {
-		s, err := specByCode(code)
-		if err != nil {
-			return nil, err
-		}
-		prog := s.Build()
-		row := LRURow{Code: code}
-		for _, policy := range []cache.Policy{cache.TimeDeterministic, cache.TimeRandomised} {
-			cfg := sim.DefaultConfig()
-			cfg.Policy = policy
-			// Compare the raw platforms without EFL (EFL requires TR) in
-			// isolated deployment mode: no contention, no phantom bus
-			// draws — any run-to-run variation comes from the caches.
-			seed := campaignSeed(opt.Seed, fmt.Sprintf("%s/policy=%v", code, policy))
-			times, err := collectIsolatedTimes(cfg, prog, opt.Runs, seed)
+	return runner.MapWithState(opt.context(), opt.runnerOptions(), sim.NewPool, codes,
+		func(ctx context.Context, pool *sim.Pool, _ int, code string) (LRURow, error) {
+			s, err := specByCode(code)
 			if err != nil {
-				return nil, err
+				return LRURow{}, err
 			}
-			distinct := map[float64]bool{}
-			var mean float64
-			for _, t := range times {
-				distinct[t] = true
-				mean += t
+			prog := s.Build()
+			row := LRURow{Code: code}
+			for _, policy := range []cache.Policy{cache.TimeDeterministic, cache.TimeRandomised} {
+				cfg := sim.DefaultConfig()
+				cfg.Policy = policy
+				// Compare the raw platforms without EFL (EFL requires TR) in
+				// isolated deployment mode: no contention, no phantom bus
+				// draws — any run-to-run variation comes from the caches.
+				seed := campaignSeed(opt.Seed, fmt.Sprintf("%s/policy=%v", code, policy))
+				times, err := collectIsolatedTimes(ctx, pool, cfg, prog, opt.Runs, seed)
+				if err != nil {
+					return row, err
+				}
+				distinct := map[float64]bool{}
+				var mean float64
+				for _, t := range times {
+					distinct[t] = true
+					mean += t
+				}
+				mean /= float64(len(times))
+				if policy == cache.TimeDeterministic {
+					row.TDDistinctTimes, row.TDMean = len(distinct), mean
+				} else {
+					row.TRDistinctTimes, row.TRMean = len(distinct), mean
+				}
 			}
-			mean /= float64(len(times))
-			if policy == cache.TimeDeterministic {
-				row.TDDistinctTimes, row.TDMean = len(distinct), mean
-			} else {
-				row.TRDistinctTimes, row.TRMean = len(distinct), mean
-			}
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+			return row, nil
+		})
 }
 
 // specByCode resolves a benchmark code to its spec.
 func specByCode(code string) (bench.Spec, error) { return bench.ByCode(code) }
 
 // collectIsolatedTimes measures prog running alone at deployment (real,
-// uncontended timing) for runs runs.
-func collectIsolatedTimes(cfg sim.Config, prog *isa.Program, runs int, seed uint64) ([]float64, error) {
-	m, err := sim.New(cfg, []*isa.Program{prog}, seed)
+// uncontended timing) for runs runs on a pooled platform.
+func collectIsolatedTimes(ctx context.Context, pool *sim.Pool, cfg sim.Config, prog *isa.Program, runs int, seed uint64) ([]float64, error) {
+	m, err := pool.Get(cfg, []*isa.Program{prog}, seed)
 	if err != nil {
 		return nil, err
 	}
 	times := make([]float64, runs)
 	for i := range times {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		r, err := m.Run()
 		if err != nil {
 			return nil, err

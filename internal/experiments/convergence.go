@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"efl/internal/mbpta"
+	"efl/internal/runner"
 	"efl/internal/sim"
 )
 
@@ -40,62 +42,67 @@ func ConvergenceStudy(opt Options, mid int64, runCounts []int, codes []string) (
 	}
 	res := &ConvergenceResult{Opt: opt, RunCounts: runCounts, MID: mid}
 	maxRuns := runCounts[len(runCounts)-1]
-	for _, code := range codes {
-		spec, err := specByCode(code)
-		if err != nil {
-			return nil, err
-		}
-		prog := spec.Build()
-		seed := campaignSeed(opt.Seed, fmt.Sprintf("%s/convergence", code))
-		// One long collection, analysed at growing prefixes: this is how
-		// the iterative protocol sees the data, and it keeps the study
-		// cheap (no re-simulation per point).
-		times, err := sim.CollectAnalysisTimes(eflConfig(mid), prog, maxRuns, seed)
-		if err != nil {
-			return nil, err
-		}
-		row := ConvergenceRow{Code: code, Estimates: map[int]float64{}}
-		for _, n := range runCounts {
-			if n > len(times) {
-				continue
-			}
-			a, err := mbpta.Analyze(times[:n], mbpta.Options{SkipIIDTests: true})
+	rows, err := runner.MapWithState(opt.context(), opt.runnerOptions(), sim.NewPool, codes,
+		func(ctx context.Context, pool *sim.Pool, _ int, code string) (ConvergenceRow, error) {
+			spec, err := specByCode(code)
 			if err != nil {
-				return nil, fmt.Errorf("%s at %d runs: %w", code, n, err)
+				return ConvergenceRow{}, err
 			}
-			row.Estimates[n] = a.PWCET(opt.Prob)
-		}
-		// The iterative protocol over the same measurement stream.
-		cursor := 0
-		collector := &mbpta.Collector{
-			Measure: func() float64 {
-				if cursor < len(times) {
+			prog := spec.Build()
+			seed := campaignSeed(opt.Seed, fmt.Sprintf("%s/convergence", code))
+			// One long collection, analysed at growing prefixes: this is how
+			// the iterative protocol sees the data, and it keeps the study
+			// cheap (no re-simulation per point).
+			times, err := pool.CollectAnalysisTimes(ctx, eflConfig(mid), prog, maxRuns, seed)
+			if err != nil {
+				return ConvergenceRow{}, err
+			}
+			row := ConvergenceRow{Code: code, Estimates: map[int]float64{}}
+			for _, n := range runCounts {
+				if n > len(times) {
+					continue
+				}
+				a, err := mbpta.Analyze(times[:n], mbpta.Options{SkipIIDTests: true})
+				if err != nil {
+					return ConvergenceRow{}, fmt.Errorf("%s at %d runs: %w", code, n, err)
+				}
+				row.Estimates[n] = a.PWCET(opt.Prob)
+			}
+			// The iterative protocol over the same measurement stream.
+			cursor := 0
+			collector := &mbpta.Collector{
+				Measure: func() float64 {
+					if cursor < len(times) {
+						v := times[cursor]
+						cursor++
+						return v
+					}
+					// Past the precollected window: extend deterministically.
+					extra, err := pool.CollectAnalysisTimes(ctx, eflConfig(mid), prog, 50, seed+uint64(cursor))
+					if err != nil || len(extra) == 0 {
+						return times[len(times)-1]
+					}
+					times = append(times, extra...)
 					v := times[cursor]
 					cursor++
 					return v
-				}
-				// Past the precollected window: extend deterministically.
-				extra, err := sim.CollectAnalysisTimes(eflConfig(mid), prog, 50, seed+uint64(cursor))
-				if err != nil || len(extra) == 0 {
-					return times[len(times)-1]
-				}
-				times = append(times, extra...)
-				v := times[cursor]
-				cursor++
-				return v
-			},
-			MaxRuns:   1000,
-			Criterion: mbpta.ConvergenceCriterion{Prob: opt.Prob, Tol: 0.02},
-			Options:   mbpta.Options{SkipIIDTests: true},
-		}
-		final, used, err := collector.Run()
-		if err != nil {
-			return nil, fmt.Errorf("%s: collector: %w", code, err)
-		}
-		row.CollectorRuns = len(used)
-		row.FinalEstimate = final.PWCET(opt.Prob)
-		res.Rows = append(res.Rows, row)
+				},
+				MaxRuns:   1000,
+				Criterion: mbpta.ConvergenceCriterion{Prob: opt.Prob, Tol: 0.02},
+				Options:   mbpta.Options{SkipIIDTests: true},
+			}
+			final, used, err := collector.Run()
+			if err != nil {
+				return ConvergenceRow{}, fmt.Errorf("%s: collector: %w", code, err)
+			}
+			row.CollectorRuns = len(used)
+			row.FinalEstimate = final.PWCET(opt.Prob)
+			return row, nil
+		})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 

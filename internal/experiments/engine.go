@@ -5,24 +5,29 @@
 // in DESIGN.md.
 //
 // Every experiment is deterministic given Options.Seed: per-campaign seeds
-// are derived by hashing the master seed with the campaign's identity, so
-// results do not depend on goroutine scheduling even though campaigns run
-// in parallel.
+// are derived by hashing the master seed with the campaign's identity
+// (runner.Seed), so results do not depend on goroutine scheduling or the
+// worker count even though campaigns run in parallel. All drivers fan out
+// through internal/runner; each worker holds a sim.Pool so platforms are
+// rewound (sim.Multicore.Reuse) instead of reconstructed per campaign.
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sync"
 
 	"efl/internal/bench"
 	"efl/internal/isa"
 	"efl/internal/mbpta"
+	"efl/internal/runner"
 	"efl/internal/sim"
 )
 
 // Options scales the campaigns. The zero value is filled with defaults
-// matching the paper where feasible.
+// matching the paper where feasible. Fields tagged `json:"-"` are
+// execution knobs, not campaign parameters: artifacts embedding Options
+// are invariant under them.
 type Options struct {
 	// Seed is the master seed (default 1).
 	Seed uint64
@@ -43,9 +48,17 @@ type Options struct {
 	// CPWays are the per-task way counts for Figure 3 (default {1,2,4}).
 	CPWays []int
 	// Parallelism bounds concurrent campaigns (default GOMAXPROCS).
-	Parallelism int
+	// Results are worker-count invariant.
+	Parallelism int `json:"-"`
 	// Progress, when non-nil, receives one line per completed campaign.
-	Progress func(string)
+	// Calls are serialised.
+	Progress func(string) `json:"-"`
+	// Ctx, when non-nil, cancels in-flight campaigns: drivers return
+	// context.Canceled and completed checkpoint items survive.
+	Ctx context.Context `json:"-"`
+	// Checkpoint, when non-empty, is the path Figure4 persists completed
+	// workloads to after every item, and resumes from on the next run.
+	Checkpoint string `json:"-"`
 }
 
 func (o Options) withDefaults() Options {
@@ -70,24 +83,48 @@ func (o Options) withDefaults() Options {
 	if len(o.CPWays) == 0 {
 		o.CPWays = []int{1, 2, 4}
 	}
-	if o.Parallelism == 0 {
-		o.Parallelism = runtime.GOMAXPROCS(0)
-	}
 	return o
 }
 
-// campaignSeed derives a deterministic seed for a named campaign.
+// context returns the campaign context (background when unset).
+func (o Options) context() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
+}
+
+// runnerOptions maps the execution knobs onto the work engine.
+func (o Options) runnerOptions() runner.Options {
+	return runner.Options{Parallelism: o.Parallelism}
+}
+
+// fingerprint identifies the campaign parameters for checkpoint matching:
+// a checkpoint written under different parameters must not be resumed.
+func (o Options) fingerprint() string {
+	return fmt.Sprintf("seed=%d runs=%d workloads=%d deploy=%d prob=%g mids=%v ways=%v",
+		o.Seed, o.Runs, o.Workloads, o.DeployRuns, o.Prob, o.MIDs, o.CPWays)
+}
+
+// progressSink returns a serialised emitter for o.Progress (a no-op when
+// Progress is unset), safe to call from concurrent campaign workers.
+func (o Options) progressSink() func(string) {
+	if o.Progress == nil {
+		return func(string) {}
+	}
+	var mu sync.Mutex
+	return func(line string) {
+		mu.Lock()
+		o.Progress(line)
+		mu.Unlock()
+	}
+}
+
+// campaignSeed derives a deterministic seed for a named campaign. The
+// algorithm (runner.Seed) is pinned: statistical test assertions depend on
+// the exact values it produces.
 func campaignSeed(master uint64, name string) uint64 {
-	h := master ^ 0x9e3779b97f4a7c15
-	for _, b := range []byte(name) {
-		h ^= uint64(b)
-		h *= 0x100000001b3
-		h ^= h >> 29
-	}
-	if h == 0 {
-		h = 1
-	}
-	return h
+	return runner.Seed(master, name)
 }
 
 // PWCETResult is one MBPTA campaign outcome.
@@ -101,17 +138,12 @@ type PWCETResult struct {
 	IID    mbpta.IIDReport
 }
 
-// analysisPWCET runs the full MBPTA campaign for prog under cfg: collect
-// Runs analysis-mode execution times, check i.i.d., fit, extract the
-// pWCET at prob.
-func analysisPWCET(cfg sim.Config, prog *isa.Program, runs int, seed uint64, prob float64) (PWCETResult, error) {
-	times, err := sim.CollectAnalysisTimes(cfg, prog, runs, seed)
-	if err != nil {
-		return PWCETResult{}, err
-	}
+// pwcetFromTimes runs the MBPTA pipeline over a collected sample: check
+// i.i.d., fit, extract the pWCET at prob.
+func pwcetFromTimes(times []float64, name string, prob float64) (PWCETResult, error) {
 	res, err := mbpta.Analyze(times, mbpta.Options{SkipIIDTests: true})
 	if err != nil {
-		return PWCETResult{}, fmt.Errorf("experiments: MBPTA on %s: %w", prog.Name, err)
+		return PWCETResult{}, fmt.Errorf("experiments: MBPTA on %s: %w", name, err)
 	}
 	iid, err := mbpta.TestIID(times)
 	if err != nil {
@@ -129,6 +161,26 @@ func analysisPWCET(cfg sim.Config, prog *isa.Program, runs int, seed uint64, pro
 		Max:   res.MaxSeen,
 		IID:   iid,
 	}, nil
+}
+
+// analysisPWCET runs the full MBPTA campaign for prog under cfg on a fresh
+// platform: collect runs analysis-mode execution times, then fit.
+func analysisPWCET(cfg sim.Config, prog *isa.Program, runs int, seed uint64, prob float64) (PWCETResult, error) {
+	times, err := sim.CollectAnalysisTimes(cfg, prog, runs, seed)
+	if err != nil {
+		return PWCETResult{}, err
+	}
+	return pwcetFromTimes(times, prog.Name, prob)
+}
+
+// pooledPWCET is analysisPWCET on a worker's platform pool: bit-identical
+// results (pinned by sim's reuse tests) without per-campaign construction.
+func pooledPWCET(ctx context.Context, pool *sim.Pool, cfg sim.Config, prog *isa.Program, runs int, seed uint64, prob float64) (PWCETResult, error) {
+	times, err := pool.CollectAnalysisTimes(ctx, cfg, prog, runs, seed)
+	if err != nil {
+		return PWCETResult{}, err
+	}
+	return pwcetFromTimes(times, prog.Name, prob)
 }
 
 // eflConfig returns the analysis configuration for EFL with the given MID.
@@ -152,54 +204,30 @@ type campaign struct {
 	cfg    sim.Config
 }
 
-// runCampaigns executes campaigns in parallel and returns results keyed by
-// "BENCH/CONFIG".
+// runCampaigns executes campaigns on the runner engine — each worker holds
+// a platform pool — and returns results keyed by "BENCH/CONFIG".
 func runCampaigns(opt Options, cs []campaign) (map[string]PWCETResult, error) {
-	type out struct {
-		key string
-		res PWCETResult
-		err error
-	}
-	results := make(map[string]PWCETResult, len(cs))
-	work := make(chan campaign)
-	outs := make(chan out)
-	var wg sync.WaitGroup
-	for w := 0; w < opt.Parallelism; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for c := range work {
-				key := c.bench.Code + "/" + c.config
-				seed := campaignSeed(opt.Seed, key)
-				res, err := analysisPWCET(c.cfg, c.bench.Build(), opt.Runs, seed, opt.Prob)
-				res.Bench = c.bench.Code
-				res.Config = c.config
-				outs <- out{key: key, res: res, err: err}
+	emit := opt.progressSink()
+	out, err := runner.MapWithState(opt.context(), opt.runnerOptions(), sim.NewPool, cs,
+		func(ctx context.Context, pool *sim.Pool, _ int, c campaign) (PWCETResult, error) {
+			key := c.bench.Code + "/" + c.config
+			seed := campaignSeed(opt.Seed, key)
+			res, err := pooledPWCET(ctx, pool, c.cfg, c.bench.Build(), opt.Runs, seed, opt.Prob)
+			if err != nil {
+				return PWCETResult{}, fmt.Errorf("%s: %w", key, err)
 			}
-		}()
+			res.Bench = c.bench.Code
+			res.Config = c.config
+			emit(fmt.Sprintf("campaign %-12s pWCET=%.0f max=%.0f runs=%d",
+				key, res.PWCET, res.Max, res.Runs))
+			return res, nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	go func() {
-		for _, c := range cs {
-			work <- c
-		}
-		close(work)
-		wg.Wait()
-		close(outs)
-	}()
-	var firstErr error
-	for o := range outs {
-		if o.err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("%s: %w", o.key, o.err)
-			continue
-		}
-		results[o.key] = o.res
-		if opt.Progress != nil {
-			opt.Progress(fmt.Sprintf("campaign %-12s pWCET=%.0f max=%.0f runs=%d",
-				o.key, o.res.PWCET, o.res.Max, o.res.Runs))
-		}
-	}
-	if firstErr != nil {
-		return nil, firstErr
+	results := make(map[string]PWCETResult, len(out))
+	for _, r := range out {
+		results[r.Bench+"/"+r.Config] = r
 	}
 	return results, nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -231,7 +232,7 @@ func TestAblationEq1(t *testing.T) {
 	}
 	for _, p := range points {
 		// The exact eviction model must match the simulated cache.
-		if abs(p.Exact-p.Measured) > 0.02 {
+		if math.Abs(p.Exact-p.Measured) > 0.02 {
 			t.Errorf("k=%d: exact %v vs simulated %v", p.K, p.Exact, p.Measured)
 		}
 		// Equation 1 as printed must be conservative (>= measured).

@@ -1,14 +1,17 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
+	"efl/internal/artifact"
 	"efl/internal/bench"
 	"efl/internal/isa"
 	"efl/internal/partition"
 	"efl/internal/rng"
+	"efl/internal/runner"
 	"efl/internal/sim"
 	"efl/internal/stats"
 )
@@ -80,8 +83,26 @@ type gipcTables struct {
 // with every MID; the workload stage draws random 4-benchmark mixes,
 // optimises CP's split and EFL's MID for wgIPC, and measures deployment
 // waIPC under both winners.
+//
+// When Options.Checkpoint is set, every completed workload is persisted
+// there; an interrupted campaign restarted with the same Options resumes
+// at the first unfinished workload and — because workloads derive their
+// results from stable per-index seeds — produces a Fig4Result identical
+// to an uninterrupted run.
 func Figure4(opt Options) (*Fig4Result, error) {
 	opt = opt.withDefaults()
+
+	// Validate a resume before paying for the analysis stage: a checkpoint
+	// written under different campaign parameters must fail fast.
+	var ck *artifact.Checkpoint
+	if opt.Checkpoint != "" {
+		var err error
+		ck, err = artifact.LoadCheckpoint(opt.Checkpoint, "fig4", opt.fingerprint(), opt.Workloads)
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	tables, err := buildGIPCTables(opt)
 	if err != nil {
 		return nil, err
@@ -93,59 +114,52 @@ func Figure4(opt Options) (*Fig4Result, error) {
 		progs[s.Code] = s.Build()
 	}
 
-	src := rng.New(campaignSeed(opt.Seed, "fig4-workloads"))
-	res := &Fig4Result{Opt: opt}
 	cores := sim.DefaultConfig().Cores
 	maxWays := sim.DefaultConfig().LLCWays
-
-	type job struct {
-		idx int
-		wl  Workload
-	}
-	type out struct {
-		idx int
-		fw  Fig4Workload
-		err error
-	}
-	jobs := make([]job, opt.Workloads)
-	for i := range jobs {
+	// The workload draw is a single serial stream: its order is part of the
+	// campaign's identity, independent of how evaluation later fans out.
+	src := rng.New(campaignSeed(opt.Seed, "fig4-workloads"))
+	workloads := make([]Workload, opt.Workloads)
+	for i := range workloads {
 		codes := make([]string, cores)
 		for c := range codes {
 			codes[c] = specs[src.Intn(len(specs))].Code
 		}
-		jobs[i] = job{idx: i, wl: Workload{Codes: codes}}
+		workloads[i] = Workload{Codes: codes}
 	}
 
-	work := make(chan job)
-	outs := make(chan out)
-	for w := 0; w < opt.Parallelism; w++ {
-		go func() {
-			for j := range work {
-				fw, err := evalWorkload(opt, tables, progs, j.wl, maxWays, j.idx)
-				outs <- out{idx: j.idx, fw: fw, err: err}
+	emit := opt.progressSink()
+	per, err := runner.MapWithState(opt.context(), opt.runnerOptions(), sim.NewPool, workloads,
+		func(ctx context.Context, pool *sim.Pool, idx int, wl Workload) (Fig4Workload, error) {
+			if ck != nil {
+				var fw Fig4Workload
+				ok, err := ck.Get(idx, &fw)
+				if err != nil {
+					return fw, err
+				}
+				if ok {
+					return fw, nil
+				}
 			}
-		}()
-	}
-	go func() {
-		for _, j := range jobs {
-			work <- j
-		}
-		close(work)
-	}()
-	res.PerWorkload = make([]Fig4Workload, opt.Workloads)
-	for n := 0; n < opt.Workloads; n++ {
-		o := <-outs
-		if o.err != nil {
-			return nil, o.err
-		}
-		res.PerWorkload[o.idx] = o.fw
-		if opt.Progress != nil {
-			opt.Progress(fmt.Sprintf("workload %4d %v: wgIPC %+0.1f%% waIPC %+0.1f%%",
-				o.idx, o.fw.Workload.Codes,
-				100*o.fw.GuaranteedImprovement(), 100*o.fw.AverageImprovement()))
-		}
+			fw, err := evalWorkload(ctx, opt, pool, tables, progs, wl, maxWays, idx)
+			if err != nil {
+				return fw, err
+			}
+			if ck != nil {
+				if err := ck.Put(idx, fw); err != nil {
+					return fw, err
+				}
+			}
+			emit(fmt.Sprintf("workload %4d %v: wgIPC %+0.1f%% waIPC %+0.1f%%",
+				idx, fw.Workload.Codes,
+				100*fw.GuaranteedImprovement(), 100*fw.AverageImprovement()))
+			return fw, nil
+		})
+	if err != nil {
+		return nil, err
 	}
 
+	res := &Fig4Result{Opt: opt, PerWorkload: per}
 	for _, fw := range res.PerWorkload {
 		res.GuaranteedCurve = append(res.GuaranteedCurve, fw.GuaranteedImprovement())
 		res.AverageCurve = append(res.AverageCurve, fw.AverageImprovement())
@@ -205,8 +219,8 @@ func buildGIPCTables(opt Options) (*gipcTables, error) {
 }
 
 // evalWorkload optimises and measures one workload.
-func evalWorkload(opt Options, t *gipcTables, progs map[string]*isa.Program,
-	wl Workload, maxWays int, idx int) (Fig4Workload, error) {
+func evalWorkload(ctx context.Context, opt Options, pool *sim.Pool, t *gipcTables,
+	progs map[string]*isa.Program, wl Workload, maxWays int, idx int) (Fig4Workload, error) {
 
 	fw := Fig4Workload{Workload: wl}
 
@@ -244,11 +258,11 @@ func evalWorkload(opt Options, t *gipcTables, progs map[string]*isa.Program,
 		return ps
 	}
 	seed := campaignSeed(opt.Seed, fmt.Sprintf("fig4-deploy-%d", idx))
-	cpIPC, err := deployIPC(sim.DefaultConfig().WithPartition(split), mkProgs(), opt.DeployRuns, seed)
+	cpIPC, err := deployIPC(ctx, pool, sim.DefaultConfig().WithPartition(split), mkProgs(), opt.DeployRuns, seed)
 	if err != nil {
 		return fw, err
 	}
-	eflIPC, err := deployIPC(sim.DefaultConfig().WithEFL(bestMID), mkProgs(), opt.DeployRuns, seed+1)
+	eflIPC, err := deployIPC(ctx, pool, sim.DefaultConfig().WithEFL(bestMID), mkProgs(), opt.DeployRuns, seed+1)
 	if err != nil {
 		return fw, err
 	}
@@ -258,14 +272,17 @@ func evalWorkload(opt Options, t *gipcTables, progs map[string]*isa.Program,
 }
 
 // deployIPC measures the workload's total observed IPC (sum over tasks)
-// averaged over runs deployment runs.
-func deployIPC(cfg sim.Config, progs []*isa.Program, runs int, seed uint64) (float64, error) {
-	m, err := sim.New(cfg, progs, seed)
+// averaged over runs deployment runs on a pooled platform.
+func deployIPC(ctx context.Context, pool *sim.Pool, cfg sim.Config, progs []*isa.Program, runs int, seed uint64) (float64, error) {
+	m, err := pool.Get(cfg, progs, seed)
 	if err != nil {
 		return 0, err
 	}
 	var total float64
 	for i := 0; i < runs; i++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		r, err := m.Run()
 		if err != nil {
 			return 0, err

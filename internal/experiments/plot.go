@@ -61,7 +61,7 @@ func AsciiCurve(title string, curve []float64, width, height int) string {
 	}
 	// Curve points.
 	for c := 0; c < width; c++ {
-		idx := c * (len(curve) - 1) / maxInt(width-1, 1)
+		idx := c * (len(curve) - 1) / max(width-1, 1)
 		r := rowOf(curve[idx])
 		grid[r][c] = '*'
 	}
@@ -83,13 +83,6 @@ func AsciiCurve(title string, curve []float64, width, height int) string {
 	}
 	fmt.Fprintf(&sb, "         rank 1 .. %d\n", len(curve))
 	return sb.String()
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // RenderCurves renders both Figure 4 S-curves as text plots.

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"efl/internal/artifact"
+)
+
+// TestArtifactWorkerCountInvariance pins the campaign engine's determinism
+// contract end to end: the same campaign at Parallelism 1 and 8 must
+// produce byte-identical artifacts, because every result derives from the
+// master seed and the campaign identity, never from scheduling.
+func TestArtifactWorkerCountInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test")
+	}
+	encode := func(par int) []byte {
+		opt := smallOpt()
+		opt.Parallelism = par
+		res, err := IIDTable(opt, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := artifact.Encode("iid", opt.Seed, res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	serial, parallel := encode(1), encode(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("iid artifact differs between Parallelism=1 and 8:\n%s\n---\n%s", serial, parallel)
+	}
+}
+
+// TestFigure4ResumeByteIdentical pins the resumable-campaign contract:
+// a Figure 4 campaign interrupted mid-flight (context cancellation, as on
+// SIGINT) and restarted from its checkpoint yields an artifact
+// byte-identical to an uninterrupted run — across different worker counts
+// on top.
+func TestFigure4ResumeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign test")
+	}
+	base := Options{
+		Seed:       11,
+		Runs:       60,
+		Workloads:  5,
+		DeployRuns: 1,
+		MIDs:       []int64{250, 1000},
+	}
+	encode := func(res *Fig4Result) []byte {
+		data, err := artifact.Encode("fig4", base.Seed, res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+
+	// Reference: one uninterrupted serial campaign.
+	ref := base
+	ref.Parallelism = 1
+	refRes, err := Figure4(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := encode(refRes)
+
+	// Interrupted campaign: cancel after two completed workloads, the way
+	// the SIGINT path does.
+	ckPath := filepath.Join(t.TempDir(), "fig4.ckpt")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	interrupted := base
+	interrupted.Parallelism = 2
+	interrupted.Checkpoint = ckPath
+	interrupted.Ctx = ctx
+	workloadLines := 0
+	interrupted.Progress = func(line string) {
+		if strings.HasPrefix(line, "workload") {
+			if workloadLines++; workloadLines == 2 {
+				cancel()
+			}
+		}
+	}
+	if _, err := Figure4(interrupted); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted campaign returned %v, want context.Canceled", err)
+	}
+	if _, err := os.Stat(ckPath); err != nil {
+		t.Fatalf("no checkpoint survived the interrupt: %v", err)
+	}
+
+	// Resume with a different worker count: checkpointed workloads are
+	// restored, the rest recomputed from their stable seeds.
+	resumed := base
+	resumed.Parallelism = 8
+	resumed.Checkpoint = ckPath
+	resRes, err := Figure4(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := encode(resRes); !bytes.Equal(got, want) {
+		t.Fatalf("resumed artifact differs from uninterrupted run:\n%s\n---\n%s", got, want)
+	}
+}
+
+// TestFigure4CheckpointRejectsOtherCampaign guards against resuming a
+// checkpoint under changed campaign parameters.
+func TestFigure4CheckpointRejectsOtherCampaign(t *testing.T) {
+	ckPath := filepath.Join(t.TempDir(), "fig4.ckpt")
+	ck, err := artifact.LoadCheckpoint(ckPath, "fig4", "some other fingerprint", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Put(0, Fig4Workload{}); err != nil {
+		t.Fatal(err)
+	}
+	opt := smallOpt()
+	opt.Checkpoint = ckPath
+	if _, err := Figure4(opt); err == nil {
+		t.Fatal("checkpoint from a different campaign accepted")
+	}
+}

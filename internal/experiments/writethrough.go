@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"efl/internal/isa"
+	"efl/internal/runner"
 	"efl/internal/sim"
 )
 
@@ -32,62 +34,65 @@ type WTRow struct {
 // chosen write-back design against both write-through variants.
 func AblationWriteThrough(opt Options, mid int64, codes []string) ([]WTRow, error) {
 	opt = opt.withDefaults()
-	var rows []WTRow
-	for _, code := range codes {
-		spec, err := specByCode(code)
-		if err != nil {
-			return nil, err
-		}
-		prog := spec.Build()
-		row := WTRow{Code: code}
-		for variant := 0; variant < 3; variant++ {
-			cfg := eflConfig(mid)
-			switch variant {
-			case 1:
-				cfg.DL1WriteThrough = true
-			case 2:
-				cfg.DL1WriteThrough = true
-				cfg.WTAllocate = true
-			}
-			seed := campaignSeed(opt.Seed, fmt.Sprintf("%s/wt=%d", code, variant))
-			var meanT, meanStall float64
-			m, err := newAnalysisPlatform(cfg, prog, seed)
+	return runner.MapWithState(opt.context(), opt.runnerOptions(), sim.NewPool, codes,
+		func(ctx context.Context, pool *sim.Pool, _ int, code string) (WTRow, error) {
+			spec, err := specByCode(code)
 			if err != nil {
-				return nil, err
+				return WTRow{}, err
 			}
-			runs := opt.Runs
-			if runs > 60 {
-				runs = 60 // means converge quickly; A4 needs no tail fit
-			}
-			for r := 0; r < runs; r++ {
-				res, err := m.Run()
-				if err != nil {
-					return nil, err
+			prog := spec.Build()
+			row := WTRow{Code: code}
+			for variant := 0; variant < 3; variant++ {
+				cfg := eflConfig(mid)
+				switch variant {
+				case 1:
+					cfg.DL1WriteThrough = true
+				case 2:
+					cfg.DL1WriteThrough = true
+					cfg.WTAllocate = true
 				}
-				meanT += float64(res.PerCore[0].Cycles)
-				meanStall += float64(res.PerCore[0].EFL.StallCycles)
+				seed := campaignSeed(opt.Seed, fmt.Sprintf("%s/wt=%d", code, variant))
+				var meanT, meanStall float64
+				m, err := analysisPlatform(pool, cfg, prog, seed)
+				if err != nil {
+					return row, err
+				}
+				runs := opt.Runs
+				if runs > 60 {
+					runs = 60 // means converge quickly; A4 needs no tail fit
+				}
+				for r := 0; r < runs; r++ {
+					if err := ctx.Err(); err != nil {
+						return row, err
+					}
+					res, err := m.Run()
+					if err != nil {
+						return row, err
+					}
+					meanT += float64(res.PerCore[0].Cycles)
+					meanStall += float64(res.PerCore[0].EFL.StallCycles)
+				}
+				meanT /= float64(runs)
+				meanStall /= float64(runs)
+				switch variant {
+				case 0:
+					row.WriteBack, row.StallWB = meanT, meanStall
+				case 1:
+					row.WTNoAlloc, row.StallNoAll = meanT, meanStall
+				case 2:
+					row.WTAllocate, row.StallAlloc = meanT, meanStall
+				}
 			}
-			meanT /= float64(runs)
-			meanStall /= float64(runs)
-			switch variant {
-			case 0:
-				row.WriteBack, row.StallWB = meanT, meanStall
-			case 1:
-				row.WTNoAlloc, row.StallNoAll = meanT, meanStall
-			case 2:
-				row.WTAllocate, row.StallAlloc = meanT, meanStall
-			}
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+			return row, nil
+		})
 }
 
-// newAnalysisPlatform builds an analysis-mode platform for prog on core 0.
-func newAnalysisPlatform(cfg sim.Config, prog *isa.Program, seed uint64) (*sim.Multicore, error) {
+// analysisPlatform fetches an analysis-mode platform for prog on core 0
+// from the worker's pool.
+func analysisPlatform(pool *sim.Pool, cfg sim.Config, prog *isa.Program, seed uint64) (*sim.Multicore, error) {
 	progs := make([]*isa.Program, cfg.Cores)
 	progs[0] = prog
-	return sim.New(cfg.WithAnalysis(0), progs, seed)
+	return pool.Get(cfg.WithAnalysis(0), progs, seed)
 }
 
 // RenderWriteThrough prints the A4 table.

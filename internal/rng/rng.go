@@ -70,6 +70,12 @@ func (m *MWC) Uint32() uint32 {
 	return m.x
 }
 
+// Reseed re-initialises the generator in place, leaving it in exactly the
+// state NewMWC(seed) would produce. Platform pooling (sim.Multicore.Reuse)
+// depends on this equivalence to keep reused platforms bit-identical to
+// freshly constructed ones.
+func (m *MWC) Reseed(seed uint64) { *m = *NewMWC(seed) }
+
 // State returns the internal (x, carry) pair, useful for checkpointing.
 func (m *MWC) State() (x, c uint32) { return m.x, m.c }
 
@@ -112,6 +118,9 @@ func (g *CMWC) Uint32() uint32 {
 	g.q[g.i] = ^x // complementary step
 	return g.q[g.i]
 }
+
+// Reseed re-initialises the generator in place, equivalent to NewCMWC(seed).
+func (g *CMWC) Reseed(seed uint64) { *g = *NewCMWC(seed) }
 
 // splitMix64 is the SplitMix64 state mixer, used only for seeding.
 func splitMix64(state *uint64) uint64 {
@@ -221,4 +230,23 @@ func (s Stream) Shuffle(n int, swap func(i, j int)) {
 // per-structure generators (one per cache, per core, per EFL unit ...).
 func (s Stream) Fork() Stream {
 	return New(s.Uint64())
+}
+
+// Reseeder is a Source that can be re-initialised in place.
+type Reseeder interface {
+	Reseed(seed uint64)
+}
+
+// Reseed rewinds the underlying source to the state a fresh generator
+// seeded with seed would have. Because a Stream is a value wrapper over a
+// shared Source pointer, every copy of the stream observes the reseed —
+// this is what lets a pooled platform (sim.Multicore.Reuse) rewind all its
+// forked streams without reallocating them. Panics if the Source does not
+// implement Reseeder (both built-in generators do).
+func (s Stream) Reseed(seed uint64) {
+	r, ok := s.Src.(Reseeder)
+	if !ok {
+		panic("rng: Source does not support in-place reseeding")
+	}
+	r.Reseed(seed)
 }

@@ -1,0 +1,204 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrdersResults(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i
+	}
+	out, err := Map(context.Background(), Options{Parallelism: 7}, items,
+		func(_ context.Context, idx int, item int) (int, error) {
+			return item * 2, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != 2*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestWorkerCountInvariance(t *testing.T) {
+	items := make([]string, 50)
+	for i := range items {
+		items[i] = fmt.Sprintf("job-%d", i)
+	}
+	run := func(par int) []uint64 {
+		out, err := Map(context.Background(), Options{Parallelism: par}, items,
+			func(_ context.Context, idx int, id string) (uint64, error) {
+				return Seed(42, id), nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(1), run(8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("item %d: P=1 gave %d, P=8 gave %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSeedStableAndDistinct(t *testing.T) {
+	if Seed(1, "a") != Seed(1, "a") {
+		t.Error("seed not deterministic")
+	}
+	if Seed(1, "a") == Seed(1, "b") || Seed(1, "a") == Seed(2, "a") {
+		t.Error("seeds collide")
+	}
+	if Seed(0, "") == 0 {
+		t.Error("zero seed produced")
+	}
+}
+
+// TestErrorCancelsWithoutLeak is the regression test for the goroutine
+// leak the hand-rolled Figure 4 pool had: its collector returned on the
+// first worker error while the remaining workers blocked forever sending
+// on an unbuffered channel (and the feeder blocked sending work). The
+// runner must instead stop claiming, drain in-flight jobs and return with
+// every worker goroutine exited.
+func TestErrorCancelsWithoutLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	items := make([]int, 200)
+	var started atomic.Int64
+	boom := errors.New("boom")
+	_, err := Map(context.Background(), Options{Parallelism: 8}, items,
+		func(ctx context.Context, idx int, _ int) (int, error) {
+			started.Add(1)
+			if idx == 3 {
+				return 0, boom
+			}
+			// Simulate campaign work so other workers are mid-job when
+			// the error lands — the scenario that deadlocked before.
+			time.Sleep(2 * time.Millisecond)
+			return 0, nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	// Cancellation stops the fan-out long before all 200 items start.
+	if n := started.Load(); n == 200 {
+		t.Error("error did not stop new claims")
+	}
+	// All workers must have exited by return; give the runtime a moment
+	// to reap stacks, then compare.
+	for i := 0; i < 50; i++ {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	items := make([]int, 1000)
+	var n atomic.Int64
+	_, err := Map(ctx, Options{Parallelism: 4}, items,
+		func(ctx context.Context, idx int, _ int) (int, error) {
+			if n.Add(1) == 10 {
+				cancel()
+			}
+			return 0, nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n.Load() == 1000 {
+		t.Error("cancellation did not stop the fan-out")
+	}
+}
+
+func TestMapWithStatePerWorkerState(t *testing.T) {
+	var states atomic.Int64
+	items := make([]int, 64)
+	out, err := MapWithState(context.Background(), Options{Parallelism: 4},
+		func() *int { states.Add(1); v := 0; return &v },
+		items, func(_ context.Context, st *int, idx int, _ int) (int, error) {
+			*st++ // worker-exclusive: no locking needed
+			return *st, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := states.Load(); s < 1 || s > 4 {
+		t.Errorf("%d states created, want 1..4", s)
+	}
+	total := 0
+	for _, v := range out {
+		if v < 1 {
+			t.Fatalf("state not threaded: %v", out)
+		}
+		total++
+	}
+	if total != 64 {
+		t.Fatalf("%d results", total)
+	}
+}
+
+func TestProgressSnapshots(t *testing.T) {
+	var snaps []Progress
+	items := make([]int, 20)
+	_, err := Map(context.Background(), Options{
+		Parallelism: 3,
+		Progress:    func(p Progress) { snaps = append(snaps, p) },
+	}, items, func(_ context.Context, idx int, _ int) (int, error) {
+		time.Sleep(time.Millisecond)
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 20 {
+		t.Fatalf("%d snapshots, want 20", len(snaps))
+	}
+	last := snaps[len(snaps)-1]
+	if last.Done != 20 || last.Total != 20 {
+		t.Errorf("final snapshot %+v", last)
+	}
+	if last.Remaining != 0 {
+		t.Errorf("final ETA %v, want 0", last.Remaining)
+	}
+	seen := map[int]bool{}
+	for _, p := range snaps {
+		if p.Done < 1 || p.Done > 20 || seen[p.Done] {
+			t.Fatalf("bad Done sequence: %+v", snaps)
+		}
+		seen[p.Done] = true
+		if p.Done < p.Total && p.Elapsed > 0 && p.Remaining < 0 {
+			t.Errorf("negative ETA: %+v", p)
+		}
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	out, err := Map(context.Background(), Options{}, []int(nil),
+		func(_ context.Context, _ int, _ int) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+}
+
+func TestParentCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Map(ctx, Options{}, []int{1, 2, 3},
+		func(_ context.Context, _ int, _ int) (int, error) { return 0, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"efl/internal/cache"
+	"efl/internal/cpu"
+	"efl/internal/efl"
+	"efl/internal/isa"
+)
+
+// Reuse rewinds the platform for a fresh campaign under the SAME Config:
+// every PRNG stream is re-derived from seed in construction fork order,
+// caches are rewound to their just-constructed state (reusing their line
+// arrays), and progs replace the previous program set. The result is
+// bit-identical to New(m.Config(), progs, seed) — pinned by
+// TestReuseMatchesFresh — while avoiding the cache/array allocations that
+// dominate New. Campaign code reuses one platform per (worker, Config)
+// through Pool instead of constructing thousands.
+func (m *Multicore) Reuse(progs []*isa.Program, seed uint64) error {
+	cfg := m.cfg
+	if len(progs) > cfg.Cores {
+		return fmt.Errorf("sim: %d programs for %d cores", len(progs), cfg.Cores)
+	}
+	if cfg.Mode == efl.Analysis {
+		for i, p := range progs {
+			if (p != nil) != (i == cfg.AnalysedCore) {
+				return fmt.Errorf("sim: analysis mode requires exactly the analysed core (%d) to have a program", cfg.AnalysedCore)
+			}
+		}
+	}
+	m.rnd.Reseed(seed)
+	for i := range m.progs {
+		m.progs[i] = nil
+	}
+	copy(m.progs, progs)
+
+	// Fork order mirrors New exactly: LLC, bus, access control, then the
+	// per-core L1 pairs of cores that run a program.
+	m.llc.Reseed(m.rnd.Uint64())
+	m.bus.Reseed(m.rnd.Uint64())
+	m.ac.Reseed(m.rnd.Uint64())
+	m.ac.SetFixed(cfg.EFLFixedMID)
+
+	for i, ctl := range m.cores {
+		ctl.wakeAt = 0
+		ctl.issuedAt = 0
+		ctl.evalAt = 0
+		ctl.analysisBusWait = 0
+		if m.progs[i] == nil {
+			ctl.core = nil
+			ctl.state = stIdle
+			continue
+		}
+		if cfg.PartitionWays != nil && cfg.PartitionWays[i] == 0 {
+			return fmt.Errorf("sim: core %d runs a program but has a 0-way partition", i)
+		}
+		machine, err := isa.NewMachine(m.progs[i])
+		if err != nil {
+			return err
+		}
+		var il1, dl1 *cache.Cache
+		if ctl.core != nil {
+			il1, dl1 = ctl.core.IL1, ctl.core.DL1
+			il1.Reseed(m.rnd.Uint64())
+			dl1.Reseed(m.rnd.Uint64())
+		} else {
+			il1 = cache.New(cfg.l1Config(fmt.Sprintf("IL1-%d", i)), m.rnd.Fork())
+			dl1 = cache.New(cfg.l1Config(fmt.Sprintf("DL1-%d", i)), m.rnd.Fork())
+		}
+		ctl.core = cpu.New(i, machine, il1, dl1)
+		ctl.core.BranchPenalty = cfg.BranchPenalty
+		ctl.core.WriteThrough = cfg.DL1WriteThrough
+		ctl.state = stReady
+	}
+	return nil
+}
+
+// Pool caches one platform per distinct Config so that campaign workers
+// stop paying New per run: the first Get for a configuration constructs
+// the platform, later Gets rewind it with Reuse. Results are bit-identical
+// either way. A Pool is NOT safe for concurrent use — campaign runners
+// hold one Pool per worker.
+type Pool struct {
+	platforms map[string]*Multicore
+}
+
+// NewPool returns an empty platform pool.
+func NewPool() *Pool { return &Pool{platforms: map[string]*Multicore{}} }
+
+// Size returns the number of distinct platforms held.
+func (p *Pool) Size() int { return len(p.platforms) }
+
+// configKey fingerprints a Config. Config is a flat value type (plus the
+// PartitionWays slice), so the %+v rendering is a faithful identity.
+func configKey(cfg Config) string { return fmt.Sprintf("%+v", cfg) }
+
+// Get returns a platform for cfg running progs under seed, reusing a
+// pooled platform when one with the same Config exists.
+func (p *Pool) Get(cfg Config, progs []*isa.Program, seed uint64) (*Multicore, error) {
+	key := configKey(cfg)
+	if m, ok := p.platforms[key]; ok {
+		if err := m.Reuse(progs, seed); err != nil {
+			return nil, err
+		}
+		return m, nil
+	}
+	m, err := New(cfg, progs, seed)
+	if err != nil {
+		return nil, err
+	}
+	p.platforms[key] = m
+	return m, nil
+}
+
+// CollectAnalysisTimes is the pooled, cancellable variant of the package
+// function: it performs runs analysis-mode executions of prog and returns
+// the execution times in run order. ctx is checked between runs so an
+// interrupted campaign stops within one simulation run.
+func (p *Pool) CollectAnalysisTimes(ctx context.Context, cfg Config, prog *isa.Program, runs int, seed uint64) ([]float64, error) {
+	cfg = cfg.WithAnalysis(0)
+	progs := make([]*isa.Program, cfg.Cores)
+	progs[0] = prog
+	m, err := p.Get(cfg, progs, seed)
+	if err != nil {
+		return nil, err
+	}
+	times := make([]float64, runs)
+	var res Result
+	for i := 0; i < runs; i++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if err := m.RunInto(&res); err != nil {
+			return nil, err
+		}
+		times[i] = float64(res.PerCore[0].Cycles)
+	}
+	return times, nil
+}

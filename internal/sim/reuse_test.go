@@ -1,0 +1,224 @@
+package sim
+
+import (
+	"context"
+	"testing"
+
+	"efl/internal/cache"
+	"efl/internal/isa"
+)
+
+// reuseScenario is one (Config, program set) combination whose Reuse
+// behaviour must be bit-identical to fresh construction.
+type reuseScenario struct {
+	name  string
+	cfg   Config
+	progs func() []*isa.Program
+}
+
+func reuseScenarios() []reuseScenario {
+	prog := func() *isa.Program { return loopProg("reuse", 256, 3) }
+	other := func() *isa.Program { return loopProg("other", 96, 5) }
+	quad := func(p func() *isa.Program) []*isa.Program {
+		return []*isa.Program{p(), p(), p(), p()}
+	}
+	analysis := func(p func() *isa.Program) []*isa.Program {
+		progs := make([]*isa.Program, 4)
+		progs[0] = p()
+		return progs
+	}
+	td := DefaultConfig()
+	td.Policy = cache.TimeDeterministic
+	wt := DefaultConfig().WithEFL(500).WithAnalysis(0)
+	wt.DL1WriteThrough = true
+	return []reuseScenario{
+		{"efl-analysis", DefaultConfig().WithEFL(500).WithAnalysis(0), func() []*isa.Program { return analysis(prog) }},
+		{"efl-analysis-other-prog", DefaultConfig().WithEFL(500).WithAnalysis(0), func() []*isa.Program { return analysis(other) }},
+		{"cp-analysis", DefaultConfig().WithPartition([]int{2, 0, 0, 0}).WithAnalysis(0), func() []*isa.Program { return analysis(prog) }},
+		{"efl-deployment", DefaultConfig().WithEFL(250), func() []*isa.Program { return quad(prog) }},
+		{"cp-deployment", DefaultConfig().WithPartition([]int{1, 2, 4, 1}), func() []*isa.Program { return quad(other) }},
+		{"td-deployment", td, func() []*isa.Program { return []*isa.Program{prog()} }},
+		{"writethrough-analysis", wt, func() []*isa.Program { return analysis(prog) }},
+	}
+}
+
+// runFingerprints runs m n times and returns the per-run fingerprints.
+func runFingerprints(t *testing.T, m *Multicore, n int) []string {
+	t.Helper()
+	out := make([]string, n)
+	for i := range out {
+		res, err := m.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = goldenFingerprint(res)
+	}
+	return out
+}
+
+// TestReuseMatchesFresh pins the Reuse contract: a platform that already
+// ran arbitrary prior work, rewound with Reuse(progs, seed), produces
+// run-for-run bit-identical results to New(cfg, progs, seed). Covered
+// across EFL/CP, analysis/deployment, TD placement and write-through
+// configurations, program swaps and multiple consecutive runs (so the
+// cross-run RII reseeding after a Reuse is exercised too).
+func TestReuseMatchesFresh(t *testing.T) {
+	for _, sc := range reuseScenarios() {
+		t.Run(sc.name, func(t *testing.T) {
+			const seed = 42
+			fresh, err := New(sc.cfg, sc.progs(), seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := runFingerprints(t, fresh, 3)
+
+			// Dirty a platform of the same Config with different work
+			// under a different seed, then rewind it.
+			reused, err := New(sc.cfg, sc.progs(), 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runFingerprints(t, reused, 2)
+			if err := reused.Reuse(sc.progs(), seed); err != nil {
+				t.Fatal(err)
+			}
+			got := runFingerprints(t, reused, 3)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("run %d diverged after Reuse.\ngot:\n%s\nwant:\n%s", i+1, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestReuseSwapsPrograms verifies Reuse across program swaps on the same
+// pooled platform, including activating a previously idle core set.
+func TestReuseSwapsPrograms(t *testing.T) {
+	cfg := DefaultConfig().WithEFL(500)
+	a := loopProg("a", 256, 3)
+	b := loopProg("b", 96, 5)
+
+	m, err := New(cfg, []*isa.Program{a, a, a, a}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runFingerprints(t, m, 1)
+
+	// Swap to a 2-program deployment (cores 2/3 go idle).
+	if err := m.Reuse([]*isa.Program{b, b}, 2); err != nil {
+		t.Fatal(err)
+	}
+	got := runFingerprints(t, m, 2)
+	fresh, err := New(cfg, []*isa.Program{b, b}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runFingerprints(t, fresh, 2)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("2-prog run %d diverged.\ngot:\n%s\nwant:\n%s", i+1, got[i], want[i])
+		}
+	}
+
+	// Swap back to four programs (cores 2/3 reactivate with fresh L1s).
+	if err := m.Reuse([]*isa.Program{a, b, a, b}, 3); err != nil {
+		t.Fatal(err)
+	}
+	got = runFingerprints(t, m, 1)
+	fresh2, err := New(cfg, []*isa.Program{a, b, a, b}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = runFingerprints(t, fresh2, 1)
+	if got[0] != want[0] {
+		t.Fatalf("4-prog run diverged.\ngot:\n%s\nwant:\n%s", got[0], want[0])
+	}
+}
+
+// TestReuseValidation pins the error cases New rejects.
+func TestReuseValidation(t *testing.T) {
+	cfg := DefaultConfig().WithEFL(500).WithAnalysis(0)
+	progs := make([]*isa.Program, cfg.Cores)
+	progs[0] = loopProg("v", 64, 2)
+	m, err := New(cfg, progs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := make([]*isa.Program, cfg.Cores)
+	bad[1] = progs[0]
+	if err := m.Reuse(bad, 1); err == nil {
+		t.Error("analysis-mode program on wrong core accepted")
+	}
+	long := make([]*isa.Program, cfg.Cores+1)
+	if err := m.Reuse(long, 1); err == nil {
+		t.Error("too many programs accepted")
+	}
+
+	cp := DefaultConfig().WithPartition([]int{2, 0, 0, 0})
+	mc, err := New(cp, []*isa.Program{progs[0]}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mc.Reuse([]*isa.Program{progs[0], progs[0]}, 1); err == nil {
+		t.Error("program on 0-way partition accepted")
+	}
+}
+
+// TestPoolReuses verifies the pool returns one platform per Config and
+// that pooled campaigns match unpooled ones bit for bit.
+func TestPoolReuses(t *testing.T) {
+	p := NewPool()
+	cfgA := DefaultConfig().WithEFL(500).WithAnalysis(0)
+	cfgB := DefaultConfig().WithEFL(250).WithAnalysis(0)
+	prog := loopProg("pool", 128, 3)
+	progs := make([]*isa.Program, cfgA.Cores)
+	progs[0] = prog
+
+	m1, err := p.Get(cfgA, progs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := p.Get(cfgA, progs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Error("same Config did not reuse the pooled platform")
+	}
+	m3, err := p.Get(cfgB, progs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3 == m1 {
+		t.Error("distinct Configs shared a platform")
+	}
+	if p.Size() != 2 {
+		t.Errorf("pool holds %d platforms, want 2", p.Size())
+	}
+
+	want, err := CollectAnalysisTimes(cfgA, prog, 20, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.CollectAnalysisTimes(context.Background(), cfgA, prog, 20, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pooled time %d = %v, fresh = %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestPoolCancellation verifies ctx aborts a campaign between runs.
+func TestPoolCancellation(t *testing.T) {
+	p := NewPool()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := p.CollectAnalysisTimes(ctx, DefaultConfig().WithEFL(500), loopProg("c", 64, 2), 10, 1)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
