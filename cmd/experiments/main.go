@@ -12,6 +12,7 @@
 //	experiments -exp wt                    # ablation A4 (DL1 write policy, footnote 5)
 //	experiments -exp midsweep              # E6 extension: pWCET vs MID curve
 //	experiments -exp convergence           # E7 extension: MBPTA convergence study
+//	experiments -exp attrib                # per-core cycle-attribution breakdown
 //	experiments -exp bench                 # performance regression suite
 //	experiments -exp all                   # everything, paper order
 //
@@ -34,6 +35,15 @@
 // suite writes its JSON report to the -benchout path (BENCH_SIM.json by
 // default). -cpuprofile/-memprofile write pprof profiles of whatever
 // experiment ran, for the profiling workflow documented in the README.
+//
+// -audit turns on the runtime soundness auditor: every simulation run is
+// checked against the invariants in DESIGN.md §9 (exhaustive cycle
+// attribution, memory reads under the UBD, MID-bounded eviction rates,
+// EVT estimator agreement), the audit report is attached to every artifact
+// and printed at the end, and any violation fails the command. Results are
+// bit-identical with and without it. -metrics-addr HOST:PORT serves live
+// campaign progress (completed/total jobs, ETA, per-worker throughput,
+// and the audit counters when -audit is on) as JSON on /metrics.
 package main
 
 import (
@@ -50,12 +60,18 @@ import (
 
 	"efl/internal/artifact"
 	"efl/internal/experiments"
+	"efl/internal/metrics"
+	"efl/internal/runner"
 	"efl/internal/sim"
 )
 
+// auditor is the campaign soundness auditor (-audit). While it is set,
+// emit attaches its report to every artifact written.
+var auditor *sim.Auditor
+
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: setup|iid|fig3|fig4|eq1|fixedmid|lru|wt|midsweep|convergence|bench|all")
+		exp       = flag.String("exp", "all", "experiment: setup|iid|fig3|fig4|eq1|fixedmid|lru|wt|midsweep|convergence|attrib|bench|all")
 		runs      = flag.Int("runs", 300, "measurement runs per MBPTA campaign")
 		workloads = flag.Int("workloads", 1024, "random workloads for Figure 4")
 		deploy    = flag.Int("deployruns", 2, "deployment runs averaged per workload config")
@@ -70,6 +86,8 @@ func main() {
 		benchkern = flag.String("benchkernel", "CA", "kernel code the bench suite simulates")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memprof   = flag.String("memprofile", "", "write a heap profile to this path on exit")
+		audit     = flag.Bool("audit", false, "check every run against the soundness invariants; violations fail the command")
+		metricsAt = flag.String("metrics-addr", "", "serve live campaign progress as JSON on this HOST:PORT")
 	)
 	flag.Parse()
 
@@ -122,8 +140,40 @@ func main() {
 	if *verbose {
 		opt.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
 	}
+	if *audit {
+		auditor = sim.NewAuditor()
+		opt.Audit = auditor
+	}
+
+	var tracker *metrics.CampaignTracker
+	if *metricsAt != "" {
+		tracker = metrics.NewCampaignTracker()
+		srv, bound, err := metrics.Serve(*metricsAt, func() any {
+			s := struct {
+				Campaign metrics.CampaignSnapshot `json:"campaign"`
+				Audit    *sim.AuditReport         `json:"audit,omitempty"`
+			}{Campaign: tracker.Snapshot()}
+			if auditor != nil {
+				rep := auditor.Report()
+				s.Audit = &rep
+			}
+			return s
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "[live metrics at http://%s/metrics]\n", bound)
+		opt.OnProgress = func(p runner.Progress) {
+			tracker.JobDone(p.Worker, p.Done, p.Total, p.Elapsed, p.Remaining)
+		}
+	}
 
 	run := func(name string, f func() error) {
+		if tracker != nil {
+			tracker.Begin(name)
+		}
 		start := time.Now()
 		if err := f(); err != nil {
 			if errors.Is(err, context.Canceled) {
@@ -263,6 +313,17 @@ func main() {
 			})
 		})
 	}
+	if want("attrib") {
+		run("attrib", func() error {
+			res, err := experiments.Attribution(opt, *mid, nil)
+			if err != nil {
+				return err
+			}
+			return emit(*outDir, "attrib", *seed, *res, func(r experiments.AttributionResult) string {
+				return r.Render()
+			})
+		})
+	}
 	if want("lru") {
 		run("lru", func() error {
 			rows, err := experiments.AblationLRU(opt, []string{"ID", "CA", "PN", "A2"})
@@ -299,20 +360,33 @@ func main() {
 		})
 	}
 	switch *exp {
-	case "setup", "iid", "fig3", "fig4", "eq1", "fixedmid", "wt", "lru", "midsweep", "convergence", "bench", "all":
+	case "setup", "iid", "fig3", "fig4", "eq1", "fixedmid", "wt", "lru", "midsweep", "convergence", "attrib", "bench", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "experiments: unknown -exp %q\n", *exp)
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if auditor != nil {
+		fmt.Println(experiments.RenderAudit(auditor.Report()))
+		if err := auditor.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }
 
 // emit routes a result through its artifact: encode canonically, persist
 // to outDir/<kind>.json when outDir is set, decode into a fresh value and
 // render from the decoded copy — so the printed tables always reflect
-// exactly what the artifact holds.
+// exactly what the artifact holds. Under -audit the auditor's report so
+// far rides along in the envelope's audit block.
 func emit[T any](outDir, kind string, seed uint64, payload T, render func(T) string) error {
-	data, err := artifact.Encode(kind, seed, payload)
+	var auditRep any
+	if auditor != nil {
+		auditRep = auditor.Report()
+	}
+	data, err := artifact.EncodeWithAudit(kind, seed, payload, auditRep)
 	if err != nil {
 		return err
 	}

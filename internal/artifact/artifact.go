@@ -30,21 +30,38 @@ type Envelope struct {
 	Kind    string          `json:"kind"` // experiment identity: "fig3", "fig4", ...
 	Seed    uint64          `json:"seed"` // master seed the campaign ran under
 	Payload json.RawMessage `json:"payload"`
+	// Audit, when present, is the runtime soundness auditor's report for
+	// the campaign that produced the payload (sim.AuditReport). It is
+	// additive and omitted when auditing was off, so schema 1 readers and
+	// unaudited artifacts are unaffected.
+	Audit json.RawMessage `json:"audit,omitempty"`
 }
 
 // Encode renders an artifact canonically: 2-space indentation, sorted map
 // keys, trailing newline.
 func Encode(kind string, seed uint64, payload any) ([]byte, error) {
+	return EncodeWithAudit(kind, seed, payload, nil)
+}
+
+// EncodeWithAudit is Encode with an optional audit block attached to the
+// envelope; audit == nil yields exactly Encode's bytes.
+func EncodeWithAudit(kind string, seed uint64, payload, audit any) ([]byte, error) {
 	raw, err := json.Marshal(payload)
 	if err != nil {
 		return nil, fmt.Errorf("artifact: encode %s payload: %w", kind, err)
 	}
-	data, err := json.MarshalIndent(Envelope{
+	env := Envelope{
 		Schema:  SchemaVersion,
 		Kind:    kind,
 		Seed:    seed,
 		Payload: raw,
-	}, "", "  ")
+	}
+	if audit != nil {
+		if env.Audit, err = json.Marshal(audit); err != nil {
+			return nil, fmt.Errorf("artifact: encode %s audit: %w", kind, err)
+		}
+	}
+	data, err := json.MarshalIndent(env, "", "  ")
 	if err != nil {
 		return nil, fmt.Errorf("artifact: encode %s: %w", kind, err)
 	}

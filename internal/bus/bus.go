@@ -24,6 +24,7 @@ package bus
 import (
 	"fmt"
 
+	"efl/internal/metrics"
 	"efl/internal/rng"
 )
 
@@ -49,6 +50,9 @@ type Bus struct {
 	freeAt int64
 	wait   []Request
 	stats  Stats
+	// waitHist distributes per-transaction arbitration waits (grant −
+	// arrival), the bus leg of the cycle-accounting observability layer.
+	waitHist metrics.Histogram
 }
 
 // New creates a bus with the given arbitration slot length.
@@ -65,11 +69,16 @@ func (b *Bus) Slot() int64 { return b.slot }
 // Stats returns a copy of the counters.
 func (b *Bus) Stats() Stats { return b.stats }
 
+// WaitHistogram returns a copy of the per-transaction arbitration-wait
+// distribution (histograms are plain values; copying snapshots them).
+func (b *Bus) WaitHistogram() metrics.Histogram { return b.waitHist }
+
 // Reset clears queued requests and occupancy for a new run.
 func (b *Bus) Reset() {
 	b.freeAt = 0
 	b.wait = b.wait[:0]
 	b.stats = Stats{}
+	b.waitHist.Reset()
 }
 
 // Reseed rewinds the bus to its just-constructed state with the lottery
@@ -139,6 +148,7 @@ func (b *Bus) Grant(holdCycles int64) (Request, int64) {
 	b.stats.Transactions++
 	b.stats.WaitCycles += t - win.Arrival
 	b.stats.BusyCycles += holdCycles
+	b.waitHist.Observe(t - win.Arrival)
 	return win, t
 }
 

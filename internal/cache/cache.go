@@ -132,6 +132,7 @@ type Stats struct {
 	Writebacks  uint64 // dirty lines displaced (demand or forced)
 	ForcedEvict uint64 // evictions caused by force-miss (CRG) requests
 	Flushes     uint64 // whole-cache flushes (RII changes)
+	MemoHits    uint64 // hits answered by the last-hit memo (subset of Hits)
 }
 
 // MissRatio returns Misses/Accesses, or 0 when there were no accesses.
@@ -383,6 +384,7 @@ func (c *Cache) Lookup(addr uint64, mask WayMask) Lookup {
 	}
 	la := c.LineAddr(addr)
 	if c.memoHit(la, mask) {
+		c.stats.MemoHits++
 		return Lookup{Hit: true, way: c.memoWay, set: c.memoSet, line: la}
 	}
 	si := c.setIndex(la)
@@ -483,6 +485,7 @@ func (c *Cache) Access(addr uint64, write bool, mask WayMask, owner int) AccessR
 	if c.memoHit(la, mask) {
 		c.stats.Accesses++
 		c.stats.Hits++
+		c.stats.MemoHits++
 		if write {
 			l := &c.lines[c.memoIdx]
 			if !l.dirty {
@@ -633,6 +636,7 @@ func (c *Cache) AccessNoAlloc(addr uint64, mask WayMask, owner int) (hit bool) {
 	if c.memoHit(la, mask) {
 		c.stats.Accesses++
 		c.stats.Hits++
+		c.stats.MemoHits++
 		if c.modulo {
 			c.touchLRU(int(c.memoSet), int(c.memoWay))
 		}

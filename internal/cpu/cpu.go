@@ -97,6 +97,14 @@ type Core struct {
 	// Clock is the core-local cycle counter.
 	Clock int64
 
+	// execCycles counts the cycles the pipeline itself advanced the clock
+	// by (instruction latencies, branch bubbles, the HALT cycle) — the
+	// "execute" category of the cycle-accounting invariant. It is counted
+	// at each clock advance, never derived as Clock minus stalls, so the
+	// auditor's per-core category-sum check is a genuine cross-check
+	// between this counter and the simulator's stall attribution.
+	execCycles int64
+
 	stats  Stats
 	l1Mask cache.WayMask
 	phase  phase
@@ -139,6 +147,10 @@ func (c *Core) Stats() Stats { return c.stats }
 // Retired returns the dynamic instruction count.
 func (c *Core) Retired() uint64 { return c.M.Steps }
 
+// ExecCycles returns the cycles attributed to pipeline execution (the
+// complement of shared-resource stalls in the core's clock).
+func (c *Core) ExecCycles() int64 { return c.execCycles }
+
 // Halted reports whether the core has finished (HALT or fault).
 func (c *Core) Halted() bool { return c.halted }
 
@@ -152,6 +164,7 @@ func (c *Core) Reset() {
 	c.IL1.NewRun()
 	c.DL1.NewRun()
 	c.Clock = 0
+	c.execCycles = 0
 	c.stats = Stats{}
 	c.phase = phFetch
 	c.pending = c.pending[:0]
@@ -238,12 +251,15 @@ func (c *Core) Step() Need {
 			if si.Halted {
 				// The HALT instruction itself occupies one cycle.
 				c.Clock++
+				c.execCycles++
 				c.halted = true
 				return NeedHalt
 			}
 			c.Clock += si.Op.Latency()
+			c.execCycles += si.Op.Latency()
 			if si.Taken {
 				c.Clock += c.BranchPenalty
+				c.execCycles += c.BranchPenalty
 				c.stats.TakenBranches++
 			}
 			if si.Op.IsMem() {

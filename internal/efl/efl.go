@@ -29,6 +29,7 @@ package efl
 import (
 	"fmt"
 
+	"efl/internal/metrics"
 	"efl/internal/rng"
 )
 
@@ -72,6 +73,9 @@ type Unit struct {
 	enabled bool
 	fixed   bool // ablation A2: deterministic delays instead of U[0,2*MID]
 	stats   Stats
+	// stallHist distributes per-eviction EAB waits (the EFL leg of the
+	// cycle-accounting observability layer).
+	stallHist metrics.Histogram
 }
 
 // NewUnit creates a unit with the given rMID value. mid <= 0 disables the
@@ -94,6 +98,9 @@ func (u *Unit) Enabled() bool { return u.enabled }
 // Stats returns a copy of the unit's counters.
 func (u *Unit) Stats() Stats { return u.stats }
 
+// StallHistogram returns a copy of the per-eviction EAB-wait distribution.
+func (u *Unit) StallHistogram() metrics.Histogram { return u.stallHist }
+
 // SetFixed switches the unit to deterministic inter-eviction delays
 // (always exactly MID instead of U[0, 2*MID]). This drops the paper's
 // interleave randomisation (§3.4) and exists for the ablation showing why
@@ -114,6 +121,7 @@ func (u *Unit) draw() int64 {
 func (u *Unit) Reset() {
 	u.eabAt = 0
 	u.stats = Stats{}
+	u.stallHist.Reset()
 }
 
 // EvictionAllowedAt returns the earliest cycle >= now at which an eviction
@@ -134,6 +142,7 @@ func (u *Unit) RecordEviction(t int64, waited int64) {
 	u.stats.Evictions++
 	if waited > 0 {
 		u.stats.StallCycles += waited
+		u.stallHist.Observe(waited)
 	}
 	if !u.enabled {
 		return

@@ -101,7 +101,7 @@ type FixedMIDRow struct {
 // interleaving is probabilistic and the gate passes.
 func AblationFixedMID(opt Options, mid int64) ([]FixedMIDRow, error) {
 	opt = opt.withDefaults()
-	return runner.MapWithState(opt.context(), opt.runnerOptions(), sim.NewPool, allSpecs(),
+	return runner.MapWithState(opt.context(), opt.runnerOptions(), opt.newPool, allSpecs(),
 		func(ctx context.Context, pool *sim.Pool, _ int, s bench.Spec) (FixedMIDRow, error) {
 			prog := s.Build()
 			row := FixedMIDRow{Code: s.Code}
@@ -157,7 +157,7 @@ type LRURow struct {
 // execution-time distribution.
 func AblationLRU(opt Options, codes []string) ([]LRURow, error) {
 	opt = opt.withDefaults()
-	return runner.MapWithState(opt.context(), opt.runnerOptions(), sim.NewPool, codes,
+	return runner.MapWithState(opt.context(), opt.runnerOptions(), opt.newPool, codes,
 		func(ctx context.Context, pool *sim.Pool, _ int, code string) (LRURow, error) {
 			s, err := specByCode(code)
 			if err != nil {
@@ -204,12 +204,15 @@ func collectIsolatedTimes(ctx context.Context, pool *sim.Pool, cfg sim.Config, p
 		return nil, err
 	}
 	times := make([]float64, runs)
+	var r sim.Result
 	for i := range times {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		r, err := m.Run()
-		if err != nil {
+		if err := m.RunInto(&r); err != nil {
+			return nil, err
+		}
+		if err := pool.AuditRun(cfg, &r); err != nil {
 			return nil, err
 		}
 		times[i] = float64(r.PerCore[0].Cycles)

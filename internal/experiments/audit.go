@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"efl/internal/isa"
+	"efl/internal/metrics"
+	"efl/internal/sim"
+)
+
+// CoreBreakdown is one core's cycle attribution: where every cycle of its
+// clock went, by category, plus the worst memory read it observed.
+type CoreBreakdown struct {
+	Core           int
+	Bench          string
+	Cycles         int64
+	Categories     map[string]int64
+	MaxReadLatency int64
+}
+
+// AttributionResult is the cycle-attribution experiment outcome: a full
+// per-core breakdown of a quad-core EFL deployment run, with the platform
+// latency histograms. The breakdown is machine-checked — each core's
+// categories sum exactly to its cycle count (invariant A1) and every
+// memory read stayed under the UBD (A2) — before it is reported.
+type AttributionResult struct {
+	Opt         Options
+	MID         int64
+	Codes       []string
+	Runs        int
+	UBD         int64
+	TotalCycles int64
+	PerCore     []CoreBreakdown
+	// Aggregate sums the per-core accounts of the reported (final) run.
+	Aggregate map[string]int64
+	// Latency histograms of the reported run.
+	BusWait  metrics.HistogramSnapshot
+	MemRead  metrics.HistogramSnapshot
+	EFLStall metrics.HistogramSnapshot
+}
+
+// Attribution runs a deployment workload under EFL and reports where the
+// cycles went. codes picks the per-core benchmarks (nil: the first Cores
+// entries of the suite); the result describes the final of Opt.DeployRuns
+// runs, every one of which is audited.
+func Attribution(opt Options, mid int64, codes []string) (*AttributionResult, error) {
+	opt = opt.withDefaults()
+	cfg := sim.DefaultConfig().WithEFL(mid)
+	if len(codes) == 0 {
+		for _, s := range allSpecs()[:cfg.Cores] {
+			codes = append(codes, s.Code)
+		}
+	}
+	if len(codes) != cfg.Cores {
+		return nil, fmt.Errorf("experiments: attribution needs %d benchmark codes, got %d", cfg.Cores, len(codes))
+	}
+	progs := make([]*isa.Program, cfg.Cores)
+	for i, code := range codes {
+		s, err := specByCode(code)
+		if err != nil {
+			return nil, err
+		}
+		progs[i] = s.Build()
+	}
+
+	pool := opt.newPool()
+	m, err := pool.Get(cfg, progs, campaignSeed(opt.Seed, "attribution"))
+	if err != nil {
+		return nil, err
+	}
+	ctx := opt.context()
+	var res sim.Result
+	for r := 0; r < opt.DeployRuns; r++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := m.RunInto(&res); err != nil {
+			return nil, err
+		}
+		if err := pool.AuditRun(cfg, &res); err != nil {
+			return nil, err
+		}
+	}
+
+	out := &AttributionResult{
+		Opt: opt, MID: mid, Codes: codes, Runs: opt.DeployRuns,
+		UBD:         int64(cfg.Cores)*cfg.MemSlotCycles + cfg.MemCycles,
+		TotalCycles: res.TotalCycles,
+		Aggregate:   map[string]int64{},
+		BusWait:     res.BusWaitHist.Snapshot(),
+		MemRead:     res.MemReadHist.Snapshot(),
+		EFLStall:    res.EFLStallHist.Snapshot(),
+	}
+	for i, cr := range res.PerCore {
+		if !cr.Active {
+			continue
+		}
+		out.PerCore = append(out.PerCore, CoreBreakdown{
+			Core: i, Bench: codes[i], Cycles: cr.Cycles,
+			Categories:     cr.Attribution.Map(),
+			MaxReadLatency: cr.MaxReadLatency,
+		})
+		for k, v := range cr.Attribution.Map() {
+			out.Aggregate[k] += v
+		}
+	}
+	return out, nil
+}
+
+// Render prints the per-core breakdown table.
+func (r *AttributionResult) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Cycle attribution: %v at deployment under EFL (MID=%d), run %d of %d\n",
+		r.Codes, r.MID, r.Runs, r.Runs)
+	fmt.Fprintf(&sb, "%-5s %-5s %10s", "core", "bench", "cycles")
+	for c := metrics.Category(0); c < metrics.NumCategories; c++ {
+		fmt.Fprintf(&sb, " %10s", c)
+	}
+	fmt.Fprintf(&sb, " %8s\n", "maxread")
+	for _, cb := range r.PerCore {
+		fmt.Fprintf(&sb, "core%d %-5s %10d", cb.Core, cb.Bench, cb.Cycles)
+		for c := metrics.Category(0); c < metrics.NumCategories; c++ {
+			fmt.Fprintf(&sb, " %10d", cb.Categories[c.String()])
+		}
+		fmt.Fprintf(&sb, " %8d\n", cb.MaxReadLatency)
+	}
+	fmt.Fprintf(&sb, "every memory read <= UBD %d; per-core categories sum to the core's cycles (audited)\n", r.UBD)
+	fmt.Fprintf(&sb, "bus wait: %d obs, mean %.1f, max %d | mem read: %d obs, mean %.1f, max %d | EFL stall: %d obs, mean %.1f, max %d\n",
+		r.BusWait.Count, r.BusWait.Mean, r.BusWait.Max,
+		r.MemRead.Count, r.MemRead.Mean, r.MemRead.Max,
+		r.EFLStall.Count, r.EFLStall.Mean, r.EFLStall.Max)
+	return sb.String()
+}
+
+// RenderAudit prints an auditor's report as the operator-facing summary
+// table printed after an audited campaign.
+func RenderAudit(rep sim.AuditReport) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Soundness audit: %d runs, %d checks, %d violations\n",
+		rep.Runs, rep.Checks, rep.Violations)
+	names := make([]string, 0, len(rep.Invariants))
+	for name := range rep.Invariants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		iv := rep.Invariants[name]
+		status := "ok"
+		if iv.Violations > 0 {
+			status = "VIOLATED"
+		}
+		fmt.Fprintf(&sb, "  %-15s %8d checks %8d violations  %s\n",
+			name, iv.Checks, iv.Violations, status)
+		if iv.FirstViolation != "" {
+			fmt.Fprintf(&sb, "    first: %s\n", iv.FirstViolation)
+		}
+	}
+	return sb.String()
+}

@@ -42,7 +42,7 @@ func ConvergenceStudy(opt Options, mid int64, runCounts []int, codes []string) (
 	}
 	res := &ConvergenceResult{Opt: opt, RunCounts: runCounts, MID: mid}
 	maxRuns := runCounts[len(runCounts)-1]
-	rows, err := runner.MapWithState(opt.context(), opt.runnerOptions(), sim.NewPool, codes,
+	rows, err := runner.MapWithState(opt.context(), opt.runnerOptions(), opt.newPool, codes,
 		func(ctx context.Context, pool *sim.Pool, _ int, code string) (ConvergenceRow, error) {
 			spec, err := specByCode(code)
 			if err != nil {

@@ -59,6 +59,19 @@ type Options struct {
 	// Checkpoint, when non-empty, is the path Figure4 persists completed
 	// workloads to after every item, and resumes from on the next run.
 	Checkpoint string `json:"-"`
+	// Audit, when non-nil, receives a soundness check of every simulation
+	// run and every MBPTA sample the campaigns produce (the -audit flag).
+	// It never alters results: workers share it through their pools and
+	// record into it under its own lock.
+	Audit *sim.Auditor `json:"-"`
+	// EVTThreshold is the maximum tolerated relative disagreement between
+	// the block-maxima and POT pWCET estimates before the auditor flags a
+	// campaign (default 0.25; invariant A4). The comparison runs at
+	// evtCheckProb, not at Prob: see auditEVT.
+	EVTThreshold float64 `json:"-"`
+	// OnProgress, when non-nil, receives the runner's structured progress
+	// snapshots (live -metrics-addr endpoint). Calls are serialised.
+	OnProgress func(runner.Progress) `json:"-"`
 }
 
 func (o Options) withDefaults() Options {
@@ -83,6 +96,9 @@ func (o Options) withDefaults() Options {
 	if len(o.CPWays) == 0 {
 		o.CPWays = []int{1, 2, 4}
 	}
+	if o.EVTThreshold == 0 {
+		o.EVTThreshold = 0.25
+	}
 	return o
 }
 
@@ -96,7 +112,49 @@ func (o Options) context() context.Context {
 
 // runnerOptions maps the execution knobs onto the work engine.
 func (o Options) runnerOptions() runner.Options {
-	return runner.Options{Parallelism: o.Parallelism}
+	return runner.Options{Parallelism: o.Parallelism, Progress: o.OnProgress}
+}
+
+// newPool constructs a worker-local platform pool carrying the campaign
+// auditor; drivers pass it to runner.MapWithState as the state constructor
+// so every pooled run is audited when Audit is set.
+func (o Options) newPool() *sim.Pool {
+	p := sim.NewPool()
+	p.SetAuditor(o.Audit)
+	return p
+}
+
+// evtCheckProb is the exceedance probability at which invariant A4
+// compares the block-maxima and POT estimates. It is deliberately milder
+// than the reporting probability: at 1e-15 both estimators extrapolate
+// twelve orders of magnitude past a few-hundred-run sample and their
+// relative disagreement on perfectly sound data reaches ~0.99 (measured
+// across every benchmark x MID pair at 150-1000 runs), so a deep-tail
+// comparison cannot separate a fragile fit from an honest one. At 1e-3
+// the same sweep tops out at 0.074: both routes are still anchored by
+// the data, and a disagreement past EVTThreshold genuinely signals a
+// broken tail fit rather than extrapolation variance.
+const evtCheckProb = 1e-3
+
+// auditEVT records invariant A4 for one campaign sample: the block-maxima
+// and POT pWCET estimates at evtCheckProb must agree within EVTThreshold.
+// Samples too small for a POT fit are skipped, not flagged — AnalyzePOT
+// needs 5*MinExcesses observations before the comparison means anything.
+func (o Options) auditEVT(name string, times []float64) {
+	if o.Audit == nil {
+		return
+	}
+	bm, pot, disagree, err := mbpta.CrossCheck(times, evtCheckProb)
+	if err != nil {
+		return
+	}
+	detail := ""
+	ok := disagree <= o.EVTThreshold
+	if !ok {
+		detail = fmt.Sprintf("%s: block-maxima pWCET %.0f vs POT %.0f at p=%.0e (disagreement %.2f > %.2f)",
+			name, bm, pot, evtCheckProb, disagree, o.EVTThreshold)
+	}
+	o.Audit.Record(sim.AuditEVTCrossCheck, ok, detail)
 }
 
 // fingerprint identifies the campaign parameters for checkpoint matching:
@@ -175,12 +233,15 @@ func analysisPWCET(cfg sim.Config, prog *isa.Program, runs int, seed uint64, pro
 
 // pooledPWCET is analysisPWCET on a worker's platform pool: bit-identical
 // results (pinned by sim's reuse tests) without per-campaign construction.
-func pooledPWCET(ctx context.Context, pool *sim.Pool, cfg sim.Config, prog *isa.Program, runs int, seed uint64, prob float64) (PWCETResult, error) {
+// The collected sample is returned alongside the fit so callers can feed
+// it to the auditor's EVT cross-check.
+func pooledPWCET(ctx context.Context, pool *sim.Pool, cfg sim.Config, prog *isa.Program, runs int, seed uint64, prob float64) (PWCETResult, []float64, error) {
 	times, err := pool.CollectAnalysisTimes(ctx, cfg, prog, runs, seed)
 	if err != nil {
-		return PWCETResult{}, err
+		return PWCETResult{}, nil, err
 	}
-	return pwcetFromTimes(times, prog.Name, prob)
+	res, err := pwcetFromTimes(times, prog.Name, prob)
+	return res, times, err
 }
 
 // eflConfig returns the analysis configuration for EFL with the given MID.
@@ -208,14 +269,15 @@ type campaign struct {
 // a platform pool — and returns results keyed by "BENCH/CONFIG".
 func runCampaigns(opt Options, cs []campaign) (map[string]PWCETResult, error) {
 	emit := opt.progressSink()
-	out, err := runner.MapWithState(opt.context(), opt.runnerOptions(), sim.NewPool, cs,
+	out, err := runner.MapWithState(opt.context(), opt.runnerOptions(), opt.newPool, cs,
 		func(ctx context.Context, pool *sim.Pool, _ int, c campaign) (PWCETResult, error) {
 			key := c.bench.Code + "/" + c.config
 			seed := campaignSeed(opt.Seed, key)
-			res, err := pooledPWCET(ctx, pool, c.cfg, c.bench.Build(), opt.Runs, seed, opt.Prob)
+			res, times, err := pooledPWCET(ctx, pool, c.cfg, c.bench.Build(), opt.Runs, seed, opt.Prob)
 			if err != nil {
 				return PWCETResult{}, fmt.Errorf("%s: %w", key, err)
 			}
+			opt.auditEVT(key, times)
 			res.Bench = c.bench.Code
 			res.Config = c.config
 			emit(fmt.Sprintf("campaign %-12s pWCET=%.0f max=%.0f runs=%d",

@@ -129,7 +129,7 @@ func Figure4(opt Options) (*Fig4Result, error) {
 	}
 
 	emit := opt.progressSink()
-	per, err := runner.MapWithState(opt.context(), opt.runnerOptions(), sim.NewPool, workloads,
+	per, err := runner.MapWithState(opt.context(), opt.runnerOptions(), opt.newPool, workloads,
 		func(ctx context.Context, pool *sim.Pool, idx int, wl Workload) (Fig4Workload, error) {
 			if ck != nil {
 				var fw Fig4Workload
@@ -279,12 +279,15 @@ func deployIPC(ctx context.Context, pool *sim.Pool, cfg sim.Config, progs []*isa
 		return 0, err
 	}
 	var total float64
+	var r sim.Result
 	for i := 0; i < runs; i++ {
 		if err := ctx.Err(); err != nil {
 			return 0, err
 		}
-		r, err := m.Run()
-		if err != nil {
+		if err := m.RunInto(&r); err != nil {
+			return 0, err
+		}
+		if err := pool.AuditRun(cfg, &r); err != nil {
 			return 0, err
 		}
 		for _, cr := range r.PerCore {

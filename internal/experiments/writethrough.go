@@ -34,7 +34,7 @@ type WTRow struct {
 // chosen write-back design against both write-through variants.
 func AblationWriteThrough(opt Options, mid int64, codes []string) ([]WTRow, error) {
 	opt = opt.withDefaults()
-	return runner.MapWithState(opt.context(), opt.runnerOptions(), sim.NewPool, codes,
+	return runner.MapWithState(opt.context(), opt.runnerOptions(), opt.newPool, codes,
 		func(ctx context.Context, pool *sim.Pool, _ int, code string) (WTRow, error) {
 			spec, err := specByCode(code)
 			if err != nil {
@@ -61,12 +61,15 @@ func AblationWriteThrough(opt Options, mid int64, codes []string) ([]WTRow, erro
 				if runs > 60 {
 					runs = 60 // means converge quickly; A4 needs no tail fit
 				}
+				var res sim.Result
 				for r := 0; r < runs; r++ {
 					if err := ctx.Err(); err != nil {
 						return row, err
 					}
-					res, err := m.Run()
-					if err != nil {
+					if err := m.RunInto(&res); err != nil {
+						return row, err
+					}
+					if err := pool.AuditRun(cfg.WithAnalysis(0), &res); err != nil {
 						return row, err
 					}
 					meanT += float64(res.PerCore[0].Cycles)

@@ -29,6 +29,11 @@ func (g GPD) CCDF(x float64) float64 {
 	if x < 0 {
 		return 1
 	}
+	if g.Sigma <= 0 {
+		// A degenerate (zero-valued) fit is a point mass at zero; without
+		// this guard x == 0 evaluates exp(-0/0) = NaN.
+		return 0
+	}
 	if g.Xi == 0 {
 		return math.Exp(-x / g.Sigma)
 	}
@@ -44,6 +49,10 @@ func (g GPD) CCDF(x float64) float64 {
 func (g GPD) QuantileExceedance(p float64) float64 {
 	if p <= 0 || p >= 1 {
 		panic("mbpta: GPD quantile requires p in (0,1)")
+	}
+	if g.Sigma <= 0 {
+		// Point mass at zero (see CCDF): every quantile is 0.
+		return 0
 	}
 	if g.Xi == 0 {
 		return -g.Sigma * math.Log(p)
@@ -118,7 +127,9 @@ func AnalyzePOT(times []float64, opt POTOptions) (*POTResult, error) {
 	sorted := append([]float64(nil), times...)
 	sort.Float64s(sorted)
 	res := &POTResult{Runs: len(times), MaxSeen: sorted[len(sorted)-1]}
-	res.Threshold = stats.Quantile(times, opt.ThresholdQuantile)
+	// The threshold quantile reuses the sorted copy made for MaxSeen:
+	// stats.Quantile would copy and sort the sample a second time.
+	res.Threshold = stats.QuantileSorted(sorted, opt.ThresholdQuantile)
 
 	var excesses []float64
 	for _, t := range times {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"efl/internal/rng"
+	"efl/internal/stats"
 )
 
 // expSample draws n exponential(σ) samples (a GPD with Xi = 0).
@@ -135,5 +136,45 @@ func BenchmarkAnalyzePOT(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, _ = AnalyzePOT(xs, POTOptions{})
+	}
+}
+
+// TestDegenerateGPDNoNaN pins the Sigma guard: a zero-valued fit — which
+// is exactly what callers hold when AnalyzePOT returns a Degenerate
+// result — must behave as a point mass at zero. Before the guard,
+// CCDF(0) evaluated exp(-0/0) = NaN and quietly poisoned anything
+// downstream that compared against it.
+func TestDegenerateGPDNoNaN(t *testing.T) {
+	var g GPD // the zero value, as left in POTResult.Fit when degenerate
+	for _, x := range []float64{0, 1, 100} {
+		if v := g.CCDF(x); math.IsNaN(v) || v != 0 {
+			t.Fatalf("CCDF(%v) = %v, want 0", x, v)
+		}
+	}
+	if q := g.QuantileExceedance(1e-9); math.IsNaN(q) || q != 0 {
+		t.Fatalf("QuantileExceedance = %v, want 0", q)
+	}
+	// Sigma == 0 with Xi != 0 hits the power-law branch.
+	g = GPD{Xi: -0.3}
+	if v := g.CCDF(0); math.IsNaN(v) || v != 0 {
+		t.Fatalf("CCDF(0) with Xi<0 = %v, want 0", v)
+	}
+}
+
+// TestPOTThresholdSingleSort guards the sorted-copy reuse in AnalyzePOT:
+// the threshold must equal the quantile of the raw (unsorted) sample, so
+// eliminating the second sort changed no behaviour.
+func TestPOTThresholdSingleSort(t *testing.T) {
+	src := rng.New(12)
+	xs := expSample(src, 10, 400)
+	res, err := AnalyzePOT(xs, POTOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := stats.Quantile(xs, 0.85); res.Threshold != want {
+		t.Fatalf("threshold %v, want %v", res.Threshold, want)
+	}
+	if res.MaxSeen != stats.Max(xs) {
+		t.Fatalf("MaxSeen %v, want %v", res.MaxSeen, stats.Max(xs))
 	}
 }

@@ -22,7 +22,11 @@
 //     read, upper-bounding any deployment-time queueing.
 package memctrl
 
-import "fmt"
+import (
+	"fmt"
+
+	"efl/internal/metrics"
+)
 
 // Kind distinguishes blocking reads from posted writes.
 type Kind int
@@ -60,6 +64,10 @@ type Controller struct {
 	rr      int   // round-robin pointer for tie-breaking
 	wait    []Request
 	stats   Stats
+	// readLat distributes end-to-end blocking-read latencies (completion −
+	// arrival). Its Max is what the soundness auditor compares against
+	// UpperBoundDelay: deployment must never exceed the analysis charge.
+	readLat metrics.Histogram
 }
 
 // New creates a controller: serviceCycles from issue to completion, one
@@ -88,12 +96,21 @@ func (c *Controller) UpperBoundDelay() int64 {
 // Stats returns a copy of the counters.
 func (c *Controller) Stats() Stats { return c.stats }
 
+// ReadLatencyHistogram returns a copy of the end-to-end blocking-read
+// latency distribution (histograms are plain values; copying snapshots).
+func (c *Controller) ReadLatencyHistogram() metrics.Histogram { return c.readLat }
+
+// MaxReadLatency returns the largest end-to-end read latency served so far
+// (0 when no read was served).
+func (c *Controller) MaxReadLatency() int64 { return c.readLat.Max() }
+
 // Reset clears the queue and occupancy for a new run.
 func (c *Controller) Reset() {
 	c.nextAt = 0
 	c.rr = 0
 	c.wait = c.wait[:0]
 	c.stats = Stats{}
+	c.readLat.Reset()
 }
 
 // Request enqueues a transaction.
@@ -153,6 +170,7 @@ func (c *Controller) Serve() (Request, int64) {
 	c.rr = (req.Core + 1) % c.cores
 	if req.Kind == Read {
 		c.stats.Reads++
+		c.readLat.Observe(done - req.Arrival)
 	} else {
 		c.stats.Writes++
 	}

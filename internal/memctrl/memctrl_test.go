@@ -1,6 +1,10 @@
 package memctrl
 
-import "testing"
+import (
+	"testing"
+
+	"efl/internal/rng"
+)
 
 func TestServeSingle(t *testing.T) {
 	c := New(100, 15, 4)
@@ -175,5 +179,89 @@ func BenchmarkServe(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		c.Request(Request{Core: i % 4, Arrival: int64(i * 10), Kind: Read})
 		c.Serve()
+	}
+}
+
+// TestUBDProperty drives the controller with randomised traffic shaped
+// like the platform generates it — each core has at most one blocking
+// read in flight at a time, posted writebacks arrive at arbitrary points —
+// and asserts that EVERY read completes within UpperBoundDelay of its
+// arrival, across random geometries. This is the property the analysis
+// mode's per-read charge rests on (and the runtime auditor's invariant
+// A2); TestUBDHolds checks one adversarial backlog, this checks the claim
+// wholesale.
+func TestUBDProperty(t *testing.T) {
+	src := rng.New(99)
+	for trial := 0; trial < 40; trial++ {
+		cores := 1 + src.Intn(6)
+		service := int64(20 + src.Intn(200))
+		slot := int64(1 + src.Intn(30))
+		c := New(service, slot, cores)
+		ubd := c.UpperBoundDelay()
+
+		nextRead := make([]int64, cores) // next read arrival per core (-1: in flight)
+		for i := range nextRead {
+			nextRead[i] = int64(src.Intn(50))
+		}
+		readsLeft := 200
+		writesLeft := 60
+		nextWrite := int64(src.Intn(50))
+
+		earliest := func() (int64, int, bool) { // (arrival, core or -1 for write, any)
+			at, who, any := int64(0), 0, false
+			for i, a := range nextRead {
+				if a < 0 || readsLeft == 0 {
+					continue
+				}
+				if !any || a < at {
+					at, who, any = a, i, true
+				}
+			}
+			if writesLeft > 0 && (!any || nextWrite < at) {
+				at, who, any = nextWrite, -1, true
+			}
+			return at, who, any
+		}
+		inject := func(at int64, who int) {
+			if who < 0 {
+				c.Request(Request{Core: src.Intn(cores), Arrival: at, Kind: Write})
+				writesLeft--
+				nextWrite = at + int64(src.Intn(4*int(slot)+1))
+				return
+			}
+			c.Request(Request{Core: who, Arrival: at, Kind: Read})
+			readsLeft--
+			nextRead[who] = -1 // blocked until completion
+		}
+
+		for {
+			// Enqueue every request that must be visible before the next
+			// issue (Serve's contract: no earlier request arrives later).
+			for {
+				at, who, any := earliest()
+				if !any {
+					break
+				}
+				if c.HasWaiters() && at > c.NextStartTime() {
+					break
+				}
+				inject(at, who)
+			}
+			if !c.HasWaiters() {
+				if _, _, any := earliest(); !any {
+					break
+				}
+				continue
+			}
+			req, done := c.Serve()
+			if req.Kind == Read {
+				if lat := done - req.Arrival; lat > ubd {
+					t.Fatalf("trial %d (cores=%d service=%d slot=%d): read latency %d exceeds UBD %d",
+						trial, cores, service, slot, lat, ubd)
+				}
+				// The core resumes and issues its next read later.
+				nextRead[req.Core] = done + int64(src.Intn(3*int(slot)+1))
+			}
+		}
 	}
 }

@@ -1,0 +1,135 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// CampaignTracker aggregates live progress of a running campaign for the
+// -metrics-addr endpoint: completed/total jobs, ETA, and per-worker
+// throughput. Unlike the simulator-side types it is written from many
+// goroutines (one per campaign worker) and read by the HTTP handler, so
+// every method takes its lock; the contention is one short critical
+// section per completed campaign job, far off any hot path.
+type CampaignTracker struct {
+	mu         sync.Mutex
+	experiment string
+	started    time.Time
+	done       int
+	total      int
+	elapsed    time.Duration
+	remaining  time.Duration
+	perWorker  map[int]int
+}
+
+// NewCampaignTracker returns an idle tracker.
+func NewCampaignTracker() *CampaignTracker {
+	return &CampaignTracker{perWorker: map[int]int{}}
+}
+
+// Begin marks the start of a named experiment and resets job counters.
+func (t *CampaignTracker) Begin(experiment string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.experiment = experiment
+	t.started = time.Now()
+	t.done, t.total = 0, 0
+	t.elapsed, t.remaining = 0, 0
+	t.perWorker = map[int]int{}
+}
+
+// JobDone records one completed campaign job. worker identifies which
+// pool worker finished it; done/total and the timing estimates come from
+// the runner's progress snapshot.
+func (t *CampaignTracker) JobDone(worker, done, total int, elapsed, remaining time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.done, t.total = done, total
+	t.elapsed, t.remaining = elapsed, remaining
+	t.perWorker[worker]++
+}
+
+// WorkerSnapshot is one worker's throughput in a campaign snapshot.
+type WorkerSnapshot struct {
+	Worker     int     `json:"worker"`
+	Jobs       int     `json:"jobs"`
+	JobsPerSec float64 `json:"jobs_per_sec"`
+}
+
+// CampaignSnapshot is the JSON shape the live endpoint serves.
+type CampaignSnapshot struct {
+	Experiment string           `json:"experiment"`
+	Done       int              `json:"done"`
+	Total      int              `json:"total"`
+	Percent    float64          `json:"percent"`
+	ElapsedSec float64          `json:"elapsed_sec"`
+	ETASec     float64          `json:"eta_sec"`
+	JobsPerSec float64          `json:"jobs_per_sec"`
+	Workers    []WorkerSnapshot `json:"workers,omitempty"`
+}
+
+// Snapshot renders the tracker's current state.
+func (t *CampaignTracker) Snapshot() CampaignSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := CampaignSnapshot{
+		Experiment: t.experiment,
+		Done:       t.done,
+		Total:      t.total,
+		ElapsedSec: t.elapsed.Seconds(),
+		ETASec:     t.remaining.Seconds(),
+	}
+	if t.total > 0 {
+		s.Percent = 100 * float64(t.done) / float64(t.total)
+	}
+	if t.elapsed > 0 {
+		s.JobsPerSec = float64(t.done) / t.elapsed.Seconds()
+	}
+	workers := make([]int, 0, len(t.perWorker))
+	for w := range t.perWorker {
+		workers = append(workers, w)
+	}
+	sort.Ints(workers)
+	for _, w := range workers {
+		ws := WorkerSnapshot{Worker: w, Jobs: t.perWorker[w]}
+		if t.elapsed > 0 {
+			ws.JobsPerSec = float64(ws.Jobs) / t.elapsed.Seconds()
+		}
+		s.Workers = append(s.Workers, ws)
+	}
+	return s
+}
+
+// Serve exposes snap() as JSON over HTTP in the expvar style: GET / (or
+// /metrics) returns one indented JSON document per request. It binds addr
+// immediately (so ":0" works and the bound address is returned for tests
+// and log lines) and serves in a background goroutine until the returned
+// server is Closed. Long campaigns attach their CampaignTracker and
+// auditor snapshots here so operators can watch progress without
+// interrupting the run.
+func Serve(addr string, snap func() any) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("metrics: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	handler := func(w http.ResponseWriter, r *http.Request) {
+		data, err := json.MarshalIndent(snap(), "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(append(data, '\n'))
+	}
+	mux.HandleFunc("/", handler)
+	mux.HandleFunc("/metrics", handler)
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}

@@ -1,0 +1,208 @@
+// Package metrics is the cycle-accounting substrate of the simulator: the
+// allocation-free counters and histograms the platform models update on
+// their hot paths, and the snapshot types everything downstream (the
+// soundness auditor, artifact audit blocks, the live campaign endpoint)
+// reads them through.
+//
+// Design constraints, in priority order:
+//
+//  1. Zero hot-path cost beyond a handful of integer operations. Counters
+//     are plain int64 adds and histograms are fixed arrays indexed by
+//     bit length — no maps, no interfaces, no allocation, no atomics
+//     (each simulator instance is single-goroutine by construction).
+//  2. No feedback into simulation behaviour: recording a metric never
+//     draws from a PRNG or changes event order, so instrumented runs are
+//     bit-identical to uninstrumented ones (pinned by the sim golden
+//     tests).
+//  3. Snapshots are canonical: the JSON forms have deterministic key
+//     order, so artifacts embedding them stay byte-stable.
+package metrics
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Category attributes one core cycle to the platform resource that
+// consumed it. Every cycle of a core's clock belongs to exactly one
+// category; the soundness auditor checks that the per-core sums equal the
+// core's total cycle count, turning the decomposition into a machine
+// -checked invariant rather than a best-effort annotation.
+type Category uint8
+
+const (
+	// Execute is pipeline execution: instruction latencies, taken-branch
+	// redirect bubbles and the HALT cycle. Counted by package cpu as the
+	// clock advances, never derived as a residual — that is what makes
+	// the category-sum invariant a real cross-check.
+	Execute Category = iota
+	// BusWait is time between issuing a shared transaction and winning
+	// bus arbitration (real lottery losses at deployment, the phantom
+	// -contender envelope at analysis).
+	BusWait
+	// BusSlot is the core's own granted arbitration slot (the L1-miss
+	// transfer slot, 2 cycles per transaction on the paper's platform).
+	BusSlot
+	// LLCLookup is the shared-cache access latency following the slot.
+	LLCLookup
+	// EABStall is time an evicting LLC miss spent gated on the EFL
+	// eviction-allowed bit.
+	EABStall
+	// MemWait is memory-controller time for blocking reads: queueing
+	// plus service at deployment, the UBD charge at analysis.
+	MemWait
+
+	// NumCategories is the number of attribution categories.
+	NumCategories
+)
+
+var categoryNames = [NumCategories]string{
+	"execute", "bus_wait", "bus_slot", "llc_lookup", "eab_stall", "mem_wait",
+}
+
+// String implements fmt.Stringer.
+func (c Category) String() string {
+	if int(c) < len(categoryNames) {
+		return categoryNames[c]
+	}
+	return fmt.Sprintf("category(%d)", uint8(c))
+}
+
+// CycleAccount is a per-core cycle ledger: cycles attributed to each
+// category. It is a plain array so accounts can be embedded, copied and
+// merged without allocation.
+type CycleAccount [NumCategories]int64
+
+// Add attributes n cycles to category c.
+func (a *CycleAccount) Add(c Category, n int64) { a[c] += n }
+
+// Sum returns the total attributed cycles.
+func (a *CycleAccount) Sum() int64 {
+	var s int64
+	for _, v := range a {
+		s += v
+	}
+	return s
+}
+
+// Merge adds every category of b into a.
+func (a *CycleAccount) Merge(b *CycleAccount) {
+	for i := range a {
+		a[i] += b[i]
+	}
+}
+
+// Reset zeroes the account.
+func (a *CycleAccount) Reset() { *a = CycleAccount{} }
+
+// Map renders the account as a category-name → cycles map (the JSON
+// artifact form; encoding/json sorts the keys, keeping artifacts
+// canonical).
+func (a CycleAccount) Map() map[string]int64 {
+	m := make(map[string]int64, NumCategories)
+	for i := Category(0); i < NumCategories; i++ {
+		m[i.String()] = a[i]
+	}
+	return m
+}
+
+// histBuckets is the bucket count of Histogram: bucket i holds values
+// whose bit length is i, i.e. [2^(i-1), 2^i) for i >= 1 and {0} for
+// i == 0. 64 buckets cover every non-negative int64.
+const histBuckets = 64
+
+// Histogram is an allocation-free power-of-two latency histogram. The
+// zero value is ready to use; Observe is a bit-length computation and two
+// adds, cheap enough to run on every bus grant and memory serve of every
+// simulated run. Histograms are plain values: copying one snapshots it.
+type Histogram struct {
+	counts [histBuckets]uint64
+	n      uint64
+	sum    int64
+	max    int64
+}
+
+// Observe records one non-negative value. Negative values are clamped to
+// zero (they indicate an accounting bug upstream; the histogram must not
+// corrupt its buckets over it).
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bits.Len64(uint64(v))&(histBuckets-1)]++
+	h.n++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Sum returns the total of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Max returns the largest observed value (0 when empty).
+func (h *Histogram) Max() int64 { return h.max }
+
+// Mean returns the average observed value (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Reset zeroes the histogram.
+func (h *Histogram) Reset() { *h = Histogram{} }
+
+// Merge adds every bucket of o into h.
+func (h *Histogram) Merge(o *Histogram) {
+	for i := range h.counts {
+		h.counts[i] += o.counts[i]
+	}
+	h.n += o.n
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Bucket is one non-empty histogram bucket in a snapshot: Count values
+// observed in [Lo, Hi).
+type Bucket struct {
+	Lo    int64  `json:"lo"`
+	Hi    int64  `json:"hi"`
+	Count uint64 `json:"count"`
+}
+
+// HistogramSnapshot is the JSON-facing rendering of a Histogram. Only
+// non-empty buckets are materialised (this allocates; snapshots are taken
+// off the hot path).
+type HistogramSnapshot struct {
+	Count   uint64   `json:"count"`
+	Sum     int64    `json:"sum"`
+	Max     int64    `json:"max"`
+	Mean    float64  `json:"mean"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot renders the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.n, Sum: h.sum, Max: h.max, Mean: h.Mean()}
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		var lo, hi int64
+		if i > 0 {
+			lo = int64(1) << uint(i-1)
+			hi = int64(1) << uint(i)
+		} else {
+			lo, hi = 0, 1
+		}
+		s.Buckets = append(s.Buckets, Bucket{Lo: lo, Hi: hi, Count: c})
+	}
+	return s
+}

@@ -1,0 +1,171 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestCategoryNames(t *testing.T) {
+	seen := map[string]bool{}
+	for c := Category(0); c < NumCategories; c++ {
+		name := c.String()
+		if name == "" || seen[name] {
+			t.Fatalf("category %d has empty or duplicate name %q", c, name)
+		}
+		seen[name] = true
+	}
+	if got := Category(200).String(); got != "category(200)" {
+		t.Fatalf("out-of-range category name = %q", got)
+	}
+}
+
+func TestCycleAccountSumMerge(t *testing.T) {
+	var a, b CycleAccount
+	a.Add(Execute, 100)
+	a.Add(MemWait, 50)
+	b.Add(Execute, 1)
+	b.Add(EABStall, 7)
+	a.Merge(&b)
+	if a[Execute] != 101 || a[EABStall] != 7 || a.Sum() != 158 {
+		t.Fatalf("merge/sum wrong: %+v sum=%d", a, a.Sum())
+	}
+	a.Reset()
+	if a.Sum() != 0 {
+		t.Fatalf("reset left %+v", a)
+	}
+}
+
+func TestCycleAccountMapCanonical(t *testing.T) {
+	var a CycleAccount
+	for c := Category(0); c < NumCategories; c++ {
+		a.Add(c, int64(c)+1)
+	}
+	m := a.Map()
+	if len(m) != int(NumCategories) {
+		t.Fatalf("map has %d keys", len(m))
+	}
+	d1, _ := json.Marshal(m)
+	d2, _ := json.Marshal(a.Map())
+	if string(d1) != string(d2) {
+		t.Fatalf("map rendering not canonical:\n%s\n%s", d1, d2)
+	}
+	if m["execute"] != 1 || m["mem_wait"] != int64(MemWait)+1 {
+		t.Fatalf("unexpected map contents %v", m)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 1, 3, 100, -5} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != 100 {
+		t.Fatalf("max = %d", h.Max())
+	}
+	if h.Sum() != 105 { // -5 clamps to 0
+		t.Fatalf("sum = %d", h.Sum())
+	}
+	s := h.Snapshot()
+	var total uint64
+	for _, b := range s.Buckets {
+		if b.Lo > b.Hi {
+			t.Fatalf("bad bucket %+v", b)
+		}
+		total += b.Count
+	}
+	if total != h.Count() {
+		t.Fatalf("snapshot buckets hold %d of %d observations", total, h.Count())
+	}
+	// 0 and the two 1s land in distinct buckets: {0} and [1,2).
+	if s.Buckets[0].Lo != 0 || s.Buckets[0].Hi != 1 || s.Buckets[0].Count != 2 {
+		t.Fatalf("zero bucket = %+v", s.Buckets[0])
+	}
+	if s.Buckets[1].Lo != 1 || s.Buckets[1].Count != 2 {
+		t.Fatalf("ones bucket = %+v", s.Buckets[1])
+	}
+}
+
+func TestHistogramMergeReset(t *testing.T) {
+	var a, b Histogram
+	a.Observe(4)
+	b.Observe(1000)
+	b.Observe(2)
+	a.Merge(&b)
+	if a.Count() != 3 || a.Max() != 1000 || a.Sum() != 1006 {
+		t.Fatalf("merge wrong: n=%d max=%d sum=%d", a.Count(), a.Max(), a.Sum())
+	}
+	a.Reset()
+	if a.Count() != 0 || a.Max() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+// TestHotPathZeroAlloc pins the package's core promise: recording metrics
+// on the simulation hot path allocates nothing.
+func TestHotPathZeroAlloc(t *testing.T) {
+	var h Histogram
+	var a CycleAccount
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(37)
+		a.Add(MemWait, 105)
+		_ = a.Sum()
+	})
+	if allocs != 0 {
+		t.Fatalf("hot-path metric ops allocate %.1f per op", allocs)
+	}
+}
+
+func TestCampaignTrackerSnapshot(t *testing.T) {
+	tr := NewCampaignTracker()
+	tr.Begin("fig4")
+	tr.JobDone(0, 1, 10, 2*time.Second, 18*time.Second)
+	tr.JobDone(1, 2, 10, 4*time.Second, 16*time.Second)
+	tr.JobDone(0, 3, 10, 6*time.Second, 14*time.Second)
+	s := tr.Snapshot()
+	if s.Experiment != "fig4" || s.Done != 3 || s.Total != 10 {
+		t.Fatalf("snapshot %+v", s)
+	}
+	if s.Percent != 30 {
+		t.Fatalf("percent = %v", s.Percent)
+	}
+	if len(s.Workers) != 2 || s.Workers[0].Jobs != 2 || s.Workers[1].Jobs != 1 {
+		t.Fatalf("workers = %+v", s.Workers)
+	}
+	tr.Begin("fig3")
+	if s := tr.Snapshot(); s.Done != 0 || len(s.Workers) != 0 {
+		t.Fatalf("Begin did not reset: %+v", s)
+	}
+}
+
+func TestServeEndpoint(t *testing.T) {
+	tr := NewCampaignTracker()
+	tr.Begin("iid")
+	tr.JobDone(2, 5, 5, time.Second, 0)
+	srv, addr, err := Serve("127.0.0.1:0", func() any { return tr.Snapshot() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s CampaignSnapshot
+	if err := json.Unmarshal(body, &s); err != nil {
+		t.Fatalf("endpoint returned invalid JSON: %v\n%s", err, body)
+	}
+	if s.Experiment != "iid" || s.Done != 5 {
+		t.Fatalf("endpoint snapshot %+v", s)
+	}
+}

@@ -38,6 +38,9 @@ type Progress struct {
 	// Remaining is the linear-rate ETA over the remaining jobs. It is an
 	// estimate for operators, not part of the determinism contract.
 	Remaining time.Duration
+	// Worker is the pool worker that completed the job. Observability
+	// only (live per-worker throughput); results never depend on it.
+	Worker int
 }
 
 // Options configures a pool run.
@@ -120,7 +123,7 @@ func MapWithState[S, I, O any](ctx context.Context, opt Options, newState func()
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			state := newState()
 			for {
@@ -150,11 +153,11 @@ func MapWithState[S, I, O any](ctx context.Context, opt Options, newState func()
 						remaining = time.Duration(float64(elapsed) / float64(d) * float64(n-d))
 					}
 					mu.Lock()
-					opt.Progress(Progress{Done: d, Total: n, Elapsed: elapsed, Remaining: remaining})
+					opt.Progress(Progress{Done: d, Total: n, Elapsed: elapsed, Remaining: remaining, Worker: worker})
 					mu.Unlock()
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if firstErr != nil {

@@ -1,0 +1,264 @@
+package sim
+
+// This file is the runtime soundness auditor. The simulator's claim to
+// time-analysability rests on a handful of invariants the paper's argument
+// needs but ordinary tests only sample: cycle attribution must be
+// exhaustive, deployment memory latencies must stay under the
+// analysis-time UBD charge, EFL must actually limit eviction frequency,
+// and the two EVT estimators must agree on the pWCET. The Auditor checks
+// these on every run of a campaign (opt-in via -audit; the hot path itself
+// is untouched — all checks read the already-collected Result), so a
+// soundness regression surfaces as a failed campaign rather than a
+// silently wrong figure.
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"efl/internal/efl"
+)
+
+// Audit invariant names (the keys of AuditReport.Invariants).
+const (
+	// AuditCycleSum (A1): each active core's attribution categories sum
+	// exactly to its cycle count — no cycle unaccounted, none counted twice.
+	AuditCycleSum = "cycle-sum"
+	// AuditUBD (A2): no memory read completed later than the analysis-time
+	// upper-bound delay promises (UBD = Cores·IssueSlot + Service).
+	AuditUBD = "ubd"
+	// AuditEvictionRate (A3): each EFL-limited core's eviction frequency
+	// respects its MID. Two forms: an exact mechanism check on the drawn
+	// delays (DelaySum ≤ window + 2·MID — the drawn schedule must fit the
+	// observed window), and a rate check on the count (exact e−1 ≤ W/MID
+	// with fixed delays, a 6σ bound under the paper's U[0,2·MID] draws).
+	AuditEvictionRate = "eviction-rate"
+	// AuditEVTCrossCheck (A4): the Gumbel block-maxima and GPD
+	// peaks-over-threshold pWCET estimates agree within tolerance.
+	// Recorded by the experiments layer via Record.
+	AuditEVTCrossCheck = "evt-crosscheck"
+)
+
+// invariant accumulates one invariant's outcomes.
+type invariant struct {
+	checks     int64
+	violations int64
+	first      string // description of the first violation seen
+}
+
+// Auditor accumulates soundness-invariant outcomes across the runs of a
+// campaign. It is safe for concurrent use (campaign workers audit in
+// parallel); a nil *Auditor is valid and does nothing, so call sites can
+// audit unconditionally.
+type Auditor struct {
+	mu   sync.Mutex
+	runs int64
+	inv  map[string]*invariant
+}
+
+// NewAuditor returns an empty auditor.
+func NewAuditor() *Auditor {
+	return &Auditor{inv: make(map[string]*invariant)}
+}
+
+// Record logs one outcome of the named invariant: ok=false counts a
+// violation with the given detail (the first one per invariant is kept for
+// the report).
+func (a *Auditor) Record(name string, ok bool, detail string) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	iv := a.inv[name]
+	if iv == nil {
+		iv = &invariant{}
+		a.inv[name] = iv
+	}
+	iv.checks++
+	if !ok {
+		iv.violations++
+		if iv.first == "" {
+			iv.first = detail
+		}
+	}
+}
+
+// CheckRun audits one completed run against invariants A1–A3 and returns
+// an error describing the first violation (every violation is recorded in
+// the report either way). cfg must be the configuration the run executed
+// under.
+func (a *Auditor) CheckRun(cfg Config, res *Result) error {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	a.runs++
+	a.mu.Unlock()
+	var firstErr error
+	fail := func(name, detail string) {
+		a.Record(name, false, detail)
+		if firstErr == nil {
+			firstErr = fmt.Errorf("audit: %s: %s", name, detail)
+		}
+	}
+
+	// A1: exhaustive attribution. The Execute slot comes from the pipeline
+	// and every stall slot from the scheduler; agreement is a genuine
+	// cross-check between two independently maintained counters.
+	for i := range res.PerCore {
+		cr := &res.PerCore[i]
+		if !cr.Active {
+			continue
+		}
+		if sum := cr.Attribution.Sum(); sum != cr.Cycles {
+			fail(AuditCycleSum, fmt.Sprintf(
+				"core %d: attribution sums to %d of %d cycles (%v)",
+				i, sum, cr.Cycles, cr.Attribution.Map()))
+		} else {
+			a.Record(AuditCycleSum, true, "")
+		}
+	}
+
+	// A2: composable memory latency. The per-core maxima and the
+	// controller-wide histogram maximum must both respect the UBD the
+	// analysis mode charges per read.
+	ubd := int64(cfg.Cores)*cfg.MemSlotCycles + cfg.MemCycles
+	for i := range res.PerCore {
+		cr := &res.PerCore[i]
+		if !cr.Active {
+			continue
+		}
+		if cr.MaxReadLatency > ubd {
+			fail(AuditUBD, fmt.Sprintf(
+				"core %d: memory read took %d cycles, UBD is %d",
+				i, cr.MaxReadLatency, ubd))
+		} else {
+			a.Record(AuditUBD, true, "")
+		}
+	}
+	if max := res.MemReadHist.Max(); max > ubd {
+		fail(AuditUBD, fmt.Sprintf(
+			"controller served a read in %d cycles, UBD is %d", max, ubd))
+	}
+
+	// A3: eviction frequency limiting. Skipped when EFL is off.
+	if cfg.MID > 0 {
+		for i := range res.PerCore {
+			cr := &res.PerCore[i]
+			e := int64(cr.EFL.Evictions)
+			if e == 0 {
+				continue
+			}
+			// The observation window: an active core's evictions happen
+			// within its own cycle count; a CRG co-runner keeps evicting
+			// for the whole run.
+			window := res.TotalCycles
+			if cr.Active {
+				window = cr.Cycles
+			}
+			// Exact mechanism check: evictions are spaced by the drawn
+			// delays, so the sum of all but the final draw fits in the
+			// window whatever the draws were.
+			if cr.EFL.DelaySum > window+2*cfg.MID {
+				fail(AuditEvictionRate, fmt.Sprintf(
+					"core %d: delay sum %d exceeds window %d + 2·MID (MID=%d, evictions=%d)",
+					i, cr.EFL.DelaySum, window, cfg.MID, e))
+				continue
+			}
+			// Rate check on the count. With fixed delays each gap is
+			// exactly MID, so (e−1)·MID ≤ window is exact; under U[0,2·MID]
+			// the e−1 gaps have mean MID and variance MID²/3 each, so a
+			// count more than 6σ above window/MID means the unit is not
+			// enforcing the configured rate.
+			gaps := float64(e - 1)
+			limit := float64(window) / float64(cfg.MID)
+			ok := true
+			if cfg.EFLFixedMID {
+				ok = gaps <= limit
+			} else {
+				ok = gaps-6*math.Sqrt(gaps/3) <= limit
+			}
+			if !ok {
+				fail(AuditEvictionRate, fmt.Sprintf(
+					"core %d: %d evictions in %d cycles exceeds the MID=%d rate bound",
+					i, e, window, cfg.MID))
+				continue
+			}
+			a.Record(AuditEvictionRate, true, "")
+		}
+		// In analysis mode the co-runner CRGs must actually have evicted:
+		// a silent CRG would make the analysis envelope vacuous.
+		if cfg.Mode == efl.Analysis {
+			for i := range res.PerCore {
+				if i == cfg.AnalysedCore {
+					continue
+				}
+				if res.PerCore[i].EFL.Evictions == 0 && res.TotalCycles > 3*cfg.MID {
+					fail(AuditEvictionRate, fmt.Sprintf(
+						"core %d: CRG performed no evictions over %d cycles",
+						i, res.TotalCycles))
+				}
+			}
+		}
+	}
+
+	return firstErr
+}
+
+// InvariantReport is one invariant's outcome counts.
+type InvariantReport struct {
+	Checks         int64  `json:"checks"`
+	Violations     int64  `json:"violations"`
+	FirstViolation string `json:"first_violation,omitempty"`
+}
+
+// AuditReport is the JSON-facing summary of an auditor (the artifact audit
+// block). encoding/json sorts map keys, so the rendering is canonical.
+type AuditReport struct {
+	Runs       int64                      `json:"runs"`
+	Checks     int64                      `json:"checks"`
+	Violations int64                      `json:"violations"`
+	Invariants map[string]InvariantReport `json:"invariants"`
+}
+
+// Report snapshots the auditor.
+func (a *Auditor) Report() AuditReport {
+	r := AuditReport{Invariants: map[string]InvariantReport{}}
+	if a == nil {
+		return r
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	r.Runs = a.runs
+	for name, iv := range a.inv {
+		r.Invariants[name] = InvariantReport{
+			Checks: iv.checks, Violations: iv.violations, FirstViolation: iv.first,
+		}
+		r.Checks += iv.checks
+		r.Violations += iv.violations
+	}
+	return r
+}
+
+// Err returns an error summarising the recorded violations, or nil when
+// every check passed.
+func (a *Auditor) Err() error {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var total int64
+	var first string
+	for name, iv := range a.inv {
+		total += iv.violations
+		if first == "" && iv.first != "" {
+			first = name + ": " + iv.first
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	return fmt.Errorf("audit: %d violation(s); first: %s", total, first)
+}

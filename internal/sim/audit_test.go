@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"efl/internal/efl"
+	"efl/internal/isa"
+	"efl/internal/metrics"
+)
+
+// newAuditTestPlatform builds a platform matching cfg's mode: the analysed
+// core alone in analysis mode, all four cores busy at deployment.
+func newAuditTestPlatform(t *testing.T, cfg Config) *Multicore {
+	t.Helper()
+	prog := loopProg("audit", 96, 6)
+	progs := make([]*isa.Program, cfg.Cores)
+	if cfg.Mode == efl.Deployment {
+		for i := range progs {
+			progs[i] = prog
+		}
+	} else {
+		progs[cfg.AnalysedCore] = prog
+	}
+	m, err := New(cfg, progs, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// auditRunConfigs exercises the auditor across the platform's main
+// operating points: deployment and analysis, EFL on and off, fixed MID.
+func auditRunConfigs() []Config {
+	base := DefaultConfig()
+	a := base.WithEFL(300).WithAnalysis(0)
+	d := base.WithEFL(300)
+	fixed := d
+	fixed.EFLFixedMID = true
+	noEFL := base
+	return []Config{a, d, fixed, noEFL}
+}
+
+func TestAuditorPassesRealRuns(t *testing.T) {
+	for ci, cfg := range auditRunConfigs() {
+		aud := NewAuditor()
+		m := newAuditTestPlatform(t, cfg)
+		var res Result
+		for run := 0; run < 5; run++ {
+			if err := m.RunInto(&res); err != nil {
+				t.Fatalf("cfg %d run %d: %v", ci, run, err)
+			}
+			if err := aud.CheckRun(cfg, &res); err != nil {
+				t.Fatalf("cfg %d run %d: %v", ci, run, err)
+			}
+		}
+		rep := aud.Report()
+		if rep.Runs != 5 || rep.Violations != 0 || rep.Checks == 0 {
+			t.Fatalf("cfg %d: report %+v", ci, rep)
+		}
+		if err := aud.Err(); err != nil {
+			t.Fatalf("cfg %d: Err() = %v", ci, err)
+		}
+	}
+}
+
+func TestAuditorCatchesViolations(t *testing.T) {
+	cfg := DefaultConfig().WithEFL(300)
+	m := newAuditTestPlatform(t, cfg)
+	var res Result
+	if err := m.RunInto(&res); err != nil {
+		t.Fatal(err)
+	}
+
+	// A1: mis-attributed cycle.
+	bad := res
+	bad.PerCore = append([]CoreResult(nil), res.PerCore...)
+	bad.PerCore[0].Attribution[metrics.Execute]++
+	aud := NewAuditor()
+	err := aud.CheckRun(cfg, &bad)
+	if err == nil || !strings.Contains(err.Error(), AuditCycleSum) {
+		t.Fatalf("A1 not caught: %v", err)
+	}
+
+	// A2: read over the UBD.
+	bad = res
+	bad.PerCore = append([]CoreResult(nil), res.PerCore...)
+	bad.PerCore[1].MaxReadLatency = int64(cfg.Cores)*cfg.MemSlotCycles + cfg.MemCycles + 1
+	aud = NewAuditor()
+	err = aud.CheckRun(cfg, &bad)
+	if err == nil || !strings.Contains(err.Error(), AuditUBD) {
+		t.Fatalf("A2 not caught: %v", err)
+	}
+
+	// A3: more evictions than the MID rate admits.
+	bad = res
+	bad.PerCore = append([]CoreResult(nil), res.PerCore...)
+	bad.PerCore[2].EFL.Evictions = uint64(bad.PerCore[2].Cycles) // one per cycle
+	bad.PerCore[2].EFL.DelaySum = bad.PerCore[2].Cycles * cfg.MID
+	aud = NewAuditor()
+	err = aud.CheckRun(cfg, &bad)
+	if err == nil || !strings.Contains(err.Error(), AuditEvictionRate) {
+		t.Fatalf("A3 (rate) not caught: %v", err)
+	}
+
+	// A3 exact form: a delay schedule that cannot fit the window.
+	bad = res
+	bad.PerCore = append([]CoreResult(nil), res.PerCore...)
+	bad.PerCore[0].EFL.DelaySum = bad.PerCore[0].Cycles + 2*cfg.MID + 1
+	aud = NewAuditor()
+	err = aud.CheckRun(cfg, &bad)
+	if err == nil || !strings.Contains(err.Error(), AuditEvictionRate) {
+		t.Fatalf("A3 (delay sum) not caught: %v", err)
+	}
+
+	// A4 via Record, and report/Err accounting.
+	aud = NewAuditor()
+	aud.Record(AuditEVTCrossCheck, true, "")
+	aud.Record(AuditEVTCrossCheck, false, "estimates diverge 3x")
+	rep := aud.Report()
+	iv := rep.Invariants[AuditEVTCrossCheck]
+	if iv.Checks != 2 || iv.Violations != 1 || iv.FirstViolation == "" {
+		t.Fatalf("record accounting wrong: %+v", iv)
+	}
+	if err := aud.Err(); err == nil || !strings.Contains(err.Error(), "diverge") {
+		t.Fatalf("Err() = %v", err)
+	}
+}
+
+func TestAuditorNilIsNoop(t *testing.T) {
+	var aud *Auditor
+	aud.Record(AuditUBD, false, "x")
+	if err := aud.CheckRun(DefaultConfig(), &Result{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := aud.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rep := aud.Report(); rep.Runs != 0 {
+		t.Fatalf("nil report %+v", rep)
+	}
+}

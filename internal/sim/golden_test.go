@@ -59,6 +59,31 @@ func goldenFingerprint(res *Result) string {
 
 func goldenProg() *isa.Program { return loopProg("golden", 256, 3) }
 
+// assertAttribution checks the observability layer's own invariants on a
+// pinned golden run: the per-core cycle decomposition is exhaustive and
+// memory reads respect the UBD. Running it inside the golden tests proves
+// the instrumentation is both bit-neutral (the fingerprints above) and
+// correct (the sums below) on the same runs.
+func assertAttribution(t *testing.T, cfg Config, res *Result) {
+	t.Helper()
+	ubd := int64(cfg.Cores)*cfg.MemSlotCycles + cfg.MemCycles
+	for i, cr := range res.PerCore {
+		if !cr.Active {
+			continue
+		}
+		if sum := cr.Attribution.Sum(); sum != cr.Cycles {
+			t.Errorf("core %d: attribution sums to %d of %d cycles (%v)",
+				i, sum, cr.Cycles, cr.Attribution.Map())
+		}
+		if cr.MaxReadLatency > ubd {
+			t.Errorf("core %d: read latency %d exceeds UBD %d", i, cr.MaxReadLatency, ubd)
+		}
+	}
+	if aud := NewAuditor(); aud.CheckRun(cfg, res) != nil {
+		t.Errorf("auditor rejects golden run: %v", aud.Err())
+	}
+}
+
 func TestGoldenAnalysisEFL(t *testing.T) {
 	cfg := DefaultConfig().WithEFL(500).WithAnalysis(0)
 	progs := make([]*isa.Program, cfg.Cores)
@@ -75,6 +100,7 @@ func TestGoldenAnalysisEFL(t *testing.T) {
 		if got := goldenFingerprint(res); got != want {
 			t.Errorf("EFL analysis run %d fingerprint drifted.\ngot:\n%s\nwant:\n%s", run+1, got, want)
 		}
+		assertAttribution(t, cfg, res)
 	}
 }
 
@@ -93,6 +119,7 @@ func TestGoldenAnalysisCP(t *testing.T) {
 	if got := goldenFingerprint(res); got != goldenAnalysisCP {
 		t.Errorf("CP analysis fingerprint drifted.\ngot:\n%s\nwant:\n%s", got, goldenAnalysisCP)
 	}
+	assertAttribution(t, cfg, res)
 }
 
 func TestGoldenDeployment(t *testing.T) {
@@ -107,5 +134,29 @@ func TestGoldenDeployment(t *testing.T) {
 	}
 	if got := goldenFingerprint(res); got != goldenDeployment {
 		t.Errorf("deployment fingerprint drifted.\ngot:\n%s\nwant:\n%s", got, goldenDeployment)
+	}
+	assertAttribution(t, m.Config(), res)
+}
+
+// TestRunIntoZeroAlloc pins the other half of the observability contract:
+// with the audit off, the fully instrumented RunInto still allocates
+// nothing per run.
+func TestRunIntoZeroAlloc(t *testing.T) {
+	prog := goldenProg()
+	m, err := New(DefaultConfig().WithEFL(500), []*isa.Program{prog, prog, prog, prog}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res Result
+	if err := m.RunInto(&res); err != nil { // warm up buffers
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(3, func() {
+		if err := m.RunInto(&res); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("instrumented RunInto allocates %.1f per run", allocs)
 	}
 }

@@ -84,10 +84,21 @@ func (m *Multicore) Reuse(progs []*isa.Program, seed uint64) error {
 // hold one Pool per worker.
 type Pool struct {
 	platforms map[string]*Multicore
+	// aud, when set, checks every run executed through the pool's
+	// collection helpers. The Auditor itself is mutex-guarded, so one
+	// auditor is shared across all workers' pools.
+	aud *Auditor
 }
 
 // NewPool returns an empty platform pool.
 func NewPool() *Pool { return &Pool{platforms: map[string]*Multicore{}} }
+
+// SetAuditor attaches a soundness auditor to the pool; nil detaches it.
+func (p *Pool) SetAuditor(a *Auditor) { p.aud = a }
+
+// AuditRun checks one run against the attached auditor. Without an
+// auditor it is a no-op, so call sites audit unconditionally.
+func (p *Pool) AuditRun(cfg Config, res *Result) error { return p.aud.CheckRun(cfg, res) }
 
 // Size returns the number of distinct platforms held.
 func (p *Pool) Size() int { return len(p.platforms) }
@@ -135,6 +146,9 @@ func (p *Pool) CollectAnalysisTimes(ctx context.Context, cfg Config, prog *isa.P
 			}
 		}
 		if err := m.RunInto(&res); err != nil {
+			return nil, err
+		}
+		if err := p.aud.CheckRun(cfg, &res); err != nil {
 			return nil, err
 		}
 		times[i] = float64(res.PerCore[0].Cycles)

@@ -10,6 +10,7 @@ import (
 	"efl/internal/efl"
 	"efl/internal/isa"
 	"efl/internal/memctrl"
+	"efl/internal/metrics"
 	"efl/internal/rng"
 	"efl/internal/trace"
 )
@@ -44,6 +45,19 @@ type coreCtl struct {
 	owner   int
 
 	analysisBusWait int64 // phantom-contender cycles charged (analysis mode)
+
+	// acct attributes every stall cycle of this core's clock to the shared
+	// resource that consumed it. The stall segments of one transaction tile
+	// [issue, resume] exactly — bus wait, then the granted slot plus LLC
+	// lookup, then an optional EAB stall, then an optional memory wait — so
+	// together with the pipeline's own execute counter the categories sum
+	// to the core's total cycles (the auditor's first invariant). The
+	// Execute slot is filled from cpu.Core at collection time.
+	acct metrics.CycleAccount
+	// maxReadLat is the largest end-to-end memory-read latency this core
+	// observed (queueing+service at deployment, the UBD charge at
+	// analysis); the auditor compares it against memctrl.UpperBoundDelay.
+	maxReadLat int64
 }
 
 // CoreResult is the per-core outcome of a run.
@@ -59,6 +73,13 @@ type CoreResult struct {
 	// AnalysisBusWait is the total phantom bus contention charged
 	// (analysis mode only).
 	AnalysisBusWait int64
+	// Attribution decomposes Cycles by consuming resource; the categories
+	// sum to Cycles exactly (auditor invariant A1). Zero for idle cores.
+	Attribution metrics.CycleAccount
+	// MaxReadLatency is the largest end-to-end memory-read latency the
+	// core observed (0 when it never read memory). Deployment values must
+	// never exceed memctrl.UpperBoundDelay (auditor invariant A2).
+	MaxReadLatency int64
 }
 
 // Result is the outcome of one complete run.
@@ -68,6 +89,12 @@ type Result struct {
 	Bus         bus.Stats
 	Mem         memctrl.Stats
 	TotalCycles int64 // slowest active core
+
+	// Latency distributions of the run's shared resources (power-of-two
+	// buckets; value copies, so Result stays allocation-free to fill).
+	BusWaitHist  metrics.Histogram // per-grant arbitration waits
+	MemReadHist  metrics.Histogram // end-to-end blocking-read latencies
+	EFLStallHist metrics.Histogram // per-eviction EAB waits, all cores merged
 }
 
 // IPCOf returns core i's instructions per cycle.
@@ -240,6 +267,8 @@ func (m *Multicore) reset() {
 		ctl.issuedAt = 0
 		ctl.evalAt = 0
 		ctl.analysisBusWait = 0
+		ctl.acct.Reset()
+		ctl.maxReadLat = 0
 		if ctl.core != nil {
 			ctl.core.Reset()
 			ctl.state = stReady
@@ -397,8 +426,13 @@ func (m *Multicore) RunInto(res *Result) error {
 				ctl := m.cores[req.Core]
 				ctl.state = stWaitWake
 				ctl.wakeAt = done
+				lat := done - req.Arrival
+				ctl.acct.Add(metrics.MemWait, lat)
+				if lat > ctl.maxReadLat {
+					ctl.maxReadLat = lat
+				}
 				m.noteCore(ctl)
-				m.emit(done, req.Core, trace.EvMemRead, 0, done-req.Arrival)
+				m.emit(done, req.Core, trace.EvMemRead, 0, lat)
 			} else {
 				m.emit(min, req.Core, trace.EvMemWrite, 0, 0)
 			}
@@ -413,6 +447,9 @@ func (m *Multicore) RunInto(res *Result) error {
 			ctl.state = stWaitEval
 			ctl.wakeAt = at + m.cfg.BusSlotCycles + m.cfg.LLCHitCycles
 			ctl.evalAt = ctl.wakeAt
+			ctl.acct.Add(metrics.BusWait, at-win.Arrival)
+			ctl.acct.Add(metrics.BusSlot, m.cfg.BusSlotCycles)
+			ctl.acct.Add(metrics.LLCLookup, m.cfg.LLCHitCycles)
 			m.noteCore(ctl)
 			m.emit(at, win.Core, trace.EvBusGrant, ctl.req.Addr, at-win.Arrival)
 		}
@@ -454,6 +491,9 @@ func (m *Multicore) issueRequest(ctl *coreCtl, t int64) {
 		ctl.state = stWaitEval
 		ctl.wakeAt = t + wait + m.cfg.BusSlotCycles + m.cfg.LLCHitCycles
 		ctl.evalAt = ctl.wakeAt
+		ctl.acct.Add(metrics.BusWait, wait)
+		ctl.acct.Add(metrics.BusSlot, m.cfg.BusSlotCycles)
+		ctl.acct.Add(metrics.LLCLookup, m.cfg.LLCHitCycles)
 		return
 	}
 	m.busRequest(bus.Request{Core: ctl.id, Arrival: t})
@@ -514,6 +554,7 @@ func (m *Multicore) evalLLC(ctl *coreCtl, t int64) {
 			ctl.state = stWaitEAB
 			ctl.wakeAt = allowed
 			ctl.evalAt = t
+			ctl.acct.Add(metrics.EABStall, allowed-t)
 			m.emit(t, ctl.id, trace.EvEFLStall, ctl.req.Addr, allowed-t)
 			return
 		}
@@ -548,8 +589,13 @@ func (m *Multicore) afterFill(ctl *coreCtl, t int64) {
 		return
 	}
 	if m.analysisCore(ctl) {
+		ubd := m.mc.UpperBoundDelay()
 		ctl.state = stWaitWake
-		ctl.wakeAt = t + m.mc.UpperBoundDelay()
+		ctl.wakeAt = t + ubd
+		ctl.acct.Add(metrics.MemWait, ubd)
+		if ubd > ctl.maxReadLat {
+			ctl.maxReadLat = ubd
+		}
 		return
 	}
 	m.mcRequest(memctrl.Request{Core: ctl.id, Arrival: t, Kind: memctrl.Read})
@@ -586,9 +632,18 @@ func (m *Multicore) collectInto(res *Result) {
 	res.LLC = m.llc.Stats()
 	res.Bus = m.bus.Stats()
 	res.Mem = m.mc.Stats()
+	res.BusWaitHist = m.bus.WaitHistogram()
+	res.MemReadHist = m.mc.ReadLatencyHistogram()
+	res.EFLStallHist.Reset()
 	res.TotalCycles = 0
 	for i, ctl := range m.cores {
 		cr := CoreResult{}
+		// EFL stats are collected for every core, active or not: in
+		// analysis mode the co-runner cores' units count CRG evictions, and
+		// the auditor checks their eviction rates from the Result alone.
+		cr.EFL = m.ac.Unit(i).Stats()
+		stalls := m.ac.Unit(i).StallHistogram()
+		res.EFLStallHist.Merge(&stalls)
 		if ctl.core != nil {
 			cr.Active = true
 			cr.Cycles = ctl.core.Clock
@@ -599,8 +654,10 @@ func (m *Multicore) collectInto(res *Result) {
 			cr.IL1 = ctl.core.IL1.Stats()
 			cr.DL1 = ctl.core.DL1.Stats()
 			cr.Pipe = ctl.core.Stats()
-			cr.EFL = m.ac.Unit(i).Stats()
 			cr.AnalysisBusWait = ctl.analysisBusWait
+			cr.Attribution = ctl.acct
+			cr.Attribution[metrics.Execute] = ctl.core.ExecCycles()
+			cr.MaxReadLatency = ctl.maxReadLat
 			if cr.Cycles > res.TotalCycles {
 				res.TotalCycles = cr.Cycles
 			}

@@ -448,9 +448,14 @@ func BenchmarkDeploymentQuadCore(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	var res Result
+	if err := m.RunInto(&res); err != nil { // warm result buffers
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := m.Run(); err != nil {
+		if err := m.RunInto(&res); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -464,9 +469,14 @@ func BenchmarkAnalysisRun(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	var res Result
+	if err := m.RunInto(&res); err != nil { // warm result buffers
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := m.Run(); err != nil {
+		if err := m.RunInto(&res); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -81,14 +81,22 @@ func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
 // linear interpolation between order statistics (type-7, the common
 // default). It panics on an empty slice or q outside [0,1].
 func Quantile(xs []float64, q float64) float64 {
-	if len(xs) == 0 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return QuantileSorted(s, q)
+}
+
+// QuantileSorted is Quantile over an already ascending-sorted sample,
+// without the copy and re-sort. Callers that hold a sorted sample (e.g.
+// an ECDF, or POT after ranking the excesses) use this to avoid sorting
+// the same data twice.
+func QuantileSorted(s []float64, q float64) float64 {
+	if len(s) == 0 {
 		panic("stats: Quantile of empty slice")
 	}
 	if q < 0 || q > 1 {
 		panic("stats: quantile out of [0,1]")
 	}
-	s := append([]float64(nil), xs...)
-	sort.Float64s(s)
 	if len(s) == 1 {
 		return s[0]
 	}

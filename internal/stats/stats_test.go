@@ -336,3 +336,19 @@ func BenchmarkKS2(b *testing.B) {
 		_, _ = KolmogorovSmirnov2(xs, ys)
 	}
 }
+
+// TestQuantileSortedMatchesQuantile pins the refactor that let sorted-
+// sample holders skip the copy+sort: both entry points must agree exactly.
+func TestQuantileSortedMatchesQuantile(t *testing.T) {
+	xs := []float64{9, 1, 4, 7, 2, 8, 3, 5, 6, 0}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.85, 0.99, 1} {
+		if got, want := QuantileSorted(s, q), Quantile(xs, q); got != want {
+			t.Fatalf("q=%v: QuantileSorted %v != Quantile %v", q, got, want)
+		}
+	}
+	if QuantileSorted([]float64{42}, 0.7) != 42 {
+		t.Fatal("single-element quantile")
+	}
+}

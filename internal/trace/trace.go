@@ -65,7 +65,13 @@ func (e Event) String() string {
 type Buffer struct {
 	events  []Event
 	max     int
-	dropped uint64
+	dropped uint64 // events lost because the buffer was full
+	// filtered counts events rejected by Filter. Kept separate from
+	// dropped: a filtered event is excluded by request, a dropped one is
+	// data loss — conflating them (or not counting filtered at all, the
+	// original bug) makes "did my trace capture everything it was asked
+	// to?" unanswerable.
+	filtered uint64
 	// Filter, when non-zero, keeps only the kinds whose bit is set
 	// (bit i = Kind(i)).
 	Filter uint32
@@ -92,6 +98,7 @@ func (b *Buffer) Keep(kinds ...Kind) *Buffer {
 // Add records an event (dropping it when the buffer is full or filtered).
 func (b *Buffer) Add(e Event) {
 	if b.Filter != 0 && b.Filter&(1<<uint(e.Kind)) == 0 {
+		b.filtered++
 		return
 	}
 	if len(b.events) >= b.max {
@@ -106,12 +113,17 @@ func (b *Buffer) Add(e Event) {
 func (b *Buffer) Events() []Event { return b.events }
 
 // Dropped returns how many events were discarded after the buffer filled.
+// Filter rejections are not drops; see Filtered.
 func (b *Buffer) Dropped() uint64 { return b.dropped }
+
+// Filtered returns how many events the kind filter rejected.
+func (b *Buffer) Filtered() uint64 { return b.filtered }
 
 // Reset clears the buffer for a new run.
 func (b *Buffer) Reset() {
 	b.events = b.events[:0]
 	b.dropped = 0
+	b.filtered = 0
 }
 
 // Stats summarises the buffer per (core, kind).
@@ -146,6 +158,9 @@ func (b *Buffer) Render(from, to int64) string {
 	fmt.Fprintf(&sb, "(%d events in [%d, %d)", n, from, to)
 	if b.dropped > 0 {
 		fmt.Fprintf(&sb, ", %d dropped after the buffer filled", b.dropped)
+	}
+	if b.filtered > 0 {
+		fmt.Fprintf(&sb, ", %d filtered out", b.filtered)
 	}
 	sb.WriteString(")\n")
 	return sb.String()

@@ -92,3 +92,34 @@ func TestKindStrings(t *testing.T) {
 		t.Fatal("unknown kind String broken")
 	}
 }
+
+// TestFilteredDropAccounting pins the drop-accounting fix: filter
+// rejections are counted separately from full-buffer drops. Before the
+// fix, filtered events simply vanished — Dropped() read 0 on a heavily
+// filtered trace, which made a truncated capture indistinguishable from a
+// complete one.
+func TestFilteredDropAccounting(t *testing.T) {
+	b := NewBuffer(2).Keep(EvLLCHit)
+	b.Add(Event{Kind: EvLLCMiss})  // filtered
+	b.Add(Event{Kind: EvLLCHit})   // kept
+	b.Add(Event{Kind: EvLLCHit})   // kept (buffer now full)
+	b.Add(Event{Kind: EvLLCHit})   // dropped: full
+	b.Add(Event{Kind: EvBusGrant}) // filtered, even while full
+	if got := b.Filtered(); got != 2 {
+		t.Fatalf("Filtered() = %d, want 2", got)
+	}
+	if got := b.Dropped(); got != 1 {
+		t.Fatalf("Dropped() = %d, want 1", got)
+	}
+	if len(b.Events()) != 2 {
+		t.Fatalf("%d events kept", len(b.Events()))
+	}
+	out := b.Render(0, 10)
+	if !strings.Contains(out, "1 dropped") || !strings.Contains(out, "2 filtered") {
+		t.Fatalf("render does not report both counts:\n%s", out)
+	}
+	b.Reset()
+	if b.Filtered() != 0 || b.Dropped() != 0 {
+		t.Fatal("Reset did not clear the drop counters")
+	}
+}
