@@ -14,6 +14,7 @@
 //	experiments -exp convergence           # E7 extension: MBPTA convergence study
 //	experiments -exp attrib                # per-core cycle-attribution breakdown
 //	experiments -exp bench                 # performance regression suite
+//	experiments -exp faultmatrix           # fault-injection detection matrix
 //	experiments -exp all                   # everything, paper order
 //
 // Every result is routed through a schema-versioned JSON artifact: with
@@ -44,6 +45,18 @@
 // bit-identical with and without it. -metrics-addr HOST:PORT serves live
 // campaign progress (completed/total jobs, ETA, per-worker throughput,
 // and the audit counters when -audit is on) as JSON on /metrics.
+//
+// -exp faultmatrix (never part of "all": it deliberately injects faults)
+// arms every hardware fault class from internal/fault against the
+// soundness auditor and the hardened runner, and renders the detection
+// matrix (DESIGN.md §10). The campaign runs fail-soft: jobs that hang or
+// panic are recorded in the artifact's per-row status/error block instead
+// of killing the campaign, failed simulators are quarantined, and -retries
+// (default 1) bounds how often a failed job is re-run on fresh state.
+// Exit codes: 0 all classes detected and nothing degraded, 1 a fault class
+// escaped detection (or the fault-free control false-positived), 3 all
+// classes detected but the campaign degraded — the expected outcome, since
+// the hang and panic classes kill their jobs by design.
 package main
 
 import (
@@ -88,6 +101,7 @@ func main() {
 		memprof   = flag.String("memprofile", "", "write a heap profile to this path on exit")
 		audit     = flag.Bool("audit", false, "check every run against the soundness invariants; violations fail the command")
 		metricsAt = flag.String("metrics-addr", "", "serve live campaign progress as JSON on this HOST:PORT")
+		retries   = flag.Int("retries", 1, "re-runs of a failed or panicked faultmatrix job on fresh state (watchdog kills are never retried)")
 	)
 	flag.Parse()
 
@@ -135,6 +149,7 @@ func main() {
 		Workloads:   *workloads,
 		DeployRuns:  *deploy,
 		Parallelism: *parallel,
+		Retries:     *retries,
 		Ctx:         ctx,
 	}
 	if *verbose {
@@ -145,6 +160,10 @@ func main() {
 		opt.Audit = auditor
 	}
 
+	// shutdownMetrics gracefully drains the live-metrics server. It must be
+	// an explicit call, not only a defer: the interrupted (exit 130) and
+	// degraded (exit 3) paths leave through os.Exit, which skips defers.
+	shutdownMetrics := func() {}
 	var tracker *metrics.CampaignTracker
 	if *metricsAt != "" {
 		tracker = metrics.NewCampaignTracker()
@@ -163,7 +182,14 @@ func main() {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
 		}
-		defer srv.Close()
+		shutdownMetrics = func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(sctx); err != nil {
+				srv.Close()
+			}
+		}
+		defer shutdownMetrics()
 		fmt.Fprintf(os.Stderr, "[live metrics at http://%s/metrics]\n", bound)
 		opt.OnProgress = func(p runner.Progress) {
 			tracker.JobDone(p.Worker, p.Done, p.Total, p.Elapsed, p.Remaining)
@@ -182,6 +208,7 @@ func main() {
 					fmt.Fprintf(os.Stderr, " — resume with: -exp fig4 -resume -out %s (same seed and scales)", *outDir)
 				}
 				fmt.Fprintln(os.Stderr)
+				shutdownMetrics()
 				os.Exit(130)
 			}
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
@@ -335,6 +362,31 @@ func main() {
 			})
 		})
 	}
+	// The fault-injection detection matrix only runs when asked for
+	// explicitly ("all" regenerates the paper artefacts; a campaign that
+	// deliberately breaks the simulated hardware is not one of them).
+	degraded := false
+	if *exp == "faultmatrix" {
+		run("faultmatrix", func() error {
+			res, err := experiments.FaultMatrix(opt)
+			if err != nil {
+				return err
+			}
+			if err := emit(*outDir, "faultmatrix", *seed, *res, func(r experiments.FaultMatrixResult) string {
+				return r.Render()
+			}); err != nil {
+				return err
+			}
+			// The artifact is already persisted and printed: a detection gap
+			// now fails the command, a degraded-but-fully-detected campaign
+			// exits with the distinct degraded code after the audit block.
+			if !res.AllDetected {
+				return errors.New("detection gap: a fault class escaped every invariant and watchdog (or the control false-positived)")
+			}
+			degraded = res.Degraded
+			return nil
+		})
+	}
 	// The bench suite only runs when asked for explicitly ("all" regenerates
 	// the paper artefacts; a perf report is not one of them).
 	if *exp == "bench" {
@@ -360,7 +412,7 @@ func main() {
 		})
 	}
 	switch *exp {
-	case "setup", "iid", "fig3", "fig4", "eq1", "fixedmid", "wt", "lru", "midsweep", "convergence", "attrib", "bench", "all":
+	case "setup", "iid", "fig3", "fig4", "eq1", "fixedmid", "wt", "lru", "midsweep", "convergence", "attrib", "bench", "faultmatrix", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "experiments: unknown -exp %q\n", *exp)
 		flag.Usage()
@@ -374,7 +426,20 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if degraded {
+		// Every fault class was detected but some jobs died (by design for
+		// the hang and panic classes): the artifact is complete and decodable,
+		// the exit code tells automation this was a degraded run.
+		fmt.Fprintln(os.Stderr, "experiments: campaign degraded (failed jobs recorded in artifact)")
+		shutdownMetrics()
+		os.Exit(exitDegraded)
+	}
 }
+
+// exitDegraded is the exit code of a campaign that completed and produced
+// its artifact but recorded failed jobs (graceful degradation). Distinct
+// from 1 (hard failure / detection gap) and 130 (interrupted).
+const exitDegraded = 3
 
 // emit routes a result through its artifact: encode canonically, persist
 // to outDir/<kind>.json when outDir is set, decode into a fresh value and

@@ -107,7 +107,12 @@ func Read(path, kind string, out any) (uint64, error) {
 
 // WriteFile atomically replaces path with data via a same-directory temp
 // file and rename, so readers (and interrupted writers) never observe a
-// torn file.
+// torn file. The temp file is fsynced before the rename and the directory
+// after it: rename-over-unsynced-data is the classic crash hole where a
+// power loss leaves the *new* name pointing at zero-length or partial
+// content, which for a checkpoint would silently resume a corrupt
+// campaign. Durability is worth the syscalls — checkpoints are written
+// once per completed workload, nowhere near a hot path.
 func WriteFile(path string, data []byte) error {
 	dir := filepath.Dir(path)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -118,6 +123,9 @@ func WriteFile(path string, data []byte) error {
 		return err
 	}
 	_, werr := tmp.Write(data)
+	if werr == nil {
+		werr = tmp.Sync()
+	}
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
 		os.Remove(tmp.Name())
@@ -130,7 +138,22 @@ func WriteFile(path string, data []byte) error {
 		os.Remove(tmp.Name())
 		return err
 	}
+	syncDir(dir)
 	return nil
+}
+
+// syncDir fsyncs a directory so a completed rename survives power loss.
+// Best-effort: some filesystems (and all of Windows) refuse directory
+// syncs, and losing the rename's durability there degrades to the old
+// behaviour, not to corruption — the file content itself is already
+// synced.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
 }
 
 // checkpointFile is the on-disk layout of a campaign checkpoint.
@@ -175,7 +198,10 @@ func LoadCheckpoint(path, kind, key string, total int) (*Checkpoint, error) {
 	}
 	var f checkpointFile
 	if err := json.Unmarshal(data, &f); err != nil {
-		return nil, fmt.Errorf("artifact: checkpoint %s: %w", path, err)
+		// A checkpoint that does not parse is corrupt (torn write, bad
+		// disk): refuse to resume rather than silently restart and overwrite
+		// whatever evidence the file holds.
+		return nil, fmt.Errorf("artifact: checkpoint %s is corrupt or truncated (delete it to start fresh): %w", path, err)
 	}
 	if f.Schema != SchemaVersion || f.Kind != kind || f.Key != key || f.Total != total {
 		return nil, fmt.Errorf("artifact: checkpoint %s was written by a different campaign (kind %q key %q total %d; want kind %q key %q total %d)",

@@ -53,6 +53,12 @@ type Bus struct {
 	// waitHist distributes per-transaction arbitration waits (grant −
 	// arrival), the bus leg of the cycle-accounting observability layer.
 	waitHist metrics.Histogram
+
+	// Fault-injection state (see the hooks below): core whose requests the
+	// arbiter starves (-1 when healthy) and the extra delay it suffers when
+	// it is finally granted.
+	starveCore    int
+	starvePenalty int64
 }
 
 // New creates a bus with the given arbitration slot length.
@@ -60,7 +66,25 @@ func New(slotCycles int64, rnd rng.Stream) *Bus {
 	if slotCycles < 1 {
 		panic("bus: slot must be at least one cycle")
 	}
-	return &Bus{slot: slotCycles, rnd: rnd}
+	return &Bus{slot: slotCycles, rnd: rnd, starveCore: -1}
+}
+
+// InjectStarvation arms an arbiter fault against one core: its requests
+// lose every lottery round in which any other core competes, and when it is
+// the only eligible requester its grant is still delayed by penalty cycles.
+// Armed/disarmed by sim.Multicore between runs.
+func (b *Bus) InjectStarvation(core int, penalty int64) {
+	if penalty < 0 {
+		panic("bus: negative starvation penalty")
+	}
+	b.starveCore = core
+	b.starvePenalty = penalty
+}
+
+// ClearFaults restores fair lottery arbitration.
+func (b *Bus) ClearFaults() {
+	b.starveCore = -1
+	b.starvePenalty = 0
 }
 
 // Slot returns the arbitration slot length in cycles.
@@ -131,25 +155,51 @@ func (b *Bus) Grant(holdCycles int64) (Request, int64) {
 			eligible++
 		}
 	}
+	starvedOnly := false
+	if b.starveCore >= 0 {
+		// Fault injection: the starved core's requests are excluded from
+		// the draw whenever another core competes; when it is alone its
+		// grant is pushed back by the starvation penalty below.
+		nonStarved := 0
+		for i := range b.wait {
+			if b.wait[i].Arrival <= t && b.wait[i].Core != b.starveCore {
+				nonStarved++
+			}
+		}
+		if nonStarved > 0 {
+			eligible = nonStarved
+		} else {
+			starvedOnly = true
+		}
+	}
 	k := b.rnd.Intn(eligible)
 	winIdx := -1
+	skipStarved := b.starveCore >= 0 && !starvedOnly
 	for i := range b.wait {
-		if b.wait[i].Arrival <= t {
-			if k == 0 {
-				winIdx = i
-				break
-			}
-			k--
+		if b.wait[i].Arrival > t {
+			continue
 		}
+		if skipStarved && b.wait[i].Core == b.starveCore {
+			continue
+		}
+		if k == 0 {
+			winIdx = i
+			break
+		}
+		k--
 	}
 	win := b.wait[winIdx]
 	b.wait = append(b.wait[:winIdx], b.wait[winIdx+1:]...)
-	b.freeAt = t + holdCycles
+	at := t
+	if starvedOnly && win.Core == b.starveCore {
+		at += b.starvePenalty
+	}
+	b.freeAt = at + holdCycles
 	b.stats.Transactions++
-	b.stats.WaitCycles += t - win.Arrival
+	b.stats.WaitCycles += at - win.Arrival
 	b.stats.BusyCycles += holdCycles
-	b.waitHist.Observe(t - win.Arrival)
-	return win, t
+	b.waitHist.Observe(at - win.Arrival)
+	return win, at
 }
 
 // AnalysisDelay draws the analysis-time contention delay of one bus access:

@@ -1,0 +1,62 @@
+package bus
+
+import (
+	"testing"
+
+	"efl/internal/rng"
+)
+
+func TestInjectStarvation(t *testing.T) {
+	b := New(2, rng.New(1))
+	b.InjectStarvation(1, 100)
+	// With a competitor pending, the starved core is never in the lottery:
+	// its requests pile up while core 0 wins every draw.
+	for round := 0; round < 20; round++ {
+		b.Request(Request{Core: 0, Arrival: 0})
+		b.Request(Request{Core: 1, Arrival: 0})
+		win, _ := b.Grant(2)
+		if win.Core == 1 {
+			t.Fatalf("round %d: starved core won against a competitor", round)
+		}
+	}
+	// Alone, the starved core is finally granted — with the penalty.
+	if !b.HasWaiters() {
+		t.Fatal("starved requests vanished from the queue")
+	}
+	for b.HasWaiters() {
+		tg := b.NextGrantTime()
+		win, at := b.Grant(2)
+		if win.Core != 1 {
+			t.Fatalf("unexpected winner %d draining the queue", win.Core)
+		}
+		if at != tg+100 {
+			t.Fatalf("starved grant at %d, want grant time %d + penalty 100", at, tg)
+		}
+	}
+}
+
+func TestStarvationClearRestoresFairness(t *testing.T) {
+	b := New(2, rng.New(2))
+	b.InjectStarvation(0, 50)
+	b.ClearFaults()
+	wins := [2]int{}
+	for round := 0; round < 200; round++ {
+		b.Request(Request{Core: 0, Arrival: 0})
+		b.Request(Request{Core: 1, Arrival: 0})
+		win, _ := b.Grant(2)
+		wins[win.Core]++
+		b.Grant(2) // drain the loser
+	}
+	if wins[0] == 0 || wins[1] == 0 {
+		t.Fatalf("cleared arbiter still unfair: wins %v", wins)
+	}
+}
+
+func TestInjectStarvationRejectsNegativePenalty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative penalty did not panic")
+		}
+	}()
+	New(2, rng.New(3)).InjectStarvation(0, -1)
+}

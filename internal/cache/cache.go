@@ -199,6 +199,13 @@ type Cache struct {
 	// most a handful of distinct masks (one per partition).
 	vtabMask []WayMask
 	vtabWays [][]uint8
+
+	// Fault-injection state (see fault.go). Zero values mean healthy.
+	disabledWays WayMask    // ways unusable for victim selection
+	flipBit      uint       // tag bit XORed on faulty fills
+	flipPeriod   uint64     // >0: every flipPeriod-th Fill corrupts the tag
+	fillCount    uint64     // fills since the flip fault was armed
+	origSrc      rng.Source // pre-injection PRNG source, restored by ClearFaults
 }
 
 // synthTagBase marks CRG artificial line addresses; demand addresses in the
@@ -455,14 +462,25 @@ func (c *Cache) Fill(lk Lookup, write bool, mask WayMask, owner int) AccessResul
 	} else {
 		c.validCount++
 	}
-	v.tag = lk.line
+	tag := lk.line
+	if c.flipPeriod > 0 && c.fillTagFault() {
+		tag ^= 1 << c.flipBit
+	}
+	v.tag = tag
 	v.valid = true
 	v.dirty = write
 	v.owner = int8(owner)
 	if write {
 		c.dirtyCount++
 	}
-	c.setMemo(lk.line, si, victim)
+	if tag == lk.line {
+		c.setMemo(lk.line, si, victim)
+	} else {
+		// The installed tag is corrupt: hardware would only rediscover the
+		// line by scanning its own set, so the cross-set memo must not
+		// advertise it under the flipped address.
+		c.memoLine = memoNone
+	}
 	if c.modulo {
 		c.touchLRU(si, victim)
 	}
@@ -541,14 +559,23 @@ func (c *Cache) Access(addr uint64, write bool, mask WayMask, owner int) AccessR
 	} else {
 		c.validCount++
 	}
-	v.tag = la
+	tag := la
+	if c.flipPeriod > 0 && c.fillTagFault() {
+		tag ^= 1 << c.flipBit
+	}
+	v.tag = tag
 	v.valid = true
 	v.dirty = write
 	v.owner = int8(owner)
 	if write {
 		c.dirtyCount++
 	}
-	c.setMemo(la, si, victim)
+	if tag == la {
+		c.setMemo(la, si, victim)
+	} else {
+		// Corrupt install (fault injection): see Fill.
+		c.memoLine = memoNone
+	}
 	if c.modulo {
 		c.touchLRU(si, victim)
 	}
@@ -567,6 +594,15 @@ func (c *Cache) Access(addr uint64, write bool, mask WayMask, owner int) AccessR
 // Time-deterministic (LRU): conventional — an invalid way if any,
 // otherwise the least recently used masked way.
 func (c *Cache) pickVictim(si int, mask WayMask) int {
+	if c.disabledWays != 0 {
+		// Fault injection: faulty ways cannot be allocated into. If the
+		// fault wipes out the whole mask the draw falls back to the original
+		// mask (the request must complete somewhere), which cannot happen
+		// with the plans fault.Plan validation admits.
+		if um := mask &^ c.disabledWays; um != 0 {
+			mask = um
+		}
+	}
 	if c.modulo {
 		set := c.sets[si]
 		for wi := range set {

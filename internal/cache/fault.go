@@ -1,0 +1,62 @@
+package cache
+
+import "efl/internal/rng"
+
+// Fault-injection hooks, armed/disarmed by sim.Multicore between runs
+// (never mid-run). Healthy caches pay one predictable compare per victim
+// draw / fill; see cache.go for where each fault state is consulted.
+
+// InjectDisabledWays marks the ways in disabled as unusable for victim
+// selection: fills never allocate into them (their current contents stay
+// resident, which is what a hard way failure mapped out by the fill logic
+// looks like). Disabling every way of the cache is rejected.
+func (c *Cache) InjectDisabledWays(disabled WayMask) {
+	if disabled&c.allMask == c.allMask {
+		panic("cache: fault would disable every way")
+	}
+	c.disabledWays = disabled & c.allMask
+}
+
+// InjectTagFlip makes every period-th Fill XOR bit `bit` into the stored
+// tag: the filled line is resident but unfindable under its real address
+// (and answers lookups of the flipped address instead) — a single-event
+// upset in the tag array.
+func (c *Cache) InjectTagFlip(bit uint, period uint64) {
+	if period == 0 {
+		panic("cache: tag-flip period must be positive")
+	}
+	c.flipBit = bit
+	c.flipPeriod = period
+	c.fillCount = 0
+}
+
+// fillTagFault advances the fill counter and reports whether this fill's
+// tag is corrupted. Only called while the flip fault is armed.
+func (c *Cache) fillTagFault() bool {
+	c.fillCount++
+	return c.fillCount%c.flipPeriod == 0
+}
+
+// InjectRNG replaces the cache's PRNG source with wrap(current), keeping
+// the original for ClearFaults. The wrapper sees every victim draw and
+// every per-run RII derivation.
+func (c *Cache) InjectRNG(wrap func(rng.Source) rng.Source) {
+	if c.origSrc == nil {
+		c.origSrc = c.rnd.Src
+	}
+	c.rnd.Src = wrap(c.rnd.Src)
+}
+
+// ClearFaults restores the cache to its healthy configuration. Contents
+// corrupted while a fault was armed are NOT repaired; callers quarantine
+// or reseed the platform.
+func (c *Cache) ClearFaults() {
+	c.disabledWays = 0
+	c.flipBit = 0
+	c.flipPeriod = 0
+	c.fillCount = 0
+	if c.origSrc != nil {
+		c.rnd.Src = c.origSrc
+		c.origSrc = nil
+	}
+}

@@ -72,7 +72,11 @@ type Unit struct {
 	eabAt   int64 // cycle at which the EAB (re)becomes 1
 	enabled bool
 	fixed   bool // ablation A2: deterministic delays instead of U[0,2*MID]
-	stats   Stats
+	// Fault-injection state (see fault.go). Zero values mean healthy.
+	stuckEAB bool       // EAB output stuck at 1: evictions never throttled
+	satDelay int64      // >0: count-down counter saturated, every draw is satDelay
+	origSrc  rng.Source // pre-injection PRNG source, restored by ClearFaults
+	stats    Stats
 	// stallHist distributes per-eviction EAB waits (the EFL leg of the
 	// cycle-accounting observability layer).
 	stallHist metrics.Histogram
@@ -110,6 +114,9 @@ func (u *Unit) SetFixed(fixed bool) { u.fixed = fixed }
 
 // draw produces the next inter-eviction delay.
 func (u *Unit) draw() int64 {
+	if u.satDelay > 0 {
+		return u.satDelay
+	}
 	if u.fixed {
 		return u.mid
 	}
@@ -128,7 +135,7 @@ func (u *Unit) Reset() {
 // may proceed: now itself if the EAB is set, otherwise the cycle the
 // count-down counter reaches zero. It does not consume the EAB.
 func (u *Unit) EvictionAllowedAt(now int64) int64 {
-	if !u.enabled || u.eabAt <= now {
+	if !u.enabled || u.stuckEAB || u.eabAt <= now {
 		return now
 	}
 	return u.eabAt
@@ -159,6 +166,7 @@ func (u *Unit) RecordEviction(t int64, waited int64) {
 type CRG struct {
 	unit *Unit
 	next int64
+	dead bool // fault injection: refill logic dead, the CRG never fires
 }
 
 // NewCRG couples a generator to a unit and schedules its first request.
@@ -181,7 +189,12 @@ func (c *CRG) Rearm() {
 }
 
 // NextFire returns the cycle of the pending artificial eviction request.
-func (c *CRG) NextFire() int64 { return c.next }
+func (c *CRG) NextFire() int64 {
+	if c.dead {
+		return neverFires
+	}
+	return c.next
+}
 
 // Fire records the eviction the CRG just performed at cycle t and
 // schedules the next request. It returns the next fire time. The CRG

@@ -1,0 +1,69 @@
+package efl
+
+import (
+	"math"
+
+	"efl/internal/rng"
+)
+
+// Fault-injection hooks for the access-control fabric. Each hook models a
+// single hardware fault from the fault-injection subsystem (internal/fault)
+// and is armed/disarmed by sim.Multicore between runs, never mid-run. All
+// hooks are branch-only on the hot path: a healthy unit pays one predictable
+// compare per draw / EAB query.
+
+// neverFires is the fire time of a dead CRG: far enough in the future that
+// the event loop never reaches it, without risking overflow in comparisons.
+const neverFires = math.MaxInt64 / 4
+
+// InjectStuckEAB sticks the unit's eviction-allowed bit at 1: the count-down
+// counter output is ignored and every eviction proceeds immediately. The
+// counter logic still draws and decrements (DelaySum keeps growing), only
+// the EAB flop output is stuck — the classic stuck-at-1 output fault.
+func (u *Unit) InjectStuckEAB() { u.stuckEAB = true }
+
+// InjectSaturatedCDC saturates the count-down counter: every refill loads
+// delay instead of a U[0, 2*MID] draw. With a delay far beyond any run
+// length, the EAB never sets again after the first eviction and every
+// subsequent evicting request stalls forever (a hang, not a wrong answer —
+// only the runner watchdog can catch it).
+func (u *Unit) InjectSaturatedCDC(delay int64) { u.satDelay = delay }
+
+// InjectRNG replaces the unit's PRNG source with wrap(current), keeping the
+// original for ClearFaults. The wrapper sees every draw the delay logic
+// makes (rng.StuckSource / rng.MaskSource model output faults).
+func (u *Unit) InjectRNG(wrap func(rng.Source) rng.Source) {
+	if u.origSrc == nil {
+		u.origSrc = u.rnd.Src
+	}
+	u.rnd.Src = wrap(u.rnd.Src)
+}
+
+// ClearFaults restores the unit to its healthy configuration.
+func (u *Unit) ClearFaults() {
+	u.stuckEAB = false
+	u.satDelay = 0
+	if u.origSrc != nil {
+		u.rnd.Src = u.origSrc
+		u.origSrc = nil
+	}
+}
+
+// InjectDead kills the generator's refill logic: the CRG never issues
+// another request, so an analysis run proceeds without the worst-case
+// co-runner interference the mode is supposed to realise (invariant A3's
+// CRG-liveness check exists to catch exactly this).
+func (c *CRG) InjectDead() { c.dead = true }
+
+// ClearFaults restores the generator.
+func (c *CRG) ClearFaults() { c.dead = false }
+
+// ClearFaults restores every unit and generator in the fabric.
+func (ac *AccessControl) ClearFaults() {
+	for i, u := range ac.units {
+		u.ClearFaults()
+		if ac.crgs[i] != nil {
+			ac.crgs[i].ClearFaults()
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package efl
+
+import (
+	"testing"
+
+	"efl/internal/rng"
+)
+
+func TestInjectStuckEAB(t *testing.T) {
+	u := NewUnit(1000, rng.New(1))
+	u.InjectStuckEAB()
+	u.RecordEviction(0, 0)
+	// A healthy unit would gate the next eviction behind a U[0,2000] draw;
+	// the stuck EAB lets every eviction through immediately.
+	for now := int64(1); now < 5; now++ {
+		if got := u.EvictionAllowedAt(now); got != now {
+			t.Fatalf("stuck EAB still gated: allowed at %d, want %d", got, now)
+		}
+		u.RecordEviction(now, 0)
+	}
+	u.ClearFaults()
+	if !gatesAgain(u, 5) {
+		t.Fatal("cleared unit no longer gates (fault state leaked)")
+	}
+}
+
+// gatesAgain reports whether the unit delays at least one of several
+// evictions starting at cycle now — robust against individual small draws.
+func gatesAgain(u *Unit, now int64) bool {
+	for i := 0; i < 50; i++ {
+		u.RecordEviction(now, 0)
+		if u.EvictionAllowedAt(now+1) > now+1 {
+			return true
+		}
+		now += 2
+	}
+	return false
+}
+
+func TestInjectSaturatedCDC(t *testing.T) {
+	const sat = int64(1) << 40
+	u := NewUnit(1000, rng.New(2))
+	u.InjectSaturatedCDC(sat)
+	u.RecordEviction(10, 0)
+	if got := u.EvictionAllowedAt(11); got != 10+sat {
+		t.Fatalf("saturated counter allows eviction at %d, want %d", got, 10+sat)
+	}
+	u.ClearFaults()
+	u.RecordEviction(20, 0)
+	if got := u.EvictionAllowedAt(21); got > 20+2000 {
+		t.Fatalf("cleared unit still saturated: allowed at %d", got)
+	}
+}
+
+func TestInjectRNGStuckAtZero(t *testing.T) {
+	u := NewUnit(1000, rng.New(3))
+	u.InjectRNG(func(rng.Source) rng.Source { return rng.StuckSource{} })
+	// Every refill now draws 0: the unit never gates.
+	for now := int64(0); now < 4; now++ {
+		if got := u.EvictionAllowedAt(now); got != now {
+			t.Fatalf("stuck-at-zero PRNG still produced a delay (allowed at %d, now %d)", got, now)
+		}
+		u.RecordEviction(now, 0)
+	}
+	u.ClearFaults()
+	if !gatesAgain(u, 10) {
+		t.Fatal("ClearFaults did not restore the original PRNG")
+	}
+}
+
+func TestInjectDeadCRG(t *testing.T) {
+	u := NewUnit(500, rng.New(4))
+	c := NewCRG(u)
+	c.Rearm()
+	if c.NextFire() >= neverFires {
+		t.Fatal("healthy CRG never fires")
+	}
+	c.InjectDead()
+	if got := c.NextFire(); got < neverFires {
+		t.Fatalf("dead CRG fires at %d", got)
+	}
+	c.ClearFaults()
+	if c.NextFire() >= neverFires {
+		t.Fatal("cleared CRG still dead")
+	}
+}
+
+func TestAccessControlClearFaults(t *testing.T) {
+	ac, err := NewAccessControl(4, 500, Analysis, 0, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac.Unit(0).InjectStuckEAB()
+	ac.Unit(1).InjectSaturatedCDC(1 << 30)
+	for i := 0; i < 4; i++ {
+		if c := ac.CRG(i); c != nil {
+			c.InjectDead()
+		}
+	}
+	ac.ClearFaults()
+	if ac.Unit(0).stuckEAB || ac.Unit(1).satDelay != 0 {
+		t.Fatal("unit faults survived ClearFaults")
+	}
+	for i := 0; i < 4; i++ {
+		if c := ac.CRG(i); c != nil && c.dead {
+			t.Fatalf("CRG %d still dead after ClearFaults", i)
+		}
+	}
+}

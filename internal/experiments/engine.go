@@ -72,6 +72,17 @@ type Options struct {
 	// OnProgress, when non-nil, receives the runner's structured progress
 	// snapshots (live -metrics-addr endpoint). Calls are serialised.
 	OnProgress func(runner.Progress) `json:"-"`
+	// Retries is how many times the resilient drivers re-run a failed or
+	// panicked job on fresh worker state (the -retries flag). Watchdog
+	// kills are never retried. Execution knob: it changes Outcome.Attempts
+	// inside results but never which jobs succeed for deterministic jobs.
+	Retries int `json:"-"`
+	// FaultRuns is the number of fault-injected runs per detection-matrix
+	// scenario (default 5). A campaign parameter: it shapes the artifact.
+	FaultRuns int
+	// FaultCalib is the number of fault-free calibration runs that size
+	// each scenario's watchdog budget (default 2).
+	FaultCalib int
 }
 
 func (o Options) withDefaults() Options {
@@ -98,6 +109,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.EVTThreshold == 0 {
 		o.EVTThreshold = 0.25
+	}
+	if o.FaultRuns == 0 {
+		o.FaultRuns = 5
+	}
+	if o.FaultCalib == 0 {
+		o.FaultCalib = 2
 	}
 	return o
 }

@@ -1,0 +1,372 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"efl/internal/fault"
+	"efl/internal/isa"
+	"efl/internal/runner"
+	"efl/internal/sim"
+)
+
+// The fault-injection detection matrix (-exp faultmatrix): every fault
+// class from internal/fault is armed against a scenario chosen to excite
+// it, the runs are fed to a soundness auditor (invariants A1-A4), and the
+// matrix reports which detection channel — an auditor invariant, the
+// deterministic runner watchdog, or the runner's panic isolation — caught
+// each class. This is the campaign that turns the auditor from
+// asserted-correct into demonstrated-effective: a fault class nobody
+// catches fails the campaign.
+//
+// The campaign runs on runner.MapResilient, deliberately including jobs
+// that die (a saturated count-down counter hangs its runs; the job-panic
+// scenario panics), so it also demonstrates graceful degradation: the
+// campaign completes, the artifact carries a per-job status/error block,
+// and the process exits with the distinct degraded-run code.
+
+// faultScenario is one detection-matrix job.
+type faultScenario struct {
+	Class string
+	// Analysis selects analysis mode (the analysed task is Codes[0]);
+	// deployment mode otherwise (Codes[i] runs on core i, rest idle).
+	Analysis bool
+	Codes    []string
+	MID      int64 // 0 disables EFL
+	Plan     fault.Plan
+	// WDMult sizes the watchdog budget: max calibration cycles x WDMult.
+	WDMult int64
+	// Propagate lets a watchdog kill fail the whole job (the hang-class
+	// demo) instead of being counted and survived run by run.
+	Propagate bool
+	// Expect names the detection channel the scenario is designed to trip.
+	Expect string
+}
+
+// controlClass labels the fault-free control scenario, which must come out
+// clean (no false positives).
+const controlClass = "none"
+
+// faultScenarios builds the detection-matrix jobs. Benchmarks are chosen
+// to excite each fault's signature: MA (streaming, misses far more often
+// than any MID admits) for the eviction-rate faults, A2 (LLC-sensitive,
+// ~15.5KB resident) for the capacity/corruption faults that only show up
+// as slowdown, CA (cache exerciser that fits the LLC) elsewhere.
+func faultScenarios() []faultScenario {
+	return []faultScenario{
+		{Class: controlClass, Codes: []string{"CA"}, MID: 500, WDMult: 4,
+			Expect: "-"},
+		{Class: string(fault.EFLStuckEAB), Codes: []string{"MA"}, MID: 500,
+			Plan: fault.Single(fault.EFLStuckEAB, 0), WDMult: 4,
+			Expect: sim.AuditEvictionRate},
+		{Class: string(fault.EFLSaturatedCDC), Codes: []string{"CA"}, MID: 500,
+			Plan: fault.Single(fault.EFLSaturatedCDC, 0), WDMult: 4, Propagate: true,
+			Expect: "watchdog (job killed)"},
+		{Class: string(fault.EFLDeadCRG), Analysis: true, Codes: []string{"CA"}, MID: 500,
+			Plan: fault.Single(fault.EFLDeadCRG, fault.AllCores), WDMult: 4,
+			Expect: sim.AuditEvictionRate},
+		{Class: string(fault.CacheDisabledWays), Codes: []string{"A2"}, MID: 0,
+			Plan: fault.Single(fault.CacheDisabledWays, fault.AllCores), WDMult: 2,
+			Expect: "watchdog"},
+		{Class: string(fault.CacheTagFlip), Codes: []string{"A2"}, MID: 0,
+			Plan: fault.Single(fault.CacheTagFlip, fault.AllCores), WDMult: 2,
+			Expect: "watchdog"},
+		{Class: string(fault.RNGStuck), Codes: []string{"MA"}, MID: 500,
+			Plan: fault.Single(fault.RNGStuck, 0), WDMult: 4,
+			Expect: sim.AuditEvictionRate},
+		{Class: string(fault.RNGBiased), Codes: []string{"A2"}, MID: 0,
+			Plan: fault.Single(fault.RNGBiased, fault.AllCores), WDMult: 2,
+			Expect: "watchdog"},
+		{Class: string(fault.BusStarvation), Codes: []string{"CA", "CA"}, MID: 0,
+			Plan: fault.Single(fault.BusStarvation, 1), WDMult: 2,
+			Expect: "watchdog"},
+		{Class: string(fault.MemOverrun), Codes: []string{"CA"}, MID: 0,
+			Plan: fault.Single(fault.MemOverrun, fault.AllCores), WDMult: 4,
+			Expect: sim.AuditUBD},
+		{Class: string(fault.JobPanic),
+			Expect: "recover"},
+	}
+}
+
+// FaultMatrixRow is one fault class's detection outcome.
+type FaultMatrixRow struct {
+	Class string `json:"class"`
+	Mode  string `json:"mode"`
+	// Status/Error/Attempts mirror the runner outcome: a row whose job
+	// died (watchdog, panic) records how, and the campaign is degraded.
+	Status   string `json:"status"`
+	Error    string `json:"error,omitempty"`
+	Attempts int    `json:"attempts"`
+	// Runs is how many fault-injected runs completed and were audited.
+	Runs int `json:"runs"`
+	// WatchdogKills counts runs killed by the cycle budget and survived
+	// (quarantine + fresh platform) within the job.
+	WatchdogKills int `json:"watchdog_kills"`
+	// Budget is the armed watchdog budget in cycles (calibrated).
+	Budget int64 `json:"budget,omitempty"`
+	// Invariants is the row's private audit report, keyed by invariant.
+	Invariants map[string]sim.InvariantReport `json:"invariants,omitempty"`
+	// DetectedBy lists the channels that flagged the fault: invariant
+	// names, "watchdog", "recover".
+	DetectedBy []string `json:"detected_by"`
+	Detected   bool     `json:"detected"`
+	Expect     string   `json:"expect"`
+}
+
+// FaultMatrixResult is the -exp faultmatrix artifact payload.
+type FaultMatrixResult struct {
+	Opt  Options          `json:"opt"`
+	Rows []FaultMatrixRow `json:"rows"`
+	// AllDetected: every fault class was flagged by at least one channel
+	// AND the fault-free control row stayed clean.
+	AllDetected bool `json:"all_detected"`
+	// Degraded: at least one job did not complete (status != ok). The
+	// matrix campaign is degraded by design — hang and panic classes kill
+	// their jobs — and cmd/experiments maps this to the distinct exit code.
+	Degraded bool `json:"degraded"`
+}
+
+// FaultMatrix runs the detection-matrix campaign.
+func FaultMatrix(opt Options) (*FaultMatrixResult, error) {
+	opt = opt.withDefaults()
+	scens := faultScenarios()
+	emit := opt.progressSink()
+
+	// Each job runs against its own private auditor (the row IS the audit
+	// report); the campaign-global -audit auditor must stay clean, since
+	// injected violations are expected, not soundness bugs.
+	ropt := runner.ResilientOptions{
+		Options: opt.runnerOptions(),
+		Retries: opt.Retries,
+		IsWatchdog: func(err error) bool {
+			return errors.Is(err, sim.ErrWatchdog)
+		},
+	}
+	outcomes, err := runner.MapResilient(opt.context(), ropt,
+		opt.newPool,
+		func(p *sim.Pool) { p.QuarantineAll() },
+		scens,
+		func(ctx context.Context, pool *sim.Pool, _ int, sc faultScenario) (FaultMatrixRow, error) {
+			row, err := runFaultScenario(ctx, opt, pool, sc)
+			if err == nil {
+				emit(fmt.Sprintf("faultmatrix %-20s runs=%d kills=%d detected=%v",
+					sc.Class, row.Runs, row.WatchdogKills, len(row.DetectedBy) > 0))
+			}
+			return row, err
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &FaultMatrixResult{Opt: opt, AllDetected: true}
+	for i, oc := range outcomes {
+		sc := scens[i]
+		row := oc.Value
+		row.Class = sc.Class
+		row.Mode = scenarioMode(sc)
+		row.Expect = sc.Expect
+		row.Status = string(oc.Status)
+		row.Error = oc.Error
+		row.Attempts = oc.Attempts
+		switch oc.Status {
+		case runner.StatusWatchdog:
+			row.DetectedBy = append(row.DetectedBy, "watchdog")
+		case runner.StatusPanicked:
+			row.DetectedBy = append(row.DetectedBy, "recover")
+		}
+		sort.Strings(row.DetectedBy)
+		row.Detected = len(row.DetectedBy) > 0
+		if sc.Class == controlClass {
+			if row.Detected || row.Status != string(runner.StatusOK) {
+				// A flagged control is a false positive: the matrix fails.
+				res.AllDetected = false
+			}
+		} else if !row.Detected {
+			res.AllDetected = false
+		}
+		if row.Status != string(runner.StatusOK) {
+			res.Degraded = true
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// scenarioMode renders the scenario's simulation mode for the matrix.
+func scenarioMode(sc faultScenario) string {
+	switch {
+	case len(sc.Codes) == 0:
+		return "-"
+	case sc.Analysis:
+		return "analysis"
+	default:
+		return "deployment"
+	}
+}
+
+// scenarioConfig builds the platform configuration and program set.
+func scenarioConfig(sc faultScenario) (sim.Config, []*isa.Program, error) {
+	cfg := sim.DefaultConfig()
+	if sc.MID > 0 {
+		cfg = cfg.WithEFL(sc.MID)
+	}
+	if sc.Analysis {
+		cfg = cfg.WithAnalysis(0)
+	}
+	progs := make([]*isa.Program, cfg.Cores)
+	for i, code := range sc.Codes {
+		s, err := specByCode(code)
+		if err != nil {
+			return cfg, nil, err
+		}
+		progs[i] = s.Build()
+	}
+	return cfg, progs, nil
+}
+
+// runFaultScenario executes one matrix job: calibrate the watchdog budget
+// on fault-free runs, then arm the scenario's plan and audit every
+// injected run. A watchdog kill quarantines the platform (its mid-run
+// state must never be pooled again) and either fails the job (Propagate:
+// the hang-class demo) or is counted and survived.
+func runFaultScenario(ctx context.Context, opt Options, pool *sim.Pool, sc faultScenario) (FaultMatrixRow, error) {
+	row := FaultMatrixRow{Class: sc.Class}
+	if sc.Class == string(fault.JobPanic) {
+		panic("fault injection: deliberate job panic (software fault class)")
+	}
+	cfg, progs, err := scenarioConfig(sc)
+	if err != nil {
+		return row, err
+	}
+	seed := campaignSeed(opt.Seed, "faultmatrix/"+sc.Class)
+
+	// Calibration: fault-free runs under the same seeds discipline size
+	// the budget. The multiplier absorbs run-to-run variance of the
+	// randomised platform; a fault that slows the scenario past it is a
+	// watchdog detection by construction.
+	var res sim.Result
+	maxCycles := int64(0)
+	for i := 0; i < opt.FaultCalib; i++ {
+		if err := ctx.Err(); err != nil {
+			return row, err
+		}
+		m, err := pool.Get(cfg, progs, seed+uint64(i))
+		if err != nil {
+			return row, err
+		}
+		if err := m.RunInto(&res); err != nil {
+			return row, fmt.Errorf("calibration run %d: %w", i, err)
+		}
+		maxCycles = max(maxCycles, res.TotalCycles)
+	}
+	budget := maxCycles * sc.WDMult
+	row.Budget = budget
+
+	aud := sim.NewAuditor()
+	for i := 0; i < opt.FaultRuns; i++ {
+		if err := ctx.Err(); err != nil {
+			return row, err
+		}
+		m, err := pool.Get(cfg, progs, seed+1000+uint64(i))
+		if err != nil {
+			return row, err
+		}
+		m.SetWatchdog(budget)
+		if len(sc.Plan.Injections) > 0 {
+			if err := m.ArmFaults(sc.Plan); err != nil {
+				return row, err
+			}
+		}
+		err = m.RunInto(&res)
+		if err != nil {
+			// The platform died mid-run: whatever state it holds is not
+			// trustworthy. Never hand it back to the pool.
+			pool.Quarantine(cfg)
+			if !errors.Is(err, sim.ErrWatchdog) {
+				return row, fmt.Errorf("fault run %d: %w", i, err)
+			}
+			if sc.Propagate {
+				return row, fmt.Errorf("fault run %d: %w", i, err)
+			}
+			row.WatchdogKills++
+			continue
+		}
+		// Violations are the point; the per-row report collects them.
+		_ = aud.CheckRun(cfg, &res)
+		row.Runs++
+	}
+
+	rep := aud.Report()
+	row.Invariants = rep.Invariants
+	for name, iv := range rep.Invariants {
+		if iv.Violations > 0 {
+			row.DetectedBy = append(row.DetectedBy, name)
+		}
+	}
+	if row.WatchdogKills > 0 {
+		row.DetectedBy = append(row.DetectedBy, "watchdog")
+	}
+	sort.Strings(row.DetectedBy)
+	return row, nil
+}
+
+// matrixChannels are the detection-matrix columns, in print order.
+var matrixChannels = []struct{ head, name string }{
+	{"A1", sim.AuditCycleSum},
+	{"A2", sim.AuditUBD},
+	{"A3", sim.AuditEvictionRate},
+	{"A4", sim.AuditEVTCrossCheck},
+	{"WD", "watchdog"},
+	{"RC", "recover"},
+}
+
+// Render prints the detection matrix.
+func (r *FaultMatrixResult) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fault-injection detection matrix: %d injected runs/class, watchdog budget = %d fault-free calibration runs x multiplier\n",
+		r.Opt.FaultRuns, r.Opt.FaultCalib)
+	fmt.Fprintf(&sb, "channels: A1 cycle-sum, A2 ubd, A3 eviction-rate, A4 evt-crosscheck, WD runner watchdog, RC panic recovery\n\n")
+	fmt.Fprintf(&sb, "%-20s %-10s %-9s %4s %5s", "class", "mode", "status", "runs", "kills")
+	for _, ch := range matrixChannels {
+		fmt.Fprintf(&sb, "  %2s", ch.head)
+	}
+	fmt.Fprintf(&sb, "  %s\n", "detected by")
+	detected, classes := 0, 0
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-20s %-10s %-9s %4d %5d", row.Class, row.Mode, row.Status, row.Runs, row.WatchdogKills)
+		for _, ch := range matrixChannels {
+			mark := "."
+			for _, d := range row.DetectedBy {
+				if d == ch.name {
+					mark = "X"
+				}
+			}
+			fmt.Fprintf(&sb, "  %2s", mark)
+		}
+		by := strings.Join(row.DetectedBy, ",")
+		if by == "" {
+			by = "-"
+		}
+		fmt.Fprintf(&sb, "  %s\n", by)
+		if row.Class != controlClass {
+			classes++
+			if row.Detected {
+				detected++
+			}
+		}
+	}
+	fmt.Fprintf(&sb, "\n%d/%d fault classes detected", detected, classes)
+	if r.AllDetected {
+		fmt.Fprintf(&sb, "; all fault classes detected and control clean")
+	} else {
+		fmt.Fprintf(&sb, "; DETECTION GAP (or control false positive)")
+	}
+	if r.Degraded {
+		fmt.Fprintf(&sb, "\ncampaign degraded: failed jobs recorded per-row (status/error), artifact still complete; failed simulators quarantined")
+	}
+	fmt.Fprintf(&sb, "\nA4 is exercised by MBPTA campaigns (-audit) rather than single-run faults; see DESIGN.md section 10\n")
+	return sb.String()
+}

@@ -1,0 +1,162 @@
+// Package fault defines the deterministic fault-injection plans the
+// hardened campaign runtime uses to demonstrate that the soundness auditor
+// (sim.Auditor, invariants A1-A4) and the runner watchdog actually catch
+// hardware misbehaviour instead of merely asserting correctness.
+//
+// A Plan is a set of single-fault Injections, each naming a fault Class
+// (which hardware structure breaks and how) plus a target core and a
+// class-specific magnitude. Plans are armed onto a platform with
+// sim.Multicore.ArmFaults, which maps every injection onto a narrow hook in
+// the hardware layer (internal/efl, internal/cache, internal/rng,
+// internal/bus, internal/memctrl); sim.Multicore.Reuse disarms them, so a
+// pooled platform can never leak a fault into the next campaign. All hooks
+// are branch-only when disarmed: goldens stay bit-identical and the
+// simulation hot path stays allocation-free.
+//
+// Everything is deterministic: a fault plan never draws from its own
+// randomness source, it only perturbs the platform's existing deterministic
+// streams, so an injected campaign is exactly reproducible from its seed.
+package fault
+
+import "fmt"
+
+// Class names one fault model. The string values appear in artifacts and
+// in the detection matrix, so they are part of the schema.
+type Class string
+
+const (
+	// EFLStuckEAB sticks a core's eviction-allowed bit at 1: the EFL gate
+	// stops throttling that core's evictions entirely.
+	EFLStuckEAB Class = "efl-stuck-eab"
+	// EFLSaturatedCDC saturates a core's count-down counter: after its
+	// first eviction the EAB never sets again and every later evicting
+	// request stalls forever. Param is the saturated delay in cycles.
+	EFLSaturatedCDC Class = "efl-saturated-cdc"
+	// EFLDeadCRG kills the cache request generators in analysis mode: the
+	// co-runner worst-case interference the mode must realise never happens.
+	EFLDeadCRG Class = "efl-dead-crg"
+	// CacheDisabledWays makes LLC ways unusable for fills. Param is the
+	// disabled-way bitmask.
+	CacheDisabledWays Class = "cache-disabled-ways"
+	// CacheTagFlip corrupts the stored tag of every Param-th LLC fill
+	// (single-event upsets in the tag array).
+	CacheTagFlip Class = "cache-tag-flip"
+	// RNGStuck sticks a core's EFL delay PRNG output at zero: every
+	// inter-eviction delay draw is 0 and the gate admits evictions at the
+	// core's natural miss rate.
+	RNGStuck Class = "rng-stuck"
+	// RNGBiased forces output bits of the LLC victim PRNG to zero. Param is
+	// the AND mask; with the low bits cleared every victim draw lands in
+	// way 0 and the LLC degenerates to direct-mapped.
+	RNGBiased Class = "rng-biased"
+	// BusStarvation makes the lottery arbiter starve one core: it loses
+	// every contested round and pays Param penalty cycles per grant.
+	BusStarvation Class = "bus-starvation"
+	// MemOverrun makes every 4th memory read complete Param cycles late,
+	// exceeding the controller's composable Upper Bound Delay.
+	MemOverrun Class = "mem-overrun"
+	// JobPanic is a software fault injected above the simulator: the
+	// campaign job panics mid-flight. It exercises the runner's panic
+	// isolation, not a hardware hook, and is rejected by ArmFaults.
+	JobPanic Class = "job-panic"
+)
+
+// Classes returns every fault class in detection-matrix order.
+func Classes() []Class {
+	return []Class{
+		EFLStuckEAB, EFLSaturatedCDC, EFLDeadCRG,
+		CacheDisabledWays, CacheTagFlip,
+		RNGStuck, RNGBiased,
+		BusStarvation, MemOverrun,
+		JobPanic,
+	}
+}
+
+// Injection is one fault: a class, the core it targets (AllCores where the
+// class is not per-core) and a class-specific magnitude.
+type Injection struct {
+	Class Class `json:"class"`
+	// Core is the targeted core, or AllCores for every applicable one.
+	Core int `json:"core"`
+	// Param is the class-specific magnitude; 0 selects the class default
+	// (see DefaultParam).
+	Param int64 `json:"param,omitempty"`
+}
+
+// AllCores targets every applicable core of an injection's class.
+const AllCores = -1
+
+// DefaultParam returns the magnitude an injection of class c uses when
+// Param is zero.
+func DefaultParam(c Class) int64 {
+	switch c {
+	case EFLSaturatedCDC:
+		return 1 << 40 // far beyond any run length: a hang, not a slowdown
+	case CacheDisabledWays:
+		return 0xFE // ways 1-7 of an 8-way LLC: capacity collapses 8x
+	case CacheTagFlip:
+		return 1 // corrupt every fill
+	case RNGBiased:
+		return int64(^uint32(7)) // clear the low 3 victim bits: always way 0
+	case BusStarvation:
+		return 5000 // penalty cycles per starved grant
+	case MemOverrun:
+		return 300 // cycles past nominal service, well beyond the UBD slack
+	default:
+		return 0
+	}
+}
+
+// Plan is a deterministic set of fault injections, armed together.
+type Plan struct {
+	Injections []Injection `json:"injections"`
+}
+
+// Single returns a plan holding one injection of class c against core with
+// the class-default magnitude.
+func Single(c Class, core int) Plan {
+	return Plan{Injections: []Injection{{Class: c, Core: core, Param: DefaultParam(c)}}}
+}
+
+// Validate checks the plan against a platform of `cores` cores with an
+// llcWays-way LLC. It enforces the restrictions that keep injected
+// platforms livelock-free: stuck PRNG sources must be stuck at zero (any
+// other constant can livelock rejection sampling) and disabled-way masks
+// must leave at least one way usable.
+func (p Plan) Validate(cores, llcWays int) error {
+	for i, inj := range p.Injections {
+		if inj.Core != AllCores && (inj.Core < 0 || inj.Core >= cores) {
+			return fmt.Errorf("fault: injection %d (%s): core %d out of range [0,%d)", i, inj.Class, inj.Core, cores)
+		}
+		param := inj.Param
+		if param == 0 {
+			param = DefaultParam(inj.Class)
+		}
+		switch inj.Class {
+		case EFLStuckEAB, EFLDeadCRG, RNGStuck:
+			// Parameterless; RNGStuck is stuck-at-zero by definition.
+		case EFLSaturatedCDC, BusStarvation, MemOverrun:
+			if param <= 0 {
+				return fmt.Errorf("fault: injection %d (%s): magnitude must be positive", i, inj.Class)
+			}
+		case CacheTagFlip:
+			if param <= 0 {
+				return fmt.Errorf("fault: injection %d (%s): flip period must be positive", i, inj.Class)
+			}
+		case CacheDisabledWays:
+			all := uint32(1)<<uint(llcWays) - 1
+			if uint32(param)&all == 0 || uint32(param)&all == all {
+				return fmt.Errorf("fault: injection %d (%s): mask %#x must disable some but not all of %d ways", i, inj.Class, param, llcWays)
+			}
+		case RNGBiased:
+			if uint32(param) == ^uint32(0) {
+				return fmt.Errorf("fault: injection %d (%s): identity mask injects nothing", i, inj.Class)
+			}
+		case JobPanic:
+			return fmt.Errorf("fault: injection %d (%s): software fault, not armable on a platform", i, inj.Class)
+		default:
+			return fmt.Errorf("fault: injection %d: unknown class %q", i, inj.Class)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package fault
+
+import "testing"
+
+// TestValidate pins the plan-validation rules that keep injected
+// platforms livelock-free and the class set closed.
+func TestValidate(t *testing.T) {
+	const cores, ways = 4, 8
+	ok := []Plan{
+		{},
+		Single(EFLStuckEAB, 0),
+		Single(EFLSaturatedCDC, 3),
+		Single(CacheDisabledWays, AllCores),
+		Single(RNGBiased, AllCores),
+		Single(BusStarvation, 1),
+		Single(MemOverrun, AllCores),
+		{Injections: []Injection{{Class: CacheDisabledWays, Core: AllCores, Param: 0x01}}},
+	}
+	for i, p := range ok {
+		if err := p.Validate(cores, ways); err != nil {
+			t.Errorf("plan %d should validate: %v", i, err)
+		}
+	}
+	bad := []Plan{
+		{Injections: []Injection{{Class: EFLStuckEAB, Core: cores}}},                     // core out of range
+		{Injections: []Injection{{Class: EFLStuckEAB, Core: -2}}},                        // negative non-AllCores
+		{Injections: []Injection{{Class: EFLSaturatedCDC, Core: 0, Param: -5}}},          // non-positive magnitude
+		{Injections: []Injection{{Class: CacheDisabledWays, Core: 0, Param: 0xFF}}},      // all ways disabled
+		{Injections: []Injection{{Class: CacheDisabledWays, Core: 0, Param: 0x100}}},     // no way disabled
+		{Injections: []Injection{{Class: RNGBiased, Core: 0, Param: int64(^uint32(0))}}}, // identity mask
+		Single(JobPanic, 0), // software fault, not armable
+		{Injections: []Injection{{Class: "bogus", Core: 0}}}, // unknown class
+	}
+	for i, p := range bad {
+		if err := p.Validate(cores, ways); err == nil {
+			t.Errorf("plan %d (%+v) should be rejected", i, p.Injections)
+		}
+	}
+}
+
+// TestSingleUsesDefaultParam pins that Single carries the class default
+// magnitude, and that every parameterised class has a non-zero default.
+func TestSingleUsesDefaultParam(t *testing.T) {
+	for _, c := range Classes() {
+		if got := Single(c, 0).Injections[0].Param; got != DefaultParam(c) {
+			t.Errorf("Single(%s).Param = %d, want DefaultParam %d", c, got, DefaultParam(c))
+		}
+	}
+	for _, c := range []Class{EFLSaturatedCDC, CacheDisabledWays, CacheTagFlip, RNGBiased, BusStarvation, MemOverrun} {
+		if DefaultParam(c) == 0 {
+			t.Errorf("parameterised class %s has zero default magnitude", c)
+		}
+	}
+}
+
+// TestClassesCoversAll pins that the matrix-order class list stays in
+// sync with the declared classes (a new class must join the matrix).
+func TestClassesCoversAll(t *testing.T) {
+	want := map[Class]bool{
+		EFLStuckEAB: true, EFLSaturatedCDC: true, EFLDeadCRG: true,
+		CacheDisabledWays: true, CacheTagFlip: true,
+		RNGStuck: true, RNGBiased: true,
+		BusStarvation: true, MemOverrun: true, JobPanic: true,
+	}
+	got := Classes()
+	if len(got) != len(want) {
+		t.Fatalf("Classes() returns %d classes, want %d", len(got), len(want))
+	}
+	for _, c := range got {
+		if !want[c] {
+			t.Errorf("Classes() contains unexpected %q", c)
+		}
+		delete(want, c)
+	}
+	for c := range want {
+		t.Errorf("Classes() is missing %q", c)
+	}
+}

@@ -1,0 +1,48 @@
+package memctrl
+
+import (
+	"testing"
+)
+
+func TestInjectReadOverrun(t *testing.T) {
+	c := New(100, 5, 4)
+	c.InjectReadOverrun(300, 4)
+	for i := 0; i < 8; i++ {
+		c.Request(Request{Core: i % 4, Arrival: 0, Kind: Read})
+	}
+	for i := 1; i <= 8; i++ {
+		_, done := c.Serve()
+		issue := done - 100
+		if i%4 == 0 {
+			issue = done - 400
+		}
+		want := int64(i-1) * 5 // issues are slot-spaced from cycle 0
+		if issue != want {
+			t.Fatalf("read %d: completion %d implies issue %d, want %d (overrun misapplied)", i, done, issue, want)
+		}
+	}
+	// UBD accounting must notice: the max observed read latency now
+	// exceeds the controller's composable bound.
+	if c.MaxReadLatency() <= c.UpperBoundDelay() {
+		t.Fatalf("overrun latency %d not above the UBD %d", c.MaxReadLatency(), c.UpperBoundDelay())
+	}
+	c.ClearFaults()
+	c.Request(Request{Core: 0, Arrival: 1000, Kind: Read})
+	_, done := c.Serve()
+	if done != 1000+100 {
+		t.Fatalf("cleared controller still overruns: done %d", done)
+	}
+}
+
+func TestInjectReadOverrunIgnoresWrites(t *testing.T) {
+	c := New(100, 5, 4)
+	c.InjectReadOverrun(300, 1) // every read overruns; writes never do
+	c.Request(Request{Core: 0, Arrival: 0, Kind: Write})
+	if _, done := c.Serve(); done != 100 {
+		t.Fatalf("write completion %d perturbed by a read-path fault", done)
+	}
+	c.Request(Request{Core: 0, Arrival: 200, Kind: Read})
+	if _, done := c.Serve(); done != 200+100+300 {
+		t.Fatalf("read completion %d, want nominal + overrun", done)
+	}
+}

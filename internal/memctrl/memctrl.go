@@ -68,6 +68,33 @@ type Controller struct {
 	// arrival). Its Max is what the soundness auditor compares against
 	// UpperBoundDelay: deployment must never exceed the analysis charge.
 	readLat metrics.Histogram
+
+	// Fault-injection state (see the hooks below): every overrunPeriod-th
+	// read completes overrunExtra cycles late. Zero values mean healthy.
+	overrunExtra  int64
+	overrunPeriod uint64
+	overrunCount  uint64
+}
+
+// InjectReadOverrun makes every period-th blocking read complete extra
+// cycles after its nominal service time — a controller that occasionally
+// violates its own composable Upper Bound Delay (a DRAM refresh collision
+// the AMC design is supposed to mask, say). Armed/disarmed by
+// sim.Multicore between runs.
+func (c *Controller) InjectReadOverrun(extra int64, period uint64) {
+	if extra < 0 || period == 0 {
+		panic("memctrl: bad overrun fault parameters")
+	}
+	c.overrunExtra = extra
+	c.overrunPeriod = period
+	c.overrunCount = 0
+}
+
+// ClearFaults restores nominal service latency.
+func (c *Controller) ClearFaults() {
+	c.overrunExtra = 0
+	c.overrunPeriod = 0
+	c.overrunCount = 0
 }
 
 // New creates a controller: serviceCycles from issue to completion, one
@@ -169,6 +196,12 @@ func (c *Controller) Serve() (Request, int64) {
 	c.nextAt = t + c.slot
 	c.rr = (req.Core + 1) % c.cores
 	if req.Kind == Read {
+		if c.overrunPeriod > 0 {
+			c.overrunCount++
+			if c.overrunCount%c.overrunPeriod == 0 {
+				done += c.overrunExtra
+			}
+		}
 		c.stats.Reads++
 		c.readLat.Observe(done - req.Arrival)
 	} else {

@@ -109,9 +109,14 @@ func (t *CampaignTracker) Snapshot() CampaignSnapshot {
 // /metrics) returns one indented JSON document per request. It binds addr
 // immediately (so ":0" works and the bound address is returned for tests
 // and log lines) and serves in a background goroutine until the returned
-// server is Closed. Long campaigns attach their CampaignTracker and
-// auditor snapshots here so operators can watch progress without
-// interrupting the run.
+// server is shut down (Shutdown for a graceful drain, Close to abort).
+// Long campaigns attach their CampaignTracker and auditor snapshots here
+// so operators can watch progress without interrupting the run.
+//
+// The server is hardened against misbehaving clients: a connection that
+// trickles its request (slowloris) or never reads the response cannot pin
+// a goroutine past the configured timeouts. The endpoint serves one tiny
+// JSON document, so the tight budgets cost well-behaved clients nothing.
 func Serve(addr string, snap func() any) (*http.Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -129,7 +134,13 @@ func Serve(addr string, snap func() any) (*http.Server, string, error) {
 	}
 	mux.HandleFunc("/", handler)
 	mux.HandleFunc("/metrics", handler)
-	srv := &http.Server{Handler: mux}
+	srv := &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      10 * time.Second,
+		IdleTimeout:       time.Minute,
+	}
 	go srv.Serve(ln)
 	return srv, ln.Addr().String(), nil
 }

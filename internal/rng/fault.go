@@ -1,0 +1,45 @@
+package rng
+
+// Fault-model sources for the fault-injection subsystem (internal/fault).
+// They wrap or replace a hardware structure's Source to model a broken
+// PRNG: output stuck at a constant (a classic stuck-at fault on the
+// generator's output register) or with individual bits forced to 0/1
+// (bridging faults on the output bus). They are Sources like any other,
+// so the hardware models stay oblivious to whether they are faulted.
+//
+// CAUTION: Intn/Int63n use rejection sampling for ranges that are not a
+// power of two and will livelock on a constant source whose value falls in
+// the rejected top band. Stuck-at-zero is always safe (zero is below every
+// rejection limit); arbitrary stuck values are only safe for power-of-two
+// draws. fault.Plan validation restricts stuck injections accordingly.
+
+// StuckSource is a PRNG whose output is stuck at a constant value.
+type StuckSource struct {
+	V uint32
+}
+
+// Uint32 returns the stuck value.
+func (s StuckSource) Uint32() uint32 { return s.V }
+
+// Reseed is a no-op: a stuck generator stays stuck. Implementing Reseeder
+// keeps Stream.Reseed safe while a fault plan is armed.
+func (s StuckSource) Reseed(uint64) {}
+
+// MaskSource forces output bits of an underlying source:
+// out = (src & And) | Or. And = ^0, Or = 0 is the identity.
+type MaskSource struct {
+	Src Source
+	And uint32
+	Or  uint32
+}
+
+// Uint32 draws from the wrapped source and applies the bit forces.
+func (m MaskSource) Uint32() uint32 { return m.Src.Uint32()&m.And | m.Or }
+
+// Reseed forwards to the wrapped source when it supports reseeding, so a
+// pooled platform can still be rewound while the fault is armed.
+func (m MaskSource) Reseed(seed uint64) {
+	if r, ok := m.Src.(Reseeder); ok {
+		r.Reseed(seed)
+	}
+}

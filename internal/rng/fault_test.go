@@ -1,0 +1,39 @@
+package rng
+
+import "testing"
+
+func TestStuckSource(t *testing.T) {
+	s := StuckSource{V: 0xdeadbeef}
+	for i := 0; i < 4; i++ {
+		if got := s.Uint32(); got != 0xdeadbeef {
+			t.Fatalf("draw %d: %#x, want the stuck value", i, got)
+		}
+	}
+	s.Reseed(12345) // must be a no-op: the fault survives reseeding
+	if got := s.Uint32(); got != 0xdeadbeef {
+		t.Fatalf("reseed unstuck the source: %#x", got)
+	}
+}
+
+func TestMaskSource(t *testing.T) {
+	base := New(7)
+	healthy := New(7)
+	m := MaskSource{Src: base.Src, And: ^uint32(0xff), Or: 0x01}
+	for i := 0; i < 8; i++ {
+		want := healthy.Uint32()&^uint32(0xff) | 0x01
+		if got := m.Uint32(); got != want {
+			t.Fatalf("draw %d: %#x, want %#x", i, got, want)
+		}
+	}
+}
+
+func TestMaskSourceReseedDelegates(t *testing.T) {
+	base := New(1)
+	m := MaskSource{Src: base.Src, And: ^uint32(0)}
+	first := m.Uint32()
+	m.Uint32()
+	m.Reseed(1) // the underlying MWC stream must rewind
+	if got := m.Uint32(); got != first {
+		t.Fatalf("after reseed: %#x, want the stream's first draw %#x", got, first)
+	}
+}

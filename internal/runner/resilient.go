@@ -1,0 +1,201 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the hardened half of the work engine: MapResilient runs a
+// campaign that must SURVIVE misbehaving jobs instead of dying with them.
+// Map/MapWithState implement fail-fast semantics (first error cancels the
+// campaign) — the right default for healthy workloads, where an error means
+// the campaign itself is broken. MapResilient implements fail-soft
+// semantics for campaigns that deliberately run hazardous jobs (fault
+// injection, third-party workloads): a panicking, hung or failing job is
+// captured as that job's Outcome, its worker state is discarded and
+// rebuilt, and every other job still completes. Only context cancellation
+// aborts the campaign.
+//
+// The determinism contract is unchanged: outcomes are indexed like the
+// input, and for a deterministic fn the full Outcome vector — statuses,
+// attempts, error strings — is invariant under the worker count.
+
+// Status classifies how a job ended.
+type Status string
+
+const (
+	// StatusOK: the job returned a value.
+	StatusOK Status = "ok"
+	// StatusPanicked: the job's final attempt panicked; the panic value is
+	// in Outcome.Error.
+	StatusPanicked Status = "panicked"
+	// StatusWatchdog: the job was killed by the deterministic watchdog
+	// (ResilientOptions.IsWatchdog matched its error). Watchdog kills are
+	// never retried: the same cycle budget dies identically every attempt.
+	StatusWatchdog Status = "watchdog"
+	// StatusFailed: the job's final attempt returned an ordinary error.
+	StatusFailed Status = "failed"
+)
+
+// Outcome is one job's terminal result.
+type Outcome[O any] struct {
+	// Value is the job's result; the zero value unless Status is StatusOK.
+	Value O `json:"value"`
+	// Status classifies the terminal attempt.
+	Status Status `json:"status"`
+	// Error is the terminal attempt's error (or panic value) rendered as a
+	// string; empty when Status is StatusOK. Deterministic fn errors render
+	// deterministically, keeping degraded artifacts byte-stable.
+	Error string `json:"error,omitempty"`
+	// Attempts is how many times the job ran (>= 1).
+	Attempts int `json:"attempts"`
+}
+
+// OK reports whether the job produced a value.
+func (o Outcome[O]) OK() bool { return o.Status == StatusOK }
+
+// ResilientOptions configures a fail-soft pool run.
+type ResilientOptions struct {
+	Options
+	// Retries is how many times a failed or panicked job is re-run (on the
+	// same worker, with freshly constructed state) before its failure is
+	// recorded. 0 means every job gets exactly one attempt.
+	Retries int
+	// IsWatchdog, when non-nil, classifies an error as a deterministic
+	// watchdog kill: the job is not retried (it would die identically) and
+	// its outcome gets StatusWatchdog. Keeping the classifier pluggable
+	// keeps the runner ignorant of simulator error types.
+	IsWatchdog func(error) bool
+}
+
+// errPanic tags errors synthesised from recovered panics.
+var errPanic = errors.New("job panicked")
+
+// MapResilient runs fn over every item and returns one Outcome per item,
+// in item order. Per-worker state follows MapWithState (fn owns it without
+// locking), with one addition: after any failed attempt the worker's state
+// is passed to discard (when non-nil) and rebuilt with newState before the
+// next attempt or job, so corruption cannot leak across jobs. A panicking
+// fn is recovered and becomes a failed attempt, never a crashed campaign.
+//
+// Job failures never cancel sibling jobs; the returned error is non-nil
+// only when ctx was cancelled (outcomes of unreached jobs are then zero,
+// distinguishable by Attempts == 0).
+func MapResilient[S, I, O any](ctx context.Context, opt ResilientOptions, newState func() S, discard func(S), items []I, fn func(ctx context.Context, state S, idx int, item I) (O, error)) ([]Outcome[O], error) {
+	base := opt.Options.withDefaults()
+	n := len(items)
+	out := make([]Outcome[O], n)
+	if n == 0 {
+		return out, nil
+	}
+
+	var (
+		cursor atomic.Int64
+		done   atomic.Int64
+		mu     sync.Mutex // serialises Progress calls
+		wg     sync.WaitGroup
+	)
+	cursor.Store(-1)
+	start := time.Now()
+
+	workers := base.Parallelism
+	if workers > n {
+		workers = n
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			state := newState()
+			dirty := false
+			// A worker whose final attempt failed still owns a corrupt
+			// state: hand it to discard on the way out so quarantine
+			// accounting sees every failed state exactly once.
+			defer func() {
+				if dirty && discard != nil {
+					discard(state)
+				}
+			}()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				idx := int(cursor.Add(1))
+				if idx >= n {
+					return
+				}
+				oc := Outcome[O]{}
+				for {
+					oc.Attempts++
+					if dirty {
+						// The previous attempt (possibly of the previous
+						// job) failed with this state: quarantine it and
+						// start clean.
+						if discard != nil {
+							discard(state)
+						}
+						state = newState()
+						dirty = false
+					}
+					v, err := runAttempt(ctx, state, idx, items[idx], fn)
+					if err == nil {
+						oc.Value, oc.Status, oc.Error = v, StatusOK, ""
+						break
+					}
+					if cerr := ctx.Err(); cerr != nil && errors.Is(err, cerr) {
+						// Cancellation surfacing through the job is the
+						// campaign aborting, not a job failure.
+						return
+					}
+					dirty = true
+					oc.Error = err.Error()
+					switch {
+					case opt.IsWatchdog != nil && opt.IsWatchdog(err):
+						oc.Status = StatusWatchdog
+					case errors.Is(err, errPanic):
+						oc.Status = StatusPanicked
+					default:
+						oc.Status = StatusFailed
+					}
+					if oc.Status == StatusWatchdog || oc.Attempts > opt.Retries {
+						break
+					}
+				}
+				out[idx] = oc
+				d := int(done.Add(1))
+				if base.Progress != nil {
+					elapsed := time.Since(start)
+					var remaining time.Duration
+					if d > 0 {
+						remaining = time.Duration(float64(elapsed) / float64(d) * float64(n-d))
+					}
+					mu.Lock()
+					base.Progress(Progress{Done: d, Total: n, Elapsed: elapsed, Remaining: remaining, Worker: worker})
+					mu.Unlock()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// runAttempt executes one attempt with panic isolation: a panicking fn
+// becomes an error wrapping errPanic carrying the panic value. The stack
+// is deliberately not captured — outcome errors land in artifacts, which
+// must stay deterministic.
+func runAttempt[S, I, O any](ctx context.Context, state S, idx int, item I, fn func(ctx context.Context, state S, idx int, item I) (O, error)) (v O, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: %v", errPanic, r)
+		}
+	}()
+	return fn(ctx, state, idx, item)
+}

@@ -1,0 +1,197 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestMapResilientPanicIsolation: a panicking job becomes its own Outcome
+// and never takes the campaign or its sibling jobs down.
+func TestMapResilientPanicIsolation(t *testing.T) {
+	items := []int{0, 1, 2, 3, 4}
+	out, err := MapResilient(context.Background(),
+		ResilientOptions{Options: Options{Parallelism: 3}},
+		func() int { return 0 }, nil, items,
+		func(_ context.Context, _ int, _ int, item int) (int, error) {
+			if item == 2 {
+				panic("deliberate")
+			}
+			return item * 10, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, oc := range out {
+		if i == 2 {
+			if oc.Status != StatusPanicked {
+				t.Fatalf("item 2: status %q, want panicked", oc.Status)
+			}
+			if !strings.Contains(oc.Error, "deliberate") {
+				t.Fatalf("item 2: error %q does not carry the panic value", oc.Error)
+			}
+			continue
+		}
+		if !oc.OK() || oc.Value != i*10 {
+			t.Fatalf("item %d: %+v, want ok value %d", i, oc, i*10)
+		}
+	}
+}
+
+// TestMapResilientWatchdogNoRetry: a watchdog-classified error is terminal
+// on the first attempt even with retries configured — the same cycle
+// budget dies identically every time.
+func TestMapResilientWatchdogNoRetry(t *testing.T) {
+	errBudget := errors.New("budget blown")
+	var attempts atomic.Int64
+	out, err := MapResilient(context.Background(),
+		ResilientOptions{
+			Options:    Options{Parallelism: 1},
+			Retries:    3,
+			IsWatchdog: func(err error) bool { return errors.Is(err, errBudget) },
+		},
+		func() int { return 0 }, nil, []int{0},
+		func(_ context.Context, _ int, _ int, _ int) (int, error) {
+			attempts.Add(1)
+			return 0, fmt.Errorf("run 0: %w", errBudget)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Status != StatusWatchdog {
+		t.Fatalf("status %q, want watchdog", out[0].Status)
+	}
+	if got := attempts.Load(); got != 1 || out[0].Attempts != 1 {
+		t.Fatalf("watchdog job ran %d times (outcome says %d), want exactly 1", got, out[0].Attempts)
+	}
+}
+
+// TestMapResilientRetryFreshState: a failed attempt discards the worker
+// state and the retry runs on freshly constructed state, so a transient
+// corruption heals. Also pins that discard sees exactly the states that
+// failed.
+func TestMapResilientRetryFreshState(t *testing.T) {
+	type state struct{ poisoned bool }
+	var built, discarded atomic.Int64
+	out, err := MapResilient(context.Background(),
+		ResilientOptions{Options: Options{Parallelism: 1}, Retries: 1},
+		func() *state { built.Add(1); return &state{} },
+		func(s *state) {
+			if !s.poisoned {
+				t.Error("discard called on a healthy state")
+			}
+			discarded.Add(1)
+		},
+		[]int{0},
+		func(_ context.Context, s *state, _ int, _ int) (int, error) {
+			if !s.poisoned {
+				s.poisoned = true
+				return 0, errors.New("transient")
+			}
+			t.Error("retry ran on the poisoned state")
+			return 7, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First attempt poisons its state and fails; the retry must get a fresh
+	// state, whose zero poisoned field makes the job fail again — proving
+	// the state really was rebuilt. Terminal outcome: failed after 2 runs.
+	if out[0].Status != StatusFailed || out[0].Attempts != 2 {
+		t.Fatalf("outcome %+v, want failed after 2 attempts", out[0])
+	}
+	if built.Load() != 2 || discarded.Load() != 2 {
+		t.Fatalf("built %d discarded %d, want 2 and 2 (initial + rebuild, both poisoned)", built.Load(), discarded.Load())
+	}
+}
+
+// TestMapResilientRetrySucceeds: a job that fails once and then succeeds
+// ends StatusOK with Attempts == 2.
+func TestMapResilientRetrySucceeds(t *testing.T) {
+	var calls atomic.Int64
+	out, err := MapResilient(context.Background(),
+		ResilientOptions{Options: Options{Parallelism: 1}, Retries: 2},
+		func() int { return 0 }, nil, []int{0},
+		func(_ context.Context, _ int, _ int, _ int) (int, error) {
+			if calls.Add(1) == 1 {
+				return 0, errors.New("transient")
+			}
+			return 99, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out[0].OK() || out[0].Value != 99 || out[0].Attempts != 2 || out[0].Error != "" {
+		t.Fatalf("outcome %+v, want ok value 99 after 2 attempts with no error", out[0])
+	}
+}
+
+// TestMapResilientWorkerCountInvariance: the full Outcome vector —
+// statuses, attempts, error strings — is byte-identical across worker
+// counts for a deterministic fn.
+func TestMapResilientWorkerCountInvariance(t *testing.T) {
+	errBudget := errors.New("budget")
+	run := func(parallel int) []Outcome[int] {
+		out, err := MapResilient(context.Background(),
+			ResilientOptions{
+				Options:    Options{Parallelism: parallel},
+				Retries:    1,
+				IsWatchdog: func(err error) bool { return errors.Is(err, errBudget) },
+			},
+			func() int { return 0 }, nil,
+			[]int{0, 1, 2, 3, 4, 5, 6, 7},
+			func(_ context.Context, _ int, _ int, item int) (int, error) {
+				switch item % 4 {
+				case 1:
+					panic(fmt.Sprintf("panic on %d", item))
+				case 2:
+					return 0, fmt.Errorf("item %d: %w", item, errBudget)
+				case 3:
+					return 0, fmt.Errorf("item %d failed", item)
+				}
+				return item, nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	base := run(1)
+	for _, p := range []int{2, 4, 8} {
+		if got := run(p); !reflect.DeepEqual(got, base) {
+			t.Fatalf("parallel=%d outcomes diverge:\n%+v\nwant\n%+v", p, got, base)
+		}
+	}
+}
+
+// TestMapResilientCancellation: context cancellation aborts the campaign
+// (non-nil error) and unreached jobs are distinguishable by Attempts == 0.
+func TestMapResilientCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	out, err := MapResilient(ctx,
+		ResilientOptions{Options: Options{Parallelism: 1}},
+		func() int { return 0 }, nil,
+		[]int{0, 1, 2, 3},
+		func(ctx context.Context, _ int, _ int, item int) (int, error) {
+			if item == 1 {
+				cancel()
+				return 0, ctx.Err()
+			}
+			return item, nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !out[0].OK() {
+		t.Fatalf("job 0 completed before the cancel, got %+v", out[0])
+	}
+	for i := 2; i < 4; i++ {
+		if out[i].Attempts != 0 {
+			t.Fatalf("job %d ran after cancellation: %+v", i, out[i])
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"efl/internal/cache"
+	"efl/internal/efl"
+	"efl/internal/fault"
+	"efl/internal/rng"
+)
+
+// ErrWatchdog is the sentinel a run returns when it exceeds the per-job
+// cycle budget armed with SetWatchdog. The hardened runner classifies jobs
+// killed this way separately from transient failures: a deterministic
+// simulation that blew its budget once will blow it on every retry.
+var ErrWatchdog = errors.New("sim: watchdog cycle budget exceeded")
+
+// SetWatchdog arms a per-run cycle budget: a run whose next event would
+// pass budget cycles aborts with an error wrapping ErrWatchdog. budget <= 0
+// disables the watchdog (the Config.MaxCycles ceiling still applies). The
+// budget is expressed in simulated cycles, so the kill is deterministic —
+// the same seed dies at the same event regardless of host load.
+func (m *Multicore) SetWatchdog(budget int64) {
+	if budget < 0 {
+		budget = 0
+	}
+	m.watchdog = budget
+}
+
+// Watchdog returns the armed cycle budget (0 when disabled).
+func (m *Multicore) Watchdog() int64 { return m.watchdog }
+
+// limitExceeded builds the error for a run crossing the effective cycle
+// limit: the watchdog sentinel when the per-job budget is the binding
+// constraint, the configuration ceiling otherwise.
+func (m *Multicore) limitExceeded(limit int64) error {
+	if m.watchdog > 0 && limit == m.watchdog && m.watchdog < m.cfg.MaxCycles {
+		return fmt.Errorf("%w (budget %d cycles)", ErrWatchdog, m.watchdog)
+	}
+	return fmt.Errorf("sim: exceeded %d cycles", m.cfg.MaxCycles)
+}
+
+// ArmFaults validates plan against the platform and arms every injection
+// onto its hardware hook. Faults stay armed across RunInto calls (a faulty
+// platform is faulty for every run of the job) until DisarmFaults — which
+// Reuse calls, so a pooled platform can never leak a fault into the next
+// campaign. Arming is not cumulative with a previously armed plan: arm,
+// run, disarm.
+func (m *Multicore) ArmFaults(plan fault.Plan) error {
+	if err := plan.Validate(m.cfg.Cores, m.cfg.LLCWays); err != nil {
+		return err
+	}
+	for _, inj := range plan.Injections {
+		param := inj.Param
+		if param == 0 {
+			param = fault.DefaultParam(inj.Class)
+		}
+		switch inj.Class {
+		case fault.EFLStuckEAB:
+			m.eachUnit(inj.Core, func(u *efl.Unit) { u.InjectStuckEAB() })
+		case fault.EFLSaturatedCDC:
+			p := param
+			m.eachUnit(inj.Core, func(u *efl.Unit) { u.InjectSaturatedCDC(p) })
+		case fault.EFLDeadCRG:
+			armed := false
+			for i := 0; i < m.cfg.Cores; i++ {
+				if inj.Core != fault.AllCores && inj.Core != i {
+					continue
+				}
+				if c := m.ac.CRG(i); c != nil {
+					c.InjectDead()
+					armed = true
+				}
+			}
+			if !armed {
+				return fmt.Errorf("sim: %s targets no active CRG (mode %v)", inj.Class, m.cfg.Mode)
+			}
+		case fault.CacheDisabledWays:
+			m.llc.InjectDisabledWays(cache.WayMask(uint32(param)))
+		case fault.CacheTagFlip:
+			m.llc.InjectTagFlip(tagFlipBit, uint64(param))
+		case fault.RNGStuck:
+			m.eachUnit(inj.Core, func(u *efl.Unit) {
+				u.InjectRNG(func(rng.Source) rng.Source { return rng.StuckSource{} })
+			})
+		case fault.RNGBiased:
+			and := uint32(param)
+			m.llc.InjectRNG(func(s rng.Source) rng.Source {
+				return rng.MaskSource{Src: s, And: and}
+			})
+		case fault.BusStarvation:
+			if inj.Core == fault.AllCores {
+				return fmt.Errorf("sim: %s needs a specific core", inj.Class)
+			}
+			m.bus.InjectStarvation(inj.Core, param)
+		case fault.MemOverrun:
+			m.mc.InjectReadOverrun(param, memOverrunPeriod)
+		default:
+			return fmt.Errorf("sim: unarmable fault class %q", inj.Class)
+		}
+	}
+	m.faulted = true
+	return nil
+}
+
+// tagFlipBit is the tag bit CacheTagFlip corrupts. Line-address bit 2
+// displaces the tag by four lines — close enough that the flipped address
+// is a plausible neighbour, far enough that it never aliases the original.
+const tagFlipBit = 2
+
+// memOverrunPeriod is every how many blocking reads MemOverrun delays.
+const memOverrunPeriod = 4
+
+// Faulted reports whether a fault plan is currently armed.
+func (m *Multicore) Faulted() bool { return m.faulted }
+
+// DisarmFaults restores every hardware structure to its healthy
+// configuration. State corrupted while the faults were armed (cache
+// contents, stalled cores) is NOT repaired — a platform that errored
+// mid-run must be quarantined (Pool.Quarantine) or rewound (Reuse).
+func (m *Multicore) DisarmFaults() {
+	if !m.faulted {
+		return
+	}
+	for i := 0; i < m.cfg.Cores; i++ {
+		m.ac.Unit(i).ClearFaults()
+		if c := m.ac.CRG(i); c != nil {
+			c.ClearFaults()
+		}
+	}
+	m.llc.ClearFaults()
+	m.bus.ClearFaults()
+	m.mc.ClearFaults()
+	m.faulted = false
+}
+
+// eachUnit applies f to the targeted EFL unit(s).
+func (m *Multicore) eachUnit(core int, f func(*efl.Unit)) {
+	for i := 0; i < m.cfg.Cores; i++ {
+		if core == fault.AllCores || core == i {
+			f(m.ac.Unit(i))
+		}
+	}
+}

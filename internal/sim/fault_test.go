@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"efl/internal/fault"
+	"efl/internal/isa"
+)
+
+// TestWatchdogKillsRun pins the deterministic watchdog: a budget below the
+// run's natural length aborts with ErrWatchdog at the same simulated cycle
+// on every attempt, while a budget above it changes nothing.
+func TestWatchdogKillsRun(t *testing.T) {
+	cfg := DefaultConfig().WithEFL(500)
+	progs := []*isa.Program{loopProg("wd", 256, 3), loopProg("wd", 256, 3), nil, nil}
+
+	m, err := New(cfg, progs, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy := res.TotalCycles
+
+	// A generous budget must not perturb the run.
+	if err := m.Reuse(progs, 42); err != nil {
+		t.Fatal(err)
+	}
+	m.SetWatchdog(healthy * 2)
+	res2, err := m.Run()
+	if err != nil {
+		t.Fatalf("run under generous watchdog: %v", err)
+	}
+	if res2.TotalCycles != healthy {
+		t.Fatalf("generous watchdog changed the run: %d != %d cycles", res2.TotalCycles, healthy)
+	}
+
+	// A tight budget kills with the sentinel, identically on both attempts.
+	for attempt := 0; attempt < 2; attempt++ {
+		if err := m.Reuse(progs, 42); err != nil {
+			t.Fatal(err)
+		}
+		m.SetWatchdog(healthy / 2)
+		if _, err := m.Run(); !errors.Is(err, ErrWatchdog) {
+			t.Fatalf("attempt %d: want ErrWatchdog for budget %d < %d, got %v", attempt, healthy/2, healthy, err)
+		}
+	}
+}
+
+// TestArmFaultsValidates pins plan validation at the sim boundary: plans
+// that could livelock or target nothing are rejected before arming.
+func TestArmFaultsValidates(t *testing.T) {
+	cfg := DefaultConfig().WithEFL(500)
+	progs := []*isa.Program{loopProg("v", 64, 3), nil, nil, nil}
+	m, err := New(cfg, progs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []fault.Plan{
+		{Injections: []fault.Injection{{Class: fault.EFLStuckEAB, Core: 99}}},
+		{Injections: []fault.Injection{{Class: fault.CacheDisabledWays, Core: fault.AllCores, Param: 0xFF}}}, // all 8 ways
+		{Injections: []fault.Injection{{Class: fault.JobPanic, Core: 0}}},
+		{Injections: []fault.Injection{{Class: "no-such-class", Core: 0}}},
+		{Injections: []fault.Injection{{Class: fault.EFLDeadCRG, Core: 0}}}, // deployment mode: no CRG active
+	}
+	for i, p := range bad {
+		if err := m.ArmFaults(p); err == nil {
+			t.Errorf("plan %d (%v): want validation error, got nil", i, p.Injections)
+		}
+		if m.Faulted() {
+			t.Fatalf("plan %d: rejected plan left platform faulted", i)
+		}
+	}
+}
+
+// TestFaultsDoNotLeakThroughReuse pins the pooled-platform hygiene
+// contract: a platform that ran with faults armed and a watchdog budget,
+// once rewound with Reuse, is bit-identical to a freshly constructed one.
+func TestFaultsDoNotLeakThroughReuse(t *testing.T) {
+	cfg := DefaultConfig().WithEFL(500)
+	progs := func() []*isa.Program {
+		return []*isa.Program{loopProg("leak", 256, 3), loopProg("leak", 256, 3), nil, nil}
+	}
+	const seed = 42
+
+	fresh, err := New(cfg, progs(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runFingerprints(t, fresh, 2)
+
+	dirty, err := New(cfg, progs(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := fault.Plan{Injections: []fault.Injection{
+		{Class: fault.EFLStuckEAB, Core: fault.AllCores},
+		{Class: fault.CacheTagFlip, Core: fault.AllCores, Param: 1},
+		{Class: fault.BusStarvation, Core: 1, Param: 5000},
+		{Class: fault.MemOverrun, Core: fault.AllCores, Param: 300},
+	}}
+	if err := dirty.ArmFaults(plan); err != nil {
+		t.Fatal(err)
+	}
+	dirty.SetWatchdog(1 << 40)
+	if !dirty.Faulted() {
+		t.Fatal("ArmFaults did not mark the platform faulted")
+	}
+	if _, err := dirty.Run(); err != nil {
+		t.Fatalf("faulted run: %v", err)
+	}
+
+	if err := dirty.Reuse(progs(), seed); err != nil {
+		t.Fatal(err)
+	}
+	if dirty.Faulted() {
+		t.Fatal("Reuse left the fault plan armed")
+	}
+	if dirty.Watchdog() != 0 {
+		t.Fatal("Reuse left the watchdog budget armed")
+	}
+	got := runFingerprints(t, dirty, 2)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("run %d after faulted Reuse differs from fresh:\n got %s\nwant %s", i, got[i], want[i])
+		}
+	}
+}
+
+// TestFaultsChangeResults is the sanity check behind the detection matrix:
+// an armed plan must actually perturb the simulation (otherwise the matrix
+// would be vacuous).
+func TestFaultsChangeResults(t *testing.T) {
+	cfg := DefaultConfig().WithEFL(500)
+	progs := func() []*isa.Program {
+		return []*isa.Program{loopProg("perturb", 256, 3), loopProg("perturb", 256, 3), nil, nil}
+	}
+	const seed = 42
+
+	healthy, err := New(cfg, progs(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hres, err := healthy.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faulted, err := New(cfg, progs(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := faulted.ArmFaults(fault.Single(fault.EFLStuckEAB, fault.AllCores)); err != nil {
+		t.Fatal(err)
+	}
+	fres, err := faulted.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if goldenFingerprint(fres) == goldenFingerprint(hres) {
+		t.Fatal("stuck-EAB plan produced a bit-identical run; the fault hook is dead")
+	}
+}
+
+// TestPoolQuarantine pins the quarantine contract: a quarantined platform
+// is never handed out again — the next Get for the same Config constructs
+// a fresh one — and QuarantineAll empties the pool.
+func TestPoolQuarantine(t *testing.T) {
+	cfg := DefaultConfig().WithEFL(500)
+	progs := []*isa.Program{loopProg("q", 64, 3), nil, nil, nil}
+
+	p := NewPool()
+	m1, err := p.Get(cfg, progs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := p.Get(cfg, progs, 2); err != nil || got != m1 {
+		t.Fatalf("healthy pool must reuse the platform (err %v)", err)
+	}
+
+	if !p.Quarantine(cfg) {
+		t.Fatal("Quarantine found no pooled platform")
+	}
+	if p.Quarantine(cfg) {
+		t.Fatal("second Quarantine for the same Config should find nothing")
+	}
+	if p.Quarantined() != 1 {
+		t.Fatalf("Quarantined() = %d, want 1", p.Quarantined())
+	}
+	m2, err := p.Get(cfg, progs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2 == m1 {
+		t.Fatal("quarantined platform was reused")
+	}
+
+	other := DefaultConfig().WithEFL(250)
+	if _, err := p.Get(other, progs, 4); err != nil {
+		t.Fatal(err)
+	}
+	if n := p.QuarantineAll(); n != 2 {
+		t.Fatalf("QuarantineAll removed %d platforms, want 2", n)
+	}
+	if p.Size() != 0 {
+		t.Fatalf("pool still holds %d platforms after QuarantineAll", p.Size())
+	}
+	if p.Quarantined() != 3 {
+		t.Fatalf("Quarantined() = %d, want 3", p.Quarantined())
+	}
+	m3, err := p.Get(cfg, progs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3 == m2 {
+		t.Fatal("platform quarantined by QuarantineAll was reused")
+	}
+}

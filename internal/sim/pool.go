@@ -30,6 +30,11 @@ func (m *Multicore) Reuse(progs []*isa.Program, seed uint64) error {
 			}
 		}
 	}
+	// A reused platform starts healthy: any armed fault plan or watchdog
+	// budget belongs to the previous job and must not leak into this one.
+	m.DisarmFaults()
+	m.watchdog = 0
+
 	m.rnd.Reseed(seed)
 	for i := range m.progs {
 		m.progs[i] = nil
@@ -88,6 +93,8 @@ type Pool struct {
 	// collection helpers. The Auditor itself is mutex-guarded, so one
 	// auditor is shared across all workers' pools.
 	aud *Auditor
+	// quarantined counts platforms removed by Quarantine/QuarantineAll.
+	quarantined int
 }
 
 // NewPool returns an empty platform pool.
@@ -102,6 +109,34 @@ func (p *Pool) AuditRun(cfg Config, res *Result) error { return p.aud.CheckRun(c
 
 // Size returns the number of distinct platforms held.
 func (p *Pool) Size() int { return len(p.platforms) }
+
+// Quarantine removes the platform pooled for cfg, reporting whether one
+// was held. A simulation that errored mid-run (watchdog kill, injected
+// fault) leaves its platform in an undefined intermediate state; the
+// hardened runner quarantines it so the next Get for the configuration
+// constructs a fresh one instead of reusing corrupt hardware state.
+func (p *Pool) Quarantine(cfg Config) bool {
+	key := configKey(cfg)
+	if _, ok := p.platforms[key]; !ok {
+		return false
+	}
+	delete(p.platforms, key)
+	p.quarantined++
+	return true
+}
+
+// QuarantineAll removes every pooled platform, returning how many were
+// held. Used when a whole job failed and nothing the worker touched can be
+// trusted.
+func (p *Pool) QuarantineAll() int {
+	n := len(p.platforms)
+	clear(p.platforms)
+	p.quarantined += n
+	return n
+}
+
+// Quarantined returns how many platforms this pool has quarantined.
+func (p *Pool) Quarantined() int { return p.quarantined }
 
 // configKey fingerprints a Config. Config is a flat value type (plus the
 // PartitionWays slice), so the %+v rendering is a faithful identity.

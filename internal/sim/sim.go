@@ -135,6 +135,11 @@ type Multicore struct {
 	evCRG   []int64
 	evBus   int64
 	evMC    int64
+
+	// watchdog is the per-job cycle budget (0 = disabled); see SetWatchdog.
+	// faulted records whether a fault plan is armed; see fault.go.
+	watchdog int64
+	faulted  bool
 }
 
 // never is the sentinel for "no pending event".
@@ -309,6 +314,14 @@ func (m *Multicore) RunInto(res *Result) error {
 	// blocking other transactions.
 	hold := m.cfg.BusSlotCycles
 
+	// Effective cycle limit: the configured ceiling, tightened by the
+	// runner watchdog budget when one is armed. Exceeding the budget is a
+	// deterministic kill (ErrWatchdog), independent of wall-clock time.
+	limit := m.cfg.MaxCycles
+	if m.watchdog > 0 && m.watchdog < limit {
+		limit = m.watchdog
+	}
+
 	for {
 		// Candidate event times, read from the incrementally maintained
 		// caches in one pass. Scan order and strict-less comparisons
@@ -367,8 +380,8 @@ func (m *Multicore) RunInto(res *Result) error {
 		if tMC < min {
 			min = tMC
 		}
-		if min > m.cfg.MaxCycles {
-			return fmt.Errorf("sim: exceeded %d cycles", m.cfg.MaxCycles)
+		if min > limit {
+			return m.limitExceeded(limit)
 		}
 
 		switch {
@@ -404,8 +417,8 @@ func (m *Multicore) RunInto(res *Result) error {
 				if clk >= otherMin {
 					break
 				}
-				if clk > m.cfg.MaxCycles {
-					return fmt.Errorf("sim: exceeded %d cycles", m.cfg.MaxCycles)
+				if clk > limit {
+					return m.limitExceeded(limit)
 				}
 			}
 			m.noteCore(ctl)

@@ -34,4 +34,25 @@ go test -race -count=1 $(go list ./... | grep -v internal/experiments)
 echo "== audited campaign smoke (-audit soundness invariants)"
 go run ./cmd/experiments -exp attrib -audit >/dev/null
 
+echo "== faultmatrix smoke (fault injection vs auditor, panic isolation, degraded exit)"
+# Built binary, not `go run`: go run collapses every nonzero child exit to 1,
+# and the degraded exit code (3) is exactly what this smoke asserts.
+fmdir=$(mktemp -d)
+trap 'rm -rf "$fmdir"' EXIT
+go build -o "$fmdir/experiments" ./cmd/experiments
+set +e
+"$fmdir/experiments" -exp faultmatrix -out "$fmdir" >/dev/null
+code=$?
+set -e
+if [[ $code -ne 3 ]]; then
+    echo "faultmatrix: want degraded exit code 3, got $code (1 = detection gap or control false positive)"
+    exit 1
+fi
+# Every injected fault class detected (and the control clean) ...
+grep -q '"all_detected": true' "$fmdir/faultmatrix.json" || { echo "faultmatrix: detection gap in artifact"; exit 1; }
+# ... and the deliberate job panic was isolated, not fatal: the campaign
+# still produced a complete artifact with the panic recorded per-job.
+grep -q '"status": "panicked"' "$fmdir/faultmatrix.json" || { echo "faultmatrix: job-panic row missing/not isolated"; exit 1; }
+grep -q '"status": "watchdog"' "$fmdir/faultmatrix.json" || { echo "faultmatrix: watchdog kill row missing"; exit 1; }
+
 echo "verify: OK"
