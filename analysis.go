@@ -46,8 +46,14 @@ type PWCETEstimate struct {
 
 // PWCET returns the execution-time bound whose probability of being
 // exceeded by one run is at most p (e.g. 1e-15, the paper's headline
-// cutoff). The estimate never falls below the observed maximum.
+// cutoff). The estimate never falls below the observed maximum. It panics
+// when p is outside (0,1); use PWCETE where p comes from untrusted input.
 func (e *PWCETEstimate) PWCET(p float64) float64 { return e.res.PWCET(p) }
+
+// PWCETE is PWCET with an error return instead of a panic on an
+// out-of-range exceedance probability — the entry point services use,
+// where p arrives from request JSON.
+func (e *PWCETEstimate) PWCETE(p float64) (float64, error) { return e.res.PWCETE(p) }
 
 // Exceedance returns the fitted per-run probability that one execution
 // exceeds x cycles — a point on the pWCET CCDF curve.

@@ -1,0 +1,95 @@
+// Command eflserved serves pWCET estimation over HTTP JSON: the MBPTA
+// route (POST /v1/estimate), schedule feasibility (POST /v1/schedule) and
+// the static cross-check (POST /v1/static), with a content-addressed
+// result cache, single-flight request coalescing, bounded-queue
+// backpressure and live /metrics. See DESIGN.md §11.
+//
+//	eflserved -addr 127.0.0.1:8650
+//	curl -s localhost:8650/v1/estimate -d '{"program":{"benchmark":"CN"},
+//	    "config":{"mid":500},"runs":300,"seed":1}'
+//
+// SIGINT/SIGTERM drain gracefully: in-flight and queued requests finish,
+// new ones get 503, then the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"efl/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8650", "listen address (host:port; port 0 picks a free port)")
+		addrFile   = flag.String("addrfile", "", "write the bound address to this file (for scripts using port 0)")
+		workers    = flag.Int("workers", 0, "campaign workers (0: GOMAXPROCS)")
+		queue      = flag.Int("queue", 0, "job queue depth (0: default 64)")
+		cacheSize  = flag.Int("cache", 0, "result cache entries (0: default 256)")
+		maxRuns    = flag.Int("max-runs", 0, "per-request run cap (0: default 2000)")
+		timeout    = flag.Duration("timeout", 0, "default per-request deadline (0: 60s)")
+		maxTimeout = flag.Duration("max-timeout", 0, "cap on client-supplied deadlines (0: 5m)")
+	)
+	flag.Parse()
+	if err := run(*addr, *addrFile, service.Options{
+		Workers: *workers, QueueDepth: *queue, CacheEntries: *cacheSize,
+		MaxRuns: *maxRuns, DefaultTimeout: *timeout, MaxTimeout: *maxTimeout,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "eflserved:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, addrFile string, opts service.Options) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+	svc := service.New(opts)
+	httpSrv := &http.Server{
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "eflserved: listening on %s\n", bound)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "eflserved: %v: draining\n", sig)
+		// Stop accepting, let in-flight handlers finish (they wait on
+		// their jobs), then drain the service's own queue and workers.
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			svc.Close()
+			return fmt.Errorf("drain: %w", err)
+		}
+		svc.Close()
+		fmt.Fprintln(os.Stderr, "eflserved: drained")
+		return nil
+	case err := <-errCh:
+		svc.Close()
+		if err == http.ErrServerClosed {
+			return nil
+		}
+		return err
+	}
+}

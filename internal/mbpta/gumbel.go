@@ -41,25 +41,60 @@ func (g Gumbel) CCDF(x float64) float64 {
 	return -math.Expm1(-z)
 }
 
-// Quantile returns the x with CDF(x) = p, for p in (0, 1).
-func (g Gumbel) Quantile(p float64) float64 {
-	if p <= 0 || p >= 1 {
-		panic("mbpta: Gumbel quantile requires p in (0,1)")
+// ErrProbabilityRange indicates a probability outside the open interval
+// (0,1) — the input-validation error every quantile/pWCET entry point
+// returns (or panics with, in the legacy variants) instead of producing a
+// silent NaN. Callers serving untrusted inputs match it with errors.Is.
+var ErrProbabilityRange = errors.New("mbpta: probability outside (0,1)")
+
+// checkProb validates an (exceedance) probability.
+func checkProb(p float64) error {
+	if !(p > 0 && p < 1) { // rejects NaN too
+		return fmt.Errorf("%w: %v", ErrProbabilityRange, p)
 	}
-	return g.Mu - g.Beta*math.Log(-math.Log(p))
+	return nil
+}
+
+// Quantile returns the x with CDF(x) = p, for p in (0, 1). It panics on an
+// out-of-range p; use QuantileE where p comes from untrusted input.
+func (g Gumbel) Quantile(p float64) float64 {
+	v, err := g.QuantileE(p)
+	if err != nil {
+		panic(err.Error())
+	}
+	return v
+}
+
+// QuantileE is Quantile with an error return instead of a panic.
+func (g Gumbel) QuantileE(p float64) (float64, error) {
+	if err := checkProb(p); err != nil {
+		return 0, fmt.Errorf("Gumbel quantile: %w", err)
+	}
+	return g.Mu - g.Beta*math.Log(-math.Log(p)), nil
 }
 
 // QuantileExceedance returns the x whose exceedance probability P(X > x)
 // equals p. Numerically robust for the very small p MBPTA uses (1e-15 and
-// below), where 1-p rounds to 1 in float64.
+// below), where 1-p rounds to 1 in float64. It panics on an out-of-range
+// p; use QuantileExceedanceE where p comes from untrusted input.
 func (g Gumbel) QuantileExceedance(p float64) float64 {
-	if p <= 0 || p >= 1 {
-		panic("mbpta: exceedance quantile requires p in (0,1)")
+	v, err := g.QuantileExceedanceE(p)
+	if err != nil {
+		panic(err.Error())
+	}
+	return v
+}
+
+// QuantileExceedanceE is QuantileExceedance with an error return instead
+// of a panic.
+func (g Gumbel) QuantileExceedanceE(p float64) (float64, error) {
+	if err := checkProb(p); err != nil {
+		return 0, fmt.Errorf("Gumbel exceedance quantile: %w", err)
 	}
 	// Solve exp(-exp(-(x-mu)/beta)) = 1-p  =>  -(x-mu)/beta = ln(-ln(1-p)).
 	// ln(1-p) via log1p keeps precision for tiny p: -ln(1-p) ≈ p.
 	l := -math.Log1p(-p)
-	return g.Mu - g.Beta*math.Log(l)
+	return g.Mu - g.Beta*math.Log(l), nil
 }
 
 // Mean returns the distribution mean mu + gamma*beta.

@@ -143,19 +143,33 @@ func Analyze(times []float64, opt Options) (*Result, error) {
 // tiny p. The estimate is never below the observed maximum (EVT
 // extrapolates the tail; the empirical part is exact).
 func (r *Result) PWCET(p float64) float64 {
-	if p <= 0 || p >= 1 {
-		panic("mbpta: exceedance probability must be in (0,1)")
+	v, err := r.PWCETE(p)
+	if err != nil {
+		panic(err.Error())
+	}
+	return v
+}
+
+// PWCETE is PWCET with an error return instead of a panic on an
+// out-of-range probability — the variant servers must use, where p
+// arrives from untrusted request JSON.
+func (r *Result) PWCETE(p float64) (float64, error) {
+	if err := checkProb(p); err != nil {
+		return 0, fmt.Errorf("pWCET: %w", err)
 	}
 	if r.Degenerate {
-		return r.MaxSeen
+		return r.MaxSeen, nil
 	}
 	// pBlock = 1-(1-p)^B = -expm1(B*log1p(-p)), stable for small p.
 	pBlock := -math.Expm1(float64(r.BlockSize) * math.Log1p(-p))
-	est := r.Fit.QuantileExceedance(pBlock)
-	if est < r.MaxSeen {
-		return r.MaxSeen
+	est, err := r.Fit.QuantileExceedanceE(pBlock)
+	if err != nil {
+		return 0, err
 	}
-	return est
+	if est < r.MaxSeen {
+		return r.MaxSeen, nil
+	}
+	return est, nil
 }
 
 // CCDFPoint returns the fitted per-run exceedance probability at execution

@@ -1,6 +1,7 @@
 package mbpta
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -318,4 +319,73 @@ func BenchmarkAnalyze(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_, _ = Analyze(xs, Options{SkipIIDTests: true})
 	}
+}
+
+// TestQuantileEVariantsRejectOutOfRange pins the error-returning quantile
+// entry points: out-of-range probabilities are errors matching
+// ErrProbabilityRange, never panics — these paths are reachable straight
+// from service request JSON.
+func TestQuantileEVariantsRejectOutOfRange(t *testing.T) {
+	g := Gumbel{Mu: 100, Beta: 10}
+	gpd := GPD{Sigma: 5, Xi: 0.1}
+	bad := []float64{0, 1, -1, 2, math.NaN(), math.Inf(1)}
+	for _, p := range bad {
+		if _, err := g.QuantileE(p); !errors.Is(err, ErrProbabilityRange) {
+			t.Errorf("Gumbel.QuantileE(%v) err = %v", p, err)
+		}
+		if _, err := g.QuantileExceedanceE(p); !errors.Is(err, ErrProbabilityRange) {
+			t.Errorf("Gumbel.QuantileExceedanceE(%v) err = %v", p, err)
+		}
+		if _, err := gpd.QuantileExceedanceE(p); !errors.Is(err, ErrProbabilityRange) {
+			t.Errorf("GPD.QuantileExceedanceE(%v) err = %v", p, err)
+		}
+	}
+	// In-range values agree with the legacy panicking variants.
+	for _, p := range []float64{1e-15, 0.01, 0.5, 0.999} {
+		if v, err := g.QuantileE(p); err != nil || v != g.Quantile(p) {
+			t.Errorf("QuantileE(%v) = %v, %v", p, v, err)
+		}
+		if v, err := g.QuantileExceedanceE(p); err != nil || v != g.QuantileExceedance(p) {
+			t.Errorf("QuantileExceedanceE(%v) = %v, %v", p, v, err)
+		}
+		if v, err := gpd.QuantileExceedanceE(p); err != nil || v != gpd.QuantileExceedance(p) {
+			t.Errorf("GPD QuantileExceedanceE(%v) = %v, %v", p, v, err)
+		}
+	}
+}
+
+// TestPWCETEErrorsNotPanics pins the analysis-level error variants on both
+// EVT routes, and that the legacy variants still panic (their documented
+// contract) rather than silently returning garbage.
+func TestPWCETEErrorsNotPanics(t *testing.T) {
+	src := rng.New(99)
+	times := gumbelSample(src, Gumbel{Mu: 10000, Beta: 120}, 400)
+	res, err := Analyze(times, Options{SkipIIDTests: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pot, err := AnalyzePOT(times, POTOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{0, 1, -3, math.NaN()} {
+		if _, err := res.PWCETE(p); !errors.Is(err, ErrProbabilityRange) {
+			t.Errorf("Result.PWCETE(%v) err = %v", p, err)
+		}
+		if _, err := pot.PWCETE(p); !errors.Is(err, ErrProbabilityRange) {
+			t.Errorf("POTResult.PWCETE(%v) err = %v", p, err)
+		}
+		if _, _, _, err := CrossCheck(times, p); !errors.Is(err, ErrProbabilityRange) {
+			t.Errorf("CrossCheck(%v) err = %v", p, err)
+		}
+	}
+	if v, err := res.PWCETE(1e-15); err != nil || v != res.PWCET(1e-15) {
+		t.Errorf("PWCETE(1e-15) = %v, %v", v, err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("legacy PWCET(0) did not panic")
+		}
+	}()
+	res.PWCET(0)
 }

@@ -46,18 +46,30 @@ func (g GPD) CCDF(x float64) float64 {
 }
 
 // QuantileExceedance returns the excess whose exceedance probability is p.
+// It panics on an out-of-range p; use QuantileExceedanceE where p comes
+// from untrusted input.
 func (g GPD) QuantileExceedance(p float64) float64 {
-	if p <= 0 || p >= 1 {
-		panic("mbpta: GPD quantile requires p in (0,1)")
+	v, err := g.QuantileExceedanceE(p)
+	if err != nil {
+		panic(err.Error())
+	}
+	return v
+}
+
+// QuantileExceedanceE is QuantileExceedance with an error return instead
+// of a panic.
+func (g GPD) QuantileExceedanceE(p float64) (float64, error) {
+	if err := checkProb(p); err != nil {
+		return 0, fmt.Errorf("GPD exceedance quantile: %w", err)
 	}
 	if g.Sigma <= 0 {
 		// Point mass at zero (see CCDF): every quantile is 0.
-		return 0
+		return 0, nil
 	}
 	if g.Xi == 0 {
-		return -g.Sigma * math.Log(p)
+		return -g.Sigma * math.Log(p), nil
 	}
-	return g.Sigma / g.Xi * (math.Pow(p, -g.Xi) - 1)
+	return g.Sigma / g.Xi * (math.Pow(p, -g.Xi) - 1), nil
 }
 
 // String implements fmt.Stringer.
@@ -159,21 +171,35 @@ func AnalyzePOT(times []float64, opt POTOptions) (*POTResult, error) {
 // p: threshold + GPD excess quantile at p/rate. Like the block-maxima
 // estimate it never falls below the observed maximum.
 func (r *POTResult) PWCET(p float64) float64 {
-	if p <= 0 || p >= 1 {
-		panic("mbpta: exceedance probability must be in (0,1)")
+	v, err := r.PWCETE(p)
+	if err != nil {
+		panic(err.Error())
+	}
+	return v
+}
+
+// PWCETE is PWCET with an error return instead of a panic on an
+// out-of-range probability.
+func (r *POTResult) PWCETE(p float64) (float64, error) {
+	if err := checkProb(p); err != nil {
+		return 0, fmt.Errorf("POT pWCET: %w", err)
 	}
 	if r.Degenerate {
-		return r.MaxSeen
+		return r.MaxSeen, nil
 	}
 	cond := p / r.Rate // P(excess > x | above threshold)
 	if cond >= 1 {
-		return r.MaxSeen
+		return r.MaxSeen, nil
 	}
-	est := r.Threshold + r.Fit.QuantileExceedance(cond)
+	ex, err := r.Fit.QuantileExceedanceE(cond)
+	if err != nil {
+		return 0, err
+	}
+	est := r.Threshold + ex
 	if est < r.MaxSeen {
-		return r.MaxSeen
+		return r.MaxSeen, nil
 	}
-	return est
+	return est, nil
 }
 
 // CrossCheck compares the block-maxima and POT pWCET estimates at prob and
@@ -181,6 +207,11 @@ func (r *POTResult) PWCET(p float64) float64 {
 // practice treats a small disagreement as evidence the extrapolation is
 // stable.
 func CrossCheck(times []float64, prob float64) (bm, pot, disagreement float64, err error) {
+	if err = checkProb(prob); err != nil {
+		// Validate before the two analyses: a bad probability should not
+		// cost two EVT fits (or reach a quantile panic path).
+		return 0, 0, 0, err
+	}
 	bmRes, err := Analyze(times, Options{SkipIIDTests: true})
 	if err != nil {
 		return 0, 0, 0, err
@@ -189,8 +220,12 @@ func CrossCheck(times []float64, prob float64) (bm, pot, disagreement float64, e
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	bm = bmRes.PWCET(prob)
-	pot = potRes.PWCET(prob)
+	if bm, err = bmRes.PWCETE(prob); err != nil {
+		return 0, 0, 0, err
+	}
+	if pot, err = potRes.PWCETE(prob); err != nil {
+		return 0, 0, 0, err
+	}
 	hi := math.Max(bm, pot)
 	if hi == 0 {
 		return bm, pot, 0, nil

@@ -169,6 +169,37 @@ func (h *Histogram) Merge(o *Histogram) {
 	}
 }
 
+// Quantile returns an upper bound on the q-quantile of the observed
+// values (0 < q <= 1): the exclusive upper edge of the power-of-two bucket
+// holding the quantile. The bucket resolution (a factor of 2) is the
+// precision; exact percentiles need the raw observations. Returns 0 for an
+// empty histogram or out-of-range q.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.n == 0 || !(q > 0 && q <= 1) {
+		return 0
+	}
+	target := uint64(q * float64(h.n))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			if i == 0 {
+				return 1
+			}
+			hi := int64(1) << uint(i)
+			if hi > h.max {
+				// The top bucket's edge can overshoot the true maximum.
+				return h.max
+			}
+			return hi
+		}
+	}
+	return h.max
+}
+
 // Bucket is one non-empty histogram bucket in a snapshot: Count values
 // observed in [Lo, Hi).
 type Bucket struct {

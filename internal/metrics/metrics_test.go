@@ -169,3 +169,30 @@ func TestServeEndpoint(t *testing.T) {
 		t.Fatalf("endpoint snapshot %+v", s)
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+	// 100 observations of 10 and 100 of 1000: bucket edges cap at the
+	// observed maximum, so a constant sample is exact.
+	for i := 0; i < 100; i++ {
+		h.Observe(10)
+	}
+	if q := h.Quantile(0.5); q != 10 {
+		t.Fatalf("p50 of constant 10s = %d, want max 10", q)
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(1000)
+	}
+	if q := h.Quantile(0.25); q != 16 {
+		t.Fatalf("p25 = %d, want 16", q)
+	}
+	if q := h.Quantile(0.99); q != 1000 {
+		t.Fatalf("p99 = %d, want capped at max 1000", q)
+	}
+	if q := h.Quantile(2); q != 0 {
+		t.Fatalf("out-of-range q accepted: %d", q)
+	}
+}

@@ -20,7 +20,9 @@ import (
 	"fmt"
 	"strings"
 
+	"efl/internal/efl"
 	"efl/internal/isa"
+	"efl/internal/runner"
 	"efl/internal/sim"
 )
 
@@ -151,7 +153,11 @@ type FrameResult struct {
 // the slot tasks, runs them together at deployment (fresh RIIs and
 // flushed caches at the frame boundary — the sim's per-run reset is
 // exactly the MIF-boundary protocol), and checks completion against the
-// frame budget. seed derives each frame's randomness.
+// frame budget. seed derives each frame's randomness through
+// runner.Seed(seed, "frame/<fi>"), the campaign engine's identity-based
+// derivation: nearby master seeds yield unrelated frame streams (the old
+// seed+fi*constant arithmetic made frame fi of seed s collide with frame
+// fi-1 of seed s+constant).
 func (s *Schedule) Run(seed uint64) ([]FrameResult, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -169,7 +175,7 @@ func (s *Schedule) Run(seed uint64) ([]FrameResult, error) {
 		}
 		fr := FrameResult{Frame: fi, TaskCycles: map[int]int64{}, TaskNames: names}
 		if len(names) > 0 {
-			m, err := sim.New(s.Cfg, progs, seed+uint64(fi)*0x9e37)
+			m, err := sim.New(s.Cfg, progs, frameSeed(seed, fi))
 			if err != nil {
 				return nil, err
 			}
@@ -190,6 +196,14 @@ func (s *Schedule) Run(seed uint64) ([]FrameResult, error) {
 		out = append(out, fr)
 	}
 	return out, nil
+}
+
+// frameSeed derives minor frame fi's simulation seed from the master seed
+// via the campaign engine's identity-based derivation (runner.Seed's
+// determinism contract: stable identity, no arithmetic relationships
+// between nearby master seeds).
+func frameSeed(master uint64, fi int) uint64 {
+	return runner.Seed(master, fmt.Sprintf("frame/%d", fi))
 }
 
 // Render prints a feasibility report.
@@ -213,6 +227,18 @@ func (r *FeasibilityReport) Render() string {
 // packer suffices where partitioned systems need co-schedulability
 // analysis.
 func PackGreedy(cfg sim.Config, tasks []*Task, mifCycles int64) (*Schedule, error) {
+	// Validate the platform up front: a bad configuration (zero cores,
+	// inconsistent geometry) or an analysis-mode Config would otherwise
+	// produce a schedule that only fails deep inside Schedule.Run.
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("sched: invalid platform config: %w", err)
+	}
+	if cfg.Mode == efl.Analysis {
+		return nil, fmt.Errorf("sched: cannot schedule on an analysis-mode config (deployment mode required; analysis mode runs one task alone on core %d)", cfg.AnalysedCore)
+	}
+	if mifCycles <= 0 {
+		return nil, fmt.Errorf("sched: non-positive MIF length %d", mifCycles)
+	}
 	for _, t := range tasks {
 		if t.PWCET <= 0 {
 			return nil, fmt.Errorf("sched: task %q has no pWCET", t.Name)

@@ -175,3 +175,65 @@ func TestPackGreedyRejectsOversized(t *testing.T) {
 		t.Fatal("task without pWCET packed")
 	}
 }
+
+// TestFrameSeedNoCrossCampaignCollisions is the regression test for the
+// seed-contract violation: the old derivation seed+uint64(fi)*0x9e37 made
+// frame fi of master seed s collide with frame fi-1 of master seed
+// s+0x9e37 (and more generally aliased nearby campaigns onto each other's
+// frame streams). The identity-based derivation must give pairwise
+// distinct seeds across a dense window of master seeds and frame indices.
+func TestFrameSeedNoCrossCampaignCollisions(t *testing.T) {
+	const masters, frames = 256, 16
+	seen := make(map[uint64][2]uint64, masters*frames)
+	for m := uint64(0); m < masters; m++ {
+		// Include the exact stride that collided pre-fix.
+		for _, master := range []uint64{1 + m, 1 + m*0x9e37} {
+			for fi := 0; fi < frames; fi++ {
+				s := frameSeed(master, fi)
+				if prev, dup := seen[s]; dup && (prev[0] != master || prev[1] != uint64(fi)) {
+					t.Fatalf("frame seed collision: (master=%d, frame=%d) and (master=%d, frame=%d) both derive %#x",
+						prev[0], prev[1], master, fi, s)
+				}
+				seen[s] = [2]uint64{master, uint64(fi)}
+			}
+		}
+	}
+}
+
+// TestFrameSeedOldArithmeticCollided documents the bug the derivation
+// change fixes: under the old arithmetic the collision above was certain.
+func TestFrameSeedOldArithmeticCollided(t *testing.T) {
+	old := func(master uint64, fi int) uint64 { return master + uint64(fi)*0x9e37 }
+	if old(1, 1) != old(1+0x9e37, 0) {
+		t.Fatal("old arithmetic no longer collides; update this documentation test")
+	}
+	if frameSeed(1, 1) == frameSeed(1+0x9e37, 0) {
+		t.Fatal("new derivation still collides on the old stride")
+	}
+}
+
+// TestPackGreedyValidatesConfig pins the up-front platform validation:
+// broken or analysis-mode configs are rejected with a descriptive error at
+// packing time instead of failing deep inside Schedule.Run.
+func TestPackGreedyValidatesConfig(t *testing.T) {
+	task := tinyTask(t, "a", 100, 1000)
+	zeroCore := sim.DefaultConfig()
+	zeroCore.Cores = 0
+	negLat := sim.DefaultConfig()
+	negLat.MemCycles = -1
+	for name, cfg := range map[string]sim.Config{
+		"zero-core":     zeroCore,
+		"negative-lat":  negLat,
+		"analysis-mode": sim.DefaultConfig().WithEFL(500).WithAnalysis(0),
+	} {
+		if _, err := PackGreedy(cfg, []*Task{task}, 10000); err == nil {
+			t.Errorf("%s config accepted by PackGreedy", name)
+		}
+	}
+	if _, err := PackGreedy(sim.DefaultConfig().WithEFL(500), []*Task{task}, 0); err == nil {
+		t.Error("non-positive MIF length accepted")
+	}
+	if _, err := PackGreedy(sim.DefaultConfig().WithEFL(500), []*Task{task}, 10000); err != nil {
+		t.Errorf("valid deployment config rejected: %v", err)
+	}
+}

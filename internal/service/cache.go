@@ -1,0 +1,61 @@
+package service
+
+// The result cache and request coalescing live here. Both exist for the
+// same reason: pWCET campaigns are expensive (hundreds of simulated runs)
+// while their results are pure functions of the canonical request identity
+// — the same (config, program, runs, seed, probabilities) always produces
+// the same bytes, by the simulator's determinism contract. So identical
+// requests should cost one campaign total, whether they arrive after the
+// first finished (cache hit) or while it is still running (coalescing).
+
+import "container/list"
+
+// resultCache is an LRU over finished response bodies, keyed by the
+// canonical request hash. Values are the exact bytes served — a cache hit
+// replays a byte-identical response, which the determinism tests pin.
+// Callers hold the server mutex; the cache itself is not locked.
+type resultCache struct {
+	cap   int
+	ll    *list.List
+	items map[string]*list.Element
+}
+
+// cacheEntry is one cached response body.
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// newResultCache returns an LRU holding at most cap entries (cap >= 1).
+func newResultCache(cap int) *resultCache {
+	return &resultCache{cap: cap, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the cached body for key, marking it most recently used.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// put stores body under key, evicting the least recently used entry when
+// over capacity.
+func (c *resultCache) put(key string, body []byte) {
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).body = body
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the number of cached entries.
+func (c *resultCache) len() int { return c.ll.Len() }

@@ -1,0 +1,696 @@
+// Package service exposes the analysis toolkit as a long-running
+// estimation server: pWCET estimation campaigns (POST /v1/estimate),
+// schedule feasibility (POST /v1/schedule) and the static cross-check
+// (POST /v1/static) over HTTP JSON.
+//
+// The server is a thin, hardened shell around the campaign machinery the
+// repository already has — the same pieces the batch experiment driver
+// uses, arranged for a request/response lifecycle:
+//
+//   - Execution goes through runner.MapResilient with per-worker sim.Pool
+//     state: a panicking or failing job quarantines the worker's pooled
+//     platforms (nothing it touched can be trusted) and never takes the
+//     server down.
+//   - Results are pure functions of the canonical request identity
+//     (simulator determinism), so finished bodies live in an LRU keyed by
+//     a content-addressed hash, and identical in-flight requests coalesce
+//     onto one campaign (single-flight).
+//   - The work queue is bounded: when it is full the server answers 429
+//     with Retry-After instead of queueing unboundedly — backpressure is
+//     part of the interface, matching the repo-wide graceful-degradation
+//     stance (a saturated estimation service must say so, not fall over).
+//   - Every request runs under its own deadline, independent of the HTTP
+//     connection: a client that disconnects does not waste the campaign
+//     (the result still lands in the cache).
+//
+// Close drains: queued jobs finish, new requests get 503.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"efl"
+	"efl/internal/mbpta"
+	"efl/internal/metrics"
+	"efl/internal/runner"
+	"efl/internal/sched"
+	"efl/internal/sim"
+)
+
+// maxBodyBytes bounds request bodies (assembler sources dominate; 4 MiB
+// is far above any legitimate request).
+const maxBodyBytes = 4 << 20
+
+// Options configures a Server. The zero value selects sensible defaults.
+type Options struct {
+	// Workers is the number of campaign workers, each owning one sim.Pool
+	// (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the job queue; a full queue answers 429
+	// (default 64).
+	QueueDepth int
+	// CacheEntries bounds the LRU result cache (default 256).
+	CacheEntries int
+	// MaxRuns caps the per-request measurement-run count (default 2000).
+	MaxRuns int
+	// DefaultTimeout bounds requests that set no timeout_ms (default 60s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-supplied timeouts (default 5m).
+	MaxTimeout time.Duration
+	// RetryAfter is the hint returned with 429 responses (default 1s).
+	RetryAfter time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = 256
+	}
+	if o.MaxRuns <= 0 {
+		o.MaxRuns = 2000
+	}
+	if o.DefaultTimeout <= 0 {
+		o.DefaultTimeout = 60 * time.Second
+	}
+	if o.MaxTimeout <= 0 {
+		o.MaxTimeout = 5 * time.Minute
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = time.Second
+	}
+	return o
+}
+
+// job is one unit of queued work: the closure computing the canonical
+// response body, the deadline it runs under, and the slot its outcome is
+// published through.
+type job struct {
+	key    string
+	ctx    context.Context
+	cancel context.CancelFunc
+	run    func(ctx context.Context, pool *sim.Pool) ([]byte, error)
+	done   chan struct{} // closed when the outcome fields are final
+
+	// Outcome (valid after done closes; written under the server mutex).
+	body     []byte
+	status   runner.Status
+	errMsg   string
+	timedOut bool
+}
+
+// WorkerStat is one worker's lifetime accounting (exposed via /metrics).
+type WorkerStat struct {
+	Jobs        uint64  `json:"jobs"`
+	BusySeconds float64 `json:"busy_seconds"`
+	Quarantined int     `json:"quarantined"`
+}
+
+// Server is the estimation service. Create with New, expose via Handler,
+// stop with Close.
+type Server struct {
+	opts  Options
+	start time.Time
+	jobs  chan *job
+	pools []*sim.Pool
+	wg    sync.WaitGroup
+
+	mu        sync.Mutex
+	draining  bool
+	cache     *resultCache
+	flight    map[string]*job
+	requests  map[string]uint64
+	rejected  uint64
+	cacheHits uint64
+	cacheMiss uint64
+	coalesced uint64
+	workers   []WorkerStat
+	latency   metrics.Histogram // end-to-end request latency, microseconds
+}
+
+// New starts a Server with opts.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:     opts,
+		start:    time.Now(),
+		jobs:     make(chan *job, opts.QueueDepth),
+		pools:    make([]*sim.Pool, opts.Workers),
+		cache:    newResultCache(opts.CacheEntries),
+		flight:   map[string]*job{},
+		requests: map[string]uint64{},
+		workers:  make([]WorkerStat, opts.Workers),
+	}
+	for i := range s.pools {
+		s.pools[i] = sim.NewPool()
+	}
+	s.wg.Add(opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		go s.worker(i)
+	}
+	return s
+}
+
+// Close drains the server: no new jobs are accepted (new requests answer
+// 503), queued jobs run to completion, and the workers exit. Safe to call
+// once.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.jobs)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Handler returns the HTTP routing for the service.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/estimate", s.post(s.handleEstimate))
+	mux.HandleFunc("/v1/schedule", s.post(s.handleSchedule))
+	mux.HandleFunc("/v1/static", s.post(s.handleStatic))
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// post wraps a handler with the method check and request accounting.
+func (s *Server) post(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, "POST required")
+			return
+		}
+		s.mu.Lock()
+		s.requests[r.URL.Path]++
+		s.mu.Unlock()
+		h(w, r)
+	}
+}
+
+// worker is one campaign worker: it owns pool s.pools[id] and runs queued
+// jobs through the fail-soft engine. A failed or panicked job leaves the
+// pool quarantined (emptied) via MapResilient's discard hook, so corrupt
+// platform state never leaks into the next request.
+func (s *Server) worker(id int) {
+	defer s.wg.Done()
+	pool := s.pools[id]
+	for jb := range s.jobs {
+		t0 := time.Now()
+		outs, _ := runner.MapResilient(context.Background(),
+			runner.ResilientOptions{Options: runner.Options{Parallelism: 1}},
+			func() *sim.Pool { return pool },
+			func(p *sim.Pool) { p.QuarantineAll() },
+			[]*job{jb},
+			func(_ context.Context, p *sim.Pool, _ int, item *job) ([]byte, error) {
+				// The job's OWN context carries the request deadline. It is
+				// deliberately not MapResilient's campaign context: a
+				// deadline there would read as campaign cancellation and
+				// skip the discard path, while here it is an ordinary job
+				// failure — the worker state is quarantined and the server
+				// lives on.
+				return item.run(item.ctx, p)
+			})
+		oc := outs[0]
+		jb.cancel()
+		s.mu.Lock()
+		jb.status, jb.errMsg = oc.Status, oc.Error
+		jb.timedOut = !oc.OK() && errors.Is(jb.ctx.Err(), context.DeadlineExceeded)
+		if oc.OK() {
+			jb.body = oc.Value
+			s.cache.put(jb.key, oc.Value)
+		}
+		delete(s.flight, jb.key)
+		s.workers[id].Jobs++
+		s.workers[id].BusySeconds += time.Since(t0).Seconds()
+		s.workers[id].Quarantined = pool.Quarantined()
+		s.mu.Unlock()
+		close(jb.done)
+	}
+}
+
+// dispatch is the shared request path behind every compute endpoint:
+// cache lookup, single-flight coalescing, bounded enqueue, wait, respond.
+func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, key string, timeout time.Duration, run func(ctx context.Context, pool *sim.Pool) ([]byte, error)) {
+	t0 := time.Now()
+	s.mu.Lock()
+	if body, ok := s.cache.get(key); ok {
+		s.cacheHits++
+		s.mu.Unlock()
+		s.observe(t0)
+		writeBody(w, body, "hit")
+		return
+	}
+	if jb, ok := s.flight[key]; ok {
+		// An identical request is already running: ride it instead of
+		// paying for a second campaign.
+		s.coalesced++
+		s.mu.Unlock()
+		<-jb.done
+		s.observe(t0)
+		s.respond(w, jb, "coalesced")
+		return
+	}
+	if s.draining {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server draining")
+		return
+	}
+	jb := &job{key: key, run: run, done: make(chan struct{})}
+	jb.ctx, jb.cancel = context.WithTimeout(context.Background(), timeout)
+	select {
+	case s.jobs <- jb:
+		s.cacheMiss++
+		s.flight[key] = jb
+		s.mu.Unlock()
+	default:
+		s.rejected++
+		s.mu.Unlock()
+		jb.cancel()
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.opts.RetryAfter.Round(time.Second)/time.Second)))
+		writeError(w, http.StatusTooManyRequests, "queue full")
+		return
+	}
+	<-jb.done
+	s.observe(t0)
+	s.respond(w, jb, "miss")
+}
+
+// respond maps a finished job onto an HTTP response.
+func (s *Server) respond(w http.ResponseWriter, jb *job, xcache string) {
+	switch {
+	case jb.status == runner.StatusOK:
+		writeBody(w, jb.body, xcache)
+	case jb.timedOut:
+		writeError(w, http.StatusGatewayTimeout, "deadline exceeded: "+jb.errMsg)
+	case jb.status == runner.StatusPanicked:
+		writeError(w, http.StatusInternalServerError, jb.errMsg)
+	default:
+		// Semantically valid request whose campaign failed (i.i.d. gate,
+		// infeasible schedule input, simulation abort): the client's input
+		// was processable but unanalysable.
+		writeError(w, http.StatusUnprocessableEntity, jb.errMsg)
+	}
+}
+
+// observe records one end-to-end request latency.
+func (s *Server) observe(t0 time.Time) {
+	us := time.Since(t0).Microseconds()
+	s.mu.Lock()
+	s.latency.Observe(us)
+	s.mu.Unlock()
+}
+
+// effectiveTimeout resolves a request's timeout_ms against the server
+// bounds.
+func (s *Server) effectiveTimeout(ms int64) (time.Duration, error) {
+	if ms < 0 {
+		return 0, fmt.Errorf("timeout_ms: negative")
+	}
+	if ms == 0 {
+		return s.opts.DefaultTimeout, nil
+	}
+	d := time.Duration(ms) * time.Millisecond
+	if d > s.opts.MaxTimeout {
+		d = s.opts.MaxTimeout
+	}
+	return d, nil
+}
+
+// estimateIdentity is the canonical identity of an estimate request (the
+// cache-key payload). Every field that can change the response bytes is
+// here; nothing else is.
+type estimateIdentity struct {
+	Config        sim.Config `json:"config"`
+	ProgramSHA    string     `json:"program_sha256"`
+	Runs          int        `json:"runs"`
+	Seed          uint64     `json:"seed"`
+	Probabilities []float64  `json:"probabilities"`
+	SkipIID       bool       `json:"skip_iid"`
+	Audit         bool       `json:"audit"`
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	var req EstimateRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	prog, sha, err := req.Program.build()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	cfg, err := req.Config.resolve()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	probs, err := normalizeProbabilities(req.Probabilities)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	runs := req.Runs
+	if runs == 0 {
+		runs = 300
+	}
+	if runs < 40 {
+		writeError(w, http.StatusBadRequest, "runs: at least 40 required for a block-maxima fit")
+		return
+	}
+	if runs > s.opts.MaxRuns {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("runs: %d exceeds the server cap %d", runs, s.opts.MaxRuns))
+		return
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	timeout, err := s.effectiveTimeout(req.TimeoutMS)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key := cacheKey("estimate", estimateIdentity{
+		Config: cfg, ProgramSHA: sha, Runs: runs, Seed: seed,
+		Probabilities: probs, SkipIID: req.SkipIID, Audit: req.Audit,
+	})
+	audit := req.Audit
+	skipIID := req.SkipIID
+	name := prog.Name
+	s.dispatch(w, r, key, timeout, func(ctx context.Context, pool *sim.Pool) ([]byte, error) {
+		var aud *sim.Auditor
+		if audit {
+			aud = sim.NewAuditor()
+			pool.SetAuditor(aud)
+			defer pool.SetAuditor(nil)
+		}
+		times, err := pool.CollectAnalysisTimes(ctx, cfg, prog, runs, seed)
+		if err != nil {
+			return nil, err
+		}
+		res, err := mbpta.Analyze(times, mbpta.Options{SkipIIDTests: skipIID})
+		if err != nil {
+			return nil, err
+		}
+		resp := EstimateResponse{
+			Program: name, ProgramSHA: sha, Runs: runs, Seed: seed,
+			MaxObserved: res.MaxSeen, PWCET: make(map[string]float64, len(probs)),
+		}
+		if res.IIDChecked {
+			resp.IID = &IIDSummary{WWAbsZ: res.IID.WW.AbsZ, KSPValue: res.IID.KS.PValue, Passed: res.IID.Passed}
+		}
+		for _, p := range probs {
+			v, err := res.PWCETE(p)
+			if err != nil {
+				return nil, err
+			}
+			resp.PWCET[probKey(p)] = v
+		}
+		if aud != nil {
+			raw, err := json.Marshal(aud.Report())
+			if err != nil {
+				return nil, err
+			}
+			resp.Audit = raw
+		}
+		return json.Marshal(resp)
+	})
+}
+
+// scheduleIdentity is the canonical identity of a schedule request.
+type scheduleIdentity struct {
+	Config    sim.Config `json:"config"`
+	MIFCycles int64      `json:"mif_cycles"`
+	Tasks     []TaskSpec `json:"tasks"`
+}
+
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	var req ScheduleRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := req.validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	cfg, err := req.Config.resolve()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.MIFCycles <= 0 {
+		writeError(w, http.StatusBadRequest, "mif_cycles: must be positive")
+		return
+	}
+	timeout, err := s.effectiveTimeout(req.TimeoutMS)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key := cacheKey("schedule", scheduleIdentity{Config: cfg, MIFCycles: req.MIFCycles, Tasks: req.Tasks})
+	tasks := make([]*sched.Task, len(req.Tasks))
+	for i, t := range req.Tasks {
+		tasks[i] = &sched.Task{Name: t.Name, PWCET: t.PWCET}
+	}
+	mif := req.MIFCycles
+	s.dispatch(w, r, key, timeout, func(ctx context.Context, _ *sim.Pool) ([]byte, error) {
+		sch, err := sched.PackGreedy(cfg, tasks, mif)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := sch.CheckFeasibility()
+		if err != nil {
+			return nil, err
+		}
+		resp := ScheduleResponse{Feasible: rep.Feasible, Frames: make([][]SlotJSON, len(sch.Frames))}
+		for fi, f := range sch.Frames {
+			frame := make([]SlotJSON, 0, len(f.Slots))
+			for _, slot := range f.Slots {
+				if slot.Task == nil {
+					continue
+				}
+				frame = append(frame, SlotJSON{Core: slot.Core, Task: slot.Task.Name})
+			}
+			resp.Frames[fi] = frame
+		}
+		for _, c := range rep.PerSlot {
+			resp.Slots = append(resp.Slots, SlotCheckJSON{
+				Frame: c.Frame, Core: c.Core, Task: c.Task,
+				PWCET: c.PWCET, Budget: c.Budget, Fits: c.Fits, Slack: c.Slack,
+			})
+		}
+		return json.Marshal(resp)
+	})
+}
+
+// staticIdentity is the canonical identity of a static request.
+type staticIdentity struct {
+	ProgramSHA        string    `json:"program_sha256"`
+	Model             ModelSpec `json:"model"`
+	Trace             TraceSpec `json:"trace"`
+	EvictionsPerCycle float64   `json:"evictions_per_cycle"`
+	MeanGapCycles     float64   `json:"mean_gap_cycles"`
+	Conservative      bool      `json:"conservative"`
+	Probabilities     []float64 `json:"probabilities"`
+}
+
+func (s *Server) handleStatic(w http.ResponseWriter, r *http.Request) {
+	var req StaticRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := req.validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	prog, sha, err := req.Program.build()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	model := efl.StaticCacheModel{
+		Sets: req.Model.Sets, Ways: req.Model.Ways,
+		HitLat: req.Model.HitLatency, MissLat: req.Model.MissLatency,
+	}
+	if err := model.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	probs, err := normalizeProbabilities(req.Probabilities)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// Resolve trace defaults before keying so spelled-out and defaulted
+	// requests share a cache entry.
+	trace := req.Trace
+	if trace.LineBytes == 0 {
+		trace.LineBytes = 16
+	}
+	if trace.MaxSteps == 0 {
+		trace.MaxSteps = 10_000_000
+	}
+	timeout, err := s.effectiveTimeout(req.TimeoutMS)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key := cacheKey("static", staticIdentity{
+		ProgramSHA: sha, Model: req.Model, Trace: trace,
+		EvictionsPerCycle: req.EvictionsPerCycle, MeanGapCycles: req.MeanGapCycles,
+		Conservative: req.Conservative, Probabilities: probs,
+	})
+	evict, gap, cons := req.EvictionsPerCycle, req.MeanGapCycles, req.Conservative
+	name := prog.Name
+	s.dispatch(w, r, key, timeout, func(ctx context.Context, _ *sim.Pool) ([]byte, error) {
+		res, err := efl.StaticPWCET(prog, model, efl.StaticTraceOptions{
+			LineBytes: trace.LineBytes, Instruction: trace.Instruction,
+			Data: trace.Data, MaxSteps: trace.MaxSteps,
+		}, evict, gap, cons)
+		if err != nil {
+			return nil, err
+		}
+		resp := StaticResponse{
+			Program: name, ProgramSHA: sha, Accesses: res.Accesses,
+			ColdMisses: res.ColdMisses, Mean: res.Mean, Var: res.Var,
+			PWCET: make(map[string]float64, len(probs)),
+		}
+		for _, p := range probs {
+			v, err := res.PWCETE(p)
+			if err != nil {
+				return nil, err
+			}
+			resp.PWCET[probKey(p)] = v
+		}
+		return json.Marshal(resp)
+	})
+}
+
+// MetricsSnapshot is the /metrics JSON body.
+type MetricsSnapshot struct {
+	UptimeSeconds float64           `json:"uptime_seconds"`
+	QPS           float64           `json:"qps"`
+	Requests      map[string]uint64 `json:"requests"`
+	Rejected      uint64            `json:"rejected"`
+	QueueDepth    int               `json:"queue_depth"`
+	QueueCapacity int               `json:"queue_capacity"`
+	Cache         CacheStats        `json:"cache"`
+	Workers       []WorkerStat      `json:"workers"`
+	LatencyUS     LatencyStats      `json:"latency_us"`
+}
+
+// CacheStats summarises the result cache.
+type CacheStats struct {
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Coalesced uint64  `json:"coalesced"`
+	Entries   int     `json:"entries"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+// LatencyStats summarises the request latency histogram (microseconds;
+// percentiles are power-of-two bucket upper bounds).
+type LatencyStats struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	Max   int64   `json:"max"`
+	P50   int64   `json:"p50"`
+	P90   int64   `json:"p90"`
+	P99   int64   `json:"p99"`
+}
+
+// Snapshot returns the current metrics.
+func (s *Server) Snapshot() MetricsSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	up := time.Since(s.start).Seconds()
+	snap := MetricsSnapshot{
+		UptimeSeconds: up,
+		Requests:      make(map[string]uint64, len(s.requests)),
+		Rejected:      s.rejected,
+		QueueDepth:    len(s.jobs),
+		QueueCapacity: cap(s.jobs),
+		Cache: CacheStats{
+			Hits: s.cacheHits, Misses: s.cacheMiss, Coalesced: s.coalesced,
+			Entries: s.cache.len(),
+		},
+		Workers: append([]WorkerStat(nil), s.workers...),
+		LatencyUS: LatencyStats{
+			Count: s.latency.Count(), Mean: s.latency.Mean(), Max: s.latency.Max(),
+			P50: s.latency.Quantile(0.50), P90: s.latency.Quantile(0.90), P99: s.latency.Quantile(0.99),
+		},
+	}
+	var total uint64
+	for path, n := range s.requests {
+		snap.Requests[path] = n
+		total += n
+	}
+	if up > 0 {
+		snap.QPS = float64(total) / up
+	}
+	if lookups := s.cacheHits + s.coalesced + s.cacheMiss; lookups > 0 {
+		snap.Cache.HitRate = float64(s.cacheHits+s.coalesced) / float64(lookups)
+	}
+	return snap
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.Snapshot())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if draining {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte("{\"status\":\"draining\"}\n"))
+		return
+	}
+	w.Write([]byte("{\"status\":\"ok\"}\n"))
+}
+
+// decodeJSON decodes a bounded, strict JSON request body.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("body: %w", err)
+	}
+	return nil
+}
+
+// writeBody writes a canonical success body with its cache disposition.
+func writeBody(w http.ResponseWriter, body []byte, xcache string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", xcache)
+	w.Write(body)
+}
+
+// writeError writes the JSON error envelope.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorResponse{Error: msg})
+}

@@ -85,8 +85,8 @@ func missProbs(trace []uint64, m CacheModel, extraEvictionsPerCycle float64, gap
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
-	if extraEvictionsPerCycle < 0 {
-		return nil, fmt.Errorf("spta: negative interference rate")
+	if extraEvictionsPerCycle < 0 || math.IsNaN(extraEvictionsPerCycle) || math.IsInf(extraEvictionsPerCycle, 0) {
+		return nil, fmt.Errorf("spta: interference rate %v is not a finite non-negative number", extraEvictionsPerCycle)
 	}
 	lines := m.Lines()
 	probs := make([]float64, len(trace))
@@ -105,7 +105,17 @@ func missProbs(trace []uint64, m CacheModel, extraEvictionsPerCycle float64, gap
 		} else {
 			logHit := logAll - atLast
 			if extraEvictionsPerCycle > 0 && gapCycles != nil {
-				logHit += gapCycles(i) * extraEvictionsPerCycle * perMiss
+				// A non-positive (or non-finite) gap flips the sign of the
+				// interference term: perMiss is negative, so gap*rate*perMiss
+				// would *raise* the hit probability above its contention-free
+				// value — silent unsoundness, not a modelling choice. Reject
+				// rather than clamp so the caller learns its gap model is
+				// broken.
+				g := gapCycles(i)
+				if g <= 0 || math.IsNaN(g) || math.IsInf(g, 0) {
+					return nil, fmt.Errorf("spta: access %d: re-reference gap %v cycles is not a positive finite number", i, g)
+				}
+				logHit += g * extraEvictionsPerCycle * perMiss
 			}
 			pMiss = 1 - math.Exp(logHit)
 			if pMiss < 0 {
@@ -171,12 +181,23 @@ func Analyze(trace []uint64, m CacheModel, extraEvictionsPerCycle float64, gapCy
 // the modelled distribution (unlike EVT fits, it cannot under-estimate its
 // own model).
 func (r *Result) PWCET(prob float64) float64 {
-	if prob <= 0 || prob >= 1 {
-		panic("spta: probability must be in (0,1)")
+	v, err := r.PWCETE(prob)
+	if err != nil {
+		panic(err.Error())
+	}
+	return v
+}
+
+// PWCETE is PWCET with an error return instead of a panic on an
+// out-of-range probability — the variant servers must use, where prob
+// arrives from untrusted request JSON.
+func (r *Result) PWCETE(prob float64) (float64, error) {
+	if prob <= 0 || prob >= 1 || math.IsNaN(prob) {
+		return 0, fmt.Errorf("spta: exceedance probability %v outside (0,1)", prob)
 	}
 	d := r.m.MissLat - r.m.HitLat
 	if d == 0 || len(r.MissProbs) == 0 {
-		return r.Mean
+		return r.Mean, nil
 	}
 	base := r.Mean // fixed part: sum of hit latencies is constant
 	_ = base
@@ -212,7 +233,7 @@ func (r *Result) PWCET(prob float64) float64 {
 	if minBound(hi) > logProb {
 		// Even the absolute maximum doesn't reach the target probability
 		// bound; the trace's worst case is the answer.
-		return maxTotal
+		return maxTotal, nil
 	}
 	for iter := 0; iter < 60; iter++ {
 		mid := (lo + hi) / 2
@@ -222,7 +243,7 @@ func (r *Result) PWCET(prob float64) float64 {
 			hi = mid
 		}
 	}
-	return hi
+	return hi, nil
 }
 
 // TraceOptions selects which accesses enter the trace.

@@ -271,3 +271,74 @@ func BenchmarkMissProbabilities(b *testing.B) {
 		_, _ = MissProbabilities(trace, m, 0, nil)
 	}
 }
+
+// TestNonPositiveGapRejected is the regression test for the sign-flip
+// unsoundness: a zero/negative (or non-finite) re-reference gap turns the
+// interference term positive — gap*rate*log1p(-1/lines) with perMiss < 0 —
+// which *raises* hit probabilities above their contention-free values
+// before the clamp hides it. Pre-fix, Analyze accepted such gaps and
+// returned miss probabilities BELOW the contention-free ones; now every
+// non-positive gap is an error.
+func TestNonPositiveGapRejected(t *testing.T) {
+	m := CacheModel{Sets: 64, Ways: 8, HitLat: 1, MissLat: 100}
+	trace := []uint64{1, 2, 3, 1, 2, 3, 1, 2, 3}
+	for _, gap := range []float64{0, -1000, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		g := func(int) float64 { return gap }
+		if _, err := MissProbabilities(trace, m, 3.0/250, g); err == nil {
+			t.Errorf("gap %v accepted by MissProbabilities", gap)
+		}
+		if _, err := Analyze(trace, m, 3.0/250, g, false); err == nil {
+			t.Errorf("gap %v accepted by Analyze", gap)
+		}
+	}
+	// The same rates with a positive gap still analyse fine.
+	if _, err := Analyze(trace, m, 3.0/250, func(int) float64 { return 1000 }, false); err != nil {
+		t.Fatalf("positive gap rejected: %v", err)
+	}
+	// Non-finite interference rates are rejected too.
+	for _, rate := range []float64{math.NaN(), math.Inf(1)} {
+		if _, err := MissProbabilities(trace, m, rate, func(int) float64 { return 10 }); err == nil {
+			t.Errorf("interference rate %v accepted", rate)
+		}
+	}
+}
+
+// TestNegativeGapWouldLowerMissProbs documents WHY non-positive gaps must
+// be rejected: forcing the pre-fix arithmetic (via the exact formula the
+// forward pass uses) shows a negative gap yields a hit probability above
+// the contention-free one.
+func TestNegativeGapWouldLowerMissProbs(t *testing.T) {
+	lines := 512.0
+	perMiss := math.Log1p(-1 / lines)
+	logHitClean := 2 * perMiss // two intervening certain misses
+	// Contention-free: P(hit) = exp(logHitClean).
+	clean := math.Exp(logHitClean)
+	// Pre-fix interference arithmetic with a negative gap:
+	bad := math.Exp(logHitClean + (-1000)*0.01*perMiss)
+	if bad <= clean {
+		t.Fatalf("expected the negative-gap term to inflate the hit probability (%v vs %v)", bad, clean)
+	}
+}
+
+// TestPWCETEErrorsOutOfRange pins the error-returning pWCET entry point:
+// out-of-range probabilities are errors, never panics — a server must not
+// be crashable from request JSON.
+func TestPWCETEErrorsOutOfRange(t *testing.T) {
+	m := CacheModel{Sets: 64, Ways: 8, HitLat: 1, MissLat: 100}
+	res, err := Analyze(seqTrace(50), m, 0, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{0, 1, -0.5, 2, math.NaN()} {
+		if _, err := res.PWCETE(p); err == nil {
+			t.Errorf("PWCETE(%v) accepted", p)
+		}
+	}
+	v, err := res.PWCETE(1e-12)
+	if err != nil || v <= 0 {
+		t.Fatalf("PWCETE(1e-12) = %v, %v", v, err)
+	}
+	if got := res.PWCET(1e-12); got != v {
+		t.Fatalf("PWCET and PWCETE disagree: %v vs %v", got, v)
+	}
+}

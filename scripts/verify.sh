@@ -38,7 +38,8 @@ echo "== faultmatrix smoke (fault injection vs auditor, panic isolation, degrade
 # Built binary, not `go run`: go run collapses every nonzero child exit to 1,
 # and the degraded exit code (3) is exactly what this smoke asserts.
 fmdir=$(mktemp -d)
-trap 'rm -rf "$fmdir"' EXIT
+svcdir=$(mktemp -d)
+trap 'rm -rf "$fmdir" "$svcdir"' EXIT
 go build -o "$fmdir/experiments" ./cmd/experiments
 set +e
 "$fmdir/experiments" -exp faultmatrix -out "$fmdir" >/dev/null
@@ -54,5 +55,25 @@ grep -q '"all_detected": true' "$fmdir/faultmatrix.json" || { echo "faultmatrix:
 # still produced a complete artifact with the panic recorded per-job.
 grep -q '"status": "panicked"' "$fmdir/faultmatrix.json" || { echo "faultmatrix: job-panic row missing/not isolated"; exit 1; }
 grep -q '"status": "watchdog"' "$fmdir/faultmatrix.json" || { echo "faultmatrix: watchdog kill row missing"; exit 1; }
+
+echo "== estimation service smoke (eflserved: fresh vs cached estimate, audit-clean, graceful drain)"
+go build -o "$svcdir/eflserved" ./cmd/eflserved
+go build -o "$svcdir/eflload" ./cmd/eflload
+"$svcdir/eflserved" -addr 127.0.0.1:0 -addrfile "$svcdir/addr" 2>/dev/null &
+svcpid=$!
+for _ in $(seq 100); do [[ -s "$svcdir/addr" ]] && break; sleep 0.1; done
+[[ -s "$svcdir/addr" ]] || { echo "eflserved did not bind"; exit 1; }
+# The smoke POSTs one audited estimate twice and asserts miss-then-hit with
+# byte-identical bodies and a violation-free audit block, plus a static
+# round trip (seed 2 passes the i.i.d. gate at 60 runs; pinned by tests).
+"$svcdir/eflload" -smoke -addr "$(cat "$svcdir/addr")" -runs 60 -seed 2
+kill -TERM "$svcpid"
+wait "$svcpid" || { echo "eflserved did not drain cleanly on SIGTERM"; exit 1; }
+
+echo "== loadtest smoke (deterministic mixed workload, artifact with throughput + latency percentiles)"
+"$svcdir/eflload" -duration 3s -concurrency 2 -runs 40 -out "$svcdir/loadtest.json"
+grep -q '"kind": "loadtest"' "$svcdir/loadtest.json" || { echo "loadtest: artifact missing kind"; exit 1; }
+grep -q '"throughput_rps"' "$svcdir/loadtest.json" || { echo "loadtest: artifact missing throughput"; exit 1; }
+grep -q '"p99"' "$svcdir/loadtest.json" || { echo "loadtest: artifact missing latency percentiles"; exit 1; }
 
 echo "verify: OK"

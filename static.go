@@ -1,6 +1,9 @@
 package efl
 
 import (
+	"fmt"
+	"math"
+
 	"efl/internal/bench"
 	"efl/internal/mbpta"
 	"efl/internal/spta"
@@ -29,13 +32,20 @@ type StaticTraceOptions = spta.TraceOptions
 // pressure model.
 func StaticPWCET(prog *Program, model StaticCacheModel, opt StaticTraceOptions,
 	evictionsPerCycle, meanGapCycles float64, conservative bool) (*StaticResult, error) {
+	var gaps func(int) float64
+	if evictionsPerCycle > 0 {
+		// A zero/negative (or non-finite) gap would flip the sign of the
+		// interference term inside the analysis, *raising* hit
+		// probabilities above their contention-free values — reject it here
+		// (spta.Analyze re-checks) before paying for trace extraction.
+		if !(meanGapCycles > 0) || math.IsInf(meanGapCycles, 0) {
+			return nil, fmt.Errorf("efl: meanGapCycles %v must be a positive finite number when evictionsPerCycle > 0", meanGapCycles)
+		}
+		gaps = func(int) float64 { return meanGapCycles }
+	}
 	trace, err := spta.Trace(prog, opt)
 	if err != nil {
 		return nil, err
-	}
-	var gaps func(int) float64
-	if evictionsPerCycle > 0 {
-		gaps = func(int) float64 { return meanGapCycles }
 	}
 	return spta.Analyze(trace, model, evictionsPerCycle, gaps, conservative)
 }

@@ -1,6 +1,9 @@
 package efl
 
-import "testing"
+import (
+	"math"
+	"testing"
+)
 
 func TestStaticPWCETEndToEnd(t *testing.T) {
 	spec, err := Benchmark("CA")
@@ -72,5 +75,54 @@ func TestExtendedBenchmarksExposed(t *testing.T) {
 	}
 	if res.PerCore[0].Instrs == 0 {
 		t.Fatal("extended benchmark did not execute")
+	}
+}
+
+// TestStaticPWCETRejectsBadGap is the facade-level regression test for the
+// negative-gap unsoundness: with evictionsPerCycle > 0, a zero/negative or
+// non-finite meanGapCycles flips the sign of the interference term in the
+// analysis (raising hit probabilities above contention-free); pre-fix
+// StaticPWCET silently accepted it.
+func TestStaticPWCETRejectsBadGap(t *testing.T) {
+	spec, err := Benchmark("CA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := spec.Build()
+	model := StaticCacheModel{Sets: 512, Ways: 8, HitLat: 12, MissLat: 132}
+	for _, gap := range []float64{0, -500, math.NaN(), math.Inf(1)} {
+		if _, err := StaticPWCET(prog, model, StaticTraceOptions{Data: true},
+			3.0/250, gap, true); err == nil {
+			t.Errorf("meanGapCycles %v accepted", gap)
+		}
+	}
+	// Without interference the gap is unused and 0 stays valid.
+	if _, err := StaticPWCET(prog, model, StaticTraceOptions{Data: true},
+		0, 0, true); err != nil {
+		t.Fatalf("contention-free analysis rejected: %v", err)
+	}
+}
+
+// TestFacadePWCETE pins the error-returning pWCET accessor the service
+// uses: out-of-range probabilities return errors, in-range agrees with the
+// legacy accessor.
+func TestFacadePWCETE(t *testing.T) {
+	spec, _ := Benchmark("CN")
+	est, err := EstimatePWCET(DefaultConfig().WithEFL(500), spec.Build(),
+		AnalysisOptions{Runs: 100, Seed: 4, SkipIIDCheck: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{0, 1, -1, 2, math.NaN()} {
+		if _, err := est.PWCETE(p); err == nil {
+			t.Errorf("PWCETE(%v) accepted", p)
+		}
+	}
+	v, err := est.PWCETE(1e-15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != est.PWCET(1e-15) {
+		t.Fatalf("PWCETE disagrees with PWCET: %v vs %v", v, est.PWCET(1e-15))
 	}
 }
