@@ -13,7 +13,10 @@ test:
 verify:
 	./scripts/verify.sh
 
-# Regenerate the performance regression report (BENCH_SIM.json).
+# Regenerate the committed performance baseline (BENCH_SIM.json). The
+# run first gates against the existing baseline: a >10% runs/sec
+# regression fails before anything is overwritten (tune with
+# -benchtol / -benchbaseline).
 bench:
 	go run ./cmd/experiments -exp bench
 

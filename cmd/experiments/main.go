@@ -34,8 +34,20 @@
 // Add -csv to also emit machine-readable output where available, -seed to
 // change the master seed, and -v for per-campaign progress. The bench
 // suite writes its JSON report to the -benchout path (BENCH_SIM.json by
-// default). -cpuprofile/-memprofile write pprof profiles of whatever
+// default) after gating against the committed -benchbaseline: any
+// benchmark whose runs/sec regressed by more than -benchtol (default 10%)
+// fails the command with a per-benchmark diff, and the baseline is left
+// untouched. -cpuprofile/-memprofile write pprof profiles of whatever
 // experiment ran, for the profiling workflow documented in the README.
+//
+// -converge switches MBPTA campaigns to convergence stopping: runs
+// execute through the batched lockstep engine (-batch lanes, default 8)
+// and stream into an online block-maxima Gumbel fit that stops once the
+// estimate is stable, with -runs as the ceiling. Results are invariant
+// under -batch (per-run seeds derive from the run index) but are a
+// different — equally valid — sample than the fixed-count protocol,
+// which seeds the platform once and is sequentially defined. See
+// DESIGN.md §12.
 //
 // -audit turns on the runtime soundness auditor: every simulation run is
 // checked against the invariants in DESIGN.md §9 (exhaustive cycle
@@ -97,6 +109,10 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "concurrent campaigns (default GOMAXPROCS)")
 		benchout  = flag.String("benchout", "BENCH_SIM.json", "output path of the -exp bench JSON report")
 		benchkern = flag.String("benchkernel", "CA", "kernel code the bench suite simulates")
+		benchbase = flag.String("benchbaseline", "BENCH_SIM.json", "committed baseline the bench suite gates against (empty: no gate)")
+		benchtol  = flag.Float64("benchtol", 0.10, "tolerated fractional runs/sec drop vs the bench baseline")
+		converge  = flag.Bool("converge", false, "stop MBPTA campaigns when the streaming pWCET estimate converges (-runs becomes the ceiling)")
+		batch     = flag.Int("batch", 8, "lockstep batch width for converged campaigns (results are invariant under it)")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memprof   = flag.String("memprofile", "", "write a heap profile to this path on exit")
 		audit     = flag.Bool("audit", false, "check every run against the soundness invariants; violations fail the command")
@@ -150,6 +166,8 @@ func main() {
 		DeployRuns:  *deploy,
 		Parallelism: *parallel,
 		Retries:     *retries,
+		Converge:    *converge,
+		BatchSize:   *batch,
 		Ctx:         ctx,
 	}
 	if *verbose {
@@ -399,6 +417,21 @@ func main() {
 				return r.Render()
 			}); err != nil {
 				return err
+			}
+			// Regression gate BEFORE the report overwrites the baseline: a
+			// regressed run must fail loudly, not quietly ratchet the
+			// committed numbers down.
+			if *benchbase != "" {
+				if baseline, err := experiments.LoadBenchReport(*benchbase); err == nil {
+					if err := experiments.CompareBaseline(baseline, report, *benchtol); err != nil {
+						return err
+					}
+					fmt.Fprintf(os.Stderr, "[bench gate passed vs %s (tolerance %.0f%%)]\n", *benchbase, *benchtol*100)
+				} else if os.IsNotExist(err) {
+					fmt.Fprintf(os.Stderr, "[no bench baseline at %s — gate skipped]\n", *benchbase)
+				} else {
+					return err
+				}
 			}
 			data, err := report.JSON()
 			if err != nil {

@@ -187,6 +187,25 @@ type Cache struct {
 	memoWay  int32
 	memoSet  int32
 
+	// Memo table: a direct-mapped translation memo (line address -> set/way)
+	// covering lines beyond the single-entry memo. Unlike the single memo it
+	// is not kept coherent with evictions; instead every probe is VERIFIED
+	// against the actual line (valid bit and tag), so a stale entry can only
+	// miss, never answer wrongly. A verified table hit is therefore exactly
+	// the hit the full scan would find — same set, same way (tags within a
+	// set are unique while no corrupt fill is resident) — obtained with one
+	// line touch instead of the placement hash plus the way scan. Entries
+	// are generation-stamped so a flush invalidates the whole table in O(1).
+	memoTab     []memoEnt
+	memoTabMask uint64
+	memoGen     uint16
+	// tagFaulted records that a fault-injected fill installed a corrupted
+	// tag since the last flush. Corrupt tags can collide with resident
+	// lines, breaking the unique-tags-per-set invariant the table probe and
+	// the scans' first-match early exit rely on; while set, both fall back
+	// to the exhaustive last-match scan.
+	tagFaulted bool
+
 	// validCount/dirtyCount track resident and dirty lines so Flush is O(1)
 	// instead of a full-array scan per run. CheckInvariants cross-checks
 	// them against the actual line states.
@@ -216,6 +235,15 @@ const synthTagBase = uint64(1) << 62
 // ~2^59 after the per-core address base) ever equals it.
 const memoNone = ^uint64(0)
 
+// memoEnt is one memo-table entry: the line address last installed at this
+// slot, where it lived, and the generation it was recorded in.
+type memoEnt struct {
+	la  uint64
+	set int32
+	gen uint16
+	way uint8
+}
+
 // New creates a cache. rnd drives victim selection (and, for the TR policy,
 // successive RIIs via NewRun). The cache starts empty with, for TR, a
 // placement drawn from rnd.
@@ -226,6 +254,16 @@ func New(cfg Config, rnd rng.Stream) *Cache {
 	c := &Cache{cfg: cfg, rnd: rnd, allMask: FullMask(cfg.Ways), memoLine: memoNone}
 	nsets := cfg.Sets()
 	c.idxMask = uint64(nsets - 1)
+	// At least one table slot per line (rounded up to a power of two for
+	// mask indexing): a cache whose whole contents fit the table keeps
+	// conflict evictions rare.
+	tabSize := 1
+	for tabSize < nsets*cfg.Ways {
+		tabSize <<= 1
+	}
+	c.memoTab = make([]memoEnt, tabSize)
+	c.memoTabMask = uint64(tabSize - 1)
+	c.memoGen = 1
 	for 1<<c.lineShift < cfg.LineBytes {
 		c.lineShift++
 	}
@@ -272,6 +310,7 @@ func (c *Cache) Reseed(seed uint64) {
 	c.validCount = 0
 	c.dirtyCount = 0
 	c.memoLine = memoNone
+	c.invalidateMemoTab()
 	c.stats = Stats{}
 	if c.cfg.Policy == TimeRandomised {
 		c.hash.Reseed(rnghash.NewRII(c.rnd))
@@ -287,17 +326,53 @@ func (c *Cache) setIndex(la uint64) int {
 	return c.hash.Set(la)
 }
 
-// setMemo records the resident line (la, set si, way wi) as the last hit.
+// setMemo records the resident line (la, set si, way wi) as the last hit,
+// in both the single-entry memo and the memo table.
 func (c *Cache) setMemo(la uint64, si, wi int) {
 	c.memoLine = la
 	c.memoSet = int32(si)
 	c.memoWay = int32(wi)
 	c.memoIdx = int32(si*c.cfg.Ways + wi)
+	e := &c.memoTab[la&c.memoTabMask]
+	e.la, e.set, e.gen, e.way = la, int32(si), c.memoGen, uint8(wi)
 }
 
 // memoHit reports whether the memo answers a lookup of la within mask.
 func (c *Cache) memoHit(la uint64, mask WayMask) bool {
 	return la == c.memoLine && mask&(1<<uint(c.memoWay)) != 0
+}
+
+// tabProbe consults the memo table for la within mask. A returned hit is
+// verified against the line itself (current generation, valid, tag match,
+// way inside mask), so it is exactly the hit the full scan would report;
+// any mismatch — including a resident corrupt tag, which suspends the
+// unique-tag invariant — falls back to the scan with a miss here.
+func (c *Cache) tabProbe(la uint64, mask WayMask) (si, wi int, ok bool) {
+	e := &c.memoTab[la&c.memoTabMask]
+	if e.la != la || e.gen != c.memoGen || c.tagFaulted {
+		return 0, 0, false
+	}
+	wi = int(e.way)
+	if mask&(1<<uint(wi)) == 0 {
+		return 0, 0, false
+	}
+	l := &c.sets[e.set][wi]
+	if !l.valid || l.tag != la {
+		return 0, 0, false
+	}
+	return int(e.set), wi, true
+}
+
+// invalidateMemoTab retires every table entry in O(1) by advancing the
+// generation stamp; on the (astronomically rare) wraparound the table is
+// cleared so stale stamps cannot alias the new generation.
+func (c *Cache) invalidateMemoTab() {
+	c.memoGen++
+	if c.memoGen == 0 {
+		clear(c.memoTab)
+		c.memoGen = 1
+	}
+	c.tagFaulted = false
 }
 
 // Config returns the cache's configuration.
@@ -334,6 +409,7 @@ func (c *Cache) Flush() int {
 	c.validCount = 0
 	c.dirtyCount = 0
 	c.memoLine = memoNone
+	c.invalidateMemoTab()
 	c.stats.Flushes++
 	c.stats.Writebacks += uint64(dirty)
 	return dirty
@@ -394,6 +470,12 @@ func (c *Cache) Lookup(addr uint64, mask WayMask) Lookup {
 		c.stats.MemoHits++
 		return Lookup{Hit: true, way: c.memoWay, set: c.memoSet, line: la}
 	}
+	// Table-answered hits behave like scan hits (nothing recorded — Probe
+	// must stay statistics-free; MemoHits tracks the single-entry memo).
+	if si, wi, ok := c.tabProbe(la, mask); ok {
+		c.setMemo(la, si, wi)
+		return Lookup{Hit: true, way: int32(wi), set: int32(si), line: la}
+	}
 	si := c.setIndex(la)
 	set := c.sets[si]
 	lk := Lookup{way: -1, set: int32(si), line: la}
@@ -408,6 +490,11 @@ func (c *Cache) Lookup(addr uint64, mask WayMask) Lookup {
 		if set[wi].tag == la {
 			lk.Hit = true
 			lk.way = int32(wi)
+			if !c.tagFaulted {
+				// Tags within a set are unique, so the first match is the
+				// only match, and FreeWay is not consumed on hits.
+				break
+			}
 		}
 	}
 	if lk.Hit {
@@ -465,6 +552,7 @@ func (c *Cache) Fill(lk Lookup, write bool, mask WayMask, owner int) AccessResul
 	tag := lk.line
 	if c.flipPeriod > 0 && c.fillTagFault() {
 		tag ^= 1 << c.flipBit
+		c.tagFaulted = true
 	}
 	v.tag = tag
 	v.valid = true
@@ -517,6 +605,27 @@ func (c *Cache) Access(addr uint64, write bool, mask WayMask, owner int) AccessR
 		return AccessResult{Hit: true}
 	}
 
+	// Memo-table fast path: a verified table hit is the hit the scan below
+	// would find (same set, same way), with the same stats, dirty
+	// transition and LRU touch.
+	if si, wi, ok := c.tabProbe(la, mask); ok {
+		c.stats.Accesses++
+		c.stats.Hits++
+		c.stats.MemoHits++
+		if write {
+			l := &c.sets[si][wi]
+			if !l.dirty {
+				l.dirty = true
+				c.dirtyCount++
+			}
+		}
+		c.setMemo(la, si, wi)
+		if c.modulo {
+			c.touchLRU(si, wi)
+		}
+		return AccessResult{Hit: true}
+	}
+
 	si := c.setIndex(la)
 	set := c.sets[si]
 	c.stats.Accesses++
@@ -562,6 +671,7 @@ func (c *Cache) Access(addr uint64, write bool, mask WayMask, owner int) AccessR
 	tag := la
 	if c.flipPeriod > 0 && c.fillTagFault() {
 		tag ^= 1 << c.flipBit
+		c.tagFaulted = true
 	}
 	v.tag = tag
 	v.valid = true
@@ -658,6 +768,44 @@ func (c *Cache) touchLRU(si, wi int) {
 	c.lruAge[si][wi] = c.lruClock
 }
 
+// StatelessReadHits reports whether a read hit leaves the cache's contents
+// and replacement state untouched — true for the TR policy, whose EoM
+// replacement never inspects or updates recency on hits (§3.3), false for
+// TD/LRU where every hit reorders the recency stack, and false while tag
+// faults are armed (a corrupt fill clears the memo, which breaks the
+// same-line => memo-hit reasoning below). Trace replay (cpu.Trace) uses
+// this to elide statically-guaranteed same-line hits: under EoM such an
+// access only counts statistics (and, for a store, dirties the memo line).
+func (c *Cache) StatelessReadHits() bool { return c.eom && c.flipPeriod == 0 }
+
+// BulkMemoHits records n read hits answered without performing the
+// accesses. The caller asserts each elided access was a guaranteed
+// memo-answered hit (same line as the previous access, line resident,
+// policy with stateless read hits); the counters then advance exactly as n
+// memo-path Access calls would. Trace replay uses this for the same-line
+// runs it proves at trace-compile time.
+func (c *Cache) BulkMemoHits(n uint64) {
+	c.stats.Accesses += n
+	c.stats.Hits += n
+	c.stats.MemoHits += n
+}
+
+// MemoWriteHits records n store hits to the memo line without performing
+// the accesses: the counters advance as n memo-path writes would, and the
+// memoed line is dirtied (the transition fires on the first store only,
+// exactly like n sequential memo-path writes). Same precondition as
+// BulkMemoHits, plus a write-allocate cache so the memo line is resident.
+func (c *Cache) MemoWriteHits(n uint64) {
+	c.stats.Accesses += n
+	c.stats.Hits += n
+	c.stats.MemoHits += n
+	l := &c.lines[c.memoIdx]
+	if !l.dirty {
+		l.dirty = true
+		c.dirtyCount++
+	}
+}
+
 // AccessNoAlloc performs a no-allocate access: a hit behaves like Access
 // (including LRU maintenance on the TD policy) but a miss changes nothing —
 // the line is not fetched. This is the DL1 behaviour of a write-through,
@@ -675,6 +823,16 @@ func (c *Cache) AccessNoAlloc(addr uint64, mask WayMask, owner int) (hit bool) {
 		c.stats.MemoHits++
 		if c.modulo {
 			c.touchLRU(int(c.memoSet), int(c.memoWay))
+		}
+		return true
+	}
+	if si, wi, ok := c.tabProbe(la, mask); ok {
+		c.stats.Accesses++
+		c.stats.Hits++
+		c.stats.MemoHits++
+		c.setMemo(la, si, wi)
+		if c.modulo {
+			c.touchLRU(si, wi)
 		}
 		return true
 	}

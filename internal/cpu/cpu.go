@@ -120,6 +120,23 @@ type Core struct {
 	// reused every instruction).
 	si isa.StepInfo
 
+	// replay, when attached (SetReplay), replaces the interpreter with a
+	// recorded architectural trace; replayIdx is the cursor and
+	// replaySteps mirrors isa.Machine.Steps (retired instructions). The
+	// skip flags gate the trace's same-line elision fast paths (see
+	// SetReplay); replaySegs enables whole-segment bulk replay.
+	replay          *Trace
+	replayIdx       int
+	replaySteps     uint64
+	replaySkipFetch bool
+	replaySkipData  bool
+	replaySegs      bool
+	// Burst-mode bounds (EnableReplayBurst/SetReplayYieldClock): a burst
+	// yields at the first retire past replayBurstCap instructions or past
+	// replayYieldClock cycles; replayBurstCap == 0 disables bursting.
+	replayBurstCap   uint64
+	replayYieldClock int64
+
 	// addrBase disambiguates per-core physical addresses: every task has
 	// private code and data (the paper's tasks share nothing), so core i's
 	// view of architectural address a is a | (i << 32). Without this,
@@ -145,7 +162,12 @@ func New(id int, m *isa.Machine, il1, dl1 *cache.Cache) *Core {
 func (c *Core) Stats() Stats { return c.stats }
 
 // Retired returns the dynamic instruction count.
-func (c *Core) Retired() uint64 { return c.M.Steps }
+func (c *Core) Retired() uint64 {
+	if c.replay != nil {
+		return c.replaySteps
+	}
+	return c.M.Steps
+}
 
 // ExecCycles returns the cycles attributed to pipeline execution (the
 // complement of shared-resource stalls in the core's clock).
@@ -160,7 +182,14 @@ func (c *Core) Fault() error { return c.fault }
 // Reset prepares the core for a fresh run: machine state, caches (new RII
 // per run, per the MBPTA protocol), clock and pipeline state.
 func (c *Core) Reset() {
-	c.M.Reset()
+	if c.replay != nil {
+		// Replay never touches the machine, so skip its (data-image copy)
+		// reset; just rewind the trace cursor.
+		c.replayIdx = 0
+		c.replaySteps = 0
+	} else {
+		c.M.Reset()
+	}
 	c.IL1.NewRun()
 	c.DL1.NewRun()
 	c.Clock = 0
@@ -210,6 +239,9 @@ func (c *Core) Resume(t int64) {
 func (c *Core) Step() Need {
 	if c.halted {
 		return NeedHalt
+	}
+	if c.replay != nil {
+		return c.stepReplay()
 	}
 	// The common path — IL1 fetch hit followed by execute — flows through
 	// both phases in one call; iterating here instead of tail-recursing

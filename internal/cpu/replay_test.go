@@ -1,0 +1,132 @@
+package cpu
+
+import (
+	"testing"
+
+	"efl/internal/bench"
+	"efl/internal/isa"
+)
+
+// runToCompletion drives a core with the perfect-L1-backing harness and
+// returns a comparable fingerprint of everything the simulator observes.
+type coreFP struct {
+	clock   int64
+	exec    int64
+	retired uint64
+	stats   Stats
+	il1Miss uint64
+	dl1Miss uint64
+	fault   bool
+}
+
+func fingerprint(t *testing.T, c *Core) coreFP {
+	t.Helper()
+	err := c.RunIsolatedPerfect(10, 1<<22)
+	if err != nil && c.fault == nil {
+		t.Fatal(err)
+	}
+	return coreFP{
+		clock:   c.Clock,
+		exec:    c.ExecCycles(),
+		retired: c.Retired(),
+		stats:   c.Stats(),
+		il1Miss: c.IL1.Stats().Misses,
+		dl1Miss: c.DL1.Stats().Misses,
+		fault:   c.Fault() != nil,
+	}
+}
+
+// TestReplayMatchesInterpreter pins the replay path to the interpreter
+// path: same program, same cache seeds => identical clocks, stats, cache
+// miss counts and retirement counts, for every bench kernel.
+func TestReplayMatchesInterpreter(t *testing.T) {
+	for _, spec := range bench.AllWithExtended() {
+		spec := spec
+		t.Run(spec.Code, func(t *testing.T) {
+			prog := spec.Build()
+			ref := newCore(t, prog, 42)
+			want := fingerprint(t, ref)
+
+			tr, err := RecordTrace(prog, 1<<22)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := newCore(t, prog, 42)
+			got.SetReplay(tr)
+			if fp := fingerprint(t, got); fp != want {
+				t.Fatalf("replay diverged:\n got %+v\nwant %+v", fp, want)
+			}
+
+			// A reset replay core re-runs identically without re-recording.
+			got.Reset()
+			got.Clock = 0
+			if fp := fingerprint(t, got); fp.retired != want.retired || fp.fault != want.fault {
+				t.Fatalf("replay after Reset diverged: %+v vs %+v", fp, want)
+			}
+		})
+	}
+}
+
+// TestReplayFault pins fault semantics under replay: no retirement of the
+// faulting slot, the same stored fault, a halted core — for both fault
+// shapes (out-of-range PC, which skips the fetch, and division by zero,
+// which faults after a normal fetch).
+func TestReplayFault(t *testing.T) {
+	oob := isa.NewBuilder("oob")
+	oob.Addi(1, 1, 1) // no HALT: PC runs off the end
+	div0 := isa.NewBuilder("div0")
+	div0.Movi(2, 0)
+	div0.Div(1, 1, 2)
+	div0.Halt()
+
+	for _, prog := range []*isa.Program{oob.MustProgram(), div0.MustProgram()} {
+		ref := newCore(t, prog, 7)
+		want := fingerprint(t, ref)
+		if !want.fault {
+			t.Fatalf("%s: reference run did not fault", prog.Name)
+		}
+
+		tr, err := RecordTrace(prog, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := newCore(t, prog, 7)
+		got.SetReplay(tr)
+		if fp := fingerprint(t, got); fp != want {
+			t.Fatalf("%s: faulting replay diverged:\n got %+v\nwant %+v", prog.Name, fp, want)
+		}
+		if got.Fault() == nil || got.Fault().Error() != ref.Fault().Error() {
+			t.Fatalf("%s: fault mismatch: %v vs %v", prog.Name, got.Fault(), ref.Fault())
+		}
+	}
+}
+
+// TestRecordTraceCap ensures non-terminating programs are rejected rather
+// than looping forever.
+func TestRecordTraceCap(t *testing.T) {
+	b := isa.NewBuilder("loop")
+	b.Label("top")
+	b.Jmp("top")
+	prog := b.MustProgram()
+	if _, err := RecordTrace(prog, 1000); err == nil {
+		t.Fatal("expected cap error for non-terminating program")
+	}
+}
+
+// TestSetReplayProgGuard ensures a trace cannot be attached to a core
+// running a different program.
+func TestSetReplayProgGuard(t *testing.T) {
+	p1 := straightLine(4)
+	p2 := straightLine(5)
+	tr, err := RecordTrace(p1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newCore(t, p2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on program mismatch")
+		}
+	}()
+	c.SetReplay(tr)
+}

@@ -273,7 +273,11 @@ func (ac *AccessControl) Reset() {
 // the active CRGs redraw their first fire times exactly as NewCRG does.
 // Bit-identical to rebuilding the fabric with rng.New(seed).
 func (ac *AccessControl) Reseed(seed uint64) {
-	parent := rng.New(seed)
+	// A stack-allocated MWC stands in for rng.New's heap-boxed parent
+	// stream; Stream.Uint64 draws the high word first, which MWC.Uint64
+	// mirrors, so the derived child seeds are identical.
+	var parent rng.MWC
+	parent.Reseed(seed)
 	for _, u := range ac.units {
 		u.rnd.Reseed(parent.Uint64())
 		u.Reset()

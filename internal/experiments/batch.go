@@ -1,0 +1,63 @@
+package experiments
+
+// Batched convergence-stopped MBPTA collection (Options.Converge): the
+// campaign dispatches lockstep batches through the worker pool's batch
+// engine and folds each execution time into an mbpta.Stream, stopping as
+// soon as the streaming pWCET estimate stabilises instead of always
+// simulating Options.Runs runs. Per-run seeds are derived from the run
+// index (runner.Seed), so the collected sample — and the stopping point —
+// is invariant under the batch width: a wider batch only discards more
+// already-simulated runs past the stop.
+
+import (
+	"context"
+	"fmt"
+
+	"efl/internal/isa"
+	"efl/internal/mbpta"
+	"efl/internal/runner"
+	"efl/internal/sim"
+)
+
+// runSeed derives the seed of run i within a campaign. The identity is
+// the run index alone — stable across batch widths and worker counts.
+func runSeed(campaign uint64, i int) uint64 {
+	return runner.Seed(campaign, fmt.Sprintf("run/%d", i))
+}
+
+// streamOptions maps campaign options onto the incremental estimator:
+// the campaign's run budget is the ceiling, its probability the tracked
+// quantile. MinRuns shrinks with tiny budgets so scaled-down test
+// campaigns remain satisfiable.
+func (o Options) streamOptions() mbpta.StreamOptions {
+	minRuns := 100
+	if o.Runs < minRuns {
+		minRuns = o.Runs
+	}
+	return mbpta.StreamOptions{
+		Options: mbpta.Options{SkipIIDTests: true},
+		Prob:    o.Prob,
+		MinRuns: minRuns,
+		MaxRuns: o.Runs,
+	}
+}
+
+// pooledPWCETConverged is pooledPWCET's convergence-stopped counterpart:
+// collect through the batched stream until the estimate stabilises (or the
+// run budget is exhausted), then run the same authoritative analysis over
+// the collected sample. Every consumed run is audited like the fixed-count
+// path's.
+func pooledPWCETConverged(ctx context.Context, pool *sim.Pool, opt Options, cfg sim.Config, prog *isa.Program, seed uint64) (PWCETResult, []float64, error) {
+	stream, err := mbpta.NewStream(opt.streamOptions())
+	if err != nil {
+		return PWCETResult{}, nil, err
+	}
+	_, err = pool.StreamAnalysisTimes(ctx, cfg, prog, opt.BatchSize, opt.Runs,
+		func(i int) uint64 { return runSeed(seed, i) }, stream.Add)
+	if err != nil {
+		return PWCETResult{}, nil, err
+	}
+	times := stream.Times()
+	res, err := pwcetFromTimes(times, prog.Name, opt.Prob)
+	return res, times, err
+}

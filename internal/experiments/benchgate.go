@@ -1,0 +1,61 @@
+package experiments
+
+// Bench regression gate: -exp bench compares the fresh report against the
+// committed BENCH_SIM.json and fails with a per-benchmark diff when
+// throughput regressed beyond tolerance, so the bench trajectory is
+// enforced rather than merely recorded.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// LoadBenchReport reads a committed benchmark baseline.
+func LoadBenchReport(path string) (*BenchReport, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r BenchReport
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("bench baseline %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// CompareBaseline checks current against baseline: any benchmark present
+// in both whose runs/sec dropped by more than tol (a fraction, e.g. 0.10),
+// or whose allocs/op increased at all (allocation counts are exact, so no
+// tolerance applies), is a regression, and the returned error lists every
+// one with its numbers. Benchmarks present in only one report are ignored
+// — additions and removals are not regressions. A nil return means the
+// gate passed.
+func CompareBaseline(baseline, current *BenchReport, tol float64) error {
+	base := make(map[string]BenchResult, len(baseline.Results))
+	for _, b := range baseline.Results {
+		base[b.Name] = b
+	}
+	var lines []string
+	for _, c := range current.Results {
+		b, ok := base[c.Name]
+		if !ok || b.RunsPerSec <= 0 {
+			continue
+		}
+		drop := 1 - c.RunsPerSec/b.RunsPerSec
+		if drop > tol {
+			lines = append(lines, fmt.Sprintf("  %-18s %12.1f -> %12.1f runs/sec  (%.1f%% slower, tolerance %.0f%%)",
+				c.Name, b.RunsPerSec, c.RunsPerSec, drop*100, tol*100))
+		}
+		if c.AllocsPerOp > b.AllocsPerOp {
+			lines = append(lines, fmt.Sprintf("  %-18s %12d -> %12d allocs/op  (allocation counts are exact; tolerance 0)",
+				c.Name, b.AllocsPerOp, c.AllocsPerOp))
+		}
+	}
+	if len(lines) == 0 {
+		return nil
+	}
+	return fmt.Errorf("throughput regressed vs committed baseline (kernel %s):\n%s",
+		baseline.Kernel, strings.Join(lines, "\n"))
+}

@@ -77,6 +77,18 @@ type Options struct {
 	// kills are never retried. Execution knob: it changes Outcome.Attempts
 	// inside results but never which jobs succeed for deterministic jobs.
 	Retries int `json:"-"`
+	// Converge switches the MBPTA campaigns (compliance table, Figures
+	// 3 and 4, the MID sweep — everything routed through runCampaigns)
+	// from fixed-count collection to the batched convergence-stopped
+	// protocol: runs are dispatched in lockstep batches with per-run
+	// derived seeds, and collection stops as soon as the streaming pWCET
+	// estimate at Prob stabilises, with Runs as the ceiling. A campaign
+	// parameter: it changes the collected sample (and usually its size).
+	Converge bool
+	// BatchSize is the lockstep batch width converged campaigns dispatch
+	// (default 8). Execution knob: per-run seeds are derived from the run
+	// index, so results are invariant under it.
+	BatchSize int `json:"-"`
 	// FaultRuns is the number of fault-injected runs per detection-matrix
 	// scenario (default 5). A campaign parameter: it shapes the artifact.
 	FaultRuns int
@@ -109,6 +121,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.EVTThreshold == 0 {
 		o.EVTThreshold = 0.25
+	}
+	if o.BatchSize == 0 {
+		o.BatchSize = 8
 	}
 	if o.FaultRuns == 0 {
 		o.FaultRuns = 5
@@ -177,8 +192,14 @@ func (o Options) auditEVT(name string, times []float64) {
 // fingerprint identifies the campaign parameters for checkpoint matching:
 // a checkpoint written under different parameters must not be resumed.
 func (o Options) fingerprint() string {
-	return fmt.Sprintf("seed=%d runs=%d workloads=%d deploy=%d prob=%g mids=%v ways=%v",
+	fp := fmt.Sprintf("seed=%d runs=%d workloads=%d deploy=%d prob=%g mids=%v ways=%v",
 		o.Seed, o.Runs, o.Workloads, o.DeployRuns, o.Prob, o.MIDs, o.CPWays)
+	// Appended only when set so checkpoints written before the converged
+	// protocol existed still match their (non-converged) campaigns.
+	if o.Converge {
+		fp += " converge=1"
+	}
+	return fp
 }
 
 // progressSink returns a serialised emitter for o.Progress (a no-op when
@@ -290,7 +311,14 @@ func runCampaigns(opt Options, cs []campaign) (map[string]PWCETResult, error) {
 		func(ctx context.Context, pool *sim.Pool, _ int, c campaign) (PWCETResult, error) {
 			key := c.bench.Code + "/" + c.config
 			seed := campaignSeed(opt.Seed, key)
-			res, times, err := pooledPWCET(ctx, pool, c.cfg, c.bench.Build(), opt.Runs, seed, opt.Prob)
+			var res PWCETResult
+			var times []float64
+			var err error
+			if opt.Converge {
+				res, times, err = pooledPWCETConverged(ctx, pool, opt, c.cfg, c.bench.Build(), seed)
+			} else {
+				res, times, err = pooledPWCET(ctx, pool, c.cfg, c.bench.Build(), opt.Runs, seed, opt.Prob)
+			}
 			if err != nil {
 				return PWCETResult{}, fmt.Errorf("%s: %w", key, err)
 			}

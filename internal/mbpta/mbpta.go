@@ -44,6 +44,23 @@ func (o *Options) fill(n int) {
 	}
 }
 
+// validate rejects option/sample combinations that cannot produce a fit,
+// before any statistical work runs. The streaming estimator hits this path
+// repeatedly at small sample counts, so the error must be cheap, early and
+// descriptive — previously a too-large BlockSize only surfaced from
+// BlockMaxima after the i.i.d. battery had already run over the sample.
+// Call after fill(n) so the auto-picked BlockSize is covered too.
+func (o *Options) validate(n int) error {
+	if o.BlockSize < 2 {
+		return fmt.Errorf("mbpta: BlockSize %d is not a usable block size (need >= 2)", o.BlockSize)
+	}
+	if blocks := n / o.BlockSize; blocks < o.MinBlocks {
+		return fmt.Errorf("mbpta: %d samples with BlockSize %d yield only %d full blocks, need at least MinBlocks=%d (collect >= %d samples or shrink BlockSize)",
+			n, o.BlockSize, blocks, o.MinBlocks, o.BlockSize*o.MinBlocks)
+	}
+	return nil
+}
+
 // IIDReport carries the outcome of the MBPTA compliance tests (paper §4.2):
 // Wald-Wolfowitz for independence (accept when |Z| < 1.96) and two-sample
 // Kolmogorov-Smirnov between the two halves of the observation sequence for
@@ -100,6 +117,9 @@ func Analyze(times []float64, opt Options) (*Result, error) {
 		return nil, stats.ErrTooFewSamples
 	}
 	opt.fill(len(times))
+	if err := opt.validate(len(times)); err != nil {
+		return nil, err
+	}
 	res := &Result{Runs: len(times), BlockSize: opt.BlockSize, MaxSeen: stats.Max(times)}
 	if !opt.SkipIIDTests {
 		iid, err := TestIID(times)
@@ -242,6 +262,17 @@ func (c *Collector) Run() (*Result, []float64, error) {
 	}
 	if c.Criterion.Prob == 0 {
 		c.Criterion = ConvergenceCriterion{Prob: 1e-15, Tol: 0.02}
+	}
+	// Fast-fail configurations the run budget can never satisfy: an
+	// explicit BlockSize so large that even MaxRuns observations produce
+	// fewer than MinBlocks blocks would otherwise burn the whole budget
+	// before surfacing the error.
+	if c.Options.BlockSize != 0 {
+		capOpt := c.Options
+		capOpt.fill(c.MaxRuns)
+		if err := capOpt.validate(c.MaxRuns); err != nil {
+			return nil, nil, fmt.Errorf("mbpta: unsatisfiable with MaxRuns=%d: %w", c.MaxRuns, err)
+		}
 	}
 	var times []float64
 	for len(times) < c.InitialRuns {

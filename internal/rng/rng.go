@@ -45,20 +45,8 @@ const mwcMultiplier = 4294957665
 // (x == 0 && c == 0, or the fixed point x == 2^32-1 && c == a-1) are
 // remapped to safe states so that every uint64 seed yields a usable stream.
 func NewMWC(seed uint64) *MWC {
-	// Spread the seed bits with SplitMix64 so that nearby seeds produce
-	// unrelated streams.
-	s := splitMix64(&seed)
-	m := &MWC{x: uint32(s), c: uint32(s>>32) % (mwcMultiplier - 1)}
-	if m.x == 0 && m.c == 0 {
-		m.x = 0x9e3779b9
-	}
-	if m.x == ^uint32(0) && m.c == mwcMultiplier-1 {
-		m.c--
-	}
-	// Warm up: the first few outputs of MWC correlate with the raw seed.
-	for i := 0; i < 8; i++ {
-		m.Uint32()
-	}
+	m := &MWC{}
+	m.Reseed(seed)
 	return m
 }
 
@@ -70,11 +58,37 @@ func (m *MWC) Uint32() uint32 {
 	return m.x
 }
 
-// Reseed re-initialises the generator in place, leaving it in exactly the
-// state NewMWC(seed) would produce. Platform pooling (sim.Multicore.Reuse)
-// depends on this equivalence to keep reused platforms bit-identical to
-// freshly constructed ones.
-func (m *MWC) Reseed(seed uint64) { *m = *NewMWC(seed) }
+// Reseed re-initialises the generator in place without allocating; NewMWC
+// delegates here, so a reseeded generator is the state NewMWC(seed) would
+// produce by construction. Platform pooling (sim.Multicore.Reuse) and the
+// batch engine's per-lane rewind (sim.Multicore.Rewind) depend on both the
+// equivalence and the zero-allocation property.
+func (m *MWC) Reseed(seed uint64) {
+	// Spread the seed bits with SplitMix64 so that nearby seeds produce
+	// unrelated streams.
+	s := splitMix64(&seed)
+	m.x = uint32(s)
+	m.c = uint32(s>>32) % (mwcMultiplier - 1)
+	if m.x == 0 && m.c == 0 {
+		m.x = 0x9e3779b9
+	}
+	if m.x == ^uint32(0) && m.c == mwcMultiplier-1 {
+		m.c--
+	}
+	// Warm up: the first few outputs of MWC correlate with the raw seed.
+	for i := 0; i < 8; i++ {
+		m.Uint32()
+	}
+}
+
+// Uint64 combines two generator words into 64 random bits, drawing the
+// high word first — the same evaluation order as Stream.Uint64, so a bare
+// MWC can stand in for a Stream when deriving child seeds without the
+// interface boxing a Stream would require.
+func (m *MWC) Uint64() uint64 {
+	hi := uint64(m.Uint32())
+	return hi<<32 | uint64(m.Uint32())
+}
 
 // State returns the internal (x, carry) pair, useful for checkpointing.
 func (m *MWC) State() (x, c uint32) { return m.x, m.c }
@@ -140,12 +154,21 @@ type Stream struct {
 // New returns a Stream over a fresh MWC generator seeded with seed.
 func New(seed uint64) Stream { return Stream{Src: NewMWC(seed)} }
 
-// Uint32 returns the next 32 random bits from the underlying source.
-func (s Stream) Uint32() uint32 { return s.Src.Uint32() }
+// Uint32 returns the next 32 random bits from the underlying source. The
+// concrete-type check devirtualises the hot default source (MWC backs every
+// randomised hardware structure): the same draw, via a direct inlineable
+// call instead of an interface dispatch per 32 bits.
+func (s Stream) Uint32() uint32 {
+	if m, ok := s.Src.(*MWC); ok {
+		return m.Uint32()
+	}
+	return s.Src.Uint32()
+}
 
 // Uint64 combines two source words into 64 random bits.
 func (s Stream) Uint64() uint64 {
-	return uint64(s.Src.Uint32())<<32 | uint64(s.Src.Uint32())
+	hi := uint64(s.Uint32())
+	return hi<<32 | uint64(s.Uint32())
 }
 
 // Intn returns a uniformly distributed integer in [0, n). It panics if
@@ -157,12 +180,12 @@ func (s Stream) Intn(n int) int {
 	}
 	un := uint32(n)
 	if un&(un-1) == 0 { // power of two: mask is exact
-		return int(s.Src.Uint32() & (un - 1))
+		return int(s.Uint32() & (un - 1))
 	}
 	// Rejection sampling over the largest multiple of n below 2^32.
 	limit := ^uint32(0) - ^uint32(0)%un
 	for {
-		v := s.Src.Uint32()
+		v := s.Uint32()
 		if v < limit {
 			return int(v % un)
 		}

@@ -341,6 +341,11 @@ type estimateIdentity struct {
 	Probabilities []float64  `json:"probabilities"`
 	SkipIID       bool       `json:"skip_iid"`
 	Audit         bool       `json:"audit"`
+	// Converge changes the collected sample; the batch width does not
+	// (per-run seeds are derived from the run index), so it is
+	// deliberately absent — requests differing only in batch share one
+	// cache entry and coalesce in flight.
+	Converge bool `json:"converge"`
 }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
@@ -380,6 +385,19 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	if seed == 0 {
 		seed = 1
 	}
+	batch := req.Batch
+	if req.Converge {
+		if batch == 0 {
+			batch = 8
+		}
+		if batch < 1 || batch > 64 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("batch: %d outside [1,64]", batch))
+			return
+		}
+	} else if batch != 0 {
+		writeError(w, http.StatusBadRequest, "batch: requires converge (the fixed-count protocol collects sequentially; batching it would change results)")
+		return
+	}
 	timeout, err := s.effectiveTimeout(req.TimeoutMS)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
@@ -388,9 +406,11 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	key := cacheKey("estimate", estimateIdentity{
 		Config: cfg, ProgramSHA: sha, Runs: runs, Seed: seed,
 		Probabilities: probs, SkipIID: req.SkipIID, Audit: req.Audit,
+		Converge: req.Converge,
 	})
 	audit := req.Audit
 	skipIID := req.SkipIID
+	converge := req.Converge
 	name := prog.Name
 	s.dispatch(w, r, key, timeout, func(ctx context.Context, pool *sim.Pool) ([]byte, error) {
 		var aud *sim.Auditor
@@ -399,16 +419,43 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 			pool.SetAuditor(aud)
 			defer pool.SetAuditor(nil)
 		}
-		times, err := pool.CollectAnalysisTimes(ctx, cfg, prog, runs, seed)
-		if err != nil {
-			return nil, err
+		var times []float64
+		if converge {
+			// Convergence-stopped batched collection: the stream tracks the
+			// deepest requested tail (the slowest quantile to stabilise) and
+			// the batch engine supplies runs with index-derived seeds.
+			minRuns := 100
+			if runs < minRuns {
+				minRuns = runs
+			}
+			stream, serr := mbpta.NewStream(mbpta.StreamOptions{
+				Options: mbpta.Options{SkipIIDTests: true},
+				Prob:    probs[0],
+				MinRuns: minRuns,
+				MaxRuns: runs,
+			})
+			if serr != nil {
+				return nil, serr
+			}
+			if _, serr := pool.StreamAnalysisTimes(ctx, cfg, prog, batch, runs,
+				func(i int) uint64 { return runner.Seed(seed, "run/"+strconv.Itoa(i)) },
+				stream.Add); serr != nil {
+				return nil, serr
+			}
+			times = stream.Times()
+		} else {
+			var cerr error
+			times, cerr = pool.CollectAnalysisTimes(ctx, cfg, prog, runs, seed)
+			if cerr != nil {
+				return nil, cerr
+			}
 		}
 		res, err := mbpta.Analyze(times, mbpta.Options{SkipIIDTests: skipIID})
 		if err != nil {
 			return nil, err
 		}
 		resp := EstimateResponse{
-			Program: name, ProgramSHA: sha, Runs: runs, Seed: seed,
+			Program: name, ProgramSHA: sha, Runs: len(times), Seed: seed,
 			MaxObserved: res.MaxSeen, PWCET: make(map[string]float64, len(probs)),
 		}
 		if res.IIDChecked {

@@ -587,3 +587,52 @@ func TestIIDGateSurfacesAs422(t *testing.T) {
 		t.Fatal("failed campaign was cached")
 	}
 }
+
+// TestEstimateConverge: a converge request runs the batched streaming
+// estimator, stops at or before the run ceiling, and reports the runs it
+// actually consumed. The response must not depend on the batch width —
+// per-run seeds are derived from the run index, so two fresh servers
+// answering the same request at batch 2 and batch 8 must produce
+// byte-identical bodies.
+func TestEstimateConverge(t *testing.T) {
+	var bodies [][]byte
+	for _, batch := range []int{2, 8} {
+		_, ts := newTestServer(t, Options{})
+		body := estimateBody(t, tinySrc, 300, 7, map[string]any{
+			"converge": true, "batch": batch, "audit": true,
+		})
+		resp, data := postJSON(t, ts.URL+"/v1/estimate", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("batch=%d: status %d: %s", batch, resp.StatusCode, data)
+		}
+		var er EstimateResponse
+		if err := json.Unmarshal(data, &er); err != nil {
+			t.Fatalf("batch=%d: %v", batch, err)
+		}
+		if er.Runs <= 0 || er.Runs > 300 {
+			t.Fatalf("batch=%d: Runs = %d, want in (0,300]", batch, er.Runs)
+		}
+		if batch == 2 {
+			t.Logf("converged at %d runs (ceiling 300)", er.Runs)
+		}
+		bodies = append(bodies, data)
+	}
+	if !bytes.Equal(bodies[0], bodies[1]) {
+		t.Fatalf("converge responses differ across batch widths:\nbatch=2: %s\nbatch=8: %s", bodies[0], bodies[1])
+	}
+}
+
+// TestBatchRequiresConverge: the fixed-count protocol defines its sample
+// sequentially, so requesting a batch width without converge is a client
+// error, not a silent behaviour change.
+func TestBatchRequiresConverge(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	body := estimateBody(t, tinySrc, 40, 2, map[string]any{"batch": 4})
+	resp, data := postJSON(t, ts.URL+"/v1/estimate", body)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400: %s", resp.StatusCode, data)
+	}
+	if !strings.Contains(string(data), "requires converge") {
+		t.Fatalf("error should explain the converge requirement: %s", data)
+	}
+}

@@ -1,0 +1,378 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"efl/internal/cpu"
+	"efl/internal/efl"
+	"efl/internal/isa"
+)
+
+// This file implements the batched lockstep analysis engine. An MBPTA
+// campaign runs hundreds of independent analysis-mode simulations of the
+// same (config, program) pair; a Batch amortises the per-run costs across
+// K lanes:
+//
+//   - the architectural instruction stream is decoded ONCE (cpu.RecordTrace)
+//     and replayed by every run of every lane, removing the interpreter
+//     from the hot path;
+//   - each lane is a pooled platform rewound in place (Rewind), so the
+//     steady state allocates nothing per run;
+//   - the event loop is the analysis-mode specialisation (analysisAdvance):
+//     with exactly one active core and no bus/memory-controller events, the
+//     per-event candidate scan collapses to three candidates instead of
+//     5 x Cores.
+//
+// Lanes advance in lockstep windows of Horizon cycles: every lane is
+// stepped to the same simulated-time boundary before any lane crosses it.
+// Lane i seeded with seeds[i] is bit-identical to a fresh
+// RunAnalysis(cfg, prog, seeds[i]) — pinned by the K=1 golden tests and
+// the K=8 lockstep property test.
+
+// Rewind re-derives every PRNG stream of the platform from seed in
+// construction fork order, leaving the platform as New(m.Config(), progs,
+// seed) would (pinned by TestRewindMatchesFresh) without touching the
+// program set or reallocating cores — the in-place, allocation-free subset
+// of Reuse. Run state (caches, machines, pipeline, event candidates) is
+// rewound by the reset every Run*Into performs, so Rewind only needs to
+// rewind what reset does not: the seed-derived streams, plus any fault
+// plan or watchdog budget left by the previous job.
+func (m *Multicore) Rewind(seed uint64) {
+	m.DisarmFaults()
+	m.watchdog = 0
+
+	// Fork order mirrors New exactly: LLC, bus, access control, then the
+	// per-core L1 pairs of cores that run a program.
+	m.rnd.Reseed(seed)
+	m.llc.Reseed(m.rnd.Uint64())
+	m.bus.Reseed(m.rnd.Uint64())
+	m.ac.Reseed(m.rnd.Uint64())
+	m.ac.SetFixed(m.cfg.EFLFixedMID)
+	for _, ctl := range m.cores {
+		if ctl.core != nil {
+			ctl.core.IL1.Reseed(m.rnd.Uint64())
+			ctl.core.DL1.Reseed(m.rnd.Uint64())
+		}
+	}
+}
+
+// effectiveLimit is the run's cycle ceiling: the configured maximum,
+// tightened by the runner watchdog budget when one is armed.
+func (m *Multicore) effectiveLimit() int64 {
+	limit := m.cfg.MaxCycles
+	if m.watchdog > 0 && m.watchdog < limit {
+		limit = m.watchdog
+	}
+	return limit
+}
+
+// analysisAdvance is RunInto's event loop specialised for analysis mode,
+// where only the analysed core is active and the bus/memory-controller
+// queues are never used (the analysed core is charged the phantom-
+// contender envelope and the UBD instead). Dispatch order, tie-breaks and
+// PRNG draw order are identical to the general loop — core before CRG
+// before wake at equal times, lowest CRG index wins — which keeps results
+// bit-identical (pinned by the batch golden tests).
+//
+// The loop runs until the platform finishes (returns never), an error
+// occurs, or the next event would land at or past horizon (returns that
+// event's time, so callers can resume later or jump their window clock).
+// Pausing is safe at any event boundary: the scheduler itself draws no
+// randomness, so a paused-and-resumed run dispatches the same events in
+// the same order as an uninterrupted one.
+func (m *Multicore) analysisAdvance(limit, horizon int64) (int64, error) {
+	a := m.cfg.AnalysedCore
+	ctl := m.cores[a]
+	for {
+		tCore := m.evReady[a]
+		tWake := m.evWake[a]
+		tCRG, crgIdx := never, -1
+		for i := range m.evCRG {
+			if t := m.evCRG[i]; t < tCRG {
+				tCRG, crgIdx = t, i
+			}
+		}
+
+		if tCore == never && tWake == never {
+			if ctl.state == stDone {
+				return never, nil
+			}
+			return never, fmt.Errorf("sim: deadlock: no events but cores not done")
+		}
+
+		min := tCore
+		if tWake < min {
+			min = tWake
+		}
+		if tCRG < min {
+			min = tCRG
+		}
+		if min > limit {
+			return min, m.limitExceeded(limit)
+		}
+		if min >= horizon {
+			return min, nil
+		}
+
+		switch {
+		case tCore == min:
+			// Core-priority inner batch, bounded by the earliest other
+			// event AND the window horizon; the strict-less bound matches
+			// the general loop's tie-break exactly.
+			otherMin := tWake
+			if tCRG < otherMin {
+				otherMin = tCRG
+			}
+			if horizon < otherMin {
+				otherMin = horizon
+			}
+			for {
+				if err := m.stepCore(ctl); err != nil {
+					return min, err
+				}
+				if ctl.state != stReady {
+					break
+				}
+				clk := ctl.core.Clock
+				if clk >= otherMin {
+					break
+				}
+				if clk > limit {
+					return clk, m.limitExceeded(limit)
+				}
+			}
+			m.noteCore(ctl)
+		case tCRG == min:
+			m.fireCRG(crgIdx)
+		default: // tWake
+			// Wake-chain inner batch: a transaction's timed stages (LLC
+			// lookup, EAB stall, UBD wait, next pending request) dispatch
+			// back-to-back while each stays strictly before the earliest
+			// CRG fire (ties go to the CRG, matching the dispatch order
+			// above) and inside the window and cycle limit — the same
+			// events in the same order as one loop iteration per stage,
+			// without rescanning the candidates in between.
+			m.wake(ctl)
+			for ctl.state == stWaitEval || ctl.state == stWaitEAB || ctl.state == stWaitWake {
+				nw := ctl.wakeAt
+				if nw >= tCRG || nw >= horizon || nw > limit {
+					break
+				}
+				m.wake(ctl)
+			}
+			m.noteCore(ctl)
+		}
+	}
+}
+
+// RunAnalysisInto executes one complete analysis-mode run into res using
+// the specialised event loop; results are bit-identical to RunInto. For
+// non-analysis platforms it falls back to RunInto.
+func (m *Multicore) RunAnalysisInto(res *Result) error {
+	if m.cfg.Mode != efl.Analysis {
+		return m.RunInto(res)
+	}
+	m.reset()
+	limit := m.effectiveLimit()
+	m.setReplayYield(limit)
+	if _, err := m.analysisAdvance(limit, never); err != nil {
+		return err
+	}
+	m.collectInto(res)
+	return nil
+}
+
+// setReplay attaches tr to the analysed core (nil detaches), so runs on
+// this platform replay the recorded trace instead of interpreting. Replay
+// runs in burst mode: the core retires whole stretches of hitting
+// instructions per Step call, yielding only at shared-memory stalls and at
+// the run-abort bounds (instruction ceiling, cycle limit — the latter set
+// per run by setReplayYield).
+func (m *Multicore) setReplay(tr *cpu.Trace) {
+	if ctl := m.cores[m.cfg.AnalysedCore]; ctl.core != nil {
+		ctl.core.SetReplay(tr)
+		if tr != nil {
+			ctl.core.EnableReplayBurst(m.cfg.MaxInstrPerCore)
+		}
+	}
+}
+
+// setReplayYield propagates the run's effective cycle limit to every
+// replaying core so bursts yield where the per-instruction path would have
+// tripped the limit check.
+func (m *Multicore) setReplayYield(limit int64) {
+	for _, ctl := range m.cores {
+		if ctl.core != nil {
+			ctl.core.SetReplayYieldClock(limit)
+		}
+	}
+}
+
+// defaultHorizon is the lockstep window length in simulated cycles. It
+// bounds how far any lane can run ahead of the others; the value only
+// affects interleaving granularity (and ctx-cancellation latency), never
+// results — lockstep equivalence is pinned for any window length by the
+// batch golden tests. The default is large enough that each lane's cache
+// arrays stay hot in the host cache for a substantial stretch of simulated
+// time (fine-grained interleaving thrashes the host cache when K lanes'
+// simulated caches exceed it), while still checking cancellation several
+// times per second even on slow hosts.
+const defaultHorizon = 1 << 18
+
+// Batch steps up to K independent analysis runs of one (config, program)
+// pair in lockstep. Construct with NewBatch, execute with Run; the batch
+// owns its lanes and result buffers, so steady-state Runs allocate
+// nothing. A Batch is not safe for concurrent use.
+type Batch struct {
+	cfg   Config
+	prog  *isa.Program
+	lanes []*Multicore
+	trace *cpu.Trace // nil: interpreter fallback (non-terminating recording)
+
+	// Horizon is the lockstep window length in cycles (default
+	// defaultHorizon).
+	Horizon int64
+	// OnRewind, when set, is invoked for each lane after its seed rewind
+	// and before the run starts — the hook where campaign runtimes arm
+	// fault plans and watchdog budgets per lane.
+	OnRewind func(lane int, m *Multicore)
+
+	results []Result
+	nextAt  []int64
+	limits  []int64
+	done    []bool
+}
+
+// NewBatch builds a K-lane batch for prog under cfg (forced to analysis
+// mode on core 0, like RunAnalysis). The program is trace-recorded once
+// and the recording shared by every lane; programs that do not terminate
+// within cfg.MaxInstrPerCore fall back to per-lane interpretation so that
+// runaway-program errors surface exactly as in the single-run engine.
+func NewBatch(cfg Config, prog *isa.Program, k int) (*Batch, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("sim: batch size %d", k)
+	}
+	cfg = cfg.WithAnalysis(0)
+	progs := make([]*isa.Program, cfg.Cores)
+	progs[0] = prog
+	b := &Batch{
+		cfg:     cfg,
+		prog:    prog,
+		lanes:   make([]*Multicore, k),
+		Horizon: defaultHorizon,
+		results: make([]Result, k),
+		nextAt:  make([]int64, k),
+		limits:  make([]int64, k),
+		done:    make([]bool, k),
+	}
+	for i := range b.lanes {
+		m, err := New(cfg, progs, uint64(i)) // placeholder seed; Run rewinds
+		if err != nil {
+			return nil, err
+		}
+		b.lanes[i] = m
+	}
+	if tr, err := cpu.RecordTrace(prog, cfg.MaxInstrPerCore); err == nil {
+		b.trace = tr
+		for _, m := range b.lanes {
+			m.setReplay(tr)
+		}
+	}
+	return b, nil
+}
+
+// Retarget re-points the batch at a different program under the same
+// Config, rebuilding every lane in place (Reuse) and re-attaching the
+// shared trace (nil: interpreter fallback). This is what lets a pooled
+// batch serve a whole campaign schedule without reconstructing K platforms
+// per (config, program) pair; Run's per-seed Rewind makes the lane seeds
+// used here placeholders.
+func (b *Batch) Retarget(prog *isa.Program, tr *cpu.Trace) error {
+	if prog == b.prog {
+		return nil
+	}
+	progs := make([]*isa.Program, b.cfg.Cores)
+	progs[0] = prog
+	for i, m := range b.lanes {
+		if err := m.Reuse(progs, uint64(i)); err != nil {
+			return err
+		}
+		m.setReplay(tr)
+	}
+	b.prog = prog
+	b.trace = tr
+	return nil
+}
+
+// K returns the batch width.
+func (b *Batch) K() int { return len(b.lanes) }
+
+// Replaying reports whether the lanes replay a shared recorded trace
+// (false only for programs whose recording exceeded the instruction cap).
+func (b *Batch) Replaying() bool { return b.trace != nil }
+
+// Lane exposes lane i's platform (for per-lane auditing between runs).
+func (b *Batch) Lane(i int) *Multicore { return b.lanes[i] }
+
+// Run executes len(seeds) runs — lane i under seeds[i] — in lockstep and
+// returns per-lane results. Result i is bit-identical to a fresh
+// RunAnalysis(b.cfg, prog, seeds[i]); the returned slice and everything it
+// references is owned by the batch and valid until the next Run. ctx is
+// checked once per lockstep window. The first lane error aborts the whole
+// batch with the lane index wrapped.
+func (b *Batch) Run(ctx context.Context, seeds []uint64) ([]Result, error) {
+	n := len(seeds)
+	if n < 1 || n > len(b.lanes) {
+		return nil, fmt.Errorf("sim: %d seeds for a %d-lane batch", n, len(b.lanes))
+	}
+	for i := 0; i < n; i++ {
+		m := b.lanes[i]
+		m.Rewind(seeds[i])
+		if b.OnRewind != nil {
+			b.OnRewind(i, m)
+		}
+		m.reset()
+		b.limits[i] = m.effectiveLimit()
+		m.setReplayYield(b.limits[i])
+		b.nextAt[i] = 0
+		b.done[i] = false
+	}
+	remaining := n
+	var clock int64
+	for remaining > 0 {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		horizon := clock + b.Horizon
+		earliest := never
+		for i := 0; i < n; i++ {
+			if b.done[i] {
+				continue
+			}
+			next, err := b.lanes[i].analysisAdvance(b.limits[i], horizon)
+			if err != nil {
+				return nil, fmt.Errorf("sim: batch lane %d: %w", i, err)
+			}
+			if next == never {
+				b.done[i] = true
+				remaining--
+				b.lanes[i].collectInto(&b.results[i])
+				continue
+			}
+			b.nextAt[i] = next
+			if next < earliest {
+				earliest = next
+			}
+		}
+		// Advance the window; jump over empty stretches so a batch of
+		// long-idle lanes does not spin through eventless windows.
+		clock = horizon
+		if earliest != never && earliest > clock {
+			clock = earliest
+		}
+	}
+	return b.results[:n], nil
+}

@@ -1,0 +1,345 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"efl/internal/bench"
+	"efl/internal/cache"
+	"efl/internal/isa"
+)
+
+// batchConfigs is the configuration matrix the Rewind/batch equivalence
+// tests sweep: the paper platform under EFL, fixed-MID EFL, way
+// partitioning, the time-deterministic ablation and write-through DL1s.
+func batchConfigs() map[string]Config {
+	td := DefaultConfig().WithEFL(500)
+	td.Policy = cache.TimeDeterministic
+	wt := DefaultConfig().WithEFL(500)
+	wt.DL1WriteThrough = true
+	wta := DefaultConfig().WithEFL(500)
+	wta.DL1WriteThrough = true
+	wta.WTAllocate = true
+	return map[string]Config{
+		"efl500":   DefaultConfig().WithEFL(500),
+		"efl250":   DefaultConfig().WithEFL(250),
+		"fixedMID": fixedMIDConfig(),
+		"cp2":      DefaultConfig().WithPartition([]int{2, 2, 2, 2}),
+		"td":       td,
+		"wt":       wt,
+		"wtalloc":  wta,
+	}
+}
+
+func fixedMIDConfig() Config {
+	cfg := DefaultConfig().WithEFL(500)
+	cfg.EFLFixedMID = true
+	return cfg
+}
+
+// TestRewindMatchesFresh pins Rewind's contract: a rewound platform is
+// bit-identical to a freshly constructed one under the same seed, across
+// the config matrix and across multiple rewinds (including rewinding away
+// from a different seed's state).
+func TestRewindMatchesFresh(t *testing.T) {
+	prog := goldenProg()
+	for name, base := range batchConfigs() {
+		cfg := base.WithAnalysis(0)
+		t.Run(name, func(t *testing.T) {
+			progs := make([]*isa.Program, cfg.Cores)
+			progs[0] = prog
+			reused, err := New(cfg, progs, 999)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got, want Result
+			for _, seed := range []uint64{1, 7, 1} {
+				fresh, err := New(cfg, progs, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := fresh.RunInto(&want); err != nil {
+					t.Fatal(err)
+				}
+				reused.Rewind(seed)
+				if err := reused.RunInto(&got); err != nil {
+					t.Fatal(err)
+				}
+				if gf, wf := goldenFingerprint(&got), goldenFingerprint(&want); gf != wf {
+					t.Fatalf("seed %d: rewound run diverged:\n got %s\nwant %s", seed, gf, wf)
+				}
+			}
+		})
+	}
+}
+
+// TestRunAnalysisIntoMatchesRunInto pins the specialised analysis event
+// loop against the general one, run by run (the cross-run RII reseeding is
+// covered by consecutive runs on each engine).
+func TestRunAnalysisIntoMatchesRunInto(t *testing.T) {
+	prog := goldenProg()
+	for name, base := range batchConfigs() {
+		cfg := base.WithAnalysis(0)
+		t.Run(name, func(t *testing.T) {
+			progs := make([]*isa.Program, cfg.Cores)
+			progs[0] = prog
+			ref, err := New(cfg, progs, 11)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fast, err := New(cfg, progs, 11)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got, want Result
+			for run := 0; run < 3; run++ {
+				if err := ref.RunInto(&want); err != nil {
+					t.Fatal(err)
+				}
+				if err := fast.RunAnalysisInto(&got); err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("run %d: specialised loop diverged:\n got %s\nwant %s",
+						run, goldenFingerprint(&got), goldenFingerprint(&want))
+				}
+			}
+		})
+	}
+}
+
+// TestBatchK1GoldenAllKernels is the satellite golden test: a K=1 batch is
+// byte-identical to sim.RunAnalysis for every bench kernel (base set and
+// extended set) under the paper's EFL analysis configuration.
+func TestBatchK1GoldenAllKernels(t *testing.T) {
+	cfg := DefaultConfig().WithEFL(500)
+	specs := bench.AllWithExtended()
+	if len(specs) < 14 {
+		t.Fatalf("expected >= 14 bench kernels, have %d", len(specs))
+	}
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec.Code, func(t *testing.T) {
+			prog := spec.Build()
+			b, err := NewBatch(cfg, prog, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !b.Replaying() {
+				t.Fatalf("kernel %s did not record a replay trace", spec.Code)
+			}
+			for _, seed := range []uint64{1, 2} {
+				want, err := RunAnalysis(cfg, prog, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := b.Run(context.Background(), []uint64{seed})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got[0], *want) {
+					t.Fatalf("seed %d: batch K=1 diverged:\n got %s\nwant %s",
+						seed, goldenFingerprint(&got[0]), goldenFingerprint(want))
+				}
+			}
+		})
+	}
+}
+
+// TestBatchLockstepProperty is the satellite property test: a K=8 lockstep
+// batch produces, lane for lane, exactly the results of 8 sequential
+// single runs with the same seeds — across the config matrix, with the
+// auditor's invariants holding per lane.
+func TestBatchLockstepProperty(t *testing.T) {
+	prog := bench.CANRdr()
+	seeds := make([]uint64, 8)
+	for i := range seeds {
+		seeds[i] = uint64(1000 + 37*i)
+	}
+	aud := NewAuditor()
+	for name, base := range batchConfigs() {
+		base := base
+		t.Run(name, func(t *testing.T) {
+			b, err := NewBatch(base, prog, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := b.Run(context.Background(), seeds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := b.Lane(0).Config()
+			for i, seed := range seeds {
+				want, err := RunAnalysis(base, prog, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got[i], *want) {
+					t.Fatalf("lane %d (seed %d) diverged:\n got %s\nwant %s",
+						i, seed, goldenFingerprint(&got[i]), goldenFingerprint(want))
+				}
+				if err := aud.CheckRun(cfg, &got[i]); err != nil {
+					t.Errorf("lane %d: auditor: %v", i, err)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchRunReusesLanes pins that consecutive Run calls on one batch are
+// independent: the second call with the same seeds reproduces the first
+// (no state leaks between batch runs), and narrower seed slices work.
+func TestBatchRunReusesLanes(t *testing.T) {
+	cfg := DefaultConfig().WithEFL(500)
+	prog := goldenProg()
+	b, err := NewBatch(cfg, prog, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := []uint64{5, 6, 7, 8}
+	first, err := b.Run(context.Background(), seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := make([]string, len(first))
+	for i := range first {
+		fp[i] = goldenFingerprint(&first[i])
+	}
+	again, err := b.Run(context.Background(), seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range again {
+		if got := goldenFingerprint(&again[i]); got != fp[i] {
+			t.Fatalf("lane %d: second batch run diverged", i)
+		}
+	}
+	narrow, err := b.Run(context.Background(), seeds[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(narrow) != 2 {
+		t.Fatalf("narrow run returned %d results", len(narrow))
+	}
+	if goldenFingerprint(&narrow[0]) != fp[0] {
+		t.Fatal("narrow batch run diverged on lane 0")
+	}
+}
+
+// TestBatchRunZeroAlloc is the satellite allocation guard: steady-state
+// batch runs allocate nothing per run.
+func TestBatchRunZeroAlloc(t *testing.T) {
+	cfg := DefaultConfig().WithEFL(500)
+	b, err := NewBatch(cfg, goldenProg(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	seeds := []uint64{1, 2, 3, 4}
+	if _, err := b.Run(ctx, seeds); err != nil { // warm result buffers
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(3, func() {
+		if _, err := b.Run(ctx, seeds); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("batch run allocates %.1f objects per batch in steady state", avg)
+	}
+}
+
+// TestBatchValidation covers the constructor and Run argument checks.
+func TestBatchValidation(t *testing.T) {
+	cfg := DefaultConfig().WithEFL(500)
+	if _, err := NewBatch(cfg, goldenProg(), 0); err == nil {
+		t.Fatal("expected error for K=0")
+	}
+	b, err := NewBatch(cfg, goldenProg(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Run(context.Background(), nil); err == nil {
+		t.Fatal("expected error for no seeds")
+	}
+	if _, err := b.Run(context.Background(), []uint64{1, 2, 3}); err == nil {
+		t.Fatal("expected error for more seeds than lanes")
+	}
+}
+
+// TestBatchContextCancel pins that a cancelled context aborts the batch.
+func TestBatchContextCancel(t *testing.T) {
+	cfg := DefaultConfig().WithEFL(500)
+	b, err := NewBatch(cfg, goldenProg(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := b.Run(ctx, []uint64{1, 2}); err == nil {
+		t.Fatal("expected context error")
+	}
+}
+
+// BenchmarkSingleRunCA is the pre-batch engine (general event loop,
+// interpreted cores) on the same kernel BenchmarkBatchRun uses — the
+// baseline the batched speedup is measured against.
+func BenchmarkSingleRunCA(b *testing.B) {
+	cfg := DefaultConfig().WithEFL(500).WithAnalysis(0)
+	spec, err := bench.ByCode("CA")
+	if err != nil {
+		b.Fatal(err)
+	}
+	progs := make([]*isa.Program, cfg.Cores)
+	progs[0] = spec.Build()
+	m, err := New(cfg, progs, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var res Result
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.RunInto(&res); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "runs/sec")
+}
+
+// BenchmarkBatchRun is the satellite benchmark: runs/sec per batch width,
+// with the allocation figure visible via -benchmem (0 allocs/run in steady
+// state is asserted by TestBatchRunZeroAlloc).
+func BenchmarkBatchRun(b *testing.B) {
+	cfg := DefaultConfig().WithEFL(500)
+	prog, err := bench.ByCode("CA")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, k := range []int{1, 4, 8, 16} {
+		b.Run(fmt.Sprintf("K%d", k), func(b *testing.B) {
+			bt, err := NewBatch(cfg, prog.Build(), k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			seeds := make([]uint64, k)
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range seeds {
+					seeds[j] = uint64(i*k + j + 1)
+				}
+				if _, err := bt.Run(ctx, seeds); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			runs := float64(b.N * k)
+			b.ReportMetric(runs/b.Elapsed().Seconds(), "runs/sec")
+		})
+	}
+}

@@ -3,6 +3,7 @@ package sim
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"efl/internal/cache"
 	"efl/internal/cpu"
@@ -89,6 +90,15 @@ func (m *Multicore) Reuse(progs []*isa.Program, seed uint64) error {
 // hold one Pool per worker.
 type Pool struct {
 	platforms map[string]*Multicore
+	// batches pools one lockstep Batch per (Config, width) the same way
+	// platforms pools single engines: the first GetBatch constructs the
+	// lanes, later Gets retarget them at the requested program in place.
+	batches map[string]*Batch
+	// traces caches one recorded architectural trace per program (traces
+	// are seed-independent, so one recording serves every configuration
+	// and seed). A nil entry marks a program whose recording exceeded the
+	// instruction cap; those runs fall back to the interpreter.
+	traces map[*isa.Program]*cpu.Trace
 	// aud, when set, checks every run executed through the pool's
 	// collection helpers. The Auditor itself is mutex-guarded, so one
 	// auditor is shared across all workers' pools.
@@ -98,7 +108,26 @@ type Pool struct {
 }
 
 // NewPool returns an empty platform pool.
-func NewPool() *Pool { return &Pool{platforms: map[string]*Multicore{}} }
+func NewPool() *Pool {
+	return &Pool{
+		platforms: map[string]*Multicore{},
+		batches:   map[string]*Batch{},
+		traces:    map[*isa.Program]*cpu.Trace{},
+	}
+}
+
+// traceFor returns the pooled architectural trace of prog, recording it on
+// first use. Programs that do not terminate within maxInstr get a nil
+// trace (interpreter fallback); the cap violation itself still surfaces
+// through the simulator's retired-instruction check either way.
+func (p *Pool) traceFor(prog *isa.Program, maxInstr uint64) *cpu.Trace {
+	tr, ok := p.traces[prog]
+	if !ok {
+		tr, _ = cpu.RecordTrace(prog, maxInstr)
+		p.traces[prog] = tr
+	}
+	return tr
+}
 
 // SetAuditor attaches a soundness auditor to the pool; nil detaches it.
 func (p *Pool) SetAuditor(a *Auditor) { p.aud = a }
@@ -117,20 +146,29 @@ func (p *Pool) Size() int { return len(p.platforms) }
 // constructs a fresh one instead of reusing corrupt hardware state.
 func (p *Pool) Quarantine(cfg Config) bool {
 	key := configKey(cfg)
-	if _, ok := p.platforms[key]; !ok {
-		return false
+	hit := false
+	if _, ok := p.platforms[key]; ok {
+		delete(p.platforms, key)
+		p.quarantined++
+		hit = true
 	}
-	delete(p.platforms, key)
-	p.quarantined++
-	return true
+	for bk := range p.batches {
+		if strings.HasPrefix(bk, key+"/k=") {
+			delete(p.batches, bk)
+			p.quarantined++
+			hit = true
+		}
+	}
+	return hit
 }
 
 // QuarantineAll removes every pooled platform, returning how many were
 // held. Used when a whole job failed and nothing the worker touched can be
 // trusted.
 func (p *Pool) QuarantineAll() int {
-	n := len(p.platforms)
+	n := len(p.platforms) + len(p.batches)
 	clear(p.platforms)
+	clear(p.batches)
 	p.quarantined += n
 	return n
 }
@@ -172,6 +210,10 @@ func (p *Pool) CollectAnalysisTimes(ctx context.Context, cfg Config, prog *isa.P
 	if err != nil {
 		return nil, err
 	}
+	// Replaying the pooled trace removes the interpreter from the run loop
+	// while keeping every timing decision — and therefore the collected
+	// times — bit-identical to the interpreted path.
+	m.setReplay(p.traceFor(prog, cfg.MaxInstrPerCore))
 	times := make([]float64, runs)
 	var res Result
 	for i := 0; i < runs; i++ {
@@ -180,7 +222,7 @@ func (p *Pool) CollectAnalysisTimes(ctx context.Context, cfg Config, prog *isa.P
 				return nil, err
 			}
 		}
-		if err := m.RunInto(&res); err != nil {
+		if err := m.RunAnalysisInto(&res); err != nil {
 			return nil, err
 		}
 		if err := p.aud.CheckRun(cfg, &res); err != nil {
@@ -189,4 +231,72 @@ func (p *Pool) CollectAnalysisTimes(ctx context.Context, cfg Config, prog *isa.P
 		times[i] = float64(res.PerCore[0].Cycles)
 	}
 	return times, nil
+}
+
+// GetBatch returns a pooled k-lane lockstep batch for cfg running prog.
+// The first call for a (Config, k) pair constructs the lanes; later calls
+// retarget the pooled batch at prog in place, reusing every lane's cache
+// arrays. Like Get, results are bit-identical either way.
+func (p *Pool) GetBatch(cfg Config, prog *isa.Program, k int) (*Batch, error) {
+	cfg = cfg.WithAnalysis(0)
+	key := fmt.Sprintf("%s/k=%d", configKey(cfg), k)
+	if b, ok := p.batches[key]; ok {
+		if err := b.Retarget(prog, p.traceFor(prog, cfg.MaxInstrPerCore)); err != nil {
+			return nil, err
+		}
+		return b, nil
+	}
+	b, err := NewBatch(cfg, prog, k)
+	if err != nil {
+		return nil, err
+	}
+	p.batches[key] = b
+	return b, nil
+}
+
+// StreamAnalysisTimes executes analysis-mode runs of prog in pooled
+// lockstep batches of k lanes, feeding each run's execution time to emit
+// in run order until emit returns true (stop), maxRuns runs have been
+// consumed, or ctx is cancelled. Run i is seeded seedFor(i), so the time
+// sequence — and therefore anything a caller derives from it, such as a
+// convergence stopping point — is invariant under k: a wider batch only
+// simulates (and discards) more runs past the stopping point. Every
+// consumed run is audited exactly like the single-run collector's.
+// Returns the number of runs consumed (fed to emit).
+func (p *Pool) StreamAnalysisTimes(ctx context.Context, cfg Config, prog *isa.Program, k, maxRuns int, seedFor func(run int) uint64, emit func(t float64) (stop bool)) (int, error) {
+	cfg = cfg.WithAnalysis(0)
+	b, err := p.GetBatch(cfg, prog, k)
+	if err != nil {
+		return 0, err
+	}
+	seeds := make([]uint64, k)
+	n := 0
+	for n < maxRuns {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return n, err
+			}
+		}
+		w := k
+		if rem := maxRuns - n; rem < w {
+			w = rem
+		}
+		for j := 0; j < w; j++ {
+			seeds[j] = seedFor(n + j)
+		}
+		results, err := b.Run(ctx, seeds[:w])
+		if err != nil {
+			return n, err
+		}
+		for j := range results {
+			if err := p.aud.CheckRun(cfg, &results[j]); err != nil {
+				return n, err
+			}
+			n++
+			if emit(float64(results[j].PerCore[0].Cycles)) {
+				return n, nil
+			}
+		}
+	}
+	return n, nil
 }

@@ -317,10 +317,8 @@ func (m *Multicore) RunInto(res *Result) error {
 	// Effective cycle limit: the configured ceiling, tightened by the
 	// runner watchdog budget when one is armed. Exceeding the budget is a
 	// deterministic kill (ErrWatchdog), independent of wall-clock time.
-	limit := m.cfg.MaxCycles
-	if m.watchdog > 0 && m.watchdog < limit {
-		limit = m.watchdog
-	}
+	limit := m.effectiveLimit()
+	m.setReplayYield(limit)
 
 	for {
 		// Candidate event times, read from the incrementally maintained
@@ -704,10 +702,15 @@ func CollectAnalysisTimes(cfg Config, prog *isa.Program, runs int, seed uint64) 
 	if err != nil {
 		return nil, err
 	}
+	// Trace replay + the analysis-specialised loop: bit-identical results,
+	// a fraction of the interpreter cost.
+	if tr, rerr := cpu.RecordTrace(prog, cfg.MaxInstrPerCore); rerr == nil {
+		m.setReplay(tr)
+	}
 	times := make([]float64, runs)
 	var res Result
 	for i := 0; i < runs; i++ {
-		if err := m.RunInto(&res); err != nil {
+		if err := m.RunAnalysisInto(&res); err != nil {
 			return nil, err
 		}
 		times[i] = float64(res.PerCore[0].Cycles)

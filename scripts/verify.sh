@@ -34,6 +34,23 @@ go test -race -count=1 $(go list ./... | grep -v internal/experiments)
 echo "== audited campaign smoke (-audit soundness invariants)"
 go run ./cmd/experiments -exp attrib -audit >/dev/null
 
+echo "== batched-campaign smoke (convergence stopping + lockstep batch engine, auditor on)"
+# A convergence-stopped fig4 campaign through the K=8 lockstep batch
+# engine with the soundness auditor armed: every lane's run is checked
+# against invariants A1-A4, and the EVT cross-check covers the
+# convergence-stopped samples. Exit 0 means the batched path is sound.
+go run ./cmd/experiments -exp fig4 -workloads 12 -runs 150 -converge -batch 8 -audit >/dev/null
+
+echo "== bench regression gate (vs committed BENCH_SIM.json)"
+# The fresh report goes to a scratch path: the gate compares against the
+# committed baseline without touching it (regenerate deliberately with
+# `make bench`). Tolerance is loose here — verify runs on whatever
+# machine the developer has, and runs/sec only compare strictly on the
+# baseline host.
+benchdir=$(mktemp -d)
+go run ./cmd/experiments -exp bench -benchtol 0.5 -benchout "$benchdir/bench.json" >/dev/null
+rm -rf "$benchdir"
+
 echo "== faultmatrix smoke (fault injection vs auditor, panic isolation, degraded exit)"
 # Built binary, not `go run`: go run collapses every nonzero child exit to 1,
 # and the degraded exit code (3) is exactly what this smoke asserts.
