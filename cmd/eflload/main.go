@@ -145,14 +145,14 @@ func buildWorkload(runs int) ([]request, error) {
 
 // loadtestPayload is the artifact body (kind "loadtest").
 type loadtestPayload struct {
-	DurationSeconds float64            `json:"duration_seconds"`
-	Concurrency     int                `json:"concurrency"`
-	Requests        int                `json:"requests"`
-	Errors          int                `json:"errors"`
-	ThroughputRPS   float64            `json:"throughput_rps"`
-	ByStatus        map[string]int     `json:"by_status"`
-	ByCache         map[string]int     `json:"by_cache"`
-	LatencyMS       latencySummary     `json:"latency_ms"`
+	DurationSeconds float64                  `json:"duration_seconds"`
+	Concurrency     int                      `json:"concurrency"`
+	Requests        int                      `json:"requests"`
+	Errors          int                      `json:"errors"`
+	ThroughputRPS   float64                  `json:"throughput_rps"`
+	ByStatus        map[string]int           `json:"by_status"`
+	ByCache         map[string]int           `json:"by_cache"`
+	LatencyMS       latencySummary           `json:"latency_ms"`
 	ServerMetrics   *service.MetricsSnapshot `json:"server_metrics,omitempty"`
 }
 

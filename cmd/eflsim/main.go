@@ -127,6 +127,18 @@ func main() {
 				i, name, cr.Cycles, cr.Instrs, cr.IPC,
 				100*cr.IL1.MissRatio(), 100*cr.DL1.MissRatio(), cr.EFL.StallCycles)
 		}
+		// Per-level summary, generic over the configured hierarchy (level 0
+		// aggregates the private L1 pairs; shared levels report their single
+		// instance). The legacy LLC line below stays for the default layout.
+		for _, lv := range res.PerLevel {
+			scope := "private"
+			if lv.Shared {
+				scope = "shared"
+			}
+			fmt.Printf("  %-4s (%s): accesses=%d misses=%d (%.2f%%) evictions=%d forced=%d\n",
+				lv.Name, scope, lv.Stats.Accesses, lv.Stats.Misses,
+				100*lv.Stats.MissRatio(), lv.Stats.Evictions, lv.Stats.ForcedEvict)
+		}
 		fmt.Printf("  LLC: accesses=%d misses=%d (%.2f%%) evictions=%d forced=%d | bus wait=%d | mem reads=%d writes=%d\n",
 			res.LLC.Accesses, res.LLC.Misses, 100*res.LLC.MissRatio(),
 			res.LLC.Evictions, res.LLC.ForcedEvict, res.Bus.WaitCycles,

@@ -13,6 +13,7 @@
 //	experiments -exp midsweep              # E6 extension: pWCET vs MID curve
 //	experiments -exp convergence           # E7 extension: MBPTA convergence study
 //	experiments -exp attrib                # per-core cycle-attribution breakdown
+//	experiments -exp coherence             # shared-data MSI campaign (3-level hierarchy)
 //	experiments -exp bench                 # performance regression suite
 //	experiments -exp faultmatrix           # fault-injection detection matrix
 //	experiments -exp all                   # everything, paper order
@@ -96,7 +97,7 @@ var auditor *sim.Auditor
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: setup|iid|fig3|fig4|eq1|fixedmid|lru|wt|midsweep|convergence|attrib|bench|all")
+		exp       = flag.String("exp", "all", "experiment: setup|iid|fig3|fig4|eq1|fixedmid|lru|wt|midsweep|convergence|attrib|coherence|bench|all")
 		runs      = flag.Int("runs", 300, "measurement runs per MBPTA campaign")
 		workloads = flag.Int("workloads", 1024, "random workloads for Figure 4")
 		deploy    = flag.Int("deployruns", 2, "deployment runs averaged per workload config")
@@ -380,6 +381,26 @@ func main() {
 			})
 		})
 	}
+	// The coherence campaign only runs when asked for explicitly: the
+	// shared-data MSI platform is an extension, not one of the paper's
+	// artefacts.
+	if *exp == "coherence" {
+		run("coherence", func() error {
+			res, err := experiments.Coherence(opt, *mid)
+			if err != nil {
+				return err
+			}
+			if err := emit(*outDir, "coherence", *seed, *res, func(r experiments.CoherenceResult) string {
+				return r.Render()
+			}); err != nil {
+				return err
+			}
+			if !res.AllSound {
+				return errors.New("coherence campaign recorded an invariant violation")
+			}
+			return nil
+		})
+	}
 	// The fault-injection detection matrix only runs when asked for
 	// explicitly ("all" regenerates the paper artefacts; a campaign that
 	// deliberately breaks the simulated hardware is not one of them).
@@ -445,7 +466,7 @@ func main() {
 		})
 	}
 	switch *exp {
-	case "setup", "iid", "fig3", "fig4", "eq1", "fixedmid", "wt", "lru", "midsweep", "convergence", "attrib", "bench", "faultmatrix", "all":
+	case "setup", "iid", "fig3", "fig4", "eq1", "fixedmid", "wt", "lru", "midsweep", "convergence", "attrib", "coherence", "bench", "faultmatrix", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "experiments: unknown -exp %q\n", *exp)
 		flag.Usage()

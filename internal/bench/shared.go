@@ -1,0 +1,120 @@
+package bench
+
+// Shared-data workloads for the MSI coherence layer. Unlike the EEMBC
+// stand-ins (whose data is private per core), these kernels read and write
+// lines inside the platform's shared-data window [DataBase,
+// DataBase+SharedDataBytes), so concurrent cores exchange ownership
+// through the directory: stores raise upgrades / read-for-ownership
+// fetches and invalidate peer copies. Two access patterns bracket the
+// interesting behaviours:
+//
+//   - SC (shared counters, true sharing): every core read-modify-writes
+//     the same counter words, so invalidation ping-pong is inherent to the
+//     algorithm.
+//   - FS (false sharing): each core read-modify-writes only its own slot
+//     word, but the slots of up to four cores share a line, so all the
+//     invalidation traffic is a layout artifact — the pattern the
+//     campaign's per-line sharing report is built to expose.
+//
+// Programs differ per core only in the core's slot assignment, so builds
+// take the core index. Kernels stay deterministic per core (fixed LCG
+// data); the functional checksum is per-core because the simulator's
+// machines have private functional memory — MSI is a timing/state model.
+
+import (
+	"fmt"
+
+	"efl/internal/isa"
+)
+
+// SCSharedBytes / FSSharedBytes are the minimum Config.SharedDataBytes the
+// kernels' shared regions need (multiples of every supported line size).
+const (
+	SCSharedBytes = 256
+	FSSharedBytes = 544
+)
+
+// SharedSpec describes one shared-data kernel.
+type SharedSpec struct {
+	// Code is the two-letter identifier used by campaigns and reports.
+	Code string
+	// Name is the workload's long name.
+	Name string
+	// Description summarises the sharing pattern.
+	Description string
+	// SharedBytes is the minimum shared-window size the kernel needs.
+	SharedBytes int
+	// Build constructs the program core executes (deterministic).
+	Build func(core int) *isa.Program
+}
+
+// Shared returns the shared-data workloads.
+func Shared() []SharedSpec {
+	return []SharedSpec{
+		{"SC", "shared-counters", "all cores read-modify-write the same counter words (true sharing)",
+			SCSharedBytes, SharedCounters},
+		{"FS", "false-sharing", "each core read-modify-writes a private word of lines shared with its peers",
+			FSSharedBytes, FalseSharing},
+	}
+}
+
+// SharedByCode returns the shared-data workload with the given code.
+func SharedByCode(code string) (SharedSpec, error) {
+	for _, s := range Shared() {
+		if s.Code == code {
+			return s, nil
+		}
+	}
+	return SharedSpec{}, fmt.Errorf("bench: unknown shared workload code %q", code)
+}
+
+// SharedCounters (SC): every core walks the same 30 shared counter words
+// per pass, adding a value from its private table — a load, an add and a
+// store back per counter, the textbook true-sharing pattern. Each store to
+// a counter another core last wrote costs an ownership transfer.
+func SharedCounters(core int) *isa.Program {
+	b := prologue(fmt.Sprintf("shcnt-%d", core))
+	region := b.ReserveData(SCSharedBytes - 16) // counters follow the checksum line
+	priv := b.DataWords(words(0x5C00+uint64(core), 64, 511)...)
+	const counters = (SCSharedBytes - 16) / 8
+
+	passLoop(b, 120, func() {
+		b.Movi(1, base(region))
+		b.Movi(2, base(priv))
+		for i := 0; i < counters; i++ {
+			b.Ld(10, 1, int64(i*8))
+			b.Ld(11, 2, int64((i%64)*8))
+			b.Add(10, 10, 11)
+			b.St(10, 1, int64(i*8))
+			b.Add(15, 15, 10)
+		}
+	})
+	epilogue(b)
+	return b.MustProgram()
+}
+
+// FalseSharing (FS): the shared region is 16 blocks of 32 bytes, and core
+// c read-modify-writes only byte offset (c mod 4)·8 of every block — four
+// cores fit one block with pairwise disjoint word footprints. No word is
+// ever shared, yet with 16- or 32-byte lines each store invalidates the
+// peers' copies of the surrounding line: pure false sharing.
+func FalseSharing(core int) *isa.Program {
+	slot := int64((core % 4) * 8)
+	b := prologue(fmt.Sprintf("fshare-%d", core))
+	b.ReserveData(16) // pad so the blocks start 32-byte aligned
+	region := b.ReserveData(FSSharedBytes - 32)
+	const blocks = (FSSharedBytes - 32) / 32
+
+	passLoop(b, 250, func() {
+		b.Movi(1, base(region))
+		for i := 0; i < blocks; i++ {
+			a := int64(i*32) + slot
+			b.Ld(10, 1, a)
+			b.Addi(10, 10, int64(core+1))
+			b.St(10, 1, a)
+			b.Add(15, 15, 10)
+		}
+	})
+	epilogue(b)
+	return b.MustProgram()
+}

@@ -52,6 +52,10 @@ const (
 	// DL1 (paper footnote 5): the word is written to the LLC (and, on an
 	// LLC miss without write-allocate, to memory) on every store.
 	ReqWriteThrough
+	// ReqUpgrade is an MSI coherence upgrade: a store hit a shared-data
+	// line resident in the DL1 without M ownership, so peer copies must
+	// be invalidated over the bus before the store can retire.
+	ReqUpgrade
 )
 
 // Request is one shared-memory transaction the simulator must perform on
@@ -60,6 +64,17 @@ type Request struct {
 	Kind  ReqKind
 	Addr  uint64 // byte address (ReqFetch) or line-aligned address (ReqWriteback)
 	Instr bool   // instruction-side request (IL1) vs data-side (DL1)
+	Excl  bool   // ReqFetch of a shared line for writing (read-for-ownership)
+}
+
+// Coherence is the simulator-side MSI directory the core consults on every
+// access inside the shared-data window. Touch records the access (per-line
+// sharing statistics, the A5 hit events) and reports whether the core
+// currently holds the line in Modified state; the bus-level protocol
+// transitions (fetch, upgrade, invalidation) are performed by the
+// simulator when the corresponding Request is serviced.
+type Coherence interface {
+	Touch(core int, addr uint64, write, l1hit bool) (owns bool)
 }
 
 // Stats aggregates the core's pipeline-level event counts (cache-level
@@ -93,6 +108,15 @@ type Core struct {
 	// (paper footnote 5): stores update the DL1 only on a hit, never
 	// dirty it, and always emit a ReqWriteThrough transaction.
 	WriteThrough bool
+
+	// SharedLimit, when non-zero, is the exclusive upper bound of the
+	// shared-data window [isa.DataBase, SharedLimit): architectural data
+	// addresses inside it are physically shared between the cores (no
+	// per-core rebasing) and every access consults Coh.
+	SharedLimit uint64
+	// Coh is the MSI directory for shared-window accesses (nil when the
+	// coherence layer is off).
+	Coh Coherence
 
 	// Clock is the core-local cycle counter.
 	Clock int64
@@ -296,6 +320,12 @@ func (c *Core) Step() Need {
 			}
 			if si.Op.IsMem() {
 				memAddr := si.MemAddr | c.addrBase
+				shared := c.SharedLimit != 0 && si.MemAddr >= isa.DataBase && si.MemAddr < c.SharedLimit
+				if shared {
+					// Shared-window addresses are physical: every core sees
+					// the same line, so no per-core rebasing.
+					memAddr = si.MemAddr
+				}
 				if c.WriteThrough && si.MemWrite {
 					// Write-through store: DL1 updated on hit only (never
 					// dirtied), and the store always goes outward.
@@ -305,6 +335,23 @@ func (c *Core) Step() Need {
 					return NeedLLC
 				}
 				r := c.DL1.Access(memAddr, si.MemWrite, c.l1Mask, -1)
+				var upgrade, rfo bool
+				if shared && c.Coh != nil {
+					owns := c.Coh.Touch(c.ID, memAddr, si.MemWrite, r.Hit)
+					if si.MemWrite && !owns {
+						// A store without M ownership must invalidate the
+						// peers' copies over the bus before retiring: as an
+						// upgrade of the resident copy, or folded into the
+						// miss fetch as a read-for-ownership.
+						upgrade = r.Hit
+						rfo = !r.Hit
+					}
+				}
+				if upgrade {
+					c.pending = append(c.pending, Request{Kind: ReqUpgrade, Addr: memAddr})
+					c.phase = phRetire
+					return NeedLLC
+				}
 				if !r.Hit {
 					c.stats.DataStalls++
 					if r.Evicted && r.EvictedDirty {
@@ -314,7 +361,7 @@ func (c *Core) Step() Need {
 							Addr: r.EvictedAddr * uint64(c.DL1.Config().LineBytes),
 						})
 					}
-					c.pending = append(c.pending, Request{Kind: ReqFetch, Addr: memAddr})
+					c.pending = append(c.pending, Request{Kind: ReqFetch, Addr: memAddr, Excl: rfo})
 					c.phase = phRetire
 					return NeedLLC
 				}

@@ -163,6 +163,24 @@ func BenchSuite(opt Options, code string, mid int64) (*BenchReport, error) {
 		}
 	})))
 
+	// Multi-level deployment campaign: the same four co-running copies on
+	// the three-level hierarchy (private L1 -> shared L2 -> shared LLC), so
+	// the per-level walk's cost relative to the flat layout is tracked.
+	mcfg := coherenceConfig(mid, 0)
+	mm, err := sim.New(mcfg, dprogs, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	var mres sim.Result
+	report.Results = append(report.Results, record("multilevel_run", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := mm.RunInto(&mres); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})))
+
 	// Hot-path micro-benchmarks: one shared-LLC access and one placement
 	// hash evaluation.
 	llcCfg := cache.Config{

@@ -1,0 +1,288 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"efl/internal/bench"
+	"efl/internal/cache"
+	"efl/internal/isa"
+	"efl/internal/metrics"
+	"efl/internal/runner"
+	"efl/internal/sim"
+	"efl/internal/trace"
+)
+
+// The coherence campaign (-exp coherence): the shared-data workloads from
+// internal/bench run on the three-level platform (private L1 pairs, a
+// shared L2, the shared EFL-protected LLC) with the MSI layer enabled, and
+// every deployment run is audited — A1 (cycle-sum, which now includes the
+// coherence category), A2 (UBD), A3 (the EFL eviction-rate bound, here
+// stressed by invalidation-induced refetches) and A5 (protocol soundness,
+// re-derived from the run's coherence trace). The campaign's second job is
+// diagnosis: the per-line sharing report separates true sharing (SC) from
+// false sharing (FS), the layout artifact a developer can actually fix.
+
+// CoherenceLine is one shared line's multi-core access profile, taken from
+// the campaign's final run of a workload.
+type CoherenceLine struct {
+	Addr     uint64 `json:"addr"`
+	Cores    int    `json:"cores"`
+	Accesses uint64 `json:"accesses"`
+	Writes   uint64 `json:"writes"`
+	// FalseShared: at least two cores touched the line but their word
+	// footprints are pairwise disjoint — every invalidation on this line is
+	// a layout artifact.
+	FalseShared bool `json:"false_shared"`
+}
+
+// CoherenceRow is one shared-data workload's campaign outcome.
+type CoherenceRow struct {
+	Code string `json:"code"`
+	Name string `json:"name"`
+	Runs int    `json:"runs"`
+	// MeanCycles is the mean deployment makespan (slowest core).
+	MeanCycles float64 `json:"mean_cycles"`
+	// Protocol traffic totals across all runs.
+	Upgrades      uint64 `json:"upgrades"`
+	ExclFetches   uint64 `json:"excl_fetches"`
+	Invalidations uint64 `json:"invalidations"`
+	Downgrades    uint64 `json:"downgrades"`
+	// CoherenceCycles is the total cycles attributed to the coherence
+	// category across all cores and runs; CoherenceShare is its fraction of
+	// the summed active-core cycles.
+	CoherenceCycles int64   `json:"coherence_cycles"`
+	CoherenceShare  float64 `json:"coherence_share"`
+	// Lines is the final run's per-line sharing report (lines touched by
+	// two or more cores); FalseSharedLines counts the false-shared ones.
+	Lines            []CoherenceLine `json:"lines,omitempty"`
+	FalseSharedLines int             `json:"false_shared_lines"`
+	// Invariants is the workload's private audit report.
+	Invariants map[string]sim.InvariantReport `json:"invariants,omitempty"`
+	// A3Holds: the EFL eviction-rate bound held on every audited run under
+	// this workload's invalidation load. A5Holds: the MSI protocol kept
+	// SWMR and served no stale data on any run.
+	A3Holds bool `json:"a3_holds"`
+	A5Holds bool `json:"a5_holds"`
+}
+
+// CoherenceResult is the -exp coherence artifact payload.
+type CoherenceResult struct {
+	Opt    Options        `json:"opt"`
+	MID    int64          `json:"mid"`
+	Levels []string       `json:"levels"`
+	Rows   []CoherenceRow `json:"rows"`
+	// AllSound: every audited invariant held on every run of every workload.
+	AllSound bool `json:"all_sound"`
+}
+
+// coherenceConfig is the campaign platform: private 4KB L1 pairs, a shared
+// 16KB 4-way L2 at 6 cycles, the 64KB 8-way EFL-protected LLC at 10
+// cycles, and the MSI layer over a sharedBytes-byte window.
+func coherenceConfig(mid int64, sharedBytes int) sim.Config {
+	cfg := sim.DefaultConfig()
+	if mid > 0 {
+		cfg = cfg.WithEFL(mid)
+	}
+	cfg.Hierarchy = []cache.LevelSpec{
+		{Name: "L1", SizeBytes: 4 * 1024, Ways: 4, LatencyCycles: 1, Policy: cache.TimeRandomised},
+		{Name: "L2", SizeBytes: 16 * 1024, Ways: 4, Shared: true, LatencyCycles: 6, Policy: cache.TimeRandomised},
+		{Name: "LLC", SizeBytes: 64 * 1024, Ways: 8, Shared: true, LatencyCycles: 10, Policy: cache.TimeRandomised},
+	}
+	cfg.SharedDataBytes = sharedBytes
+	return cfg
+}
+
+// coherenceRuns bounds the deployment runs per workload: protocol traffic
+// and the audit verdicts stabilise quickly, so the campaign does not need
+// an MBPTA-sized sample.
+func coherenceRuns(opt Options) int {
+	runs := opt.Runs
+	if runs > 25 {
+		runs = 25
+	}
+	if runs < 1 {
+		runs = 1
+	}
+	return runs
+}
+
+// Coherence runs the shared-data coherence campaign.
+func Coherence(opt Options, mid int64) (*CoherenceResult, error) {
+	opt = opt.withDefaults()
+	emit := opt.progressSink()
+	specs := bench.Shared()
+
+	rows, err := runner.MapWithState(opt.context(), opt.runnerOptions(), opt.newPool, specs,
+		func(ctx context.Context, pool *sim.Pool, _ int, spec bench.SharedSpec) (CoherenceRow, error) {
+			row, err := runCoherenceWorkload(ctx, opt, pool, spec, mid)
+			if err == nil {
+				emit(fmt.Sprintf("coherence %-2s runs=%d invals=%d false-shared=%d a3=%v a5=%v",
+					spec.Code, row.Runs, row.Invalidations, row.FalseSharedLines, row.A3Holds, row.A5Holds))
+			}
+			return row, err
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	cfg := coherenceConfig(mid, 0)
+	res := &CoherenceResult{Opt: opt, MID: mid, AllSound: true}
+	for _, lv := range cfg.Hierarchy {
+		res.Levels = append(res.Levels, lv.Name)
+	}
+	for _, row := range rows {
+		for _, iv := range row.Invariants {
+			if iv.Violations > 0 {
+				res.AllSound = false
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// runCoherenceWorkload runs and audits one shared-data workload.
+func runCoherenceWorkload(ctx context.Context, opt Options, pool *sim.Pool, spec bench.SharedSpec, mid int64) (CoherenceRow, error) {
+	row := CoherenceRow{Code: spec.Code, Name: spec.Name}
+	cfg := coherenceConfig(mid, spec.SharedBytes)
+	progs := make([]*isa.Program, cfg.Cores)
+	for i := range progs {
+		progs[i] = spec.Build(i)
+	}
+	seed := campaignSeed(opt.Seed, "coherence/"+spec.Code)
+	runs := coherenceRuns(opt)
+
+	aud := sim.NewAuditor()
+	buf := trace.NewBuffer(1<<20).Keep(
+		trace.EvCohFetch, trace.EvCohUpgrade, trace.EvCohInval, trace.EvCohHit)
+	var res sim.Result
+	var coreCycles int64
+	for i := 0; i < runs; i++ {
+		if err := ctx.Err(); err != nil {
+			return row, err
+		}
+		m, err := pool.Get(cfg, progs, seed+uint64(i))
+		if err != nil {
+			return row, err
+		}
+		buf.Reset()
+		m.SetTracer(buf)
+		err = m.RunInto(&res)
+		m.SetTracer(nil)
+		if err != nil {
+			return row, fmt.Errorf("%s run %d: %w", spec.Code, i, err)
+		}
+		// Both auditors see every run: the private one carries the row's
+		// verdicts, the campaign-global one (-audit) gates the command.
+		if err := pool.AuditRun(cfg, &res); err != nil {
+			return row, err
+		}
+		_ = aud.CheckRun(cfg, &res)
+		_ = aud.CheckCoherence(cfg, buf.Events())
+		_ = opt.Audit.CheckCoherence(cfg, buf.Events())
+
+		cs := m.CoherenceStats()
+		row.Upgrades += cs.Upgrades
+		row.ExclFetches += cs.ExclFetches
+		row.Invalidations += cs.Invalidations
+		row.Downgrades += cs.Downgrades
+		row.MeanCycles += float64(res.TotalCycles)
+		for _, cr := range res.PerCore {
+			if !cr.Active {
+				continue
+			}
+			coreCycles += cr.Cycles
+			row.CoherenceCycles += cr.Attribution[metrics.Coherence]
+		}
+		if i == runs-1 {
+			for _, ls := range m.SharingReport() {
+				if ls.Cores < 2 {
+					continue
+				}
+				row.Lines = append(row.Lines, CoherenceLine{
+					Addr: ls.Addr, Cores: ls.Cores,
+					Accesses: ls.Accesses, Writes: ls.Writes,
+					FalseShared: ls.FalseShared,
+				})
+				if ls.FalseShared {
+					row.FalseSharedLines++
+				}
+			}
+		}
+		row.Runs++
+	}
+	row.MeanCycles /= float64(row.Runs)
+	if coreCycles > 0 {
+		row.CoherenceShare = float64(row.CoherenceCycles) / float64(coreCycles)
+	}
+
+	rep := aud.Report()
+	row.Invariants = rep.Invariants
+	a3 := rep.Invariants[sim.AuditEvictionRate]
+	row.A3Holds = a3.Checks > 0 && a3.Violations == 0
+	a5 := rep.Invariants[sim.AuditCoherence]
+	row.A5Holds = a5.Checks > 0 && a5.Violations == 0
+	return row, nil
+}
+
+// Render prints the coherence-campaign report.
+func (r *CoherenceResult) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Coherence campaign: shared-data workloads on %s (MSI, EFL MID=%d), %d deployment runs each\n",
+		strings.Join(r.Levels, "/"), r.MID, coherenceRuns(r.Opt))
+	fmt.Fprintf(&sb, "%-4s %-16s %4s %12s %9s %9s %7s %7s %8s %6s %4s %4s\n",
+		"code", "workload", "runs", "mean cycles", "upgrades", "invals", "rfo", "dwngrd", "coh-cyc%", "fslns", "A3", "A5")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-4s %-16s %4d %12.0f %9d %9d %7d %7d %7.2f%% %6d %4s %4s\n",
+			row.Code, row.Name, row.Runs, row.MeanCycles,
+			row.Upgrades, row.Invalidations, row.ExclFetches, row.Downgrades,
+			100*row.CoherenceShare, row.FalseSharedLines,
+			mark(row.A3Holds), mark(row.A5Holds))
+	}
+	for _, row := range r.Rows {
+		if row.FalseSharedLines == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "\n%s: %d of %d multi-core lines are falsely shared (disjoint word footprints):\n",
+			row.Code, row.FalseSharedLines, len(row.Lines))
+		for _, ln := range row.Lines {
+			if !ln.FalseShared {
+				continue
+			}
+			fmt.Fprintf(&sb, "  line %#x: %d cores, %d accesses (%d writes)\n",
+				ln.Addr, ln.Cores, ln.Accesses, ln.Writes)
+		}
+	}
+	sb.WriteString("\n")
+	if a3All(r.Rows) {
+		fmt.Fprintf(&sb, "A3: the EFL eviction-rate bound (MID=%d) held on every run under measured invalidation traffic\n", r.MID)
+	} else {
+		fmt.Fprintf(&sb, "A3 VIOLATED: invalidation load pushed a core past the MID=%d eviction-rate bound\n", r.MID)
+	}
+	if r.AllSound {
+		sb.WriteString("all audited invariants (A1, A2, A3, A5) held on every run\n")
+	} else {
+		sb.WriteString("AUDIT VIOLATION: at least one invariant failed; see the per-workload reports in the artifact\n")
+	}
+	return sb.String()
+}
+
+// a3All reports whether A3 held for every workload row.
+func a3All(rows []CoherenceRow) bool {
+	for _, row := range rows {
+		if !row.A3Holds {
+			return false
+		}
+	}
+	return true
+}
+
+// mark renders a verdict column.
+func mark(ok bool) string {
+	if ok {
+		return "ok"
+	}
+	return "FAIL"
+}

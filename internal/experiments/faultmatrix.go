@@ -7,10 +7,12 @@ import (
 	"sort"
 	"strings"
 
+	"efl/internal/bench"
 	"efl/internal/fault"
 	"efl/internal/isa"
 	"efl/internal/runner"
 	"efl/internal/sim"
+	"efl/internal/trace"
 )
 
 // The fault-injection detection matrix (-exp faultmatrix): every fault
@@ -35,8 +37,12 @@ type faultScenario struct {
 	// deployment mode otherwise (Codes[i] runs on core i, rest idle).
 	Analysis bool
 	Codes    []string
-	MID      int64 // 0 disables EFL
-	Plan     fault.Plan
+	// SharedCode, when set, runs the named shared-data workload
+	// (bench.SharedByCode) on every core with the MSI layer enabled, and the
+	// job replays each run's coherence trace through the A5 invariant.
+	SharedCode string
+	MID        int64 // 0 disables EFL
+	Plan       fault.Plan
 	// WDMult sizes the watchdog budget: max calibration cycles x WDMult.
 	WDMult int64
 	// Propagate lets a watchdog kill fail the whole job (the hang-class
@@ -86,6 +92,9 @@ func faultScenarios() []faultScenario {
 		{Class: string(fault.MemOverrun), Codes: []string{"CA"}, MID: 0,
 			Plan: fault.Single(fault.MemOverrun, fault.AllCores), WDMult: 4,
 			Expect: sim.AuditUBD},
+		{Class: string(fault.CohDroppedInval), SharedCode: "SC", MID: 500,
+			Plan: fault.Single(fault.CohDroppedInval, 1), WDMult: 4,
+			Expect: sim.AuditCoherence},
 		{Class: string(fault.JobPanic),
 			Expect: "recover"},
 	}
@@ -198,7 +207,7 @@ func FaultMatrix(opt Options) (*FaultMatrixResult, error) {
 // scenarioMode renders the scenario's simulation mode for the matrix.
 func scenarioMode(sc faultScenario) string {
 	switch {
-	case len(sc.Codes) == 0:
+	case len(sc.Codes) == 0 && sc.SharedCode == "":
 		return "-"
 	case sc.Analysis:
 		return "analysis"
@@ -217,6 +226,17 @@ func scenarioConfig(sc faultScenario) (sim.Config, []*isa.Program, error) {
 		cfg = cfg.WithAnalysis(0)
 	}
 	progs := make([]*isa.Program, cfg.Cores)
+	if sc.SharedCode != "" {
+		spec, err := bench.SharedByCode(sc.SharedCode)
+		if err != nil {
+			return cfg, nil, err
+		}
+		cfg.SharedDataBytes = spec.SharedBytes
+		for i := range progs {
+			progs[i] = spec.Build(i)
+		}
+		return cfg, progs, nil
+	}
 	for i, code := range sc.Codes {
 		s, err := specByCode(code)
 		if err != nil {
@@ -266,6 +286,14 @@ func runFaultScenario(ctx context.Context, opt Options, pool *sim.Pool, sc fault
 	row.Budget = budget
 
 	aud := sim.NewAuditor()
+	// Coherence scenarios replay every injected run's protocol trace
+	// through the A5 invariant: a dropped invalidation leaves a stale L1
+	// copy whose later local hit contradicts the re-derived directory state.
+	var cohBuf *trace.Buffer
+	if sc.SharedCode != "" {
+		cohBuf = trace.NewBuffer(1<<20).Keep(
+			trace.EvCohFetch, trace.EvCohUpgrade, trace.EvCohInval, trace.EvCohHit)
+	}
 	for i := 0; i < opt.FaultRuns; i++ {
 		if err := ctx.Err(); err != nil {
 			return row, err
@@ -275,12 +303,19 @@ func runFaultScenario(ctx context.Context, opt Options, pool *sim.Pool, sc fault
 			return row, err
 		}
 		m.SetWatchdog(budget)
+		if cohBuf != nil {
+			cohBuf.Reset()
+			m.SetTracer(cohBuf)
+		}
 		if len(sc.Plan.Injections) > 0 {
 			if err := m.ArmFaults(sc.Plan); err != nil {
 				return row, err
 			}
 		}
 		err = m.RunInto(&res)
+		if cohBuf != nil {
+			m.SetTracer(nil)
+		}
 		if err != nil {
 			// The platform died mid-run: whatever state it holds is not
 			// trustworthy. Never hand it back to the pool.
@@ -296,6 +331,9 @@ func runFaultScenario(ctx context.Context, opt Options, pool *sim.Pool, sc fault
 		}
 		// Violations are the point; the per-row report collects them.
 		_ = aud.CheckRun(cfg, &res)
+		if cohBuf != nil {
+			_ = aud.CheckCoherence(cfg, cohBuf.Events())
+		}
 		row.Runs++
 	}
 
@@ -319,6 +357,7 @@ var matrixChannels = []struct{ head, name string }{
 	{"A2", sim.AuditUBD},
 	{"A3", sim.AuditEvictionRate},
 	{"A4", sim.AuditEVTCrossCheck},
+	{"A5", sim.AuditCoherence},
 	{"WD", "watchdog"},
 	{"RC", "recover"},
 }
@@ -328,7 +367,7 @@ func (r *FaultMatrixResult) Render() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Fault-injection detection matrix: %d injected runs/class, watchdog budget = %d fault-free calibration runs x multiplier\n",
 		r.Opt.FaultRuns, r.Opt.FaultCalib)
-	fmt.Fprintf(&sb, "channels: A1 cycle-sum, A2 ubd, A3 eviction-rate, A4 evt-crosscheck, WD runner watchdog, RC panic recovery\n\n")
+	fmt.Fprintf(&sb, "channels: A1 cycle-sum, A2 ubd, A3 eviction-rate, A4 evt-crosscheck, A5 coherence, WD runner watchdog, RC panic recovery\n\n")
 	fmt.Fprintf(&sb, "%-20s %-10s %-9s %4s %5s", "class", "mode", "status", "runs", "kills")
 	for _, ch := range matrixChannels {
 		fmt.Fprintf(&sb, "  %2s", ch.head)

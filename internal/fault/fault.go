@@ -55,6 +55,11 @@ const (
 	// MemOverrun makes every 4th memory read complete Param cycles late,
 	// exceeding the controller's composable Upper Bound Delay.
 	MemOverrun Class = "mem-overrun"
+	// CohDroppedInval drops every MSI invalidation addressed to the target
+	// core: the directory transitions but the core's L1 copy survives, so a
+	// later local hit reads stale data. Requires a platform with the
+	// coherence layer enabled and a specific target core.
+	CohDroppedInval Class = "coh-dropped-inval"
 	// JobPanic is a software fault injected above the simulator: the
 	// campaign job panics mid-flight. It exercises the runner's panic
 	// isolation, not a hardware hook, and is rejected by ArmFaults.
@@ -68,6 +73,7 @@ func Classes() []Class {
 		CacheDisabledWays, CacheTagFlip,
 		RNGStuck, RNGBiased,
 		BusStarvation, MemOverrun,
+		CohDroppedInval,
 		JobPanic,
 	}
 }
@@ -135,6 +141,10 @@ func (p Plan) Validate(cores, llcWays int) error {
 		switch inj.Class {
 		case EFLStuckEAB, EFLDeadCRG, RNGStuck:
 			// Parameterless; RNGStuck is stuck-at-zero by definition.
+		case CohDroppedInval:
+			if inj.Core == AllCores {
+				return fmt.Errorf("fault: injection %d (%s): needs a specific target core", i, inj.Class)
+			}
 		case EFLSaturatedCDC, BusStarvation, MemOverrun:
 			if param <= 0 {
 				return fmt.Errorf("fault: injection %d (%s): magnitude must be positive", i, inj.Class)

@@ -14,6 +14,7 @@ func TestValidate(t *testing.T) {
 		Single(RNGBiased, AllCores),
 		Single(BusStarvation, 1),
 		Single(MemOverrun, AllCores),
+		Single(CohDroppedInval, 2),
 		{Injections: []Injection{{Class: CacheDisabledWays, Core: AllCores, Param: 0x01}}},
 	}
 	for i, p := range ok {
@@ -28,8 +29,9 @@ func TestValidate(t *testing.T) {
 		{Injections: []Injection{{Class: CacheDisabledWays, Core: 0, Param: 0xFF}}},      // all ways disabled
 		{Injections: []Injection{{Class: CacheDisabledWays, Core: 0, Param: 0x100}}},     // no way disabled
 		{Injections: []Injection{{Class: RNGBiased, Core: 0, Param: int64(^uint32(0))}}}, // identity mask
-		Single(JobPanic, 0), // software fault, not armable
-		{Injections: []Injection{{Class: "bogus", Core: 0}}}, // unknown class
+		Single(CohDroppedInval, AllCores),                                                // needs a specific target core
+		Single(JobPanic, 0),                                                              // software fault, not armable
+		{Injections: []Injection{{Class: "bogus", Core: 0}}},                             // unknown class
 	}
 	for i, p := range bad {
 		if err := p.Validate(cores, ways); err == nil {
@@ -60,7 +62,8 @@ func TestClassesCoversAll(t *testing.T) {
 		EFLStuckEAB: true, EFLSaturatedCDC: true, EFLDeadCRG: true,
 		CacheDisabledWays: true, CacheTagFlip: true,
 		RNGStuck: true, RNGBiased: true,
-		BusStarvation: true, MemOverrun: true, JobPanic: true,
+		BusStarvation: true, MemOverrun: true,
+		CohDroppedInval: true, JobPanic: true,
 	}
 	got := Classes()
 	if len(got) != len(want) {

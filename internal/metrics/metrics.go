@@ -51,6 +51,11 @@ const (
 	// MemWait is memory-controller time for blocking reads: queueing
 	// plus service at deployment, the UBD charge at analysis.
 	MemWait
+	// Coherence is time spent on MSI coherence transactions for shared
+	// data: the bus wait plus slot of an upgrade (invalidation broadcast)
+	// a store to a non-owned shared line must win before retiring. Zero
+	// unless Config.SharedDataBytes enables the coherence layer.
+	Coherence
 
 	// NumCategories is the number of attribution categories.
 	NumCategories
@@ -58,6 +63,7 @@ const (
 
 var categoryNames = [NumCategories]string{
 	"execute", "bus_wait", "bus_slot", "llc_lookup", "eab_stall", "mem_wait",
+	"coherence",
 }
 
 // String implements fmt.Stringer.

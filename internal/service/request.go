@@ -26,6 +26,7 @@ import (
 	"strconv"
 
 	"efl/internal/bench"
+	"efl/internal/cache"
 	"efl/internal/isa"
 	"efl/internal/sim"
 )
@@ -98,7 +99,8 @@ func benchByCode(code string) (bench.Spec, error) {
 
 // ConfigSpec is the platform-knob subset a request may override; nil
 // fields keep the paper's DefaultConfig values. MID and PartitionWays are
-// alternatives (the platform rejects both at once).
+// alternatives (the platform rejects both at once), and Hierarchy is
+// mutually exclusive with the flat L1*/LLC* geometry knobs it replaces.
 type ConfigSpec struct {
 	Cores         *int   `json:"cores,omitempty"`
 	MID           *int64 `json:"mid,omitempty"`
@@ -109,6 +111,45 @@ type ConfigSpec struct {
 	LLCWays       *int   `json:"llc_ways,omitempty"`
 	LineBytes     *int   `json:"line_bytes,omitempty"`
 	WriteThrough  *bool  `json:"write_through,omitempty"`
+	// Hierarchy replaces the default two-level layout with an explicit
+	// level list (first level private per core, the rest shared, the last
+	// one EFL-protected).
+	Hierarchy []LevelSpecJSON `json:"hierarchy,omitempty"`
+	// SharedDataBytes enables the MSI coherence layer over a shared-data
+	// window of that many bytes (0 keeps data private per core).
+	SharedDataBytes *int `json:"shared_data_bytes,omitempty"`
+}
+
+// LevelSpecJSON is one cache level of a request's hierarchy override.
+type LevelSpecJSON struct {
+	Name          string `json:"name"`
+	SizeBytes     int    `json:"size_bytes"`
+	Ways          int    `json:"ways"`
+	Shared        bool   `json:"shared,omitempty"`
+	LatencyCycles int64  `json:"latency_cycles"`
+	// Policy is "tr" (time-randomised, the default) or "td"
+	// (time-deterministic LRU).
+	Policy string `json:"policy,omitempty"`
+}
+
+// level maps the JSON shape onto the simulator's level descriptor.
+func (ls LevelSpecJSON) level() (cache.LevelSpec, error) {
+	spec := cache.LevelSpec{
+		Name:          ls.Name,
+		SizeBytes:     ls.SizeBytes,
+		Ways:          ls.Ways,
+		Shared:        ls.Shared,
+		LatencyCycles: ls.LatencyCycles,
+	}
+	switch ls.Policy {
+	case "", "tr":
+		spec.Policy = cache.TimeRandomised
+	case "td":
+		spec.Policy = cache.TimeDeterministic
+	default:
+		return spec, fmt.Errorf("hierarchy level %q: unknown policy %q (want tr or td)", ls.Name, ls.Policy)
+	}
+	return spec, nil
 }
 
 // resolve applies the overrides to DefaultConfig and validates the result.
@@ -140,6 +181,22 @@ func (cs ConfigSpec) resolve() (sim.Config, error) {
 	}
 	if cs.WriteThrough != nil {
 		cfg.DL1WriteThrough = *cs.WriteThrough
+	}
+	if len(cs.Hierarchy) > 0 {
+		if cs.L1SizeBytes != nil || cs.L1Ways != nil || cs.LLCSizeBytes != nil || cs.LLCWays != nil {
+			return sim.Config{}, fmt.Errorf("config: hierarchy and the flat l1_*/llc_* geometry knobs are mutually exclusive")
+		}
+		cfg.Hierarchy = make([]cache.LevelSpec, len(cs.Hierarchy))
+		for i, ls := range cs.Hierarchy {
+			lv, err := ls.level()
+			if err != nil {
+				return sim.Config{}, fmt.Errorf("config: %w", err)
+			}
+			cfg.Hierarchy[i] = lv
+		}
+	}
+	if cs.SharedDataBytes != nil {
+		cfg.SharedDataBytes = *cs.SharedDataBytes
 	}
 	if err := cfg.Validate(); err != nil {
 		return sim.Config{}, fmt.Errorf("config: %w", err)
@@ -247,9 +304,9 @@ type EstimateResponse struct {
 
 // IIDSummary reports the MBPTA compliance gate.
 type IIDSummary struct {
-	WWAbsZ  float64 `json:"ww_abs_z"`
+	WWAbsZ   float64 `json:"ww_abs_z"`
 	KSPValue float64 `json:"ks_p_value"`
-	Passed  bool    `json:"passed"`
+	Passed   bool    `json:"passed"`
 }
 
 // ScheduleRequest is the POST /v1/schedule body: pack the tasks first-fit
@@ -270,8 +327,8 @@ type TaskSpec struct {
 
 // ScheduleResponse reports the packed schedule and its feasibility check.
 type ScheduleResponse struct {
-	Feasible bool          `json:"feasible"`
-	Frames   [][]SlotJSON  `json:"frames"`
+	Feasible bool            `json:"feasible"`
+	Frames   [][]SlotJSON    `json:"frames"`
 	Slots    []SlotCheckJSON `json:"slots"`
 }
 

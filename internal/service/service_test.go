@@ -636,3 +636,73 @@ func TestBatchRequiresConverge(t *testing.T) {
 		t.Fatalf("error should explain the converge requirement: %s", data)
 	}
 }
+
+// TestHierarchyOverride pins the multi-level config surface: a request can
+// replace the default two-level layout with an explicit hierarchy (plus a
+// shared-data window), the campaign runs end-to-end on it, and malformed
+// hierarchies are rejected as client errors before any simulation work.
+func TestHierarchyOverride(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	threeLevel := []map[string]any{
+		{"name": "L1", "size_bytes": 4096, "ways": 4, "latency_cycles": 1},
+		{"name": "L2", "size_bytes": 16384, "ways": 4, "shared": true, "latency_cycles": 6},
+		{"name": "LLC", "size_bytes": 65536, "ways": 8, "shared": true, "latency_cycles": 10},
+	}
+	body := estimateBody(t, tinySrc, 40, 2, map[string]any{
+		"config": map[string]any{"mid": 500, "hierarchy": threeLevel, "shared_data_bytes": 256},
+		"audit":  true,
+	})
+	resp, data := postJSON(t, ts.URL+"/v1/estimate", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("three-level estimate: HTTP %d: %s", resp.StatusCode, data)
+	}
+	var est EstimateResponse
+	if err := json.Unmarshal(data, &est); err != nil {
+		t.Fatalf("response: %v\n%s", err, data)
+	}
+	if est.Runs != 40 || est.MaxObserved <= 0 {
+		t.Fatalf("implausible three-level estimate: %s", data)
+	}
+
+	// The flat default must live in a different cache entry than the
+	// explicit hierarchy (different resolved identity).
+	flat := estimateBody(t, tinySrc, 40, 2, map[string]any{"audit": true})
+	respFlat, dataFlat := postJSON(t, ts.URL+"/v1/estimate", flat)
+	if respFlat.StatusCode != http.StatusOK {
+		t.Fatalf("flat estimate: HTTP %d: %s", respFlat.StatusCode, dataFlat)
+	}
+	if respFlat.Header.Get("X-Cache") != "miss" {
+		t.Fatalf("flat estimate should not share the hierarchy request's cache entry")
+	}
+
+	bad := []struct {
+		name   string
+		config map[string]any
+		want   string
+	}{
+		{"L1 shared", map[string]any{"hierarchy": []map[string]any{
+			{"name": "L1", "size_bytes": 4096, "ways": 4, "shared": true, "latency_cycles": 1},
+			{"name": "LLC", "size_bytes": 65536, "ways": 8, "shared": true, "latency_cycles": 10},
+		}}, "shared"},
+		{"unknown policy", map[string]any{"hierarchy": []map[string]any{
+			{"name": "L1", "size_bytes": 4096, "ways": 4, "latency_cycles": 1, "policy": "rr"},
+			{"name": "LLC", "size_bytes": 65536, "ways": 8, "shared": true, "latency_cycles": 10},
+		}}, "policy"},
+		{"flat knobs alongside hierarchy", map[string]any{
+			"llc_ways": 4, "hierarchy": threeLevel,
+		}, "mutually exclusive"},
+		{"bad shared window", map[string]any{"shared_data_bytes": 24}, "multiple"},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			body := estimateBody(t, tinySrc, 40, 2, map[string]any{"config": tc.config})
+			resp, data := postJSON(t, ts.URL+"/v1/estimate", body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("HTTP %d, want 400: %s", resp.StatusCode, data)
+			}
+			if !strings.Contains(string(data), tc.want) {
+				t.Fatalf("error %s should mention %q", data, tc.want)
+			}
+		})
+	}
+}

@@ -49,6 +49,9 @@ func (m *Multicore) Rewind(seed uint64) {
 	m.bus.Reseed(m.rnd.Uint64())
 	m.ac.Reseed(m.rnd.Uint64())
 	m.ac.SetFixed(m.cfg.EFLFixedMID)
+	for i := range m.mids {
+		m.mids[i].Reseed(m.rnd.Uint64())
+	}
 	for _, ctl := range m.cores {
 		if ctl.core != nil {
 			ctl.core.IL1.Reseed(m.rnd.Uint64())
@@ -190,6 +193,11 @@ func (m *Multicore) RunAnalysisInto(res *Result) error {
 // the run-abort bounds (instruction ceiling, cycle limit — the latter set
 // per run by setReplayYield).
 func (m *Multicore) setReplay(tr *cpu.Trace) {
+	if m.coh != nil {
+		// Replay elides same-line repeat accesses, which would skip the
+		// per-access coherence Touch; coherent platforms always interpret.
+		return
+	}
 	if ctl := m.cores[m.cfg.AnalysedCore]; ctl.core != nil {
 		ctl.core.SetReplay(tr)
 		if tr != nil {

@@ -85,6 +85,24 @@ type Config struct {
 	MaxInstrPerCore uint64
 	// MaxCycles aborts runaway simulations (default 2^62).
 	MaxCycles int64
+
+	// Hierarchy, when non-nil, replaces the flat L1*/LLC* geometry with an
+	// ordered level-indexed descriptor: level 0 is the private per-core L1
+	// pair (IL1+DL1), the last level is the shared cache the EFL gate
+	// protects, and any levels between are shared intermediates consulted
+	// in order on the way out. Nil means the legacy two-level layout
+	// derived from the flat fields (bit-identical to the pre-hierarchy
+	// simulator); an explicitly set empty slice is a validation error.
+	Hierarchy []cache.LevelSpec
+
+	// SharedDataBytes, when positive, marks the first SharedDataBytes bytes
+	// of the data segment [isa.DataBase, isa.DataBase+SharedDataBytes) as
+	// physically shared between the cores (no per-core address rebasing)
+	// and enables the MSI coherence layer over the private data caches:
+	// stores to shared lines invalidate peer copies through the bus, and
+	// the cycles spent doing so are attributed to metrics.Coherence.
+	// 0 (the default) keeps all data private per core.
+	SharedDataBytes int
 }
 
 // DefaultConfig returns the paper's experimental platform (§4.1): 4 cores;
@@ -138,15 +156,57 @@ func (c Config) Validate() error {
 	if c.Cores < 1 {
 		return fmt.Errorf("sim: need at least one core")
 	}
-	l1 := cache.Config{Name: "L1", SizeBytes: c.L1SizeBytes, Ways: c.L1Ways,
-		LineBytes: c.LineBytes, Policy: c.Policy}
-	if err := l1.Validate(); err != nil {
-		return err
+	if c.Hierarchy != nil {
+		if len(c.Hierarchy) == 0 {
+			return fmt.Errorf("sim: hierarchy descriptor has zero levels")
+		}
+		if len(c.Hierarchy) < 2 {
+			return fmt.Errorf("sim: hierarchy needs at least two levels (private L1 + shared last level), got %d", len(c.Hierarchy))
+		}
+		if c.DL1WriteThrough {
+			return fmt.Errorf("sim: DL1WriteThrough is only supported on the default two-level hierarchy")
+		}
+		seen := make(map[string]bool, len(c.Hierarchy))
+		for i, s := range c.Hierarchy {
+			if err := s.Validate(c.LineBytes); err != nil {
+				return fmt.Errorf("sim: hierarchy level %d: %w", i, err)
+			}
+			if seen[s.Name] {
+				return fmt.Errorf("sim: duplicate hierarchy level name %q", s.Name)
+			}
+			seen[s.Name] = true
+			if i == 0 && s.Shared {
+				return fmt.Errorf("sim: hierarchy level 0 (%q) is the per-core L1 and cannot be shared", s.Name)
+			}
+			if i > 0 && !s.Shared {
+				return fmt.Errorf("sim: hierarchy level %d (%q) must be shared; only level 0 is private", i, s.Name)
+			}
+		}
+	} else {
+		l1 := cache.Config{Name: "L1", SizeBytes: c.L1SizeBytes, Ways: c.L1Ways,
+			LineBytes: c.LineBytes, Policy: c.Policy}
+		if err := l1.Validate(); err != nil {
+			return err
+		}
+		llc := cache.Config{Name: "LLC", SizeBytes: c.LLCSizeBytes, Ways: c.LLCWays,
+			LineBytes: c.LineBytes, Policy: c.Policy}
+		if err := llc.Validate(); err != nil {
+			return err
+		}
 	}
-	llc := cache.Config{Name: "LLC", SizeBytes: c.LLCSizeBytes, Ways: c.LLCWays,
-		LineBytes: c.LineBytes, Policy: c.Policy}
-	if err := llc.Validate(); err != nil {
-		return err
+	if c.SharedDataBytes < 0 {
+		return fmt.Errorf("sim: negative SharedDataBytes")
+	}
+	if c.SharedDataBytes > 0 {
+		if c.LineBytes <= 0 || c.SharedDataBytes%c.LineBytes != 0 {
+			return fmt.Errorf("sim: SharedDataBytes %d is not a multiple of the line size %d", c.SharedDataBytes, c.LineBytes)
+		}
+		if c.SharedDataBytes >= 1<<30 {
+			return fmt.Errorf("sim: SharedDataBytes %d overruns the data segment", c.SharedDataBytes)
+		}
+		if c.DL1WriteThrough {
+			return fmt.Errorf("sim: coherence (SharedDataBytes) requires write-back data caches")
+		}
 	}
 	if c.BusSlotCycles < 1 || c.LLCHitCycles < 1 || c.MemCycles < 1 || c.MemSlotCycles < 1 {
 		return fmt.Errorf("sim: latencies must be positive")
@@ -177,8 +237,8 @@ func (c Config) Validate() error {
 			// New rejects active cores with empty partitions.
 			sum += w
 		}
-		if sum > c.LLCWays {
-			return fmt.Errorf("sim: partition uses %d of %d LLC ways", sum, c.LLCWays)
+		if last := c.llcConfig(); sum > last.Ways {
+			return fmt.Errorf("sim: partition uses %d of %d LLC ways", sum, last.Ways)
 		}
 	}
 	if c.Mode == efl.Analysis && (c.AnalysedCore < 0 || c.AnalysedCore >= c.Cores) {
@@ -187,23 +247,58 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// l1Config returns the private-cache geometry.
-func (c Config) l1Config(name string) cache.Config {
-	return cache.Config{Name: name, SizeBytes: c.L1SizeBytes, Ways: c.L1Ways,
-		LineBytes: c.LineBytes, Policy: c.Policy}
+// levels returns the ordered hierarchy descriptor: the configured
+// Hierarchy when set, otherwise the legacy two-level layout derived from
+// the flat fields (level 0 = the private L1 pair, level 1 = the shared
+// LLC at LLCHitCycles).
+func (c Config) levels() []cache.LevelSpec {
+	if c.Hierarchy != nil {
+		return c.Hierarchy
+	}
+	return []cache.LevelSpec{
+		{Name: "L1", SizeBytes: c.L1SizeBytes, Ways: c.L1Ways,
+			LatencyCycles: 1, Policy: c.Policy},
+		{Name: "LLC", SizeBytes: c.LLCSizeBytes, Ways: c.LLCWays,
+			Shared: true, LatencyCycles: c.LLCHitCycles, Policy: c.Policy},
+	}
 }
 
-// llcConfig returns the shared-cache geometry.
-func (c Config) llcConfig() cache.Config {
-	return cache.Config{Name: "LLC", SizeBytes: c.LLCSizeBytes, Ways: c.LLCWays,
-		LineBytes: c.LineBytes, Policy: c.Policy}
+// midSpecs returns the shared intermediate levels (between the L1 pair
+// and the last level) — empty for the default two-level layout.
+func (c Config) midSpecs() []cache.LevelSpec {
+	lv := c.levels()
+	return lv[1 : len(lv)-1]
 }
+
+// l1Config returns the private-cache geometry.
+func (c Config) l1Config(name string) cache.Config {
+	cfg := c.levels()[0].Config(c.LineBytes)
+	cfg.Name = name
+	return cfg
+}
+
+// llcConfig returns the last shared level's geometry (the level the EFL
+// gate protects — named "LLC" on the default layout).
+func (c Config) llcConfig() cache.Config {
+	lv := c.levels()
+	return lv[len(lv)-1].Config(c.LineBytes)
+}
+
+// firstSharedLatency returns the lookup latency charged at bus grant: the
+// latency of the first shared level a miss walks into. On the default
+// layout this is LLCHitCycles.
+func (c Config) firstSharedLatency() int64 {
+	return c.levels()[1].LatencyCycles
+}
+
+// coherent reports whether the MSI shared-data layer is enabled.
+func (c Config) coherent() bool { return c.SharedDataBytes > 0 }
 
 // llcMask returns core i's LLC way mask under the configuration. A core
 // with a 0-way partition gets an empty mask; it must stay idle.
 func (c Config) llcMask(core int) cache.WayMask {
 	if c.PartitionWays == nil {
-		return cache.FullMask(c.LLCWays)
+		return cache.FullMask(c.llcConfig().Ways)
 	}
 	if c.PartitionWays[core] == 0 {
 		return 0

@@ -96,6 +96,11 @@ func (m *Multicore) ArmFaults(plan fault.Plan) error {
 			m.bus.InjectStarvation(inj.Core, param)
 		case fault.MemOverrun:
 			m.mc.InjectReadOverrun(param, memOverrunPeriod)
+		case fault.CohDroppedInval:
+			if m.coh == nil {
+				return fmt.Errorf("sim: %s requires the coherence layer (SharedDataBytes > 0)", inj.Class)
+			}
+			m.cohDropTo = inj.Core
 		default:
 			return fmt.Errorf("sim: unarmable fault class %q", inj.Class)
 		}
@@ -132,6 +137,7 @@ func (m *Multicore) DisarmFaults() {
 	m.llc.ClearFaults()
 	m.bus.ClearFaults()
 	m.mc.ClearFaults()
+	m.cohDropTo = -1
 	m.faulted = false
 }
 

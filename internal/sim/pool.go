@@ -42,12 +42,16 @@ func (m *Multicore) Reuse(progs []*isa.Program, seed uint64) error {
 	}
 	copy(m.progs, progs)
 
-	// Fork order mirrors New exactly: LLC, bus, access control, then the
-	// per-core L1 pairs of cores that run a program.
+	// Fork order mirrors New exactly: LLC, bus, access control, shared
+	// intermediate levels, then the per-core L1 pairs of cores that run a
+	// program.
 	m.llc.Reseed(m.rnd.Uint64())
 	m.bus.Reseed(m.rnd.Uint64())
 	m.ac.Reseed(m.rnd.Uint64())
 	m.ac.SetFixed(cfg.EFLFixedMID)
+	for i := range m.mids {
+		m.mids[i].Reseed(m.rnd.Uint64())
+	}
 
 	for i, ctl := range m.cores {
 		ctl.wakeAt = 0
@@ -78,6 +82,7 @@ func (m *Multicore) Reuse(progs []*isa.Program, seed uint64) error {
 		ctl.core = cpu.New(i, machine, il1, dl1)
 		ctl.core.BranchPenalty = cfg.BranchPenalty
 		ctl.core.WriteThrough = cfg.DL1WriteThrough
+		m.wireCoherence(ctl.core)
 		ctl.state = stReady
 	}
 	return nil

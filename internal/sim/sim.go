@@ -40,6 +40,7 @@ type coreCtl struct {
 	issuedAt int64        // when req was issued (stall accounting)
 	evalAt   int64        // when the LLC lookup completed (EAB wait basis)
 	lk       cache.Lookup // fused LLC lookup result, carried across an EAB stall
+	lvl      int          // hierarchy walk cursor: index into mids, len(mids) = last level
 
 	llcMask cache.WayMask
 	owner   int
@@ -82,6 +83,15 @@ type CoreResult struct {
 	MaxReadLatency int64
 }
 
+// LevelStats is one hierarchy level's aggregated cache statistics: level 0
+// sums the active cores' IL1+DL1 pairs, shared levels report their single
+// instance.
+type LevelStats struct {
+	Name   string
+	Shared bool
+	Stats  cache.Stats
+}
+
 // Result is the outcome of one complete run.
 type Result struct {
 	PerCore     []CoreResult
@@ -89,6 +99,12 @@ type Result struct {
 	Bus         bus.Stats
 	Mem         memctrl.Stats
 	TotalCycles int64 // slowest active core
+
+	// PerLevel reports every hierarchy level generically, keyed by level
+	// name and ordered from L1 outward. On the default two-level layout it
+	// carries the same numbers as the legacy IL1/DL1 (merged) and LLC
+	// fields, which stay populated.
+	PerLevel []LevelStats
 
 	// Latency distributions of the run's shared resources (power-of-two
 	// buckets; value copies, so Result stays allocation-free to fill).
@@ -114,6 +130,24 @@ type Multicore struct {
 	cores  []*coreCtl
 	progs  []*isa.Program
 	tracer *trace.Buffer
+
+	// Hierarchy state beyond the default two levels. mids holds the shared
+	// intermediate levels (empty on the default layout, where every walk
+	// goes straight to the LLC); midMask/shLat are the precomputed per-level
+	// way masks and lookup latencies (shLat[i] is shared level i's latency,
+	// the last entry being the LLC's — on the default layout just
+	// [LLCHitCycles]). levSpecs caches cfg.levels() for stats collection.
+	mids     []cache.Level
+	midMask  []cache.WayMask
+	shLat    []int64
+	levSpecs []cache.LevelSpec
+
+	// coh is the MSI directory for shared-data lines; nil unless
+	// cfg.SharedDataBytes enables the coherence layer. cohDropTo is the
+	// fault-injection hook: invalidations addressed to that core are
+	// dropped before reaching its DL1 (-1 = healthy).
+	coh       *cohDir
+	cohDropTo int
 
 	// Incrementally maintained next-event candidates. The event loop
 	// dispatches millions of events per run; rescanning every core, CRG
@@ -192,6 +226,27 @@ func New(cfg Config, progs []*isa.Program, seed uint64) (*Multicore, error) {
 	ac.SetFixed(cfg.EFLFixedMID)
 	m.ac = ac
 
+	// Shared intermediate levels fork after the access control, so the
+	// default two-level layout (no intermediates) consumes exactly the
+	// PRNG draws it always did.
+	m.levSpecs = cfg.levels()
+	if mids := cfg.midSpecs(); len(mids) > 0 {
+		m.mids = make([]cache.Level, len(mids))
+		m.midMask = make([]cache.WayMask, len(mids))
+		for i, s := range mids {
+			m.mids[i] = cache.Level{Spec: s, Cache: cache.New(s.Config(cfg.LineBytes), m.rnd.Fork())}
+			m.midMask[i] = cache.FullMask(s.Ways)
+		}
+	}
+	m.shLat = make([]int64, len(m.levSpecs)-1)
+	for i := range m.shLat {
+		m.shLat[i] = m.levSpecs[i+1].LatencyCycles
+	}
+	m.cohDropTo = -1
+	if cfg.coherent() {
+		m.coh = newCohDir(m)
+	}
+
 	m.cores = make([]*coreCtl, cfg.Cores)
 	m.evReady = make([]int64, cfg.Cores)
 	m.evWake = make([]int64, cfg.Cores)
@@ -214,11 +269,21 @@ func New(cfg Config, progs []*isa.Program, seed uint64) (*Multicore, error) {
 			ctl.core = cpu.New(i, machine, il1, dl1)
 			ctl.core.BranchPenalty = cfg.BranchPenalty
 			ctl.core.WriteThrough = cfg.DL1WriteThrough
+			m.wireCoherence(ctl.core)
 			ctl.state = stReady
 		}
 		m.cores[i] = ctl
 	}
 	return m, nil
+}
+
+// wireCoherence attaches the shared-data window and the MSI directory to a
+// freshly constructed core (a no-op when the coherence layer is off).
+func (m *Multicore) wireCoherence(c *cpu.Core) {
+	if m.coh != nil {
+		c.SharedLimit = isa.DataBase + uint64(m.cfg.SharedDataBytes)
+		c.Coh = m.coh
+	}
 }
 
 // Config returns the platform configuration.
@@ -264,6 +329,13 @@ func (m *Multicore) mcRequest(r memctrl.Request) {
 func (m *Multicore) reset() {
 	m.llc.NewRun()
 	m.llc.ResetStats()
+	for i := range m.mids {
+		m.mids[i].NewRun()
+		m.mids[i].ResetStats()
+	}
+	if m.coh != nil {
+		m.coh.reset()
+	}
 	m.bus.Reset()
 	m.mc.Reset()
 	m.ac.Reset()
@@ -272,6 +344,7 @@ func (m *Multicore) reset() {
 		ctl.issuedAt = 0
 		ctl.evalAt = 0
 		ctl.analysisBusWait = 0
+		ctl.lvl = 0
 		ctl.acct.Reset()
 		ctl.maxReadLat = 0
 		if ctl.core != nil {
@@ -455,12 +528,21 @@ func (m *Multicore) RunInto(res *Result) error {
 				m.evBus = never
 			}
 			ctl := m.cores[win.Core]
+			if ctl.req.Kind == cpu.ReqUpgrade {
+				// Coherence upgrade: the granted slot broadcasts the
+				// invalidation; no cache level is consulted. The whole
+				// transaction is attributed to the coherence category.
+				m.serveUpgrade(ctl, at, at-win.Arrival)
+				m.noteCore(ctl)
+				m.emit(at, win.Core, trace.EvBusGrant, ctl.req.Addr, at-win.Arrival)
+				continue
+			}
 			ctl.state = stWaitEval
-			ctl.wakeAt = at + m.cfg.BusSlotCycles + m.cfg.LLCHitCycles
+			ctl.wakeAt = at + m.cfg.BusSlotCycles + m.shLat[0]
 			ctl.evalAt = ctl.wakeAt
 			ctl.acct.Add(metrics.BusWait, at-win.Arrival)
 			ctl.acct.Add(metrics.BusSlot, m.cfg.BusSlotCycles)
-			ctl.acct.Add(metrics.LLCLookup, m.cfg.LLCHitCycles)
+			ctl.acct.Add(metrics.LLCLookup, m.shLat[0])
 			m.noteCore(ctl)
 			m.emit(at, win.Core, trace.EvBusGrant, ctl.req.Addr, at-win.Arrival)
 		}
@@ -493,18 +575,26 @@ func (m *Multicore) stepCore(ctl *coreCtl) error {
 func (m *Multicore) issueRequest(ctl *coreCtl, t int64) {
 	ctl.req = ctl.core.PopRequest()
 	ctl.issuedAt = t
+	ctl.lvl = 0
 	if m.analysisCore(ctl) {
 		// Worst-case contention envelope: lottery against Ncores-1
 		// always-ready phantom contenders, each holding the bus for one
 		// arbitration slot.
 		wait := bus.AnalysisDelay(m.rnd, m.cfg.Cores-1, m.cfg.BusSlotCycles)
 		ctl.analysisBusWait += wait
+		if ctl.req.Kind == cpu.ReqUpgrade {
+			// Coherence upgrade under the contention envelope: the
+			// broadcast costs the phantom bus wait plus the slot, charged
+			// to the coherence category; no cache level is consulted.
+			m.serveUpgrade(ctl, t+wait, wait)
+			return
+		}
 		ctl.state = stWaitEval
-		ctl.wakeAt = t + wait + m.cfg.BusSlotCycles + m.cfg.LLCHitCycles
+		ctl.wakeAt = t + wait + m.cfg.BusSlotCycles + m.shLat[0]
 		ctl.evalAt = ctl.wakeAt
 		ctl.acct.Add(metrics.BusWait, wait)
 		ctl.acct.Add(metrics.BusSlot, m.cfg.BusSlotCycles)
-		ctl.acct.Add(metrics.LLCLookup, m.cfg.LLCHitCycles)
+		ctl.acct.Add(metrics.LLCLookup, m.shLat[0])
 		return
 	}
 	m.busRequest(bus.Request{Core: ctl.id, Arrival: t})
@@ -515,6 +605,10 @@ func (m *Multicore) issueRequest(ctl *coreCtl, t int64) {
 func (m *Multicore) wake(ctl *coreCtl) {
 	switch ctl.state {
 	case stWaitEval:
+		if len(m.mids) > 0 {
+			m.evalLevel(ctl, ctl.wakeAt)
+			return
+		}
 		m.evalLLC(ctl, ctl.wakeAt)
 	case stWaitEAB:
 		waited := ctl.wakeAt - ctl.evalAt
@@ -537,6 +631,12 @@ func (m *Multicore) wake(ctl *coreCtl) {
 // serve both the hit path and the fill, where the pre-Lookup/Access split
 // paid the hash and the scan twice per transaction.
 func (m *Multicore) evalLLC(ctl *coreCtl, t int64) {
+	if m.coh != nil && ctl.lvl == 0 {
+		// First shared level reached: serve the coherence side of a
+		// shared-line fetch (peer invalidation / downgrade) before the
+		// cache lookup.
+		m.cohServe(ctl, t)
+	}
 	write := ctl.req.Kind != cpu.ReqFetch
 	lk := m.llc.Lookup(ctl.req.Addr, ctl.llcMask)
 	switch {
@@ -640,6 +740,18 @@ func (m *Multicore) collectInto(res *Result) {
 		res.PerCore = make([]CoreResult, len(m.cores))
 	}
 	res.PerCore = res.PerCore[:len(m.cores)]
+	nl := len(m.levSpecs)
+	if cap(res.PerLevel) < nl {
+		res.PerLevel = make([]LevelStats, nl)
+	}
+	res.PerLevel = res.PerLevel[:nl]
+	for i := range res.PerLevel {
+		res.PerLevel[i] = LevelStats{Name: m.levSpecs[i].Name, Shared: m.levSpecs[i].Shared}
+	}
+	for i := range m.mids {
+		res.PerLevel[1+i].Stats = m.mids[i].Stats()
+	}
+	res.PerLevel[nl-1].Stats = m.llc.Stats()
 	res.LLC = m.llc.Stats()
 	res.Bus = m.bus.Stats()
 	res.Mem = m.mc.Stats()
@@ -664,6 +776,8 @@ func (m *Multicore) collectInto(res *Result) {
 			}
 			cr.IL1 = ctl.core.IL1.Stats()
 			cr.DL1 = ctl.core.DL1.Stats()
+			addCacheStats(&res.PerLevel[0].Stats, cr.IL1)
+			addCacheStats(&res.PerLevel[0].Stats, cr.DL1)
 			cr.Pipe = ctl.core.Stats()
 			cr.AnalysisBusWait = ctl.analysisBusWait
 			cr.Attribution = ctl.acct
@@ -675,6 +789,19 @@ func (m *Multicore) collectInto(res *Result) {
 		}
 		res.PerCore[i] = cr
 	}
+}
+
+// addCacheStats accumulates s into dst (the per-level aggregation of the
+// private L1 pairs).
+func addCacheStats(dst *cache.Stats, s cache.Stats) {
+	dst.Accesses += s.Accesses
+	dst.Hits += s.Hits
+	dst.Misses += s.Misses
+	dst.Evictions += s.Evictions
+	dst.Writebacks += s.Writebacks
+	dst.ForcedEvict += s.ForcedEvict
+	dst.Flushes += s.Flushes
+	dst.MemoHits += s.MemoHits
 }
 
 // RunAnalysis is a convenience wrapper: it builds an analysis-mode

@@ -29,12 +29,21 @@ const (
 	EvMemRead              // memory read issued; Arg = completion cycle
 	EvMemWrite             // posted memory write issued
 	EvCoreHalt             // core finished; Arg = retired instructions
+
+	// Coherence events (shared-data MSI layer). The A5 auditor re-derives
+	// the protocol state from these in insertion order, so the simulator
+	// emits them at the exact point the directory transitions.
+	EvCohFetch   // core fetched a shared line; Arg = 1 exclusive (RFO), 0 shared
+	EvCohUpgrade // store upgraded a resident shared line to M; Arg = peers invalidated
+	EvCohInval   // a peer's L1 copy was invalidated; Core = the peer
+	EvCohHit     // core hit a shared line in its own L1; Arg = 1 write, 0 read
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"bus-grant", "llc-hit", "llc-miss", "efl-stall", "crg-evict",
 	"mem-read", "mem-write", "core-halt",
+	"coh-fetch", "coh-upgrade", "coh-inval", "coh-hit",
 }
 
 // String implements fmt.Stringer.

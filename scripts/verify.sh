@@ -41,6 +41,19 @@ echo "== batched-campaign smoke (convergence stopping + lockstep batch engine, a
 # convergence-stopped samples. Exit 0 means the batched path is sound.
 go run ./cmd/experiments -exp fig4 -workloads 12 -runs 150 -converge -batch 8 -audit >/dev/null
 
+echo "== coherence-campaign smoke (3-level hierarchy + MSI shared data, invariants A1-A5)"
+# The shared-data workloads on a private-L1 -> shared-L2 -> shared-LLC
+# platform with the coherence layer on: every run is audited (A1 cycle
+# sum incl. the coherence category, A2 UBD, A3 eviction rate under
+# invalidation load, A5 protocol soundness from the replayed trace).
+# Exit 0 means every invariant held on every run.
+cohdir=$(mktemp -d)
+go run ./cmd/experiments -exp coherence -audit -out "$cohdir" >/dev/null
+grep -q '"all_sound": true' "$cohdir/coherence.json" || { echo "coherence: invariant violation in artifact"; exit 1; }
+grep -q '"a3_holds": true' "$cohdir/coherence.json" || { echo "coherence: A3 eviction-rate bound did not hold"; exit 1; }
+grep -q '"a5_holds": true' "$cohdir/coherence.json" || { echo "coherence: A5 protocol soundness did not hold"; exit 1; }
+rm -rf "$cohdir"
+
 echo "== bench regression gate (vs committed BENCH_SIM.json)"
 # The fresh report goes to a scratch path: the gate compares against the
 # committed baseline without touching it (regenerate deliberately with
