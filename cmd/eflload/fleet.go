@@ -1,0 +1,420 @@
+// Fleet modes: drive an in-process estimation cluster (real loopback TCP
+// between nodes — hermetic, so CI needs no port coordination), optionally
+// under chaos (an injected job-panic plus a node drop mid-run), and emit
+// a schema-versioned "fleetload" artifact with fleet throughput, exact
+// latency percentiles, per-node utilisation and the cross-node cache hit
+// rate.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"efl"
+	"efl/internal/artifact"
+	"efl/internal/cluster"
+	"efl/internal/fault"
+	"efl/internal/rng"
+	"efl/internal/service"
+	"efl/internal/stats"
+)
+
+// fleetloadPayload is the artifact body (kind "fleetload").
+type fleetloadPayload struct {
+	Nodes           int            `json:"nodes"`
+	DurationSeconds float64        `json:"duration_seconds"`
+	Concurrency     int            `json:"concurrency"`
+	Requests        int            `json:"requests"`
+	Errors          int            `json:"errors"`
+	ChaosCasualties int            `json:"chaos_casualties"`
+	ClientReroutes  int            `json:"client_reroutes"`
+	ThroughputRPS   float64        `json:"throughput_rps"`
+	ByStatus        map[string]int `json:"by_status"`
+	ByCache         map[string]int `json:"by_cache"`
+	ByRoute         map[string]int `json:"by_route"`
+	// CrossNodeHits counts requests answered with fleet work the serving
+	// node did not compute itself (shared-store reads plus forwarded or
+	// stolen requests landing in a peer's cache or flight).
+	CrossNodeHits    uint64         `json:"cross_node_hits"`
+	CrossNodeHitRate float64        `json:"cross_node_hit_rate"`
+	LatencyMS        latencySummary `json:"latency_ms"`
+	Chaos            []chaosEvent   `json:"chaos,omitempty"`
+	PerNode          []nodeSummary  `json:"per_node"`
+}
+
+// chaosEvent records one injected fault.
+type chaosEvent struct {
+	Class     string  `json:"class"`
+	Node      string  `json:"node"`
+	AtSeconds float64 `json:"at_seconds"`
+}
+
+// nodeSummary is one node's share of the run.
+type nodeSummary struct {
+	Node          string            `json:"node"`
+	Dropped       bool              `json:"dropped"`
+	Requests      uint64            `json:"requests"`
+	Routes        map[string]uint64 `json:"routes"`
+	CrossNodeHits uint64            `json:"cross_node_hits"`
+	StoreErrors   uint64            `json:"store_errors"`
+	BusySeconds   float64           `json:"busy_seconds"`
+	Utilization   float64           `json:"utilization"`
+	CacheHitRate  float64           `json:"cache_hit_rate"`
+}
+
+// fleetSample is one completed fleet request's observation.
+type fleetSample struct {
+	latencyMS float64
+	status    int
+	xcache    string
+	route     string
+	chaos     bool // an expected chaos casualty (the injected panic's 500)
+	reroutes  int  // dead nodes the client skipped past
+}
+
+func runFleet(nodes int, storeDir string, duration time.Duration, concurrency int, seed uint64, runs int, out string, smoke, chaos bool) error {
+	if nodes < 2 {
+		return fmt.Errorf("fleet needs at least 2 nodes")
+	}
+	if storeDir == "" {
+		dir, err := os.MkdirTemp("", "eflstore")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		storeDir = dir
+	}
+	f, err := cluster.StartFleet(cluster.FleetOptions{
+		Nodes: nodes, StoreDir: storeDir, Service: service.Options{},
+	})
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	if smoke {
+		return runFleetSmoke(f, runs, seed, chaos, out)
+	}
+	if concurrency < 1 {
+		return fmt.Errorf("concurrency must be positive")
+	}
+	return runFleetLoad(f, duration, concurrency, seed, runs, out, chaos)
+}
+
+// fleetPost sends one request, skipping past dead nodes: a transport
+// error (the chaos node drop) retries the next node, which is exactly
+// what a client-side load balancer does when a replica dies.
+func fleetPost(client *http.Client, f *cluster.Fleet, start int, path string, body []byte) (fleetSample, []byte) {
+	var s fleetSample
+	t0 := time.Now()
+	for attempt := 0; attempt < len(f.URLs); attempt++ {
+		url := f.URLs[(start+attempt)%len(f.URLs)]
+		resp, err := client.Post(url+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			s.reroutes++
+			continue
+		}
+		data, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			s.reroutes++
+			continue
+		}
+		s.latencyMS = float64(time.Since(t0).Microseconds()) / 1000
+		s.status = resp.StatusCode
+		s.xcache = resp.Header.Get("X-Cache")
+		s.route = resp.Header.Get(cluster.RouteHeader)
+		s.chaos = resp.StatusCode == http.StatusInternalServerError &&
+			strings.Contains(string(data), "injected job-panic")
+		return s, data
+	}
+	s.latencyMS = float64(time.Since(t0).Microseconds()) / 1000
+	s.status = -1
+	return s, nil
+}
+
+func runFleetLoad(f *cluster.Fleet, duration time.Duration, concurrency int, seed uint64, runs int, out string, chaos bool) error {
+	reqs, err := buildWorkload(runs)
+	if err != nil {
+		return err
+	}
+	var (
+		mu      sync.Mutex
+		samples []fleetSample
+		events  []chaosEvent
+	)
+	client := &http.Client{Timeout: 2 * time.Minute}
+	start := time.Now()
+	deadline := start.Add(duration)
+
+	if chaos {
+		// Two faults on a fixed schedule: a job-panic armed once the
+		// caches are warming, and a node death at half-distance. The run
+		// must degrade (one 500, client reroutes) but stay clean —
+		// surviving nodes keep answering byte-identical results.
+		panicAt, dropAt := duration*2/5, duration/2
+		panicNode, dropNode := 1%len(f.Nodes), len(f.Nodes)-1
+		time.AfterFunc(panicAt, func() {
+			f.Nodes[panicNode].InjectFault(fault.JobPanic)
+			mu.Lock()
+			events = append(events, chaosEvent{Class: string(fault.JobPanic), Node: f.IDs[panicNode], AtSeconds: time.Since(start).Seconds()})
+			mu.Unlock()
+		})
+		time.AfterFunc(dropAt, func() {
+			f.Drop(dropNode)
+			mu.Lock()
+			events = append(events, chaosEvent{Class: string(fault.NodeDrop), Node: f.IDs[dropNode], AtSeconds: time.Since(start).Seconds()})
+			mu.Unlock()
+		})
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			src := rng.New(seed + uint64(worker))
+			for time.Now().Before(deadline) {
+				req := reqs[src.Uint64()%uint64(len(reqs))]
+				s, _ := fleetPost(client, f, int(src.Uint64()%uint64(len(f.URLs))), req.path, req.body)
+				mu.Lock()
+				samples = append(samples, s)
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	if len(samples) == 0 {
+		return fmt.Errorf("no requests completed within %s", duration)
+	}
+	payload := buildFleetPayload(f, samples, events, elapsed, concurrency)
+	fmt.Printf("fleetload: %d nodes, %d requests in %.1fs (%.1f rps), %d errors (%d chaos), cross-node hit rate %.1f%%, p50=%.1fms p99=%.1fms\n",
+		payload.Nodes, payload.Requests, payload.DurationSeconds, payload.ThroughputRPS,
+		payload.Errors, payload.ChaosCasualties, 100*payload.CrossNodeHitRate,
+		payload.LatencyMS.P50, payload.LatencyMS.P99)
+	if out != "" {
+		if err := artifact.Write(out, "fleetload", seed, payload); err != nil {
+			return err
+		}
+		fmt.Printf("fleetload: artifact written to %s\n", out)
+	}
+	if payload.Errors > 0 {
+		return fmt.Errorf("%d of %d requests failed beyond the injected chaos", payload.Errors, payload.Requests)
+	}
+	return nil
+}
+
+// buildFleetPayload aggregates samples and per-node snapshots. Expected
+// chaos casualties (the injected panic's single 500) are reported but not
+// counted as errors — the run's pass criterion is "degraded but clean".
+func buildFleetPayload(f *cluster.Fleet, samples []fleetSample, events []chaosEvent, elapsed float64, concurrency int) fleetloadPayload {
+	payload := fleetloadPayload{
+		Nodes:           len(f.Nodes),
+		DurationSeconds: elapsed,
+		Concurrency:     concurrency,
+		Requests:        len(samples),
+		ThroughputRPS:   float64(len(samples)) / elapsed,
+		ByStatus:        map[string]int{},
+		ByCache:         map[string]int{},
+		ByRoute:         map[string]int{},
+		Chaos:           events,
+	}
+	lats := make([]float64, 0, len(samples))
+	var ok int
+	for _, s := range samples {
+		lats = append(lats, s.latencyMS)
+		payload.ClientReroutes += s.reroutes
+		key := fmt.Sprintf("%d", s.status)
+		if s.status == -1 {
+			key = "transport_error"
+		}
+		payload.ByStatus[key]++
+		switch {
+		case s.status >= 200 && s.status < 300:
+			ok++
+			if s.xcache != "" {
+				payload.ByCache[s.xcache]++
+			}
+			if s.route != "" {
+				payload.ByRoute[s.route]++
+			}
+		case s.chaos:
+			payload.ChaosCasualties++
+		default:
+			payload.Errors++
+		}
+	}
+	payload.LatencyMS = latencySummary{
+		Mean: stats.Mean(lats),
+		P50:  stats.Quantile(lats, 0.50),
+		P90:  stats.Quantile(lats, 0.90),
+		P99:  stats.Quantile(lats, 0.99),
+		Max:  stats.Max(lats),
+	}
+	for i, node := range f.Nodes {
+		snap := node.Snapshot()
+		var reqTotal uint64
+		for _, n := range snap.Service.Requests {
+			reqTotal += n
+		}
+		var busy float64
+		for _, w := range snap.Service.Workers {
+			busy += w.BusySeconds
+		}
+		util := 0.0
+		if workers := len(snap.Service.Workers); workers > 0 && elapsed > 0 {
+			util = busy / (float64(workers) * elapsed)
+		}
+		payload.CrossNodeHits += snap.CrossNodeHits
+		payload.PerNode = append(payload.PerNode, nodeSummary{
+			Node: snap.Node, Dropped: f.Dropped(i), Requests: reqTotal,
+			Routes: snap.Routes, CrossNodeHits: snap.CrossNodeHits,
+			StoreErrors: snap.StoreErrors, BusySeconds: busy, Utilization: util,
+			CacheHitRate: snap.Service.Cache.HitRate,
+		})
+	}
+	if ok > 0 {
+		payload.CrossNodeHitRate = float64(payload.CrossNodeHits) / float64(ok)
+	}
+	return payload
+}
+
+// runFleetSmoke is the fleet correctness pass behind the CI cluster
+// smoke: a fresh campaign, its byte-identical cross-node replays, chaos
+// (injected panic answered retryably and never cached; a node kill
+// re-routed around deterministically), and a degraded-but-clean exit —
+// every assertion against the canonical bytes of the first answer.
+func runFleetSmoke(f *cluster.Fleet, runs int, seed uint64, chaos bool, out string) error {
+	client := &http.Client{Timeout: 2 * time.Minute}
+	body, err := json.Marshal(map[string]any{
+		"program": map[string]any{"benchmark": efl.Benchmarks()[0].Code},
+		"config":  map[string]any{"mid": 500},
+		"runs":    runs,
+		"seed":    seed,
+		"audit":   true,
+	})
+	if err != nil {
+		return err
+	}
+	var samples []fleetSample
+	start := time.Now()
+	var events []chaosEvent
+
+	// Fresh campaign via node 0 (routed to the key's home node).
+	s0, first := fleetPost(client, f, 0, "/v1/estimate", body)
+	samples = append(samples, s0)
+	if s0.status != 200 {
+		return fmt.Errorf("fresh estimate: HTTP %d: %s", s0.status, first)
+	}
+	if s0.xcache != "miss" {
+		return fmt.Errorf("fresh estimate X-Cache = %q, want miss", s0.xcache)
+	}
+	var est struct {
+		Audit struct {
+			Runs       int64 `json:"runs"`
+			Checks     int64 `json:"checks"`
+			Violations int64 `json:"violations"`
+		} `json:"audit"`
+	}
+	if err := json.Unmarshal(first, &est); err != nil {
+		return fmt.Errorf("estimate response: %w", err)
+	}
+	if est.Audit.Runs != int64(runs) || est.Audit.Checks == 0 || est.Audit.Violations != 0 {
+		return fmt.Errorf("fresh campaign not audit-clean: %+v", est.Audit)
+	}
+
+	// Every other node answers the identical bytes without recomputing.
+	var crossHits int
+	for i := 1; i < len(f.URLs); i++ {
+		s, data := fleetPost(client, f, i, "/v1/estimate", body)
+		samples = append(samples, s)
+		if s.status != 200 {
+			return fmt.Errorf("replay via node %d: HTTP %d: %s", i, s.status, data)
+		}
+		if !bytes.Equal(first, data) {
+			return fmt.Errorf("node %d answered different bytes for the identical request", i)
+		}
+		if s.route == cluster.RouteStore || (s.route == cluster.RouteForward || s.route == cluster.RouteSteal) && (s.xcache == "hit" || s.xcache == "coalesced") {
+			crossHits++
+		}
+	}
+	if crossHits == 0 {
+		return fmt.Errorf("no cross-node cache hit across %d replays", len(f.URLs)-1)
+	}
+
+	if chaos {
+		// An injected campaign panic answers a retryable 500 and caches
+		// nothing; the retry is clean.
+		chaosBody, err := json.Marshal(map[string]any{
+			"program": map[string]any{"benchmark": efl.Benchmarks()[1].Code},
+			"config":  map[string]any{"mid": 500},
+			"runs":    runs, "seed": seed, "skip_iid": true,
+		})
+		if err != nil {
+			return err
+		}
+		pl, err := f.Nodes[0].Service().PlanRequest("/v1/estimate", chaosBody)
+		if err != nil {
+			return err
+		}
+		home := 0
+		for i, id := range f.IDs {
+			if id == f.Nodes[0].Owner(pl.Key) {
+				home = i
+			}
+		}
+		f.Nodes[home].InjectFault(fault.JobPanic)
+		events = append(events, chaosEvent{Class: string(fault.JobPanic), Node: f.IDs[home], AtSeconds: time.Since(start).Seconds()})
+		sp, data := fleetPost(client, f, 0, "/v1/estimate", chaosBody)
+		samples = append(samples, sp)
+		if sp.status != http.StatusInternalServerError || !sp.chaos {
+			return fmt.Errorf("injected panic answered HTTP %d (%s), want 500", sp.status, data)
+		}
+		sr, retry := fleetPost(client, f, 0, "/v1/estimate", chaosBody)
+		samples = append(samples, sr)
+		if sr.status != 200 {
+			return fmt.Errorf("retry after injected panic: HTTP %d: %s", sr.status, retry)
+		}
+		if sr.xcache != "miss" && sr.xcache != "coalesced" {
+			return fmt.Errorf("failed campaign was cached: retry X-Cache = %q", sr.xcache)
+		}
+
+		// Node drop: kill the last node, then re-route around the corpse.
+		drop := len(f.Nodes) - 1
+		f.Drop(drop)
+		events = append(events, chaosEvent{Class: string(fault.NodeDrop), Node: f.IDs[drop], AtSeconds: time.Since(start).Seconds()})
+		for i := 0; i < len(f.URLs)-1; i++ {
+			s, data := fleetPost(client, f, i, "/v1/estimate", body)
+			samples = append(samples, s)
+			if s.status != 200 {
+				return fmt.Errorf("degraded fleet via node %d: HTTP %d: %s", i, s.status, data)
+			}
+			if !bytes.Equal(first, data) {
+				return fmt.Errorf("degraded fleet answered different bytes via node %d", i)
+			}
+		}
+	}
+
+	payload := buildFleetPayload(f, samples, events, time.Since(start).Seconds(), 1)
+	if payload.CrossNodeHits == 0 {
+		return fmt.Errorf("fleet smoke finished with zero cross-node hits")
+	}
+	if out != "" {
+		if err := artifact.Write(out, "fleetload", seed, payload); err != nil {
+			return err
+		}
+		fmt.Printf("fleet smoke: artifact written to %s\n", out)
+	}
+	fmt.Printf("fleet smoke: PASS (%d nodes, byte-identical across routes, cross-node hit rate %.1f%%, chaos=%v)\n",
+		payload.Nodes, 100*payload.CrossNodeHitRate, chaos)
+	return nil
+}

@@ -43,9 +43,20 @@ func main() {
 		runs        = flag.Int("runs", 60, "measurement runs per estimate request")
 		out         = flag.String("out", "", "write the loadtest artifact to this path")
 		smoke       = flag.Bool("smoke", false, "run the end-to-end smoke check instead of a load run")
+		fleet       = flag.Int("fleet", 0, "drive an in-process N-node cluster instead of one server (emits a fleetload artifact)")
+		chaos       = flag.Bool("chaos", false, "fleet mode: inject a job-panic and a node drop mid-run")
+		storeDir    = flag.String("store-dir", "", "fleet mode: shared result store directory (empty: a temp dir)")
 	)
 	flag.Parse()
-	if err := run(*addr, *duration, *concurrency, *seed, *runs, *out, *smoke); err != nil {
+	var err error
+	if *fleet > 0 {
+		err = runFleet(*fleet, *storeDir, *duration, *concurrency, *seed, *runs, *out, *smoke, *chaos)
+	} else if *chaos {
+		err = fmt.Errorf("-chaos needs -fleet")
+	} else {
+		err = run(*addr, *duration, *concurrency, *seed, *runs, *out, *smoke)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "eflload:", err)
 		os.Exit(1)
 	}

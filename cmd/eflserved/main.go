@@ -8,6 +8,14 @@
 //	curl -s localhost:8650/v1/estimate -d '{"program":{"benchmark":"CN"},
 //	    "config":{"mid":500},"runs":300,"seed":1}'
 //
+// With cluster flags the process joins an estimation fleet (DESIGN.md
+// §14): compute requests route by cache key over a consistent-hash ring,
+// finished campaigns publish to a shared result store, and the node
+// steals work around dead or saturated peers.
+//
+//	eflserved -addr 127.0.0.1:8650 -node-id a -store-dir /mnt/efl-results \
+//	    -peers 'a=127.0.0.1:8650,b=127.0.0.1:8651,c=127.0.0.1:8652'
+//
 // SIGINT/SIGTERM drain gracefully: in-flight and queued requests finish,
 // new ones get 503, then the process exits 0.
 package main
@@ -20,9 +28,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"efl/internal/cluster"
 	"efl/internal/service"
 )
 
@@ -33,21 +43,49 @@ func main() {
 		workers    = flag.Int("workers", 0, "campaign workers (0: GOMAXPROCS)")
 		queue      = flag.Int("queue", 0, "job queue depth (0: default 64)")
 		cacheSize  = flag.Int("cache", 0, "result cache entries (0: default 256)")
+		cacheBytes = flag.Int64("cache-bytes", 0, "result cache byte budget (0: default 64 MiB)")
 		maxRuns    = flag.Int("max-runs", 0, "per-request run cap (0: default 2000)")
 		timeout    = flag.Duration("timeout", 0, "default per-request deadline (0: 60s)")
 		maxTimeout = flag.Duration("max-timeout", 0, "cap on client-supplied deadlines (0: 5m)")
+		nodeID     = flag.String("node-id", "", "cluster: this node's identity (empty: standalone)")
+		peers      = flag.String("peers", "", "cluster: full fleet as 'id=host:port,...' (must include -node-id)")
+		storeDir   = flag.String("store-dir", "", "cluster: shared result store directory (empty: none)")
 	)
 	flag.Parse()
 	if err := run(*addr, *addrFile, service.Options{
-		Workers: *workers, QueueDepth: *queue, CacheEntries: *cacheSize,
+		Workers: *workers, QueueDepth: *queue,
+		CacheEntries: *cacheSize, CacheBytes: *cacheBytes,
 		MaxRuns: *maxRuns, DefaultTimeout: *timeout, MaxTimeout: *maxTimeout,
-	}); err != nil {
+	}, *nodeID, *peers, *storeDir); err != nil {
 		fmt.Fprintln(os.Stderr, "eflserved:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, addrFile string, opts service.Options) error {
+// parsePeers turns 'id=host:port,...' into the node's peer table.
+func parsePeers(spec string) (map[string]string, error) {
+	peers := map[string]string{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, hostport, ok := strings.Cut(part, "=")
+		if !ok || id == "" || hostport == "" {
+			return nil, fmt.Errorf("peers: %q is not id=host:port", part)
+		}
+		if _, dup := peers[id]; dup {
+			return nil, fmt.Errorf("peers: duplicate node id %q", id)
+		}
+		peers[id] = "http://" + hostport
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("peers: empty fleet")
+	}
+	return peers, nil
+}
+
+func run(addr, addrFile string, opts service.Options, nodeID, peerSpec, storeDir string) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -60,8 +98,40 @@ func run(addr, addrFile string, opts service.Options) error {
 		}
 	}
 	svc := service.New(opts)
+	handler := svc.Handler()
+	if nodeID != "" {
+		peers, err := parsePeers(peerSpec)
+		if err != nil {
+			ln.Close()
+			svc.Close()
+			return err
+		}
+		var store cluster.Store
+		if storeDir != "" {
+			ds, err := cluster.NewDirStore(storeDir)
+			if err != nil {
+				ln.Close()
+				svc.Close()
+				return err
+			}
+			store = ds
+		}
+		node, err := cluster.NewNode(cluster.Options{
+			ID: nodeID, Peers: peers, Service: svc, Store: store,
+		})
+		if err != nil {
+			ln.Close()
+			svc.Close()
+			return err
+		}
+		handler = node.Handler()
+	} else if peerSpec != "" || storeDir != "" {
+		ln.Close()
+		svc.Close()
+		return fmt.Errorf("cluster flags need -node-id")
+	}
 	httpSrv := &http.Server{
-		Handler:           svc.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

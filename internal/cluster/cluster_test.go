@@ -1,0 +1,421 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+
+	"efl/internal/fault"
+	"efl/internal/service"
+)
+
+// tinySrc is a fast measurement subject (~1200 instructions), so fleet
+// campaigns finish in well under a second per node.
+const tinySrc = `
+        movi r1, 0
+        movi r2, 300
+        movi r3, 0x40000000
+    loop:
+        ld   r4, 0(r3)
+        addi r3, r3, 16
+        addi r1, r1, 1
+        blt  r1, r2, loop
+        halt
+        .size 8192
+`
+
+func estimateBody(t *testing.T, seed uint64, extra map[string]any) []byte {
+	t.Helper()
+	m := map[string]any{
+		"program":  map[string]any{"source": tinySrc, "name": "test"},
+		"config":   map[string]any{"mid": 500},
+		"runs":     40,
+		"seed":     seed,
+		"skip_iid": true,
+	}
+	for k, v := range extra {
+		m[k] = v
+	}
+	body, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// keyOf resolves a request body to its canonical cache key the same way
+// every node does: through the service planner.
+func keyOf(t *testing.T, path string, body []byte) string {
+	t.Helper()
+	svc := service.New(service.Options{Workers: 1})
+	defer svc.Close()
+	pl, err := svc.PlanRequest(path, body)
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	return pl.Key
+}
+
+func post(t *testing.T, url string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func startFleet(t *testing.T, opts FleetOptions) *Fleet {
+	t.Helper()
+	f, err := StartFleet(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Close)
+	return f
+}
+
+// indexOf maps a node ID back to its fleet index.
+func indexOf(t *testing.T, f *Fleet, id string) int {
+	t.Helper()
+	for i, nid := range f.IDs {
+		if nid == id {
+			return i
+		}
+	}
+	t.Fatalf("unknown node %q", id)
+	return -1
+}
+
+// TestRingDeterministic pins the routing table's fleet-wide agreement:
+// every node builds the identical ring from the peer set regardless of
+// iteration order, the owner is stable, and the failover sequence starts
+// at the owner and covers every member exactly once.
+func TestRingDeterministic(t *testing.T) {
+	members := []string{"node-0", "node-1", "node-2", "node-3", "node-4"}
+	shuffled := []string{"node-3", "node-0", "node-4", "node-2", "node-1"}
+	a, b := NewRing(members, 0), NewRing(shuffled, 0)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("member order changed ownership of %q: %q vs %q", key, a.Owner(key), b.Owner(key))
+		}
+		seq := a.Sequence(key)
+		if len(seq) != len(members) {
+			t.Fatalf("Sequence(%q) has %d members, want %d", key, len(seq), len(members))
+		}
+		if seq[0] != a.Owner(key) {
+			t.Fatalf("Sequence(%q) starts at %q, not the owner %q", key, seq[0], a.Owner(key))
+		}
+		seen := map[string]bool{}
+		for _, m := range seq {
+			if seen[m] {
+				t.Fatalf("Sequence(%q) repeats %q", key, m)
+			}
+			seen[m] = true
+		}
+	}
+	// Placement is roughly uniform: no member of a 5-node ring owns a
+	// wildly disproportionate share of 2000 keys.
+	counts := map[string]int{}
+	for i := 0; i < 2000; i++ {
+		counts[a.Owner(fmt.Sprintf("balance-%d", i))]++
+	}
+	for m, c := range counts {
+		if c < 100 || c > 900 {
+			t.Errorf("member %s owns %d of 2000 keys — ring is badly skewed", m, c)
+		}
+	}
+}
+
+// TestDirStoreRoundTrip pins the shared store's contract: keys are
+// SHA-256 hexes only (the key is the path — anything else is traversal),
+// missing keys are a clean miss, and bodies round-trip exactly through
+// the artifact envelope.
+func TestDirStoreRoundTrip(t *testing.T) {
+	s, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "a2b4c6d8e0f2a4b6c8d0e2f4a6b8c0d2e4f6a8b0c2d4e6f8a0b2c4d6e8f0a2b4"
+	if _, ok, err := s.Get(key); err != nil || ok {
+		t.Fatalf("missing key: ok=%v err=%v", ok, err)
+	}
+	body := []byte(`{"pwcet":{"1e-09":12345}}`)
+	if err := s.Put(key, body); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("stored key: ok=%v err=%v", ok, err)
+	}
+	if !bytes.Equal(got, body) {
+		t.Fatalf("body changed through the store: %s vs %s", got, body)
+	}
+	for _, bad := range []string{"../../etc/passwd", "short", key[:63] + "/", key[:63] + "G"} {
+		if err := s.Put(bad, body); err == nil {
+			t.Errorf("store accepted malicious key %q", bad)
+		}
+		if _, _, err := s.Get(bad); err == nil {
+			t.Errorf("store read malicious key %q", bad)
+		}
+	}
+}
+
+// TestFleetRoutesByteIdentical is the acceptance bar: the same estimate
+// answered via its home node (fresh compute), via a remote node
+// (forwarded hit) and via work-stealing after the home node dies is
+// byte-identical in every case, and the re-route after death is
+// deterministic — both survivors name the same stand-in node.
+func TestFleetRoutesByteIdentical(t *testing.T) {
+	f := startFleet(t, FleetOptions{Nodes: 3, Service: service.Options{Workers: 2}})
+	body := estimateBody(t, 7, nil)
+	key := keyOf(t, "/v1/estimate", body)
+	seq := f.Nodes[0].ring.Sequence(key)
+	home := indexOf(t, f, seq[0])
+	remote := indexOf(t, f, seq[1])
+
+	// Fresh compute on the home node.
+	resp1, data1 := post(t, f.URLs[home]+"/v1/estimate", body)
+	if resp1.StatusCode != 200 {
+		t.Fatalf("fresh estimate: HTTP %d: %s", resp1.StatusCode, data1)
+	}
+	if r := resp1.Header.Get(RouteHeader); r != RouteLocal {
+		t.Fatalf("home node route = %q, want local", r)
+	}
+	if x := resp1.Header.Get("X-Cache"); x != "miss" {
+		t.Fatalf("fresh estimate X-Cache = %q, want miss", x)
+	}
+
+	// Same request via a remote node: forwarded to the home node's cache.
+	resp2, data2 := post(t, f.URLs[remote]+"/v1/estimate", body)
+	if resp2.StatusCode != 200 {
+		t.Fatalf("forwarded estimate: HTTP %d: %s", resp2.StatusCode, data2)
+	}
+	if r := resp2.Header.Get(RouteHeader); r != RouteForward {
+		t.Fatalf("remote node route = %q, want forward", r)
+	}
+	if n := resp2.Header.Get(NodeHeader); n != seq[0] {
+		t.Fatalf("forwarded answer came from %q, want home %q", n, seq[0])
+	}
+	if x := resp2.Header.Get("X-Cache"); x != "hit" {
+		t.Fatalf("forwarded X-Cache = %q, want hit", x)
+	}
+	if !bytes.Equal(data1, data2) {
+		t.Fatal("forwarded response differs from the home node's bytes")
+	}
+	if hits := f.Nodes[remote].Snapshot().CrossNodeHits; hits != 1 {
+		t.Fatalf("remote node counted %d cross-node hits, want 1", hits)
+	}
+
+	// Kill the home node: the key re-routes deterministically to the next
+	// candidate in its sequence, and the stolen answer is byte-identical
+	// (recomputed from scratch — determinism, not copying, is what makes
+	// this safe).
+	f.Drop(home)
+	var standIn string
+	for _, i := range []int{remote, indexOf(t, f, seq[2])} {
+		resp, data := post(t, f.URLs[i]+"/v1/estimate", body)
+		if resp.StatusCode != 200 {
+			t.Fatalf("post-kill estimate via %s: HTTP %d: %s", f.IDs[i], resp.StatusCode, data)
+		}
+		if r := resp.Header.Get(RouteHeader); r != RouteSteal {
+			t.Fatalf("post-kill route via %s = %q, want steal", f.IDs[i], r)
+		}
+		if !bytes.Equal(data1, data) {
+			t.Fatalf("stolen response via %s differs from the original bytes", f.IDs[i])
+		}
+		node := resp.Header.Get(NodeHeader)
+		if node == seq[0] {
+			t.Fatal("dead node reported as the answering node")
+		}
+		if standIn == "" {
+			standIn = node
+			if node != seq[1] {
+				t.Fatalf("steal landed on %q, want the next sequence candidate %q", node, seq[1])
+			}
+		} else if node != standIn {
+			t.Fatalf("re-routing is not deterministic: %q then %q answered", standIn, node)
+		}
+	}
+}
+
+// TestFleetSharedStore pins the store route: a campaign computed on the
+// home node is served to every other node from the shared store without
+// any forwarding hop, byte-identically, and counts as a cross-node hit.
+func TestFleetSharedStore(t *testing.T) {
+	f := startFleet(t, FleetOptions{Nodes: 3, StoreDir: t.TempDir(), Service: service.Options{Workers: 2}})
+	body := estimateBody(t, 11, nil)
+	key := keyOf(t, "/v1/estimate", body)
+	home := indexOf(t, f, f.Nodes[0].ring.Owner(key))
+	other := (home + 1) % 3
+
+	_, data1 := post(t, f.URLs[home]+"/v1/estimate", body)
+	resp2, data2 := post(t, f.URLs[other]+"/v1/estimate", body)
+	if r := resp2.Header.Get(RouteHeader); r != RouteStore {
+		t.Fatalf("second node route = %q, want store", r)
+	}
+	if x := resp2.Header.Get("X-Cache"); x != "store" {
+		t.Fatalf("second node X-Cache = %q, want store", x)
+	}
+	if !bytes.Equal(data1, data2) {
+		t.Fatal("store-served response differs from the computed bytes")
+	}
+	if hits := f.Nodes[other].Snapshot().CrossNodeHits; hits != 1 {
+		t.Fatalf("store route counted %d cross-node hits, want 1", hits)
+	}
+	// The store hit hydrated the node's own LRU: the replay is local.
+	resp3, _ := post(t, f.URLs[other]+"/v1/estimate", body)
+	if r := resp3.Header.Get(RouteHeader); r != RouteLocal {
+		t.Fatalf("replay route = %q, want local", r)
+	}
+}
+
+// TestFleetSingleFlight pins cross-node coalescing: identical requests
+// hitting every node concurrently all ride ONE campaign — the home
+// node's flight — so the whole fleet pays for exactly one compute.
+func TestFleetSingleFlight(t *testing.T) {
+	f := startFleet(t, FleetOptions{Nodes: 3, Service: service.Options{Workers: 2}})
+	body := estimateBody(t, 13, nil)
+
+	const perNode = 2
+	var wg sync.WaitGroup
+	results := make(chan []byte, 3*perNode)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < perNode; j++ {
+			wg.Add(1)
+			go func(url string) {
+				defer wg.Done()
+				resp, err := http.Post(url+"/v1/estimate", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Errorf("post: %v", err)
+					return
+				}
+				defer resp.Body.Close()
+				data, _ := io.ReadAll(resp.Body)
+				if resp.StatusCode != 200 {
+					t.Errorf("HTTP %d: %s", resp.StatusCode, data)
+					return
+				}
+				results <- data
+			}(f.URLs[i])
+		}
+	}
+	wg.Wait()
+	close(results)
+	var first []byte
+	n := 0
+	for data := range results {
+		if first == nil {
+			first = data
+		} else if !bytes.Equal(first, data) {
+			t.Fatal("concurrent fleet responses differ")
+		}
+		n++
+	}
+	if n != 3*perNode {
+		t.Fatalf("%d of %d requests succeeded", n, 3*perNode)
+	}
+	var misses uint64
+	for _, node := range f.Nodes {
+		misses += node.Service().Snapshot().Cache.Misses
+	}
+	if misses != 1 {
+		t.Fatalf("fleet ran %d campaigns for %d identical concurrent requests, want 1", misses, 3*perNode)
+	}
+}
+
+// TestFleetChaosJobPanic pins failure propagation through the routing
+// layer: an injected campaign panic on the home node answers a retryable
+// 500 to a remote client, poisons no cache anywhere, and the retry
+// computes cleanly — with its audit block intact.
+func TestFleetChaosJobPanic(t *testing.T) {
+	f := startFleet(t, FleetOptions{Nodes: 3, Service: service.Options{Workers: 2}})
+	body := estimateBody(t, 17, map[string]any{"audit": true})
+	key := keyOf(t, "/v1/estimate", body)
+	home := indexOf(t, f, f.Nodes[0].ring.Owner(key))
+	other := (home + 1) % 3
+
+	if err := f.Nodes[home].InjectFault(fault.JobPanic); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Nodes[home].InjectFault(fault.NodeDrop); err == nil {
+		t.Fatal("node accepted the fleet-level node-drop fault")
+	}
+
+	resp, data := post(t, f.URLs[other]+"/v1/estimate", body)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicked campaign answered %d (%s), want 500", resp.StatusCode, data)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("retryable campaign failure without a Retry-After hint")
+	}
+
+	// The failed flight cached nothing fleet-wide: the retry is a fresh,
+	// clean campaign whose audit block holds.
+	resp2, data2 := post(t, f.URLs[other]+"/v1/estimate", body)
+	if resp2.StatusCode != 200 {
+		t.Fatalf("retry after chaos: HTTP %d: %s", resp2.StatusCode, data2)
+	}
+	if x := resp2.Header.Get("X-Cache"); x != "hit" && x != "miss" && x != "coalesced" {
+		t.Fatalf("retry X-Cache = %q", x)
+	}
+	var est struct {
+		Audit struct {
+			Violations int64 `json:"violations"`
+			Checks     int64 `json:"checks"`
+		} `json:"audit"`
+	}
+	if err := json.Unmarshal(data2, &est); err != nil {
+		t.Fatal(err)
+	}
+	if est.Audit.Checks == 0 || est.Audit.Violations != 0 {
+		t.Fatalf("retried campaign not audit-clean: %+v", est.Audit)
+	}
+}
+
+// TestFleetKillMidFlight pins degraded-fleet cleanliness: with a node
+// dead, an audited estimate routed around the corpse still passes every
+// soundness invariant — re-routing changes where the campaign runs,
+// never what it computes.
+func TestFleetKillMidFlight(t *testing.T) {
+	f := startFleet(t, FleetOptions{Nodes: 3, Service: service.Options{Workers: 2}})
+	body := estimateBody(t, 19, map[string]any{"audit": true})
+	key := keyOf(t, "/v1/estimate", body)
+	home := indexOf(t, f, f.Nodes[0].ring.Owner(key))
+	f.Drop(home)
+
+	other := (home + 1) % 3
+	resp, data := post(t, f.URLs[other]+"/v1/estimate", body)
+	if resp.StatusCode != 200 {
+		t.Fatalf("degraded fleet: HTTP %d: %s", resp.StatusCode, data)
+	}
+	if r := resp.Header.Get(RouteHeader); r != RouteSteal {
+		t.Fatalf("degraded route = %q, want steal", r)
+	}
+	var est struct {
+		Audit struct {
+			Runs       int64 `json:"runs"`
+			Checks     int64 `json:"checks"`
+			Violations int64 `json:"violations"`
+		} `json:"audit"`
+	}
+	if err := json.Unmarshal(data, &est); err != nil {
+		t.Fatal(err)
+	}
+	if est.Audit.Runs != 40 || est.Audit.Checks == 0 {
+		t.Fatalf("audit did not cover the stolen campaign: %+v", est.Audit)
+	}
+	if est.Audit.Violations != 0 {
+		t.Fatalf("stolen campaign violated %d invariants", est.Audit.Violations)
+	}
+}

@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+
+	"efl/internal/service"
+)
+
+// FleetOptions configures StartFleet.
+type FleetOptions struct {
+	// Nodes is the fleet size (>= 1).
+	Nodes int
+	// StoreDir roots the shared result store; empty runs without one.
+	StoreDir string
+	// Service configures every node's estimation server.
+	Service service.Options
+	// VirtualNodes is the ring's per-member point count (<= 0 selects
+	// DefaultVirtualNodes).
+	VirtualNodes int
+}
+
+// Fleet is an in-process cluster of N nodes listening on real loopback
+// TCP ports — the harness behind the fleet tests, the eflload fleet
+// modes and the CI smoke. Real sockets rather than httptest round-trips:
+// node death must look like node death (connection refused), not like a
+// Go method returning an error.
+type Fleet struct {
+	Nodes   []*Node
+	IDs     []string
+	URLs    []string
+	servers []*http.Server
+	svcs    []*service.Server
+	dropped []bool
+}
+
+// StartFleet brings up a fleet of opts.Nodes nodes. Listeners are bound
+// first so the full peer table (with real ports) exists before any node
+// is constructed — every node routes from the same ring from its first
+// request.
+func StartFleet(opts FleetOptions) (*Fleet, error) {
+	if opts.Nodes < 1 {
+		return nil, fmt.Errorf("cluster: fleet needs at least one node")
+	}
+	var store Store
+	if opts.StoreDir != "" {
+		ds, err := NewDirStore(opts.StoreDir)
+		if err != nil {
+			return nil, err
+		}
+		store = ds
+	}
+	f := &Fleet{
+		Nodes:   make([]*Node, opts.Nodes),
+		IDs:     make([]string, opts.Nodes),
+		URLs:    make([]string, opts.Nodes),
+		servers: make([]*http.Server, opts.Nodes),
+		svcs:    make([]*service.Server, opts.Nodes),
+		dropped: make([]bool, opts.Nodes),
+	}
+	listeners := make([]net.Listener, opts.Nodes)
+	peers := make(map[string]string, opts.Nodes)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, l := range listeners[:i] {
+				l.Close()
+			}
+			return nil, err
+		}
+		listeners[i] = ln
+		f.IDs[i] = "node-" + strconv.Itoa(i)
+		f.URLs[i] = "http://" + ln.Addr().String()
+		peers[f.IDs[i]] = f.URLs[i]
+	}
+	for i := range listeners {
+		f.svcs[i] = service.New(opts.Service)
+		node, err := NewNode(Options{
+			ID: f.IDs[i], Peers: peers, Service: f.svcs[i],
+			Store: store, VirtualNodes: opts.VirtualNodes,
+		})
+		if err != nil {
+			f.Close()
+			for _, l := range listeners[i:] {
+				l.Close()
+			}
+			return nil, err
+		}
+		f.Nodes[i] = node
+		f.servers[i] = &http.Server{Handler: node.Handler()}
+		go f.servers[i].Serve(listeners[i])
+	}
+	return f, nil
+}
+
+// Dropped reports whether node i has been killed.
+func (f *Fleet) Dropped(i int) bool { return f.dropped[i] }
+
+// Drop kills node i abruptly: its listener and every open connection
+// close, so peers see connection-refused — the fleet-level node-drop
+// fault. The node's in-flight campaigns finish into its (now
+// unreachable) cache; nothing is drained gracefully, which is the point.
+func (f *Fleet) Drop(i int) {
+	if f.dropped[i] {
+		return
+	}
+	f.dropped[i] = true
+	f.servers[i].Close()
+}
+
+// Close shuts the whole fleet down, draining every surviving service.
+func (f *Fleet) Close() {
+	for i, srv := range f.servers {
+		if srv != nil && !f.dropped[i] {
+			f.dropped[i] = true
+			srv.Close()
+		}
+	}
+	for _, svc := range f.svcs {
+		if svc != nil {
+			svc.Close()
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"efl/internal/artifact"
+)
+
+// Store is the shared content-addressed result store: finished canonical
+// response bodies keyed by their SHA-256 cache key. Any implementation
+// must be safe for concurrent use by every node in the fleet; because
+// bodies are pure functions of the key, concurrent Puts of the same key
+// are benign (they race to write identical bytes).
+type Store interface {
+	// Get returns the stored body for key, if present. A missing key is
+	// (nil, false, nil); an error means the store itself misbehaved.
+	Get(key string) ([]byte, bool, error)
+	// Put stores body under key.
+	Put(key string, body []byte) error
+}
+
+// resultKind is the artifact envelope kind for stored response bodies.
+const resultKind = "result"
+
+// resultPayload is the envelope payload: the exact response bytes,
+// base64-encoded. NOT embedded as raw JSON — the envelope encoder's
+// re-indentation would silently reformat the body, and the fleet's
+// acceptance bar is byte-identity, not JSON equivalence.
+type resultPayload struct {
+	Body []byte `json:"body"`
+}
+
+// DirStore is a Store over a shared directory (NFS mount, bind-mounted
+// volume, or plain local disk for a single-host fleet). Each result is
+// one artifact envelope (kind "result") written atomically with fsync via
+// artifact.WriteFile, so a crashed writer never leaves a torn result for
+// the fleet to read; the envelope's schema check rejects files written by
+// an incompatible build. Keys shard into 256 subdirectories by their
+// first byte so a warm fleet's store never piles every file into one dir.
+type DirStore struct {
+	dir string
+}
+
+// NewDirStore returns a DirStore rooted at dir, creating it if needed.
+func NewDirStore(dir string) (*DirStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cluster: store dir: %w", err)
+	}
+	return &DirStore{dir: dir}, nil
+}
+
+// path maps a key onto its file, refusing anything that is not a SHA-256
+// hex string — the key IS the path, so this is the traversal guard.
+func (s *DirStore) path(key string) (string, error) {
+	if len(key) != 64 {
+		return "", fmt.Errorf("cluster: store key %q: want 64 hex chars", key)
+	}
+	for _, c := range key {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return "", fmt.Errorf("cluster: store key %q: want lowercase hex", key)
+		}
+	}
+	return filepath.Join(s.dir, key[:2], key+".json"), nil
+}
+
+// Get implements Store.
+func (s *DirStore) Get(key string) ([]byte, bool, error) {
+	p, err := s.path(key)
+	if err != nil {
+		return nil, false, err
+	}
+	data, err := os.ReadFile(p)
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	var payload resultPayload
+	if _, err := artifact.Decode(data, resultKind, &payload); err != nil {
+		return nil, false, fmt.Errorf("cluster: store entry %s: %w", key, err)
+	}
+	return payload.Body, true, nil
+}
+
+// Put implements Store.
+func (s *DirStore) Put(key string, body []byte) error {
+	p, err := s.path(key)
+	if err != nil {
+		return err
+	}
+	data, err := artifact.Encode(resultKind, 0, resultPayload{Body: body})
+	if err != nil {
+		return err
+	}
+	return artifact.WriteFile(p, data)
+}

@@ -64,6 +64,12 @@ const (
 	// campaign job panics mid-flight. It exercises the runner's panic
 	// isolation, not a hardware hook, and is rejected by ArmFaults.
 	JobPanic Class = "job-panic"
+	// NodeDrop is a cluster-level fault: one fleet node dies abruptly —
+	// listener and open connections closed, nothing drained. It exercises
+	// the router's deterministic re-routing (cluster.Ring.Sequence), is
+	// injected by the fleet harness (cluster.Fleet.Drop), and like
+	// JobPanic is rejected by ArmFaults — no hardware hook models it.
+	NodeDrop Class = "node-drop"
 )
 
 // Classes returns every fault class in detection-matrix order.
@@ -74,7 +80,7 @@ func Classes() []Class {
 		RNGStuck, RNGBiased,
 		BusStarvation, MemOverrun,
 		CohDroppedInval,
-		JobPanic,
+		JobPanic, NodeDrop,
 	}
 }
 
@@ -162,7 +168,7 @@ func (p Plan) Validate(cores, llcWays int) error {
 			if uint32(param) == ^uint32(0) {
 				return fmt.Errorf("fault: injection %d (%s): identity mask injects nothing", i, inj.Class)
 			}
-		case JobPanic:
+		case JobPanic, NodeDrop:
 			return fmt.Errorf("fault: injection %d (%s): software fault, not armable on a platform", i, inj.Class)
 		default:
 			return fmt.Errorf("fault: injection %d: unknown class %q", i, inj.Class)

@@ -31,6 +31,7 @@ func TestValidate(t *testing.T) {
 		{Injections: []Injection{{Class: RNGBiased, Core: 0, Param: int64(^uint32(0))}}}, // identity mask
 		Single(CohDroppedInval, AllCores),                                                // needs a specific target core
 		Single(JobPanic, 0),                                                              // software fault, not armable
+		Single(NodeDrop, 0),                                                              // cluster fault, not armable
 		{Injections: []Injection{{Class: "bogus", Core: 0}}},                             // unknown class
 	}
 	for i, p := range bad {
@@ -63,7 +64,7 @@ func TestClassesCoversAll(t *testing.T) {
 		CacheDisabledWays: true, CacheTagFlip: true,
 		RNGStuck: true, RNGBiased: true,
 		BusStarvation: true, MemOverrun: true,
-		CohDroppedInval: true, JobPanic: true,
+		CohDroppedInval: true, JobPanic: true, NodeDrop: true,
 	}
 	got := Classes()
 	if len(got) != len(want) {

@@ -27,10 +27,12 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -45,9 +47,10 @@ import (
 	"efl/internal/sim"
 )
 
-// maxBodyBytes bounds request bodies (assembler sources dominate; 4 MiB
-// is far above any legitimate request).
-const maxBodyBytes = 4 << 20
+// MaxBodyBytes bounds request bodies (assembler sources dominate; 4 MiB
+// is far above any legitimate request). Exported so the cluster router,
+// which reads bodies before planning them, applies the same bound.
+const MaxBodyBytes = 4 << 20
 
 // Options configures a Server. The zero value selects sensible defaults.
 type Options struct {
@@ -57,8 +60,12 @@ type Options struct {
 	// QueueDepth bounds the job queue; a full queue answers 429
 	// (default 64).
 	QueueDepth int
-	// CacheEntries bounds the LRU result cache (default 256).
+	// CacheEntries bounds the LRU result cache's entry count (default 256).
 	CacheEntries int
+	// CacheBytes bounds the LRU result cache's total body bytes (default
+	// 64 MiB). The entry cap alone is not a memory bound: a few large
+	// audited estimate bodies can exhaust RAM well inside it.
+	CacheBytes int64
 	// MaxRuns caps the per-request measurement-run count (default 2000).
 	MaxRuns int
 	// DefaultTimeout bounds requests that set no timeout_ms (default 60s).
@@ -78,6 +85,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CacheEntries <= 0 {
 		o.CacheEntries = 256
+	}
+	if o.CacheBytes <= 0 {
+		o.CacheBytes = 64 << 20
 	}
 	if o.MaxRuns <= 0 {
 		o.MaxRuns = 2000
@@ -148,7 +158,7 @@ func New(opts Options) *Server {
 		start:    time.Now(),
 		jobs:     make(chan *job, opts.QueueDepth),
 		pools:    make([]*sim.Pool, opts.Workers),
-		cache:    newResultCache(opts.CacheEntries),
+		cache:    newResultCache(opts.CacheEntries, opts.CacheBytes),
 		flight:   map[string]*job{},
 		requests: map[string]uint64{},
 		workers:  make([]WorkerStat, opts.Workers),
@@ -179,9 +189,9 @@ func (s *Server) Close() {
 // Handler returns the HTTP routing for the service.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/estimate", s.post(s.handleEstimate))
-	mux.HandleFunc("/v1/schedule", s.post(s.handleSchedule))
-	mux.HandleFunc("/v1/static", s.post(s.handleStatic))
+	mux.HandleFunc("/v1/estimate", s.post(s.handleCompute))
+	mux.HandleFunc("/v1/schedule", s.post(s.handleCompute))
+	mux.HandleFunc("/v1/static", s.post(s.handleCompute))
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
@@ -242,68 +252,171 @@ func (s *Server) worker(id int) {
 	}
 }
 
-// dispatch is the shared request path behind every compute endpoint:
-// cache lookup, single-flight coalescing, bounded enqueue, wait, respond.
-func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, key string, timeout time.Duration, run func(ctx context.Context, pool *sim.Pool) ([]byte, error)) {
+// Plan is a validated, canonically-resolved compute request ready to
+// execute: the content-addressed cache key, the effective deadline, and
+// the campaign closure producing the canonical response body. Plans are
+// built by PlanRequest and executed by Execute (or dispatch, its HTTP
+// shell); the cluster router builds Plans to learn a request's key — and
+// therefore its home node — without running anything.
+type Plan struct {
+	// Key is the SHA-256 cache key of the resolved request identity.
+	Key string
+	// Timeout is the effective per-request deadline.
+	Timeout time.Duration
+	run     func(ctx context.Context, pool *sim.Pool) ([]byte, error)
+}
+
+// Chaos wraps the plan's campaign closure with a hook that runs inside
+// the job, before the real work. A hook that panics exercises the
+// service's panic-isolation path end-to-end — this is the seam the
+// cluster chaos harness injects the fault.JobPanic class through. The
+// hook runs only if the job actually executes (a cache hit or coalesced
+// wait never reaches it).
+func (p *Plan) Chaos(hook func()) {
+	inner := p.run
+	p.run = func(ctx context.Context, pool *sim.Pool) ([]byte, error) {
+		hook()
+		return inner(ctx, pool)
+	}
+}
+
+// StatusError is a failed request outcome: an HTTP status, the message
+// for the error envelope, and whether an identical retry can be expected
+// to succeed. Retryable errors (capacity, deadline, panic) carry a
+// Retry-After hint on the wire; deterministic failures (invalid or
+// unanalysable input) do not — retrying them burns a campaign to fail
+// identically.
+type StatusError struct {
+	Status    int
+	Msg       string
+	Retryable bool
+}
+
+// Error implements error.
+func (e *StatusError) Error() string { return fmt.Sprintf("HTTP %d: %s", e.Status, e.Msg) }
+
+// Execute runs a planned request through the shared compute path — cache
+// lookup, single-flight coalescing, bounded enqueue — blocking until the
+// outcome. It returns the canonical response body and its cache
+// disposition ("hit", "coalesced", "miss"), or a StatusError.
+//
+// Failure propagation contract (shared by the leader and every coalesced
+// waiter): a leader whose campaign is deadline-killed or panics yields a
+// retryable 5xx for everyone riding the flight, and a failed campaign is
+// never cached — the next identical request starts a fresh flight.
+func (s *Server) Execute(pl *Plan) ([]byte, string, *StatusError) {
 	t0 := time.Now()
 	s.mu.Lock()
-	if body, ok := s.cache.get(key); ok {
+	if body, ok := s.cache.get(pl.Key); ok {
 		s.cacheHits++
 		s.mu.Unlock()
 		s.observe(t0)
-		writeBody(w, body, "hit")
-		return
+		return body, "hit", nil
 	}
-	if jb, ok := s.flight[key]; ok {
+	if jb, ok := s.flight[pl.Key]; ok {
 		// An identical request is already running: ride it instead of
 		// paying for a second campaign.
 		s.coalesced++
 		s.mu.Unlock()
 		<-jb.done
 		s.observe(t0)
-		s.respond(w, jb, "coalesced")
-		return
+		return jobOutcome(jb, "coalesced")
 	}
 	if s.draining {
 		s.mu.Unlock()
-		writeError(w, http.StatusServiceUnavailable, "server draining")
-		return
+		return nil, "", &StatusError{Status: http.StatusServiceUnavailable, Msg: "server draining", Retryable: true}
 	}
-	jb := &job{key: key, run: run, done: make(chan struct{})}
-	jb.ctx, jb.cancel = context.WithTimeout(context.Background(), timeout)
+	jb := &job{key: pl.Key, run: pl.run, done: make(chan struct{})}
+	jb.ctx, jb.cancel = context.WithTimeout(context.Background(), pl.Timeout)
 	select {
 	case s.jobs <- jb:
 		s.cacheMiss++
-		s.flight[key] = jb
+		s.flight[pl.Key] = jb
 		s.mu.Unlock()
 	default:
 		s.rejected++
 		s.mu.Unlock()
 		jb.cancel()
-		w.Header().Set("Retry-After", strconv.Itoa(int(s.opts.RetryAfter.Round(time.Second)/time.Second)))
-		writeError(w, http.StatusTooManyRequests, "queue full")
-		return
+		return nil, "", &StatusError{Status: http.StatusTooManyRequests, Msg: "queue full", Retryable: true}
 	}
 	<-jb.done
 	s.observe(t0)
-	s.respond(w, jb, "miss")
+	return jobOutcome(jb, "miss")
 }
 
-// respond maps a finished job onto an HTTP response.
-func (s *Server) respond(w http.ResponseWriter, jb *job, xcache string) {
+// jobOutcome maps a finished job onto the Execute result contract.
+func jobOutcome(jb *job, xcache string) ([]byte, string, *StatusError) {
 	switch {
 	case jb.status == runner.StatusOK:
-		writeBody(w, jb.body, xcache)
+		return jb.body, xcache, nil
 	case jb.timedOut:
-		writeError(w, http.StatusGatewayTimeout, "deadline exceeded: "+jb.errMsg)
+		// The flight's deadline, not necessarily the waiter's: retryable.
+		return nil, "", &StatusError{Status: http.StatusGatewayTimeout, Msg: "deadline exceeded: " + jb.errMsg, Retryable: true}
 	case jb.status == runner.StatusPanicked:
-		writeError(w, http.StatusInternalServerError, jb.errMsg)
+		return nil, "", &StatusError{Status: http.StatusInternalServerError, Msg: jb.errMsg, Retryable: true}
 	default:
 		// Semantically valid request whose campaign failed (i.i.d. gate,
 		// infeasible schedule input, simulation abort): the client's input
-		// was processable but unanalysable.
-		writeError(w, http.StatusUnprocessableEntity, jb.errMsg)
+		// was processable but unanalysable. Deterministic, so not retryable.
+		return nil, "", &StatusError{Status: http.StatusUnprocessableEntity, Msg: jb.errMsg, Retryable: false}
 	}
+}
+
+// dispatch is Execute's HTTP shell: run the plan, write the body or the
+// error envelope, stamping retryable failures with the Retry-After hint.
+func (s *Server) dispatch(w http.ResponseWriter, pl *Plan) {
+	body, xcache, serr := s.Execute(pl)
+	if serr != nil {
+		if serr.Retryable {
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.opts.RetryAfter)))
+		}
+		writeError(w, serr.Status, serr.Msg)
+		return
+	}
+	writeBody(w, body, xcache)
+}
+
+// retryAfterSeconds renders a Retry-After hint in whole seconds, rounding
+// UP with a floor of 1: the header's unit is seconds, so any sub-second
+// hint truncated (or rounded) to 0 reads as "retry immediately" and turns
+// a saturated server's backpressure into a client retry storm.
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// CacheLookup returns the cached canonical body for key, counting a cache
+// hit. The cluster router probes this before consulting the shared fleet
+// store or routing the request away.
+func (s *Server) CacheLookup(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	body, ok := s.cache.get(key)
+	if ok {
+		s.cacheHits++
+	}
+	return body, ok
+}
+
+// CacheFill seeds the local result cache with a canonical body computed
+// elsewhere in the fleet (a shared-store hit hydrates the node it landed
+// on). Safe because bodies are pure functions of the key.
+func (s *Server) CacheFill(key string, body []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cache.put(key, body)
+}
+
+// CountRequest records one request against path in the /metrics QPS
+// accounting. The cluster router serves compute paths outside the HTTP
+// handlers below, so it reports them here.
+func (s *Server) CountRequest(path string) {
+	s.mu.Lock()
+	s.requests[path]++
+	s.mu.Unlock()
 }
 
 // observe records one end-to-end request latency.
@@ -348,38 +461,51 @@ type estimateIdentity struct {
 	Converge bool `json:"converge"`
 }
 
-func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+// PlanRequest parses and validates a compute request body for path,
+// returning the executable plan. Any error is a client error (HTTP 400):
+// validation happens before any simulation work, so a malformed request
+// costs a JSON decode, not a campaign. This is the seam the cluster
+// router uses to learn a request's canonical key (and therefore its home
+// node) from raw bytes.
+func (s *Server) PlanRequest(path string, body []byte) (*Plan, error) {
+	switch path {
+	case "/v1/estimate":
+		return s.planEstimate(body)
+	case "/v1/schedule":
+		return s.planSchedule(body)
+	case "/v1/static":
+		return s.planStatic(body)
+	default:
+		return nil, fmt.Errorf("unknown compute path %q", path)
+	}
+}
+
+func (s *Server) planEstimate(body []byte) (*Plan, error) {
 	var req EstimateRequest
-	if err := decodeJSON(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
+	if err := decodeJSON(body, &req); err != nil {
+		return nil, err
 	}
 	prog, sha, err := req.Program.build()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
+		return nil, err
 	}
 	cfg, err := req.Config.resolve()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
+		return nil, err
 	}
 	probs, err := normalizeProbabilities(req.Probabilities)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
+		return nil, err
 	}
 	runs := req.Runs
 	if runs == 0 {
 		runs = 300
 	}
 	if runs < 40 {
-		writeError(w, http.StatusBadRequest, "runs: at least 40 required for a block-maxima fit")
-		return
+		return nil, fmt.Errorf("runs: at least 40 required for a block-maxima fit")
 	}
 	if runs > s.opts.MaxRuns {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("runs: %d exceeds the server cap %d", runs, s.opts.MaxRuns))
-		return
+		return nil, fmt.Errorf("runs: %d exceeds the server cap %d", runs, s.opts.MaxRuns)
 	}
 	seed := req.Seed
 	if seed == 0 {
@@ -391,17 +517,14 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 			batch = 8
 		}
 		if batch < 1 || batch > 64 {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("batch: %d outside [1,64]", batch))
-			return
+			return nil, fmt.Errorf("batch: %d outside [1,64]", batch)
 		}
 	} else if batch != 0 {
-		writeError(w, http.StatusBadRequest, "batch: requires converge (the fixed-count protocol collects sequentially; batching it would change results)")
-		return
+		return nil, fmt.Errorf("batch: requires converge (the fixed-count protocol collects sequentially; batching it would change results)")
 	}
 	timeout, err := s.effectiveTimeout(req.TimeoutMS)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
+		return nil, err
 	}
 	key := cacheKey("estimate", estimateIdentity{
 		Config: cfg, ProgramSHA: sha, Runs: runs, Seed: seed,
@@ -412,7 +535,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	skipIID := req.SkipIID
 	converge := req.Converge
 	name := prog.Name
-	s.dispatch(w, r, key, timeout, func(ctx context.Context, pool *sim.Pool) ([]byte, error) {
+	return &Plan{Key: key, Timeout: timeout, run: func(ctx context.Context, pool *sim.Pool) ([]byte, error) {
 		var aud *sim.Auditor
 		if audit {
 			aud = sim.NewAuditor()
@@ -476,7 +599,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 			resp.Audit = raw
 		}
 		return json.Marshal(resp)
-	})
+	}}, nil
 }
 
 // scheduleIdentity is the canonical identity of a schedule request.
@@ -486,29 +609,24 @@ type scheduleIdentity struct {
 	Tasks     []TaskSpec `json:"tasks"`
 }
 
-func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+func (s *Server) planSchedule(body []byte) (*Plan, error) {
 	var req ScheduleRequest
-	if err := decodeJSON(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
+	if err := decodeJSON(body, &req); err != nil {
+		return nil, err
 	}
 	if err := req.validate(); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
+		return nil, err
 	}
 	cfg, err := req.Config.resolve()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
+		return nil, err
 	}
 	if req.MIFCycles <= 0 {
-		writeError(w, http.StatusBadRequest, "mif_cycles: must be positive")
-		return
+		return nil, fmt.Errorf("mif_cycles: must be positive")
 	}
 	timeout, err := s.effectiveTimeout(req.TimeoutMS)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
+		return nil, err
 	}
 	key := cacheKey("schedule", scheduleIdentity{Config: cfg, MIFCycles: req.MIFCycles, Tasks: req.Tasks})
 	tasks := make([]*sched.Task, len(req.Tasks))
@@ -516,7 +634,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		tasks[i] = &sched.Task{Name: t.Name, PWCET: t.PWCET}
 	}
 	mif := req.MIFCycles
-	s.dispatch(w, r, key, timeout, func(ctx context.Context, _ *sim.Pool) ([]byte, error) {
+	return &Plan{Key: key, Timeout: timeout, run: func(ctx context.Context, _ *sim.Pool) ([]byte, error) {
 		sch, err := sched.PackGreedy(cfg, tasks, mif)
 		if err != nil {
 			return nil, err
@@ -543,7 +661,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 			})
 		}
 		return json.Marshal(resp)
-	})
+	}}, nil
 }
 
 // staticIdentity is the canonical identity of a static request.
@@ -557,33 +675,28 @@ type staticIdentity struct {
 	Probabilities     []float64 `json:"probabilities"`
 }
 
-func (s *Server) handleStatic(w http.ResponseWriter, r *http.Request) {
+func (s *Server) planStatic(body []byte) (*Plan, error) {
 	var req StaticRequest
-	if err := decodeJSON(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
+	if err := decodeJSON(body, &req); err != nil {
+		return nil, err
 	}
 	if err := req.validate(); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
+		return nil, err
 	}
 	prog, sha, err := req.Program.build()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
+		return nil, err
 	}
 	model := efl.StaticCacheModel{
 		Sets: req.Model.Sets, Ways: req.Model.Ways,
 		HitLat: req.Model.HitLatency, MissLat: req.Model.MissLatency,
 	}
 	if err := model.Validate(); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
+		return nil, err
 	}
 	probs, err := normalizeProbabilities(req.Probabilities)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
+		return nil, err
 	}
 	// Resolve trace defaults before keying so spelled-out and defaulted
 	// requests share a cache entry.
@@ -596,8 +709,7 @@ func (s *Server) handleStatic(w http.ResponseWriter, r *http.Request) {
 	}
 	timeout, err := s.effectiveTimeout(req.TimeoutMS)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
+		return nil, err
 	}
 	key := cacheKey("static", staticIdentity{
 		ProgramSHA: sha, Model: req.Model, Trace: trace,
@@ -606,7 +718,7 @@ func (s *Server) handleStatic(w http.ResponseWriter, r *http.Request) {
 	})
 	evict, gap, cons := req.EvictionsPerCycle, req.MeanGapCycles, req.Conservative
 	name := prog.Name
-	s.dispatch(w, r, key, timeout, func(ctx context.Context, _ *sim.Pool) ([]byte, error) {
+	return &Plan{Key: key, Timeout: timeout, run: func(ctx context.Context, _ *sim.Pool) ([]byte, error) {
 		res, err := efl.StaticPWCET(prog, model, efl.StaticTraceOptions{
 			LineBytes: trace.LineBytes, Instruction: trace.Instruction,
 			Data: trace.Data, MaxSteps: trace.MaxSteps,
@@ -627,7 +739,23 @@ func (s *Server) handleStatic(w http.ResponseWriter, r *http.Request) {
 			resp.PWCET[probKey(p)] = v
 		}
 		return json.Marshal(resp)
-	})
+	}}, nil
+}
+
+// handleCompute is the HTTP entry of every compute endpoint: read the
+// bounded body, plan, dispatch.
+func (s *Server) handleCompute(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "body: "+err.Error())
+		return
+	}
+	pl, err := s.PlanRequest(r.URL.Path, body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.dispatch(w, pl)
 }
 
 // MetricsSnapshot is the /metrics JSON body.
@@ -649,6 +777,7 @@ type CacheStats struct {
 	Misses    uint64  `json:"misses"`
 	Coalesced uint64  `json:"coalesced"`
 	Entries   int     `json:"entries"`
+	Bytes     int64   `json:"bytes"`
 	HitRate   float64 `json:"hit_rate"`
 }
 
@@ -676,7 +805,7 @@ func (s *Server) Snapshot() MetricsSnapshot {
 		QueueCapacity: cap(s.jobs),
 		Cache: CacheStats{
 			Hits: s.cacheHits, Misses: s.cacheMiss, Coalesced: s.coalesced,
-			Entries: s.cache.len(),
+			Entries: s.cache.len(), Bytes: s.cache.size(),
 		},
 		Workers: append([]WorkerStat(nil), s.workers...),
 		LatencyUS: LatencyStats{
@@ -718,9 +847,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Write([]byte("{\"status\":\"ok\"}\n"))
 }
 
-// decodeJSON decodes a bounded, strict JSON request body.
-func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+// decodeJSON decodes a strict JSON request body (already bounded by the
+// HTTP layer's MaxBytesReader).
+func decodeJSON(body []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		return fmt.Errorf("body: %w", err)

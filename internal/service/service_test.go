@@ -216,7 +216,6 @@ func TestBackpressure429(t *testing.T) {
 	s := New(Options{Workers: 1, QueueDepth: 1})
 	defer s.Close()
 	release := make(chan struct{})
-	req := httptest.NewRequest("POST", "/v1/estimate", nil)
 
 	blockingRun := func(ctx context.Context, _ *sim.Pool) ([]byte, error) {
 		<-release
@@ -229,7 +228,7 @@ func TestBackpressure429(t *testing.T) {
 	recA := httptest.NewRecorder()
 	var wg sync.WaitGroup
 	wg.Add(1)
-	go func() { defer wg.Done(); s.dispatch(recA, req, "job-a", time.Minute, blockingRun) }()
+	go func() { defer wg.Done(); s.dispatch(recA, &Plan{Key: "job-a", Timeout: time.Minute, run: blockingRun}) }()
 	// A is running (not queued) once the worker has drained the queue and
 	// registered it in flight.
 	waitUntil(t, "job A running", func() bool {
@@ -241,7 +240,7 @@ func TestBackpressure429(t *testing.T) {
 
 	recB := httptest.NewRecorder()
 	wg.Add(1)
-	go func() { defer wg.Done(); s.dispatch(recB, req, "job-b", time.Minute, instantRun) }()
+	go func() { defer wg.Done(); s.dispatch(recB, &Plan{Key: "job-b", Timeout: time.Minute, run: instantRun}) }()
 	waitUntil(t, "job B queued", func() bool {
 		s.mu.Lock()
 		defer s.mu.Unlock()
@@ -249,7 +248,7 @@ func TestBackpressure429(t *testing.T) {
 	})
 
 	recC := httptest.NewRecorder()
-	s.dispatch(recC, req, "job-c", time.Minute, instantRun)
+	s.dispatch(recC, &Plan{Key: "job-c", Timeout: time.Minute, run: instantRun})
 	if recC.Code != http.StatusTooManyRequests {
 		t.Fatalf("saturated server answered %d, want 429", recC.Code)
 	}
@@ -306,11 +305,10 @@ func TestDeadlineQuarantinesPool(t *testing.T) {
 func TestPanicIsolation(t *testing.T) {
 	s := New(Options{Workers: 1})
 	defer s.Close()
-	req := httptest.NewRequest("POST", "/v1/estimate", nil)
 	rec := httptest.NewRecorder()
-	s.dispatch(rec, req, "job-panic", time.Minute, func(ctx context.Context, _ *sim.Pool) ([]byte, error) {
+	s.dispatch(rec, &Plan{Key: "job-panic", Timeout: time.Minute, run: func(ctx context.Context, _ *sim.Pool) ([]byte, error) {
 		panic("boom")
-	})
+	}})
 	if rec.Code != http.StatusInternalServerError {
 		t.Fatalf("panicking job answered %d, want 500", rec.Code)
 	}
@@ -318,9 +316,9 @@ func TestPanicIsolation(t *testing.T) {
 		t.Fatalf("panic message lost: %s", rec.Body.String())
 	}
 	rec2 := httptest.NewRecorder()
-	s.dispatch(rec2, req, "job-after-panic", time.Minute, func(ctx context.Context, _ *sim.Pool) ([]byte, error) {
+	s.dispatch(rec2, &Plan{Key: "job-after-panic", Timeout: time.Minute, run: func(ctx context.Context, _ *sim.Pool) ([]byte, error) {
 		return []byte("{}"), nil
-	})
+	}})
 	if rec2.Code != 200 {
 		t.Fatalf("server dead after panic: %d", rec2.Code)
 	}
@@ -331,17 +329,16 @@ func TestPanicIsolation(t *testing.T) {
 func TestGracefulDrain(t *testing.T) {
 	s := New(Options{Workers: 1})
 	release := make(chan struct{})
-	req := httptest.NewRequest("POST", "/v1/estimate", nil)
 
 	recA := httptest.NewRecorder()
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		s.dispatch(recA, req, "job-drain", time.Minute, func(ctx context.Context, _ *sim.Pool) ([]byte, error) {
+		s.dispatch(recA, &Plan{Key: "job-drain", Timeout: time.Minute, run: func(ctx context.Context, _ *sim.Pool) ([]byte, error) {
 			<-release
 			return []byte("{}"), nil
-		})
+		}})
 	}()
 	waitUntil(t, "job running", func() bool {
 		s.mu.Lock()
@@ -359,9 +356,9 @@ func TestGracefulDrain(t *testing.T) {
 	})
 
 	recB := httptest.NewRecorder()
-	s.dispatch(recB, req, "job-late", time.Minute, func(ctx context.Context, _ *sim.Pool) ([]byte, error) {
+	s.dispatch(recB, &Plan{Key: "job-late", Timeout: time.Minute, run: func(ctx context.Context, _ *sim.Pool) ([]byte, error) {
 		return []byte("{}"), nil
-	})
+	}})
 	if recB.Code != http.StatusServiceUnavailable {
 		t.Fatalf("draining server accepted work: %d", recB.Code)
 	}
@@ -572,11 +569,10 @@ func TestMethodAndHealth(t *testing.T) {
 func TestIIDGateSurfacesAs422(t *testing.T) {
 	s := New(Options{Workers: 1})
 	defer s.Close()
-	req := httptest.NewRequest("POST", "/v1/estimate", nil)
 	rec := httptest.NewRecorder()
-	s.dispatch(rec, req, "job-422", time.Minute, func(ctx context.Context, _ *sim.Pool) ([]byte, error) {
+	s.dispatch(rec, &Plan{Key: "job-422", Timeout: time.Minute, run: func(ctx context.Context, _ *sim.Pool) ([]byte, error) {
 		return nil, fmt.Errorf("mbpta: sample failed i.i.d. tests")
-	})
+	}})
 	if rec.Code != http.StatusUnprocessableEntity {
 		t.Fatalf("run error answered %d, want 422", rec.Code)
 	}

@@ -106,4 +106,19 @@ grep -q '"kind": "loadtest"' "$svcdir/loadtest.json" || { echo "loadtest: artifa
 grep -q '"throughput_rps"' "$svcdir/loadtest.json" || { echo "loadtest: artifact missing throughput"; exit 1; }
 grep -q '"p99"' "$svcdir/loadtest.json" || { echo "loadtest: artifact missing latency percentiles"; exit 1; }
 
+echo "== cluster smoke (3-node fleet: cross-node byte-identity, chaos panic, node kill, degraded-but-clean)"
+# The fleet smoke drives a hermetic 3-node cluster over real loopback
+# TCP: fresh audited estimate on the home node -> byte-identical
+# cross-node hit from every other node -> injected job panic surfaces
+# as a retryable 500 and the retry is clean -> a node is killed and the
+# surviving fleet still answers byte-identically with a clean audit.
+# The run fails if cross-node hits stay at zero.
+"$svcdir/eflload" -fleet 3 -smoke -chaos -runs 60 -seed 2 -out "$svcdir/fleet.json"
+grep -q '"kind": "fleetload"' "$svcdir/fleet.json" || { echo "cluster: artifact missing fleetload kind"; exit 1; }
+grep -q '"cross_node_hit_rate"' "$svcdir/fleet.json" || { echo "cluster: artifact missing cross-node hit rate"; exit 1; }
+if grep -q '"cross_node_hit_rate": 0,' "$svcdir/fleet.json"; then
+    echo "cluster: cross-node hit rate is zero — routing never shared work"; exit 1
+fi
+grep -q '"per_node"' "$svcdir/fleet.json" || { echo "cluster: artifact missing per-node breakdown"; exit 1; }
+
 echo "verify: OK"
