@@ -46,10 +46,18 @@ func main() {
 		fleet       = flag.Int("fleet", 0, "drive an in-process N-node cluster instead of one server (emits a fleetload artifact)")
 		chaos       = flag.Bool("chaos", false, "fleet mode: inject a job-panic and a node drop mid-run")
 		storeDir    = flag.String("store-dir", "", "fleet mode: shared result store directory (empty: a temp dir)")
+		exp         = flag.String("exp", "", "named experiment campaign (resilmatrix: the byzantine resilience matrix)")
 	)
 	flag.Parse()
 	var err error
-	if *fleet > 0 {
+	if *exp != "" {
+		switch *exp {
+		case "resilmatrix":
+			err = runResilMatrix(*fleet, *storeDir, *seed, *runs, *out)
+		default:
+			err = fmt.Errorf("unknown experiment %q (have: resilmatrix)", *exp)
+		}
+	} else if *fleet > 0 {
 		err = runFleet(*fleet, *storeDir, *duration, *concurrency, *seed, *runs, *out, *smoke, *chaos)
 	} else if *chaos {
 		err = fmt.Errorf("-chaos needs -fleet")

@@ -50,13 +50,14 @@ func main() {
 		nodeID     = flag.String("node-id", "", "cluster: this node's identity (empty: standalone)")
 		peers      = flag.String("peers", "", "cluster: full fleet as 'id=host:port,...' (must include -node-id)")
 		storeDir   = flag.String("store-dir", "", "cluster: shared result store directory (empty: none)")
+		hopGrace   = flag.Duration("hop-grace", 0, "cluster: per-hop budget padding past the request deadline (0: 1s); a forwarded request is abandoned and the work stolen when deadline+grace expires")
 	)
 	flag.Parse()
 	if err := run(*addr, *addrFile, service.Options{
 		Workers: *workers, QueueDepth: *queue,
 		CacheEntries: *cacheSize, CacheBytes: *cacheBytes,
 		MaxRuns: *maxRuns, DefaultTimeout: *timeout, MaxTimeout: *maxTimeout,
-	}, *nodeID, *peers, *storeDir); err != nil {
+	}, *nodeID, *peers, *storeDir, *hopGrace); err != nil {
 		fmt.Fprintln(os.Stderr, "eflserved:", err)
 		os.Exit(1)
 	}
@@ -85,7 +86,7 @@ func parsePeers(spec string) (map[string]string, error) {
 	return peers, nil
 }
 
-func run(addr, addrFile string, opts service.Options, nodeID, peerSpec, storeDir string) error {
+func run(addr, addrFile string, opts service.Options, nodeID, peerSpec, storeDir string, hopGrace time.Duration) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -118,6 +119,7 @@ func run(addr, addrFile string, opts service.Options, nodeID, peerSpec, storeDir
 		}
 		node, err := cluster.NewNode(cluster.Options{
 			ID: nodeID, Peers: peers, Service: svc, Store: store,
+			HopGrace: hopGrace,
 		})
 		if err != nil {
 			ln.Close()
@@ -125,7 +127,7 @@ func run(addr, addrFile string, opts service.Options, nodeID, peerSpec, storeDir
 			return err
 		}
 		handler = node.Handler()
-	} else if peerSpec != "" || storeDir != "" {
+	} else if peerSpec != "" || storeDir != "" || hopGrace != 0 {
 		ln.Close()
 		svc.Close()
 		return fmt.Errorf("cluster flags need -node-id")

@@ -2,16 +2,19 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"efl/internal/fault"
+	"efl/internal/resil"
 	"efl/internal/service"
 )
 
@@ -58,21 +61,41 @@ type Options struct {
 	// DefaultVirtualNodes).
 	VirtualNodes int
 	// Client is used for forwarding; nil selects a client with a short
-	// dial timeout (dead peers fail fast) and no overall timeout
-	// (forwarded campaigns legitimately run for minutes).
+	// dial timeout (dead peers fail fast) and a response-header backstop
+	// but no overall timeout (forwarded campaigns legitimately run for
+	// minutes — the precise per-hop budget is a per-request context
+	// deadline derived from the plan's own deadline, see forward).
 	Client *http.Client
+	// HopGrace pads each forwarded request's budget past the plan
+	// deadline (<= 0 selects resil.DefaultHopGrace). The per-hop budget
+	// is plan timeout + grace: the peer needs the full deadline for the
+	// campaign itself plus margin for queueing and transport, and a peer
+	// that accepts the connection but never answers is abandoned — and
+	// the work stolen — when the budget expires.
+	HopGrace time.Duration
+	// BreakerThreshold and BreakerProbeEvery tune the per-peer circuit
+	// breakers (<= 0 selects the resil defaults).
+	BreakerThreshold  int
+	BreakerProbeEvery int
 }
 
 // Node is one router+server member of the estimation fleet. It wraps a
 // service.Server: compute paths route by cache key, everything else
 // (metrics, healthz) passes through.
 type Node struct {
-	id     string
-	peers  map[string]string
-	ring   *Ring
-	store  Store
-	svc    *service.Server
-	client *http.Client
+	id       string
+	peers    map[string]string
+	ring     *Ring
+	store    Store
+	svc      *service.Server
+	client   *http.Client
+	hopGrace time.Duration
+
+	// breakers holds one circuit breaker per remote peer, so a dead or
+	// flapping node stops costing this node a dial timeout (or worse, a
+	// full hop budget) on every routed request. Immutable map after
+	// construction; the breakers themselves are concurrency-safe.
+	breakers map[string]*resil.Breaker
 
 	// chaosPanic arms one injected job-panic, consumed by the next
 	// campaign that actually executes here (cache and store hits never
@@ -83,6 +106,9 @@ type Node struct {
 	routes        map[string]uint64
 	crossNodeHits uint64
 	storeErrors   uint64
+	breakerSkips  uint64
+	backoffSleeps uint64
+	hopTimeouts   uint64
 }
 
 // NewNode builds a fleet node. Peers must contain ID.
@@ -104,16 +130,33 @@ func NewNode(opts Options) (*Node, error) {
 	if client == nil {
 		client = &http.Client{Transport: &http.Transport{
 			DialContext: (&net.Dialer{Timeout: 2 * time.Second}).DialContext,
+			// Backstop only: the real per-hop budget is the per-request
+			// context deadline forward() derives from the plan timeout.
+			// This catches requests that somehow carry no deadline, so a
+			// hung-but-accepting peer can never stall a hop forever.
+			ResponseHeaderTimeout: 6 * time.Minute,
 		}}
 	}
+	hopGrace := opts.HopGrace
+	if hopGrace <= 0 {
+		hopGrace = resil.DefaultHopGrace
+	}
+	breakers := make(map[string]*resil.Breaker, len(opts.Peers)-1)
+	for id := range opts.Peers {
+		if id != opts.ID {
+			breakers[id] = resil.NewBreaker(opts.BreakerThreshold, opts.BreakerProbeEvery)
+		}
+	}
 	return &Node{
-		id:     opts.ID,
-		peers:  opts.Peers,
-		ring:   NewRing(members, opts.VirtualNodes),
-		store:  opts.Store,
-		svc:    opts.Service,
-		client: client,
-		routes: map[string]uint64{},
+		id:       opts.ID,
+		peers:    opts.Peers,
+		ring:     NewRing(members, opts.VirtualNodes),
+		store:    opts.Store,
+		svc:      opts.Service,
+		client:   client,
+		hopGrace: hopGrace,
+		breakers: breakers,
+		routes:   map[string]uint64{},
 	}, nil
 }
 
@@ -196,6 +239,11 @@ func (n *Node) route(w http.ResponseWriter, path string, body []byte, pl *servic
 		n.reply(w, n.id, RouteStore, "store", b)
 		return
 	}
+	// Deterministic pacing between failed steal attempts: the schedule is
+	// a pure function of the request key, so a chaos test replays the
+	// exact backoff sequence a production route took.
+	backoff := resil.Backoff{Seed: resil.SeedFromKey(pl.Key)}
+	failedHops := 0
 	var lastErr *service.StatusError
 	for i, id := range n.ring.Sequence(pl.Key) {
 		route := RouteForward
@@ -220,12 +268,38 @@ func (n *Node) route(w http.ResponseWriter, path string, body []byte, pl *servic
 			n.reply(w, n.id, route, xcache, bodyOut)
 			return
 		}
-		resp, data, ok := n.forward(id, path, body)
+		br := n.breakers[id]
+		if br != nil && !br.Allow() {
+			// Breaker open: skip the peer without paying its failure
+			// latency — the whole point of ejecting dead/flapping nodes.
+			n.mu.Lock()
+			n.breakerSkips++
+			n.mu.Unlock()
+			lastErr = &service.StatusError{Status: http.StatusServiceUnavailable, Msg: "peer " + id + " circuit open", Retryable: true}
+			continue
+		}
+		if failedHops > 0 {
+			// A previous candidate failed on the wire: pace the next
+			// attempt so a degraded fleet is not hammered in a tight loop.
+			n.mu.Lock()
+			n.backoffSleeps++
+			n.mu.Unlock()
+			time.Sleep(backoff.Delay(failedHops - 1))
+		}
+		resp, data, ok := n.forward(id, path, body, pl.Timeout)
 		if !ok {
-			// Dead, unreachable, saturated or draining: steal to the next
-			// candidate in the fleet-wide deterministic order.
+			// Dead, unreachable, hung past its hop budget, saturated or
+			// draining: steal to the next candidate in the fleet-wide
+			// deterministic order.
+			if br != nil {
+				br.Failure()
+			}
+			failedHops++
 			lastErr = &service.StatusError{Status: http.StatusServiceUnavailable, Msg: "peer " + id + " unavailable", Retryable: true}
 			continue
+		}
+		if br != nil {
+			br.Success()
 		}
 		n.relay(w, resp, data, route)
 		return
@@ -261,12 +335,24 @@ func (n *Node) serveLocal(w http.ResponseWriter, pl *service.Plan, route string)
 	n.reply(w, n.id, route, xcache, body)
 }
 
-// forward sends the raw request body to peer id. ok is false when the
-// candidate cannot take the work now — transport failure (dead node) or
-// capacity refusal (429/503) — and the caller should steal onward; any
-// other response, success or deterministic failure, is final.
-func (n *Node) forward(id, path string, body []byte) (*http.Response, []byte, bool) {
-	req, err := http.NewRequest(http.MethodPost, n.peers[id]+path, bytes.NewReader(body))
+// forward sends the raw request body to peer id under the request's
+// per-hop budget (plan timeout + grace — the peer needs the full plan
+// deadline for the campaign itself). The context deadline covers the
+// whole exchange, headers AND body, so both a hung-but-accepting peer
+// (accepts TCP, never sends headers) and a peer stalling mid-body are
+// abandoned when the budget expires instead of stalling the client
+// forever. ok is false when the candidate cannot take the work now —
+// transport failure (dead node), budget expiry, or capacity refusal
+// (429/503) — and the caller should steal onward; any other response,
+// success or deterministic failure, is final.
+func (n *Node) forward(id, path string, body []byte, planTimeout time.Duration) (*http.Response, []byte, bool) {
+	budget, err := resil.HopBudget(planTimeout, n.hopGrace)
+	if err != nil {
+		return nil, nil, false
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, n.peers[id]+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, nil, false
 	}
@@ -274,17 +360,30 @@ func (n *Node) forward(id, path string, body []byte) (*http.Response, []byte, bo
 	req.Header.Set(HopHeader, n.id)
 	resp, err := n.client.Do(req)
 	if err != nil {
+		n.countHopTimeout(ctx)
 		return nil, nil, false
 	}
 	data, err := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if err != nil {
+		n.countHopTimeout(ctx)
 		return nil, nil, false
 	}
 	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
 		return nil, nil, false
 	}
 	return resp, data, true
+}
+
+// countHopTimeout attributes a forwarding failure to the hop budget when
+// the hop's context expired (as opposed to a dial refusal or reset).
+func (n *Node) countHopTimeout(ctx context.Context) {
+	if ctx.Err() == nil {
+		return
+	}
+	n.mu.Lock()
+	n.hopTimeouts++
+	n.mu.Unlock()
 }
 
 // relay writes a peer's response through to the client, stamping the
@@ -325,7 +424,7 @@ func (n *Node) reply(w http.ResponseWriter, node, route, xcache string, body []b
 func (n *Node) replyError(w http.ResponseWriter, node, route string, serr *service.StatusError) {
 	n.countRoute(route)
 	if serr.Retryable {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(n.svc.RetryAfterSeconds()))
 	}
 	w.Header().Set(NodeHeader, node)
 	w.Header().Set(RouteHeader, route)
@@ -375,13 +474,31 @@ func (n *Node) countCross() {
 
 // Metrics is the /cluster/metrics JSON body: routing dispositions, the
 // cross-node hit count (requests this node answered with fleet work it
-// did not compute), store health, and the wrapped service's snapshot.
+// did not compute), per-peer breaker state, resilience counters, store
+// health, and the wrapped service's snapshot — enough to diagnose a
+// degraded fleet without log spelunking: an open breaker names the dead
+// peer, hop_timeouts names hung ones, store_quarantined names a rotting
+// shared mount.
 type Metrics struct {
-	Node          string                  `json:"node"`
-	Routes        map[string]uint64       `json:"routes"`
-	CrossNodeHits uint64                  `json:"cross_node_hits"`
-	StoreErrors   uint64                  `json:"store_errors"`
-	Service       service.MetricsSnapshot `json:"service"`
+	Node          string            `json:"node"`
+	Routes        map[string]uint64 `json:"routes"`
+	CrossNodeHits uint64            `json:"cross_node_hits"`
+	// Breakers maps each remote peer to its circuit-breaker state.
+	Breakers map[string]resil.Stats `json:"breakers"`
+	// BreakerSkips counts candidates skipped without any network cost
+	// because their breaker was open.
+	BreakerSkips uint64 `json:"breaker_skips"`
+	// BackoffSleeps counts deterministic pacing pauses between failed
+	// steal attempts.
+	BackoffSleeps uint64 `json:"backoff_sleeps"`
+	// HopTimeouts counts forwards abandoned because the per-hop budget
+	// (plan deadline + grace) expired — the hung-peer signature.
+	HopTimeouts uint64 `json:"hop_timeouts"`
+	StoreErrors uint64 `json:"store_errors"`
+	// StoreQuarantined counts corrupt shared-store entries this node's
+	// store handle verified, refused to serve, and moved to corrupt/.
+	StoreQuarantined uint64                  `json:"store_quarantined"`
+	Service          service.MetricsSnapshot `json:"service"`
 }
 
 // Snapshot returns the node's current metrics.
@@ -391,8 +508,19 @@ func (n *Node) Snapshot() Metrics {
 	for k, v := range n.routes {
 		routes[k] = v
 	}
-	m := Metrics{Node: n.id, Routes: routes, CrossNodeHits: n.crossNodeHits, StoreErrors: n.storeErrors}
+	m := Metrics{
+		Node: n.id, Routes: routes, CrossNodeHits: n.crossNodeHits,
+		BreakerSkips: n.breakerSkips, BackoffSleeps: n.backoffSleeps,
+		HopTimeouts: n.hopTimeouts, StoreErrors: n.storeErrors,
+	}
 	n.mu.Unlock()
+	m.Breakers = make(map[string]resil.Stats, len(n.breakers))
+	for id, br := range n.breakers {
+		m.Breakers[id] = br.Snapshot()
+	}
+	if q, ok := n.store.(interface{ Quarantined() uint64 }); ok {
+		m.StoreQuarantined = q.Quarantined()
+	}
 	m.Service = n.svc.Snapshot()
 	return m
 }

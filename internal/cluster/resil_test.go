@@ -1,0 +1,499 @@
+package cluster
+
+// Resilience-layer tests: the hung-peer hop budget, store integrity
+// quarantine, per-peer circuit breakers, and the seeded chaos-schedule
+// property (every success byte-identical to the clean fleet, every
+// failure fail-fast and retryable).
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"efl/internal/artifact"
+	"efl/internal/resil"
+	"efl/internal/service"
+)
+
+// startHangServer returns the base URL of a listener that accepts TCP
+// connections and never writes a byte — the hung-but-accepting peer
+// (stuck process, black-holed egress) that a plain dial timeout cannot
+// defend against.
+func startHangServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	t.Cleanup(func() { close(done); ln.Close() })
+	go func() {
+		var conns []net.Conn
+		defer func() {
+			for _, c := range conns {
+				c.Close()
+			}
+		}()
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			conns = append(conns, c)
+			select {
+			case <-done:
+				return
+			default:
+			}
+		}
+	}()
+	return "http://" + ln.Addr().String()
+}
+
+// ownedBody searches seeds for a request body whose home node is
+// `owner` on n's ring, so the route's first hop lands exactly where the
+// test wants it.
+func ownedBody(t *testing.T, n *Node, svc *service.Server, owner string, extra map[string]any) []byte {
+	t.Helper()
+	for seed := uint64(1); seed < 500; seed++ {
+		body := estimateBody(t, seed, extra)
+		pl, err := svc.PlanRequest("/v1/estimate", body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n.Owner(pl.Key) == owner {
+			return body
+		}
+	}
+	t.Fatalf("no seed under 500 hashes home to %q", owner)
+	return nil
+}
+
+// TestHungPeerStolenWithinHopBudget is the regression test for the
+// forwarding client's missing response deadline: a peer that accepts the
+// connection and never responds must be abandoned when the per-hop
+// budget (plan deadline + grace) expires and the work stolen locally —
+// pre-fix, the proxied request hung for as long as the hung peer felt
+// like, far past the job deadline.
+func TestHungPeerStolenWithinHopBudget(t *testing.T) {
+	hangURL := startHangServer(t)
+	svc := service.New(service.Options{Workers: 2})
+	defer svc.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	selfURL := "http://" + ln.Addr().String()
+	node, err := NewNode(Options{
+		ID:      "self",
+		Peers:   map[string]string{"self": selfURL, "hang": hangURL},
+		Service: svc,
+		// Tight grace so the test bounds in milliseconds, not seconds.
+		HopGrace: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: node.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	const planTimeoutMS = 1000
+	body := ownedBody(t, node, svc, "hang", map[string]any{"timeout_ms": planTimeoutMS})
+
+	type result struct {
+		resp *http.Response
+		data []byte
+	}
+	t0 := time.Now()
+	ch := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(selfURL+"/v1/estimate", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Errorf("POST: %v", err)
+			ch <- result{}
+			return
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		ch <- result{resp, data}
+	}()
+
+	// Generous wall bound (race-detector CI is slow), but far below "the
+	// hung peer decides": budget is 1s + 300ms grace, the steal's local
+	// campaign adds tens of milliseconds.
+	var res result
+	select {
+	case res = <-ch:
+	case <-time.After(15 * time.Second):
+		t.Fatal("request hung past the per-hop budget: hung peer was never stolen past")
+	}
+	if res.resp == nil {
+		t.FailNow()
+	}
+	elapsed := time.Since(t0)
+	if res.resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", res.resp.StatusCode, res.data)
+	}
+	if r := res.resp.Header.Get(RouteHeader); r != RouteSteal {
+		t.Fatalf("route = %q, want steal", r)
+	}
+	if n := res.resp.Header.Get(NodeHeader); n != "self" {
+		t.Fatalf("answering node = %q, want self", n)
+	}
+	if min := time.Duration(planTimeoutMS) * time.Millisecond; elapsed < min {
+		t.Fatalf("answered in %v, below the hop budget %v — the hung hop was never attempted", elapsed, min)
+	}
+	snap := node.Snapshot()
+	if snap.HopTimeouts == 0 {
+		t.Fatal("hop-timeout counter never moved for a hung peer")
+	}
+	if snap.Breakers["hang"].ConsecutiveFailures == 0 {
+		t.Fatal("hung peer's breaker recorded no failure")
+	}
+}
+
+// TestDirStoreQuarantinesCorruptEntry is the regression test for store
+// integrity: pre-fix, DirStore.Get served whatever bytes decoded from
+// disk — one flipped byte in a stored envelope body came back as a valid
+// result and poisoned every LRU it hydrated. Post-fix a corrupt entry is
+// a miss, the file is quarantined to corrupt/, and the store self-heals
+// on the next Put.
+func TestDirStoreQuarantinesCorruptEntry(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "a2b4c6d8e0f2a4b6c8d0e2f4a6b8c0d2e4f6a8b0c2d4e6f8a0b2c4d6e8f0a2b4"
+	body := []byte(`{"pwcet":{"1e-09":12345.6789,"1e-12":23456.789},"runs":300}`)
+	if err := s.Put(key, body); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bit-flip inside the stored body: the envelope still decodes, only
+	// content verification can catch it.
+	if err := CorruptStoreEntry(dir, key); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get(key)
+	if err != nil {
+		t.Fatalf("corrupt entry surfaced as a store error: %v", err)
+	}
+	if ok {
+		t.Fatalf("corrupt entry served as a valid result: %q", got)
+	}
+	if q := s.Quarantined(); q != 1 {
+		t.Fatalf("quarantine count = %d, want 1", q)
+	}
+	qpath := filepath.Join(dir, CorruptDirName, key+".json")
+	if _, err := os.Stat(qpath); err != nil {
+		t.Fatalf("corrupt entry not moved to quarantine: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, key[:2], key+".json")); !os.IsNotExist(err) {
+		t.Fatal("corrupt entry still present at its store path")
+	}
+	// Self-heal: a fresh Put round-trips again.
+	if err := s.Put(key, body); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err = s.Get(key)
+	if err != nil || !ok || !bytes.Equal(got, body) {
+		t.Fatalf("store did not heal after re-Put: ok=%v err=%v", ok, err)
+	}
+
+	// Truncation (torn write on a non-atomic filesystem): also a
+	// quarantined miss, not an error and never a body.
+	key2 := "b2b4c6d8e0f2a4b6c8d0e2f4a6b8c0d2e4f6a8b0c2d4e6f8a0b2c4d6e8f0a2b4"
+	if err := s.Put(key2, body); err != nil {
+		t.Fatal(err)
+	}
+	p2 := filepath.Join(dir, key2[:2], key2+".json")
+	data, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p2, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Get(key2); err != nil || ok {
+		t.Fatalf("truncated entry: ok=%v err=%v, want miss", ok, err)
+	}
+
+	// A digest-less entry (written by a pre-integrity build) is
+	// unverifiable: quarantined, not trusted.
+	key3 := "c2b4c6d8e0f2a4b6c8d0e2f4a6b8c0d2e4f6a8b0c2d4e6f8a0b2c4d6e8f0a2b4"
+	legacy, err := artifact.Encode(resultKind, 0, struct {
+		Body []byte `json:"body"`
+	}{body})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3 := filepath.Join(dir, key3[:2], key3+".json")
+	if err := os.MkdirAll(filepath.Dir(p3), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p3, legacy, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Get(key3); err != nil || ok {
+		t.Fatalf("digest-less entry: ok=%v err=%v, want miss", ok, err)
+	}
+	if q := s.Quarantined(); q != 3 {
+		t.Fatalf("quarantine count = %d, want 3", q)
+	}
+}
+
+// TestBreakerEjectsDeadPeer pins the circuit breaker's job: after the
+// threshold of consecutive failures, a dead peer is skipped without any
+// network cost, the skip is counted, and /cluster/metrics names the open
+// breaker.
+func TestBreakerEjectsDeadPeer(t *testing.T) {
+	f := startFleet(t, FleetOptions{
+		Nodes: 3, Service: service.Options{Workers: 2},
+		BreakerThreshold: 2, BreakerProbeEvery: 50,
+	})
+	victim := 2
+	serving := 0
+	var bodies [][]byte
+	for seed := uint64(1); len(bodies) < 5 && seed < 500; seed++ {
+		body := estimateBody(t, seed, nil)
+		pl, err := f.Nodes[serving].Service().PlanRequest("/v1/estimate", body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Nodes[serving].Owner(pl.Key) == f.IDs[victim] {
+			bodies = append(bodies, body)
+		}
+	}
+	if len(bodies) < 5 {
+		t.Fatal("could not collect 5 bodies homed on the victim")
+	}
+	f.Drop(victim)
+	for i, body := range bodies {
+		resp, data := post(t, f.URLs[serving]+"/v1/estimate", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d after drop: HTTP %d: %s", i, resp.StatusCode, data)
+		}
+		if r := resp.Header.Get(RouteHeader); r != RouteSteal {
+			t.Fatalf("request %d route = %q, want steal", i, r)
+		}
+	}
+	snap := f.Nodes[serving].Snapshot()
+	br, ok := snap.Breakers[f.IDs[victim]]
+	if !ok {
+		t.Fatalf("metrics missing breaker for %s: %+v", f.IDs[victim], snap.Breakers)
+	}
+	if br.State != resil.BreakerOpen {
+		t.Fatalf("dead peer's breaker = %q, want open", br.State)
+	}
+	if br.Opens == 0 {
+		t.Fatal("breaker open transition not counted")
+	}
+	if snap.BreakerSkips == 0 {
+		t.Fatal("no breaker skips counted: dead peer paid a dial on every request")
+	}
+
+	// The breaker state is served over HTTP, where operators look.
+	resp, err := http.Get(f.URLs[serving] + "/cluster/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m struct {
+		Breakers map[string]struct {
+			State string `json:"state"`
+		} `json:"breakers"`
+		BreakerSkips     uint64 `json:"breaker_skips"`
+		StoreQuarantined uint64 `json:"store_quarantined"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Breakers[f.IDs[victim]].State != "open" {
+		t.Fatalf("/cluster/metrics breaker state = %q, want open", m.Breakers[f.IDs[victim]].State)
+	}
+	if m.BreakerSkips == 0 {
+		t.Fatal("/cluster/metrics breaker_skips = 0")
+	}
+}
+
+// retryableStatus is the set of statuses the resilience contract allows a
+// degraded fleet to answer: each implies "identical retry may succeed".
+func retryableStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusInternalServerError,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// TestChaosScheduleProperty is the chaos property test: for a seeded
+// sweep of byzantine schedules — slow peer, partition, flaky transport,
+// store corruption and a node drop, in combination — every successful
+// response is byte-identical to the clean fleet's bytes and every failure
+// is fail-fast and retryable with a well-formed Retry-After >= 1s. No
+// hangs: a bounded client timeout above the route's worst-case budget
+// never fires against a healthy serving node.
+func TestChaosScheduleProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep is seconds-long; skipped in -short")
+	}
+	const reqCount = 3
+	reqExtra := map[string]any{"timeout_ms": 2000}
+	reqBodies := make([][]byte, reqCount)
+	for i := range reqBodies {
+		reqBodies[i] = estimateBody(t, 101+uint64(i), reqExtra)
+	}
+
+	// Clean-fleet baseline: the canonical bytes every chaos-fleet success
+	// must reproduce (fleet instances are interchangeable by simulator
+	// determinism — that is the property under test).
+	baseline := make([][]byte, reqCount)
+	{
+		clean := startFleet(t, FleetOptions{Nodes: 3, Service: service.Options{Workers: 2}})
+		for i, body := range reqBodies {
+			resp, data := post(t, clean.URLs[0]+"/v1/estimate", body)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("baseline request %d: HTTP %d: %s", i, resp.StatusCode, data)
+			}
+			baseline[i] = data
+		}
+		clean.Close()
+	}
+
+	client := &http.Client{Timeout: 20 * time.Second}
+	for _, chaosSeed := range []uint64{1, 2} {
+		t.Run(fmt.Sprintf("seed=%d", chaosSeed), func(t *testing.T) {
+			f := startFleet(t, FleetOptions{
+				Nodes: 3, StoreDir: t.TempDir(), Service: service.Options{Workers: 2},
+				HopGrace: 250 * time.Millisecond, BreakerThreshold: 2,
+			})
+			// The schedule is a pure function of the seed.
+			slowNode := int(chaosSeed) % 3
+			flakyNode := (slowNode + 1) % 3
+			partA, partB := (slowNode+1)%3, (slowNode+2)%3
+
+			check := func(phase string, idx int, resp *http.Response, data []byte) {
+				t.Helper()
+				if resp.StatusCode == http.StatusOK {
+					if !bytes.Equal(data, baseline[idx]) {
+						t.Fatalf("%s: request %d succeeded with bytes differing from the clean fleet", phase, idx)
+					}
+					return
+				}
+				if !retryableStatus(resp.StatusCode) {
+					t.Fatalf("%s: request %d failed with non-retryable HTTP %d: %s", phase, idx, resp.StatusCode, data)
+				}
+				ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+				if err != nil || ra < 1 {
+					t.Fatalf("%s: request %d: retryable HTTP %d with malformed Retry-After %q",
+						phase, idx, resp.StatusCode, resp.Header.Get("Retry-After"))
+				}
+			}
+
+			// Phase 1: three byzantine faults at once. Clients only talk
+			// to non-slow nodes (a health-checked LB does the same); the
+			// slow node still participates as a routing candidate, which
+			// is where the hop budget defends.
+			f.Slow(slowNode, true)
+			f.Flaky(flakyNode, 3)
+			f.Partition(partA, partB)
+			for idx, body := range reqBodies {
+				for n := 0; n < 3; n++ {
+					if n == slowNode {
+						continue
+					}
+					resp, err := client.Post(f.URLs[n]+"/v1/estimate", "application/json", bytes.NewReader(body))
+					if err != nil {
+						if n == flakyNode {
+							// The client talked straight to the armed flaky
+							// node and its response reset mid-body: a
+							// transport error, which any client treats as
+							// retryable. Only healthy serving nodes owe the
+							// HTTP-level contract.
+							continue
+						}
+						t.Fatalf("phase1: request %d via node %d: transport error against a healthy serving node: %v", idx, n, err)
+					}
+					data, readErr := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if readErr != nil {
+						// Same flaky-node allowance: a 200 whose body resets
+						// mid-read is a transport failure, not a success —
+						// and only the armed node may produce one (a relayed
+						// flaky hop is stolen by the serving node, never
+						// passed through truncated).
+						if n == flakyNode {
+							continue
+						}
+						t.Fatalf("phase1: request %d via node %d: truncated response from a healthy serving node: %v", idx, n, readErr)
+					}
+					check("phase1", idx, resp, data)
+				}
+			}
+
+			// Phase 2: heal, then corrupt the shared store underneath a
+			// finished campaign and replay it from a node that never
+			// cached it — the quarantine must eat the corruption and the
+			// route must recompute or fetch clean bytes.
+			f.Slow(slowNode, false)
+			f.Flaky(flakyNode, 0)
+			f.Heal()
+			freshBody := estimateBody(t, 200+chaosSeed, reqExtra)
+			pl, err := f.Nodes[0].Service().PlanRequest("/v1/estimate", freshBody)
+			if err != nil {
+				t.Fatal(err)
+			}
+			home := indexOf(t, f, f.Nodes[0].Owner(pl.Key))
+			respH, dataH := post(t, f.URLs[home]+"/v1/estimate", freshBody)
+			if respH.StatusCode != http.StatusOK {
+				t.Fatalf("phase2: fresh compute: HTTP %d: %s", respH.StatusCode, dataH)
+			}
+			if err := CorruptStoreEntry(f.StoreDir, pl.Key); err != nil {
+				t.Fatal(err)
+			}
+			other := (home + 1) % 3
+			respO, dataO := post(t, f.URLs[other]+"/v1/estimate", freshBody)
+			if respO.StatusCode != http.StatusOK {
+				t.Fatalf("phase2: replay over corrupt store: HTTP %d: %s", respO.StatusCode, dataO)
+			}
+			if !bytes.Equal(dataH, dataO) {
+				t.Fatal("phase2: corrupt store leaked different bytes into the response")
+			}
+			if q := f.Nodes[other].Snapshot().StoreQuarantined; q == 0 {
+				t.Fatal("phase2: corrupt entry served without quarantine")
+			}
+
+			// Phase 3: kill the previously-slow node for good; the
+			// survivors answer everything, still byte-identical.
+			f.Drop(slowNode)
+			for idx, body := range reqBodies {
+				for n := 0; n < 3; n++ {
+					if n == slowNode {
+						continue
+					}
+					resp, err := client.Post(f.URLs[n]+"/v1/estimate", "application/json", bytes.NewReader(body))
+					if err != nil {
+						t.Fatalf("phase3: request %d via node %d: %v", idx, n, err)
+					}
+					data, readErr := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if readErr != nil {
+						t.Fatalf("phase3: request %d via node %d: truncated response with chaos disarmed: %v", idx, n, readErr)
+					}
+					check("phase3", idx, resp, data)
+				}
+			}
+		})
+	}
+}

@@ -1,9 +1,12 @@
 package cluster
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"efl/internal/artifact"
 )
@@ -15,7 +18,10 @@ import (
 // are benign (they race to write identical bytes).
 type Store interface {
 	// Get returns the stored body for key, if present. A missing key is
-	// (nil, false, nil); an error means the store itself misbehaved.
+	// (nil, false, nil); an error means the store itself misbehaved. A
+	// corrupt entry MUST be a miss, never an error and never served: the
+	// fleet's acceptance bar is byte-identical responses, and a store that
+	// can hand back rotted bytes silently poisons every node's LRU.
 	Get(key string) ([]byte, bool, error)
 	// Put stores body under key.
 	Put(key string, body []byte) error
@@ -25,12 +31,21 @@ type Store interface {
 const resultKind = "result"
 
 // resultPayload is the envelope payload: the exact response bytes,
-// base64-encoded. NOT embedded as raw JSON — the envelope encoder's
+// base64-encoded (NOT embedded as raw JSON — the envelope encoder's
 // re-indentation would silently reformat the body, and the fleet's
-// acceptance bar is byte-identity, not JSON equivalence.
+// acceptance bar is byte-identity, not JSON equivalence), plus the body's
+// SHA-256. The digest is the integrity witness: the store key is the hash
+// of the *request* identity, not of the body, so a reader cannot check
+// the body against the key — it checks it against the digest recorded at
+// Put time, which the same atomic write produced.
 type resultPayload struct {
-	Body []byte `json:"body"`
+	Body       []byte `json:"body"`
+	BodySHA256 string `json:"body_sha256"`
 }
+
+// CorruptDirName is the quarantine subdirectory DirStore moves entries
+// that fail integrity verification into (relative to the store root).
+const CorruptDirName = "corrupt"
 
 // DirStore is a Store over a shared directory (NFS mount, bind-mounted
 // volume, or plain local disk for a single-host fleet). Each result is
@@ -39,8 +54,20 @@ type resultPayload struct {
 // the fleet to read; the envelope's schema check rejects files written by
 // an incompatible build. Keys shard into 256 subdirectories by their
 // first byte so a warm fleet's store never piles every file into one dir.
+//
+// Get verifies every entry before serving it: the envelope must decode
+// and the body must match its recorded SHA-256. An entry failing either
+// check — bit rot, truncation past the atomic-write guarantees (a
+// non-atomic network filesystem, a hostile co-tenant), or a digest-less
+// file from an older build — is treated as a miss and the file is moved
+// to <dir>/corrupt/ for post-mortem, so the fleet recomputes the result
+// instead of ever serving rotted bytes. The store self-heals: the fresh
+// recompute re-Puts a verified entry under the same key.
 type DirStore struct {
 	dir string
+
+	mu          sync.Mutex
+	quarantined uint64
 }
 
 // NewDirStore returns a DirStore rooted at dir, creating it if needed.
@@ -65,7 +92,10 @@ func (s *DirStore) path(key string) (string, error) {
 	return filepath.Join(s.dir, key[:2], key+".json"), nil
 }
 
-// Get implements Store.
+// Get implements Store. Corrupt or unverifiable entries are quarantined
+// and reported as a miss, never as a body and never as an error — the
+// route falls through to a fresh compute, exactly as if the entry had
+// never been written.
 func (s *DirStore) Get(key string) ([]byte, bool, error) {
 	p, err := s.path(key)
 	if err != nil {
@@ -80,20 +110,53 @@ func (s *DirStore) Get(key string) ([]byte, bool, error) {
 	}
 	var payload resultPayload
 	if _, err := artifact.Decode(data, resultKind, &payload); err != nil {
-		return nil, false, fmt.Errorf("cluster: store entry %s: %w", key, err)
+		s.quarantine(p)
+		return nil, false, nil
+	}
+	sum := sha256.Sum256(payload.Body)
+	if hex.EncodeToString(sum[:]) != payload.BodySHA256 {
+		s.quarantine(p)
+		return nil, false, nil
 	}
 	return payload.Body, true, nil
 }
 
-// Put implements Store.
+// Put implements Store, recording the body's digest alongside it.
 func (s *DirStore) Put(key string, body []byte) error {
 	p, err := s.path(key)
 	if err != nil {
 		return err
 	}
-	data, err := artifact.Encode(resultKind, 0, resultPayload{Body: body})
+	sum := sha256.Sum256(body)
+	data, err := artifact.Encode(resultKind, 0, resultPayload{
+		Body: body, BodySHA256: hex.EncodeToString(sum[:]),
+	})
 	if err != nil {
 		return err
 	}
 	return artifact.WriteFile(p, data)
+}
+
+// quarantine moves a failed entry into the corrupt/ subdirectory (never
+// deleting evidence) and counts it. Best-effort: if even the rename fails
+// (read-only mount), the file is left behind but still never served, and
+// the counter moves either way so the operator sees the store rotting.
+func (s *DirStore) quarantine(p string) {
+	s.mu.Lock()
+	s.quarantined++
+	s.mu.Unlock()
+	cdir := filepath.Join(s.dir, CorruptDirName)
+	if err := os.MkdirAll(cdir, 0o755); err != nil {
+		return
+	}
+	os.Rename(p, filepath.Join(cdir, filepath.Base(p)))
+}
+
+// Quarantined returns how many corrupt entries this store handle has
+// quarantined (surfaced in /cluster/metrics so a rotting shared mount is
+// diagnosable without log spelunking).
+func (s *DirStore) Quarantined() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.quarantined
 }

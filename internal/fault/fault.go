@@ -70,6 +70,29 @@ const (
 	// injected by the fleet harness (cluster.Fleet.Drop), and like
 	// JobPanic is rejected by ArmFaults — no hardware hook models it.
 	NodeDrop Class = "node-drop"
+	// PeerSlow is a byzantine cluster-level fault: a node keeps accepting
+	// TCP connections but never sends response headers (hung process,
+	// half-dead VM, black-holed egress). Nastier than NodeDrop — a dead
+	// peer fails fast with connection-refused, a slow one eats the
+	// caller's time. Injected by cluster.Fleet.Slow; the defense is the
+	// per-hop forwarding budget (resil.HopBudget) plus the breaker.
+	PeerSlow Class = "peer-slow"
+	// Partition is a byzantine cluster-level fault: two nodes lose
+	// mutual connectivity while both stay reachable from everywhere else
+	// (A sees B but not C). Injected by cluster.Fleet.Partition; the
+	// defense is deterministic work-stealing down the ring sequence.
+	Partition Class = "partition"
+	// StoreCorrupt is a byzantine cluster-level fault: a shared-store
+	// entry's bytes change on disk (bit rot, torn write on a non-atomic
+	// filesystem, hostile tenant). Injected by cluster.CorruptStoreEntry;
+	// the defense is DirStore's content-hash verification, which treats
+	// the entry as a miss and quarantines the file.
+	StoreCorrupt Class = "store-corrupt"
+	// FlakyTransport is a byzantine cluster-level fault: a deterministic
+	// fraction of a node's responses are reset mid-body (dying NIC, load
+	// balancer draining, MTU black hole). Injected by cluster.Fleet.Flaky;
+	// the defense is forward-error stealing plus the breaker.
+	FlakyTransport Class = "flaky-transport"
 )
 
 // Classes returns every fault class in detection-matrix order.
@@ -81,7 +104,16 @@ func Classes() []Class {
 		BusStarvation, MemOverrun,
 		CohDroppedInval,
 		JobPanic, NodeDrop,
+		PeerSlow, Partition, StoreCorrupt, FlakyTransport,
 	}
+}
+
+// ClusterClasses returns the fleet-level fault classes in resilience-
+// matrix order: the byzantine classes plus node-drop, none of which arm
+// onto a hardware platform — they are realised by the fleet harness
+// (cluster.Fleet) and defended by the routing layer.
+func ClusterClasses() []Class {
+	return []Class{PeerSlow, Partition, StoreCorrupt, FlakyTransport, NodeDrop}
 }
 
 // Injection is one fault: a class, the core it targets (AllCores where the
@@ -168,7 +200,7 @@ func (p Plan) Validate(cores, llcWays int) error {
 			if uint32(param) == ^uint32(0) {
 				return fmt.Errorf("fault: injection %d (%s): identity mask injects nothing", i, inj.Class)
 			}
-		case JobPanic, NodeDrop:
+		case JobPanic, NodeDrop, PeerSlow, Partition, StoreCorrupt, FlakyTransport:
 			return fmt.Errorf("fault: injection %d (%s): software fault, not armable on a platform", i, inj.Class)
 		default:
 			return fmt.Errorf("fault: injection %d: unknown class %q", i, inj.Class)

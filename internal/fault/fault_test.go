@@ -32,6 +32,10 @@ func TestValidate(t *testing.T) {
 		Single(CohDroppedInval, AllCores),                                                // needs a specific target core
 		Single(JobPanic, 0),                                                              // software fault, not armable
 		Single(NodeDrop, 0),                                                              // cluster fault, not armable
+		Single(PeerSlow, 0),                                                              // byzantine cluster fault, not armable
+		Single(Partition, 0),                                                             // byzantine cluster fault, not armable
+		Single(StoreCorrupt, 0),                                                          // byzantine cluster fault, not armable
+		Single(FlakyTransport, 0),                                                        // byzantine cluster fault, not armable
 		{Injections: []Injection{{Class: "bogus", Core: 0}}},                             // unknown class
 	}
 	for i, p := range bad {
@@ -65,6 +69,7 @@ func TestClassesCoversAll(t *testing.T) {
 		RNGStuck: true, RNGBiased: true,
 		BusStarvation: true, MemOverrun: true,
 		CohDroppedInval: true, JobPanic: true, NodeDrop: true,
+		PeerSlow: true, Partition: true, StoreCorrupt: true, FlakyTransport: true,
 	}
 	got := Classes()
 	if len(got) != len(want) {
@@ -78,5 +83,22 @@ func TestClassesCoversAll(t *testing.T) {
 	}
 	for c := range want {
 		t.Errorf("Classes() is missing %q", c)
+	}
+}
+
+// TestClusterClasses pins that every fleet-level class is in the global
+// class list and that none of them arms onto a hardware platform.
+func TestClusterClasses(t *testing.T) {
+	all := map[Class]bool{}
+	for _, c := range Classes() {
+		all[c] = true
+	}
+	for _, c := range ClusterClasses() {
+		if !all[c] {
+			t.Errorf("cluster class %q missing from Classes()", c)
+		}
+		if err := Single(c, 0).Validate(4, 8); err == nil {
+			t.Errorf("cluster class %q was accepted by platform validation", c)
+		}
 	}
 }

@@ -1,0 +1,252 @@
+// Package resil holds the deterministic resilience primitives behind the
+// estimation fleet's degraded-mode guarantees: a count-driven per-peer
+// circuit breaker, a seeded exponential-backoff schedule, and the per-hop
+// forwarding budget derived from a request's plan deadline.
+//
+// Everything here is deliberately clock-free or clock-bounded: the
+// breaker transitions on request counts (consecutive failures open it,
+// every Nth denied attempt admits a probe) rather than wall-clock timers,
+// and backoff delays are pure functions of (seed, attempt) — so a chaos
+// test replays the exact schedule a production incident produced, and the
+// fleet's failure behaviour is provable rather than timing-lucky. This is
+// the serving-layer analogue of the simulator's determinism contract: the
+// paper's pWCET estimates are only trustworthy if the system around them
+// degrades predictably too.
+package resil
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState string
+
+const (
+	// BreakerClosed: requests flow; consecutive failures are counted.
+	BreakerClosed BreakerState = "closed"
+	// BreakerOpen: requests are denied without paying the peer's failure
+	// latency; every ProbeEvery-th denial admits one probe instead.
+	BreakerOpen BreakerState = "open"
+	// BreakerHalfOpen: one probe is in flight; its outcome decides the
+	// next state. Further requests are denied until it reports.
+	BreakerHalfOpen BreakerState = "half-open"
+)
+
+// Breaker defaults.
+const (
+	// DefaultThreshold is the consecutive-failure count that opens a
+	// closed breaker. Three strikes: a single flaky connection does not
+	// eject a peer, a dead one is ejected within three requests.
+	DefaultThreshold = 3
+	// DefaultProbeEvery is the denial count between probe admissions on an
+	// open breaker. Count-driven rather than a wall-clock cooldown: under
+	// load the peer is re-probed quickly, while an idle fleet spends
+	// nothing probing a corpse.
+	DefaultProbeEvery = 8
+)
+
+// Breaker is a consecutive-failure circuit breaker: closed → open after
+// Threshold straight failures, open → half-open when a probe is admitted
+// (every ProbeEvery-th denied attempt), half-open → closed on probe
+// success or back to open on probe failure. All transitions are driven by
+// Allow/Success/Failure call counts — no timers — so breaker behaviour in
+// tests and chaos campaigns is exactly reproducible.
+type Breaker struct {
+	mu         sync.Mutex
+	threshold  int
+	probeEvery int
+
+	state      BreakerState
+	consecFail int
+	denied     int // denials since the breaker last opened
+
+	opens   uint64
+	probes  uint64
+	denials uint64
+}
+
+// NewBreaker returns a closed breaker. Non-positive threshold or
+// probeEvery select the defaults.
+func NewBreaker(threshold, probeEvery int) *Breaker {
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	if probeEvery <= 0 {
+		probeEvery = DefaultProbeEvery
+	}
+	return &Breaker{threshold: threshold, probeEvery: probeEvery, state: BreakerClosed}
+}
+
+// Allow reports whether a request to the peer may proceed. On an open
+// breaker every ProbeEvery-th call is admitted as a probe (moving to
+// half-open); the rest are denied instantly — the whole point: a dead
+// peer stops costing a dial timeout per request.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerHalfOpen:
+		b.denials++
+		return false
+	default: // open
+		b.denied++
+		if b.denied%b.probeEvery == 0 {
+			b.state = BreakerHalfOpen
+			b.probes++
+			return true
+		}
+		b.denials++
+		return false
+	}
+}
+
+// Success records a successful exchange with the peer: any state closes.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.consecFail = 0
+	b.denied = 0
+}
+
+// Failure records a failed exchange. A half-open probe failure reopens
+// immediately; a closed breaker opens after Threshold consecutive
+// failures.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecFail++
+	if b.state == BreakerHalfOpen || (b.state == BreakerClosed && b.consecFail >= b.threshold) {
+		if b.state != BreakerOpen {
+			b.opens++
+		}
+		b.state = BreakerOpen
+		b.denied = 0
+	}
+}
+
+// State returns the breaker's current position.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Stats is a breaker's observable state for metrics endpoints.
+type Stats struct {
+	State               BreakerState `json:"state"`
+	ConsecutiveFailures int          `json:"consecutive_failures"`
+	Opens               uint64       `json:"opens"`
+	Probes              uint64       `json:"probes"`
+	Denials             uint64       `json:"denials"`
+}
+
+// Snapshot returns the breaker's counters.
+func (b *Breaker) Snapshot() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return Stats{
+		State:               b.state,
+		ConsecutiveFailures: b.consecFail,
+		Opens:               b.opens,
+		Probes:              b.probes,
+		Denials:             b.denials,
+	}
+}
+
+// Backoff is a deterministic exponential-backoff schedule with full
+// jitter: Delay(attempt) grows as Base·2^attempt capped at Max, jittered
+// over (0, window] by a hash of (Seed, attempt) — the runner.Seed idiom —
+// so two retriers with different seeds decorrelate while any single
+// schedule replays exactly from its seed.
+type Backoff struct {
+	// Base is the first attempt's delay window (default 5ms).
+	Base time.Duration
+	// Max caps the window's exponential growth (default 250ms).
+	Max time.Duration
+	// Seed decorrelates concurrent retriers deterministically.
+	Seed uint64
+}
+
+// Backoff defaults: small — this schedule paces steal attempts inside one
+// request's deadline budget, it is not a client-level retry policy.
+const (
+	DefaultBackoffBase = 5 * time.Millisecond
+	DefaultBackoffMax  = 250 * time.Millisecond
+)
+
+// Delay returns the pause before retry `attempt` (0-based). Always
+// positive, never above the cap, and a pure function of (Seed, attempt).
+func (b Backoff) Delay(attempt int) time.Duration {
+	base, max := b.Base, b.Max
+	if base <= 0 {
+		base = DefaultBackoffBase
+	}
+	if max <= 0 {
+		max = DefaultBackoffMax
+	}
+	if attempt < 0 {
+		attempt = 0
+	}
+	window := base
+	for i := 0; i < attempt && window < max; i++ {
+		window *= 2
+	}
+	if window > max {
+		window = max
+	}
+	// Full jitter in (0, window]: FNV-style mix of seed and attempt,
+	// the same derivation discipline as runner.Seed (stable identity in,
+	// stable stream out; never zero).
+	h := b.Seed ^ 0x9e3779b97f4a7c15
+	h ^= uint64(attempt) + 1
+	h *= 0x100000001b3
+	h ^= h >> 29
+	h *= 0x100000001b3
+	h ^= h >> 32
+	return time.Duration(h%uint64(window)) + 1
+}
+
+// SeedFromKey derives a Backoff seed from a request's cache key, so the
+// retry schedule of any given request is reproducible from the request
+// alone (the serving fleet has no per-request RNG to leak wall-clock
+// nondeterminism through).
+func SeedFromKey(key string) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, c := range []byte(key) {
+		h ^= uint64(c)
+		h *= 0x100000001b3
+		h ^= h >> 29
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// DefaultHopGrace pads a forwarded request's per-hop budget past the plan
+// deadline: the peer legitimately needs the full deadline for the
+// campaign itself, plus margin for queueing and transport.
+const DefaultHopGrace = 1 * time.Second
+
+// HopBudget derives the forwarding budget for one hop from the request's
+// plan deadline: timeout + grace (non-positive grace selects
+// DefaultHopGrace). A peer that accepts the connection and then stalls —
+// hung process, half-dead VM, black-holed network — is abandoned when the
+// budget expires and the work is stolen by the next ring candidate, so a
+// route's worst-case wall-clock is candidates × HopBudget rather than
+// forever. This is the serving-layer UBD: a composable per-hop bound that
+// makes end-to-end latency analysable instead of open-ended.
+func HopBudget(timeout, grace time.Duration) (time.Duration, error) {
+	if timeout <= 0 {
+		return 0, fmt.Errorf("resil: hop budget needs a positive plan timeout, got %v", timeout)
+	}
+	if grace <= 0 {
+		grace = DefaultHopGrace
+	}
+	return timeout + grace, nil
+}

@@ -1,0 +1,171 @@
+package resil
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBreakerLifecycle pins the count-driven state machine: closed until
+// Threshold consecutive failures, probe admission every ProbeEvery-th
+// denial, half-open resolving on the probe's outcome.
+func TestBreakerLifecycle(t *testing.T) {
+	b := NewBreaker(3, 4)
+	if b.State() != BreakerClosed {
+		t.Fatalf("new breaker state = %q, want closed", b.State())
+	}
+	// Two failures with a success between: never opens.
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatalf("breaker opened below the consecutive threshold: %q", b.State())
+	}
+	// Third consecutive failure opens it.
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after 3 consecutive failures = %q, want open", b.State())
+	}
+	// Open: denies until the ProbeEvery-th attempt, which probes.
+	for i := 0; i < 3; i++ {
+		if b.Allow() {
+			t.Fatalf("open breaker admitted attempt %d before the probe point", i)
+		}
+	}
+	if !b.Allow() {
+		t.Fatal("open breaker denied the probe attempt")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state after probe admission = %q, want half-open", b.State())
+	}
+	// Half-open: concurrent attempts are denied while the probe flies.
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second request")
+	}
+	// Probe failure reopens immediately (no threshold).
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after probe failure = %q, want open", b.State())
+	}
+	// Next probe succeeds: closed, and requests flow again.
+	for i := 0; i < 3; i++ {
+		b.Allow()
+	}
+	if !b.Allow() {
+		t.Fatal("reopened breaker denied its probe")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after probe success = %q, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker denied a request")
+	}
+	s := b.Snapshot()
+	if s.Opens != 2 || s.Probes != 2 {
+		t.Fatalf("lifetime counters opens=%d probes=%d, want 2 and 2", s.Opens, s.Probes)
+	}
+	if s.Denials == 0 {
+		t.Fatal("denial counter never moved")
+	}
+}
+
+// TestBreakerDefaults pins the default knobs.
+func TestBreakerDefaults(t *testing.T) {
+	b := NewBreaker(0, 0)
+	for i := 0; i < DefaultThreshold-1; i++ {
+		b.Failure()
+	}
+	if b.State() != BreakerClosed {
+		t.Fatal("breaker opened before the default threshold")
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("breaker did not open at the default threshold")
+	}
+	admitted := 0
+	for i := 0; i < DefaultProbeEvery; i++ {
+		if b.Allow() {
+			admitted++
+		}
+	}
+	if admitted != 1 {
+		t.Fatalf("open breaker admitted %d of %d attempts, want exactly 1 probe", admitted, DefaultProbeEvery)
+	}
+}
+
+// TestBackoffDeterministic pins the schedule's reproducibility and its
+// exponential envelope: same (seed, attempt) → same delay, different
+// seeds decorrelate, every delay is positive and capped.
+func TestBackoffDeterministic(t *testing.T) {
+	a := Backoff{Base: 10 * time.Millisecond, Max: 100 * time.Millisecond, Seed: 42}
+	b := Backoff{Base: 10 * time.Millisecond, Max: 100 * time.Millisecond, Seed: 42}
+	c := Backoff{Base: 10 * time.Millisecond, Max: 100 * time.Millisecond, Seed: 43}
+	sameAsC := 0
+	for attempt := 0; attempt < 12; attempt++ {
+		d1, d2 := a.Delay(attempt), b.Delay(attempt)
+		if d1 != d2 {
+			t.Fatalf("attempt %d: same seed gave %v then %v", attempt, d1, d2)
+		}
+		if d1 <= 0 {
+			t.Fatalf("attempt %d: non-positive delay %v", attempt, d1)
+		}
+		window := 10 * time.Millisecond << attempt
+		if window > 100*time.Millisecond || window <= 0 {
+			window = 100 * time.Millisecond
+		}
+		if d1 > window {
+			t.Fatalf("attempt %d: delay %v above the window %v", attempt, d1, window)
+		}
+		if c.Delay(attempt) == d1 {
+			sameAsC++
+		}
+	}
+	if sameAsC == 12 {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestBackoffZeroValue pins that the zero value works with defaults.
+func TestBackoffZeroValue(t *testing.T) {
+	var b Backoff
+	for attempt := 0; attempt < 20; attempt++ {
+		d := b.Delay(attempt)
+		if d <= 0 || d > DefaultBackoffMax {
+			t.Fatalf("attempt %d: delay %v outside (0, %v]", attempt, d, DefaultBackoffMax)
+		}
+	}
+	if b.Delay(-1) <= 0 {
+		t.Fatal("negative attempt produced a non-positive delay")
+	}
+}
+
+// TestSeedFromKey pins determinism and non-zero output.
+func TestSeedFromKey(t *testing.T) {
+	if SeedFromKey("abc") != SeedFromKey("abc") {
+		t.Fatal("SeedFromKey is not deterministic")
+	}
+	if SeedFromKey("abc") == SeedFromKey("abd") {
+		t.Fatal("SeedFromKey collides on adjacent keys")
+	}
+	if SeedFromKey("") == 0 {
+		t.Fatal("SeedFromKey returned the zero seed")
+	}
+}
+
+// TestHopBudget pins the derivation: timeout + grace, default grace,
+// rejection of non-positive timeouts.
+func TestHopBudget(t *testing.T) {
+	got, err := HopBudget(2*time.Second, 500*time.Millisecond)
+	if err != nil || got != 2500*time.Millisecond {
+		t.Fatalf("HopBudget(2s, 500ms) = %v, %v", got, err)
+	}
+	got, err = HopBudget(time.Second, 0)
+	if err != nil || got != time.Second+DefaultHopGrace {
+		t.Fatalf("HopBudget(1s, 0) = %v, %v; want default grace", got, err)
+	}
+	if _, err := HopBudget(0, time.Second); err == nil {
+		t.Fatal("HopBudget accepted a zero plan timeout")
+	}
+}

@@ -376,6 +376,14 @@ func (s *Server) dispatch(w http.ResponseWriter, pl *Plan) {
 	writeBody(w, body, xcache)
 }
 
+// RetryAfterSeconds returns the server's configured Retry-After hint in
+// whole seconds (ceil with a floor of 1). The cluster router stamps the
+// same hint on retryable failures it synthesises itself (all candidates
+// exhausted, circuit open), so clients see one consistent contract —
+// every retryable error carries Retry-After >= 1s — regardless of which
+// layer failed the request.
+func (s *Server) RetryAfterSeconds() int { return retryAfterSeconds(s.opts.RetryAfter) }
+
 // retryAfterSeconds renders a Retry-After hint in whole seconds, rounding
 // UP with a floor of 1: the header's unit is seconds, so any sub-second
 // hint truncated (or rounded) to 0 reads as "retry immediately" and turns

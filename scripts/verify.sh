@@ -121,4 +121,18 @@ if grep -q '"cross_node_hit_rate": 0,' "$svcdir/fleet.json"; then
 fi
 grep -q '"per_node"' "$svcdir/fleet.json" || { echo "cluster: artifact missing per-node breakdown"; exit 1; }
 
+echo "== resilience matrix smoke (byzantine classes: slow, partition, corrupt store, flaky, drop)"
+# One scenario per byzantine fault class on a 3-node fleet, each graded
+# detected / recovered / byte-identical / fail-fast, plus an all-drained
+# probe asserting the fleet fails fast and retryably (Retry-After >= 1s)
+# instead of hanging. The binary exits nonzero on any unhandled cell; the
+# greps assert the committed-artifact shape on top.
+"$svcdir/eflload" -exp resilmatrix -runs 40 -seed 1 -out "$svcdir/resil.json"
+grep -q '"kind": "resilmatrix"' "$svcdir/resil.json" || { echo "resilmatrix: artifact missing kind"; exit 1; }
+grep -q '"all_handled": true' "$svcdir/resil.json" || { echo "resilmatrix: unhandled fault cell"; exit 1; }
+for class in peer-slow partition store-corrupt flaky-transport node-drop; do
+    grep -q "\"class\": \"$class\"" "$svcdir/resil.json" || { echo "resilmatrix: missing $class row"; exit 1; }
+done
+grep -q '"well_formed_retry_after": true' "$svcdir/resil.json" || { echo "resilmatrix: fail-fast probe lacks a well-formed Retry-After"; exit 1; }
+
 echo "verify: OK"
