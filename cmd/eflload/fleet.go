@@ -141,7 +141,7 @@ func fleetPost(client *http.Client, f *cluster.Fleet, start int, path string, bo
 }
 
 func runFleetLoad(f *cluster.Fleet, duration time.Duration, concurrency int, seed uint64, runs int, out string, chaos bool) error {
-	reqs, err := buildWorkload(runs)
+	reqs, err := buildWorkload(runs, nil)
 	if err != nil {
 		return err
 	}

@@ -17,6 +17,8 @@ package main
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -32,6 +34,7 @@ import (
 	"efl/internal/rng"
 	"efl/internal/service"
 	"efl/internal/stats"
+	"efl/internal/workload"
 )
 
 func main() {
@@ -43,6 +46,7 @@ func main() {
 		runs        = flag.Int("runs", 60, "measurement runs per estimate request")
 		out         = flag.String("out", "", "write the loadtest artifact to this path")
 		smoke       = flag.Bool("smoke", false, "run the end-to-end smoke check instead of a load run")
+		tracemix    = flag.Int("tracemix", 0, "upload N synthetic traces and mix trace_hash estimates into the load run")
 		fleet       = flag.Int("fleet", 0, "drive an in-process N-node cluster instead of one server (emits a fleetload artifact)")
 		chaos       = flag.Bool("chaos", false, "fleet mode: inject a job-panic and a node drop mid-run")
 		storeDir    = flag.String("store-dir", "", "fleet mode: shared result store directory (empty: a temp dir)")
@@ -58,11 +62,15 @@ func main() {
 			err = fmt.Errorf("unknown experiment %q (have: resilmatrix)", *exp)
 		}
 	} else if *fleet > 0 {
-		err = runFleet(*fleet, *storeDir, *duration, *concurrency, *seed, *runs, *out, *smoke, *chaos)
+		if *tracemix > 0 {
+			err = fmt.Errorf("-tracemix drives the single-server mode (drop -fleet)")
+		} else {
+			err = runFleet(*fleet, *storeDir, *duration, *concurrency, *seed, *runs, *out, *smoke, *chaos)
+		}
 	} else if *chaos {
 		err = fmt.Errorf("-chaos needs -fleet")
 	} else {
-		err = run(*addr, *duration, *concurrency, *seed, *runs, *out, *smoke)
+		err = run(*addr, *duration, *concurrency, *seed, *runs, *out, *smoke, *tracemix)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "eflload:", err)
@@ -70,7 +78,7 @@ func main() {
 	}
 }
 
-func run(addr string, duration time.Duration, concurrency int, seed uint64, runs int, out string, smoke bool) error {
+func run(addr string, duration time.Duration, concurrency int, seed uint64, runs int, out string, smoke bool, tracemix int) error {
 	base := addr
 	if base == "" {
 		svc := service.New(service.Options{})
@@ -92,7 +100,10 @@ func run(addr string, duration time.Duration, concurrency int, seed uint64, runs
 	if concurrency < 1 {
 		return fmt.Errorf("concurrency must be positive")
 	}
-	return runLoad(baseURL, duration, concurrency, seed, runs, out)
+	if tracemix < 0 {
+		return fmt.Errorf("tracemix must be non-negative")
+	}
+	return runLoad(baseURL, duration, concurrency, seed, runs, out, tracemix)
 }
 
 // request is one prebuilt workload item.
@@ -110,11 +121,12 @@ type sample struct {
 
 // buildWorkload returns the distinct request bodies the load run cycles
 // through: estimates over the first benchmarks at two seeds, a schedule
-// feasibility check and a static cross-check. A bounded distinct set is
-// the point — replays after the first pass exercise the result cache the
-// way a real estimation service is used (same task re-analysed across
-// integration rounds).
-func buildWorkload(runs int) ([]request, error) {
+// feasibility check, a static cross-check and (with -tracemix) one
+// estimate per uploaded trace hash. A bounded distinct set is the point —
+// replays after the first pass exercise the result cache the way a real
+// estimation service is used (same task re-analysed across integration
+// rounds).
+func buildWorkload(runs int, traceHashes []string) ([]request, error) {
 	var reqs []request
 	specs := efl.Benchmarks()
 	if len(specs) > 4 {
@@ -159,7 +171,77 @@ func buildWorkload(runs int) ([]request, error) {
 		return nil, err
 	}
 	reqs = append(reqs, request{path: "/v1/static", body: staticBody})
+	for _, hash := range traceHashes {
+		body, err := json.Marshal(map[string]any{
+			"program":  map[string]any{"trace_hash": hash},
+			"config":   map[string]any{"mid": 500},
+			"runs":     runs,
+			"seed":     1,
+			"skip_iid": true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		reqs = append(reqs, request{path: "/v1/estimate", body: body})
+	}
 	return reqs, nil
+}
+
+// uploadTraces generates n deterministic synthetic traces (scenario
+// parameters cycle with the index) and uploads them to the target,
+// verifying the server assigns each the locally computed content address.
+func uploadTraces(baseURL string, n int, seed uint64) ([]string, error) {
+	hashes := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		spec := workload.GenSpec{
+			Name:           fmt.Sprintf("loadmix-%d", i),
+			Seed:           seed + uint64(i)*1000,
+			Records:        800 + 200*(i%3),
+			FootprintBytes: 8 * 1024 << (i % 3),
+			Locality:       0.5 + 0.15*float64(i%3),
+			StoreFrac:      0.3,
+			MeanGap:        2,
+		}
+		data, err := spec.Generate()
+		if err != nil {
+			return nil, fmt.Errorf("trace %d: %w", i, err)
+		}
+		hash, err := uploadTrace(baseURL, data)
+		if err != nil {
+			return nil, fmt.Errorf("trace %d: %w", i, err)
+		}
+		hashes = append(hashes, hash)
+	}
+	return hashes, nil
+}
+
+// uploadTrace POSTs raw trace bytes and checks the returned hash against
+// the local SHA-256 — a mismatch means the server stored something other
+// than what was sent.
+func uploadTrace(baseURL string, data []byte) (string, error) {
+	resp, err := http.Post(baseURL+"/v1/trace", "application/octet-stream", bytes.NewReader(data))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("upload: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var up struct {
+		TraceHash string `json:"trace_hash"`
+	}
+	if err := json.Unmarshal(body, &up); err != nil {
+		return "", fmt.Errorf("upload response: %w", err)
+	}
+	sum := sha256.Sum256(data)
+	if want := hex.EncodeToString(sum[:]); up.TraceHash != want {
+		return "", fmt.Errorf("server hashed the trace to %s, locally %s", up.TraceHash, want)
+	}
+	return up.TraceHash, nil
 }
 
 // loadtestPayload is the artifact body (kind "loadtest").
@@ -184,8 +266,15 @@ type latencySummary struct {
 	Max  float64 `json:"max"`
 }
 
-func runLoad(baseURL string, duration time.Duration, concurrency int, seed uint64, runs int, out string) error {
-	reqs, err := buildWorkload(runs)
+func runLoad(baseURL string, duration time.Duration, concurrency int, seed uint64, runs int, out string, tracemix int) error {
+	var traceHashes []string
+	if tracemix > 0 {
+		var err error
+		if traceHashes, err = uploadTraces(baseURL, tracemix, seed); err != nil {
+			return err
+		}
+	}
+	reqs, err := buildWorkload(runs, traceHashes)
 	if err != nil {
 		return err
 	}
@@ -294,7 +383,9 @@ func fetchMetrics(baseURL string) (*service.MetricsSnapshot, error) {
 }
 
 // runSmoke is the end-to-end correctness pass: a fresh audited estimate,
-// its byte-identical cache-hit replay, and a static-route round trip.
+// its byte-identical cache-hit replay, a static-route round trip, and the
+// trace-ingestion loop (generate, upload, audited estimate by trace_hash,
+// byte-identical replay).
 func runSmoke(baseURL string, runs int, seed uint64) error {
 	body, err := json.Marshal(map[string]any{
 		"program": map[string]any{"benchmark": efl.Benchmarks()[0].Code},
@@ -365,7 +456,80 @@ func runSmoke(baseURL string, runs int, seed uint64) error {
 	if err := json.Unmarshal(staticResp, &st); err != nil || len(st.PWCET) == 0 {
 		return fmt.Errorf("static returned no pWCET values (%v)", err)
 	}
-	fmt.Println("smoke: PASS (fresh estimate audited clean, cache replay byte-identical, static route live)")
+
+	if err := smokeTrace(baseURL, runs, seed); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	fmt.Println("smoke: PASS (fresh estimate audited clean, cache replay byte-identical, static route live, trace ingestion round-tripped)")
+	return nil
+}
+
+// smokeTrace exercises the trace-ingestion loop against a live server: a
+// generated trace uploads under its content address, an audited estimate
+// by trace_hash computes with every invariant clean, and the identical
+// re-request replays byte-identically from the cache.
+func smokeTrace(baseURL string, runs int, seed uint64) error {
+	data, err := workload.GenSpec{
+		Name: "smoke", Seed: seed, Records: 1200, FootprintBytes: 16 * 1024,
+		Locality: 0.6, StoreFrac: 0.3, MeanGap: 2,
+	}.Generate()
+	if err != nil {
+		return err
+	}
+	hash, err := uploadTrace(baseURL, data)
+	if err != nil {
+		return err
+	}
+	body, err := json.Marshal(map[string]any{
+		"program": map[string]any{"trace_hash": hash},
+		"config":  map[string]any{"mid": 500},
+		"runs":    runs,
+		"seed":    seed,
+		// The traced workload need not pass the i.i.d. gate at smoke-sized
+		// run counts; soundness is covered by the audit block instead.
+		"skip_iid": true,
+		"audit":    true,
+	})
+	if err != nil {
+		return err
+	}
+	first, firstCache, err := post(baseURL+"/v1/estimate", body)
+	if err != nil {
+		return fmt.Errorf("estimate by hash: %w", err)
+	}
+	if firstCache != "miss" {
+		return fmt.Errorf("first trace estimate X-Cache = %q, want miss", firstCache)
+	}
+	var est struct {
+		PWCET map[string]float64 `json:"pwcet"`
+		Audit struct {
+			Runs       int64 `json:"runs"`
+			Checks     int64 `json:"checks"`
+			Violations int64 `json:"violations"`
+		} `json:"audit"`
+	}
+	if err := json.Unmarshal(first, &est); err != nil {
+		return fmt.Errorf("estimate response: %w", err)
+	}
+	if len(est.PWCET) == 0 {
+		return fmt.Errorf("trace estimate returned no pWCET values")
+	}
+	if est.Audit.Runs != int64(runs) || est.Audit.Checks == 0 {
+		return fmt.Errorf("audit block did not cover the traced campaign: %+v", est.Audit)
+	}
+	if est.Audit.Violations != 0 {
+		return fmt.Errorf("audit found %d violations on the traced workload", est.Audit.Violations)
+	}
+	second, secondCache, err := post(baseURL+"/v1/estimate", body)
+	if err != nil {
+		return fmt.Errorf("estimate replay: %w", err)
+	}
+	if secondCache != "hit" {
+		return fmt.Errorf("replayed trace estimate X-Cache = %q, want hit", secondCache)
+	}
+	if !bytes.Equal(first, second) {
+		return fmt.Errorf("cached trace response differs from fresh response")
+	}
 	return nil
 }
 

@@ -98,6 +98,22 @@ func run(addr, addrFile string, opts service.Options, nodeID, peerSpec, storeDir
 			return err
 		}
 	}
+	if nodeID == "" && (peerSpec != "" || storeDir != "" || hopGrace != 0) {
+		ln.Close()
+		return fmt.Errorf("cluster flags need -node-id")
+	}
+	// The store is built before the service so uploaded traces publish to
+	// (and resolve from) the shared directory fleet-wide.
+	var store cluster.Store
+	if storeDir != "" {
+		ds, err := cluster.NewDirStore(storeDir)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		store = ds
+		opts.TraceStore = ds
+	}
 	svc := service.New(opts)
 	handler := svc.Handler()
 	if nodeID != "" {
@@ -106,16 +122,6 @@ func run(addr, addrFile string, opts service.Options, nodeID, peerSpec, storeDir
 			ln.Close()
 			svc.Close()
 			return err
-		}
-		var store cluster.Store
-		if storeDir != "" {
-			ds, err := cluster.NewDirStore(storeDir)
-			if err != nil {
-				ln.Close()
-				svc.Close()
-				return err
-			}
-			store = ds
 		}
 		node, err := cluster.NewNode(cluster.Options{
 			ID: nodeID, Peers: peers, Service: svc, Store: store,
@@ -127,10 +133,6 @@ func run(addr, addrFile string, opts service.Options, nodeID, peerSpec, storeDir
 			return err
 		}
 		handler = node.Handler()
-	} else if peerSpec != "" || storeDir != "" || hopGrace != 0 {
-		ln.Close()
-		svc.Close()
-		return fmt.Errorf("cluster flags need -node-id")
 	}
 	httpSrv := &http.Server{
 		Handler:           handler,

@@ -97,7 +97,7 @@ var auditor *sim.Auditor
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: setup|iid|fig3|fig4|eq1|fixedmid|lru|wt|midsweep|convergence|attrib|coherence|bench|all")
+		exp       = flag.String("exp", "all", "experiment: setup|iid|fig3|fig4|eq1|fixedmid|lru|wt|midsweep|convergence|attrib|coherence|tracesweep|bench|all")
 		runs      = flag.Int("runs", 300, "measurement runs per MBPTA campaign")
 		workloads = flag.Int("workloads", 1024, "random workloads for Figure 4")
 		deploy    = flag.Int("deployruns", 2, "deployment runs averaged per workload config")
@@ -401,6 +401,26 @@ func main() {
 			return nil
 		})
 	}
+	// The trace sweep only runs when asked for explicitly: synthetic traced
+	// workloads exercise the ingestion pipeline (DESIGN.md §16), not one of
+	// the paper's artefacts.
+	if *exp == "tracesweep" {
+		run("tracesweep", func() error {
+			res, err := experiments.Tracesweep(opt, *mid)
+			if err != nil {
+				return err
+			}
+			if err := emit(*outDir, "tracesweep", *seed, *res, func(r experiments.TracesweepResult) string {
+				return r.Render()
+			}); err != nil {
+				return err
+			}
+			if !res.AllSound {
+				return errors.New("tracesweep campaign recorded an invariant violation")
+			}
+			return nil
+		})
+	}
 	// The fault-injection detection matrix only runs when asked for
 	// explicitly ("all" regenerates the paper artefacts; a campaign that
 	// deliberately breaks the simulated hardware is not one of them).
@@ -466,7 +486,7 @@ func main() {
 		})
 	}
 	switch *exp {
-	case "setup", "iid", "fig3", "fig4", "eq1", "fixedmid", "wt", "lru", "midsweep", "convergence", "attrib", "coherence", "bench", "faultmatrix", "all":
+	case "setup", "iid", "fig3", "fig4", "eq1", "fixedmid", "wt", "lru", "midsweep", "convergence", "attrib", "coherence", "tracesweep", "bench", "faultmatrix", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "experiments: unknown -exp %q\n", *exp)
 		flag.Usage()

@@ -1,0 +1,113 @@
+package cluster
+
+// Regression test for the forwarding path's unbounded response read:
+// forward() buffered whatever a peer streamed back (io.ReadAll with no
+// limit), unlike the request path's MaxBytesReader — a byzantine peer
+// answering 200 with an endless body exhausted the proxying node's memory
+// and, when the stream did end, relayed megabytes of garbage to the
+// client as a successful response. Post-fix the read is capped at
+// maxPeerResponseBytes, the oversized peer is treated like any other
+// failed candidate (breaker failure, steal onward), and the counter
+// names the byzantine-peer signature in /cluster/metrics.
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"efl/internal/service"
+)
+
+// startOversizedServer returns the base URL of a peer that answers every
+// POST with 200, result-shaped headers, and a body that keeps streaming
+// garbage until the client gives up (capped far past the forwarding
+// limit so a pre-fix unbounded reader terminates and the test fails on
+// the relayed garbage instead of hanging).
+func startOversizedServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk := make([]byte, 64<<10)
+	for i := range chunk {
+		chunk[i] = 'x'
+	}
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Cache", "hit")
+		w.WriteHeader(http.StatusOK)
+		fl, _ := w.(http.Flusher)
+		// 64 MiB ceiling: 16x the forwarding cap.
+		for sent := 0; sent < 64<<20; sent += len(chunk) {
+			if _, err := w.Write(chunk); err != nil {
+				return
+			}
+			if fl != nil {
+				fl.Flush()
+			}
+		}
+	})}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return "http://" + ln.Addr().String()
+}
+
+// TestOversizedPeerResponseStolen: a request whose home node streams an
+// oversized body is answered by the next candidate with a real result.
+func TestOversizedPeerResponseStolen(t *testing.T) {
+	evilURL := startOversizedServer(t)
+	svc := service.New(service.Options{Workers: 2})
+	defer svc.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	selfURL := "http://" + ln.Addr().String()
+	node, err := NewNode(Options{
+		ID:       "good",
+		Peers:    map[string]string{"good": selfURL, "evil": evilURL},
+		Service:  svc,
+		HopGrace: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: node.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	body := ownedBody(t, node, svc, "evil", nil)
+	resp, data := post(t, selfURL+"/v1/estimate", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d: %.200s", resp.StatusCode, data)
+	}
+	if r := resp.Header.Get(RouteHeader); r != RouteSteal {
+		t.Fatalf("route = %q, want steal", r)
+	}
+	if n := resp.Header.Get(NodeHeader); n != "good" {
+		t.Fatalf("answering node = %q, want good", n)
+	}
+	// Pre-fix, the evil peer's garbage stream was relayed verbatim as the
+	// response body; a real result is small, valid JSON.
+	if len(data) > maxPeerResponseBytes {
+		t.Fatalf("response is %d bytes — the oversized peer body was relayed to the client", len(data))
+	}
+	var out service.EstimateResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("response is not an estimate result: %v (%.100s)", err, data)
+	}
+	if out.Runs == 0 || out.PWCET == nil {
+		t.Fatalf("degenerate result relayed: %+v", out)
+	}
+
+	snap := node.Snapshot()
+	if snap.OversizedReplies != 1 {
+		t.Fatalf("oversized_replies = %d, want 1", snap.OversizedReplies)
+	}
+	if snap.Breakers["evil"].ConsecutiveFailures == 0 {
+		t.Fatal("oversized peer's breaker recorded no failure")
+	}
+}

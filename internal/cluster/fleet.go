@@ -120,6 +120,10 @@ func StartFleet(opts FleetOptions) (*Fleet, error) {
 			return nil, err
 		}
 		store = ds
+		// Share the trace registry through the same store: a trace uploaded
+		// to any node resolves on every node, so trace_hash requests route
+		// (and steal) exactly like benchmark/source ones.
+		opts.Service.TraceStore = ds
 	}
 	f := &Fleet{
 		Nodes:    make([]*Node, opts.Nodes),

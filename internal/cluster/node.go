@@ -102,13 +102,14 @@ type Node struct {
 	// reach it).
 	chaosPanic atomic.Bool
 
-	mu            sync.Mutex
-	routes        map[string]uint64
-	crossNodeHits uint64
-	storeErrors   uint64
-	breakerSkips  uint64
-	backoffSleeps uint64
-	hopTimeouts   uint64
+	mu               sync.Mutex
+	routes           map[string]uint64
+	crossNodeHits    uint64
+	storeErrors      uint64
+	breakerSkips     uint64
+	backoffSleeps    uint64
+	hopTimeouts      uint64
+	oversizedReplies uint64
 }
 
 // NewNode builds a fleet node. Peers must contain ID.
@@ -335,6 +336,13 @@ func (n *Node) serveLocal(w http.ResponseWriter, pl *service.Plan, route string)
 	n.reply(w, n.id, route, xcache, body)
 }
 
+// maxPeerResponseBytes caps how much of a peer's response body forward
+// buffers: the service's own request cap plus slack for the response
+// envelope. Every legitimate response body fits (result bodies are far
+// smaller than request bodies); only a byzantine or corrupted peer can
+// exceed it.
+const maxPeerResponseBytes = service.MaxBodyBytes + 64<<10
+
 // forward sends the raw request body to peer id under the request's
 // per-hop budget (plan timeout + grace — the peer needs the full plan
 // deadline for the campaign itself). The context deadline covers the
@@ -363,10 +371,21 @@ func (n *Node) forward(id, path string, body []byte, planTimeout time.Duration) 
 		n.countHopTimeout(ctx)
 		return nil, nil, false
 	}
-	data, err := io.ReadAll(resp.Body)
+	// Bounded read, mirroring the request path's MaxBytesReader: a
+	// byzantine peer streaming an endless 200 body must not exhaust this
+	// node's memory. The slack covers response-envelope overhead on a
+	// maximum-size payload; anything past it marks the peer broken and the
+	// work is stolen onward like any other peer failure.
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerResponseBytes+1))
 	resp.Body.Close()
 	if err != nil {
 		n.countHopTimeout(ctx)
+		return nil, nil, false
+	}
+	if len(data) > maxPeerResponseBytes {
+		n.mu.Lock()
+		n.oversizedReplies++
+		n.mu.Unlock()
 		return nil, nil, false
 	}
 	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
@@ -494,7 +513,10 @@ type Metrics struct {
 	// HopTimeouts counts forwards abandoned because the per-hop budget
 	// (plan deadline + grace) expired — the hung-peer signature.
 	HopTimeouts uint64 `json:"hop_timeouts"`
-	StoreErrors uint64 `json:"store_errors"`
+	// OversizedReplies counts peer responses abandoned because their body
+	// ran past the forwarding cap — the byzantine-peer signature.
+	OversizedReplies uint64 `json:"oversized_replies"`
+	StoreErrors      uint64 `json:"store_errors"`
 	// StoreQuarantined counts corrupt shared-store entries this node's
 	// store handle verified, refused to serve, and moved to corrupt/.
 	StoreQuarantined uint64                  `json:"store_quarantined"`
@@ -511,7 +533,8 @@ func (n *Node) Snapshot() Metrics {
 	m := Metrics{
 		Node: n.id, Routes: routes, CrossNodeHits: n.crossNodeHits,
 		BreakerSkips: n.breakerSkips, BackoffSleeps: n.backoffSleeps,
-		HopTimeouts: n.hopTimeouts, StoreErrors: n.storeErrors,
+		HopTimeouts: n.hopTimeouts, OversizedReplies: n.oversizedReplies,
+		StoreErrors: n.storeErrors,
 	}
 	n.mu.Unlock()
 	m.Breakers = make(map[string]resil.Stats, len(n.breakers))

@@ -1,0 +1,102 @@
+package cluster
+
+// Fleet-wide trace ingestion: a trace uploaded to ONE node must be
+// estimable by trace_hash from EVERY node, byte-identically. The shared
+// store carries the trace bytes (uploads publish, plan-time resolution
+// hydrates), so routing, stealing and store hits all work on traced
+// workloads exactly as on benchmark/source ones.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+
+	"efl/internal/service"
+	"efl/internal/workload"
+)
+
+// TestTraceEstimateAcrossFleet uploads to node 0, then asks every node
+// (home and non-home alike) for the same trace_hash estimate.
+func TestTraceEstimateAcrossFleet(t *testing.T) {
+	f := startFleet(t, FleetOptions{
+		Nodes:    3,
+		StoreDir: t.TempDir(),
+		Service:  service.Options{Workers: 2},
+	})
+
+	trace, err := workload.GenSpec{
+		Name: "fleet-trace", Seed: 21, Records: 300, FootprintBytes: 8 * 1024,
+		Locality: 0.6, StoreFrac: 0.3, MeanGap: 2, BlockLen: 64,
+	}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(f.URLs[0]+"/v1/trace", "application/octet-stream", bytes.NewReader(trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	upBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("upload: HTTP %d: %s", resp.StatusCode, upBody)
+	}
+	var up service.TraceUploadResponse
+	if err := json.Unmarshal(upBody, &up); err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(trace)
+	if want := hex.EncodeToString(sum[:]); up.TraceHash != want {
+		t.Fatalf("trace_hash = %s, want %s", up.TraceHash, want)
+	}
+
+	body, err := json.Marshal(map[string]any{
+		"program":  map[string]any{"trace_hash": up.TraceHash},
+		"config":   map[string]any{"mid": 500},
+		"runs":     40,
+		"seed":     1,
+		"skip_iid": true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plan on a fleet node (its service resolves the hash through the
+	// shared store) to learn the key's home node.
+	pl, err := f.Nodes[0].Service().PlanRequest("/v1/estimate", body)
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	home := f.Nodes[0].Owner(pl.Key)
+
+	// Ask the home node first (the reference body), then every non-home
+	// node: each must answer 200 with the identical bytes.
+	var reference []byte
+	hi := indexOf(t, f, home)
+	{
+		resp, data := post(t, f.URLs[hi]+"/v1/estimate", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("home node %s: HTTP %d: %.300s", home, resp.StatusCode, data)
+		}
+		reference = data
+	}
+	nonHome := 0
+	for i, url := range f.URLs {
+		if i == hi {
+			continue
+		}
+		nonHome++
+		resp, data := post(t, url+"/v1/estimate", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("node %d: HTTP %d: %.300s", i, resp.StatusCode, data)
+		}
+		if !bytes.Equal(data, reference) {
+			t.Fatalf("node %d's trace_hash estimate differs from home node %s's", i, home)
+		}
+	}
+	if nonHome == 0 {
+		t.Fatal("no non-home node was exercised")
+	}
+}

@@ -36,11 +36,17 @@ import (
 const maxSourceBytes = 1 << 20
 
 // ProgramSpec selects the code under analysis: a built-in benchmark kernel
-// (two-letter code, including the extended set) or inline assembler
-// source. Exactly one of Benchmark and Source must be set.
+// (two-letter code, including the extended set), inline assembler source,
+// or an uploaded memory-access trace named by its content hash. Exactly
+// one of Benchmark, Source and TraceHash must be set.
 type ProgramSpec struct {
 	Benchmark string `json:"benchmark,omitempty"`
 	Source    string `json:"source,omitempty"`
+	// TraceHash names a trace previously uploaded via POST /v1/trace (the
+	// SHA-256 of its raw bytes); the replayed trace is the program under
+	// analysis. Resolved by Server.buildProgram — it needs the server's
+	// trace registry.
+	TraceHash string `json:"trace_hash,omitempty"`
 	// Name labels an inline Source program (default "request").
 	Name string `json:"name,omitempty"`
 }
@@ -73,7 +79,7 @@ func (ps ProgramSpec) build() (*isa.Program, string, error) {
 			return nil, "", fmt.Errorf("program: %w", err)
 		}
 	default:
-		return nil, "", fmt.Errorf("program: set benchmark or source")
+		return nil, "", fmt.Errorf("program: set benchmark, source or trace_hash")
 	}
 	image, err := isa.Encode(prog)
 	if err != nil {

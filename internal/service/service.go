@@ -74,6 +74,14 @@ type Options struct {
 	MaxTimeout time.Duration
 	// RetryAfter is the hint returned with 429 responses (default 1s).
 	RetryAfter time.Duration
+	// TraceStore, when set, shares uploaded traces fleet-wide (the cluster
+	// wires its DirStore here), so an estimate by trace_hash plans on any
+	// node, not just the one that took the upload.
+	TraceStore BlobStore
+	// TraceCacheEntries and TraceCacheBytes bound the in-memory trace LRU
+	// (defaults 64 entries, 64 MiB).
+	TraceCacheEntries int
+	TraceCacheBytes   int64
 }
 
 func (o Options) withDefaults() Options {
@@ -100,6 +108,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RetryAfter <= 0 {
 		o.RetryAfter = time.Second
+	}
+	if o.TraceCacheEntries <= 0 {
+		o.TraceCacheEntries = 64
+	}
+	if o.TraceCacheBytes <= 0 {
+		o.TraceCacheBytes = 64 << 20
 	}
 	return o
 }
@@ -148,6 +162,14 @@ type Server struct {
 	coalesced uint64
 	workers   []WorkerStat
 	latency   metrics.Histogram // end-to-end request latency, microseconds
+
+	// traces is the uploaded-trace registry (raw bytes keyed by their
+	// SHA-256), with its own accounting.
+	traces           *resultCache
+	traceUploads     uint64
+	traceHits        uint64
+	traceMiss        uint64
+	traceStoreErrors uint64
 }
 
 // New starts a Server with opts.
@@ -159,6 +181,7 @@ func New(opts Options) *Server {
 		jobs:     make(chan *job, opts.QueueDepth),
 		pools:    make([]*sim.Pool, opts.Workers),
 		cache:    newResultCache(opts.CacheEntries, opts.CacheBytes),
+		traces:   newResultCache(opts.TraceCacheEntries, opts.TraceCacheBytes),
 		flight:   map[string]*job{},
 		requests: map[string]uint64{},
 		workers:  make([]WorkerStat, opts.Workers),
@@ -192,6 +215,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/estimate", s.post(s.handleCompute))
 	mux.HandleFunc("/v1/schedule", s.post(s.handleCompute))
 	mux.HandleFunc("/v1/static", s.post(s.handleCompute))
+	mux.HandleFunc("/v1/trace", s.post(s.handleTrace))
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
@@ -493,7 +517,7 @@ func (s *Server) planEstimate(body []byte) (*Plan, error) {
 	if err := decodeJSON(body, &req); err != nil {
 		return nil, err
 	}
-	prog, sha, err := req.Program.build()
+	prog, sha, err := s.buildProgram(req.Program)
 	if err != nil {
 		return nil, err
 	}
@@ -691,7 +715,7 @@ func (s *Server) planStatic(body []byte) (*Plan, error) {
 	if err := req.validate(); err != nil {
 		return nil, err
 	}
-	prog, sha, err := req.Program.build()
+	prog, sha, err := s.buildProgram(req.Program)
 	if err != nil {
 		return nil, err
 	}
@@ -775,6 +799,7 @@ type MetricsSnapshot struct {
 	QueueDepth    int               `json:"queue_depth"`
 	QueueCapacity int               `json:"queue_capacity"`
 	Cache         CacheStats        `json:"cache"`
+	Traces        TraceStats        `json:"traces"`
 	Workers       []WorkerStat      `json:"workers"`
 	LatencyUS     LatencyStats      `json:"latency_us"`
 }
@@ -814,6 +839,11 @@ func (s *Server) Snapshot() MetricsSnapshot {
 		Cache: CacheStats{
 			Hits: s.cacheHits, Misses: s.cacheMiss, Coalesced: s.coalesced,
 			Entries: s.cache.len(), Bytes: s.cache.size(),
+		},
+		Traces: TraceStats{
+			Uploads: s.traceUploads, Hits: s.traceHits, Misses: s.traceMiss,
+			StoreErrors: s.traceStoreErrors,
+			Entries:     s.traces.len(), Bytes: s.traces.size(),
 		},
 		Workers: append([]WorkerStat(nil), s.workers...),
 		LatencyUS: LatencyStats{

@@ -1,0 +1,174 @@
+package service
+
+// Trace ingestion: POST /v1/trace uploads a binary memory-access trace
+// once, content-addressed by the SHA-256 of its raw bytes, and any
+// estimate or static request may then name it via program.trace_hash
+// instead of benchmark/source. The trace is validated up front (the
+// workload decoder bounds records, addresses, gaps and the replay budget,
+// so a hostile upload is rejected before it costs anything), cached in a
+// size-bounded LRU, and — when a shared blob store is wired — published
+// fleet-wide so any cluster node can resolve the hash at plan time.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"efl/internal/isa"
+	"efl/internal/workload"
+)
+
+// BlobStore is the shared content-addressed byte store the trace registry
+// publishes to and resolves from. *cluster.DirStore satisfies it; the
+// interface lives here so service does not import cluster.
+type BlobStore interface {
+	Get(key string) ([]byte, bool, error)
+	Put(key string, body []byte) error
+}
+
+// TraceUploadResponse is the POST /v1/trace success body.
+type TraceUploadResponse struct {
+	// TraceHash is the SHA-256 of the raw trace bytes — the handle
+	// program.trace_hash names.
+	TraceHash string `json:"trace_hash"`
+	Records   uint64 `json:"records"`
+	DataBytes uint64 `json:"data_bytes"`
+	// SharedBytes is the trace's declared cross-core shared window.
+	SharedBytes uint64 `json:"shared_bytes"`
+	Blocks      uint32 `json:"blocks"`
+	// ReplayInstructions is the exact dynamic instruction count the
+	// replayed program executes.
+	ReplayInstructions uint64 `json:"replay_instructions"`
+}
+
+// handleTrace ingests one binary trace body.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "body: "+err.Error())
+		return
+	}
+	meta, err := workload.Validate(data)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	sum := sha256.Sum256(data)
+	hash := hex.EncodeToString(sum[:])
+	s.mu.Lock()
+	s.traceUploads++
+	s.traces.put(hash, data)
+	s.mu.Unlock()
+	if s.opts.TraceStore != nil {
+		// Best-effort fleet publication: a flaky store degrades trace
+		// resolution to the uploading node's LRU, it does not fail uploads.
+		if err := s.opts.TraceStore.Put(hash, data); err != nil {
+			s.mu.Lock()
+			s.traceStoreErrors++
+			s.mu.Unlock()
+		}
+	}
+	resp := TraceUploadResponse{
+		TraceHash: hash, Records: meta.Records, DataBytes: meta.DataBytes,
+		SharedBytes: meta.SharedBytes, Blocks: meta.BlockCount,
+		ReplayInstructions: meta.ReplayInstr,
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+// resolveTrace returns the raw trace bytes for hash: the local LRU first,
+// then the shared store (integrity-checked — the bytes must hash back to
+// the key and still validate — and hydrated into the LRU on success).
+func (s *Server) resolveTrace(hash string) ([]byte, error) {
+	if len(hash) != 64 {
+		return nil, fmt.Errorf("program: trace_hash must be 64 hex characters")
+	}
+	if _, err := hex.DecodeString(hash); err != nil {
+		return nil, fmt.Errorf("program: trace_hash is not hex: %v", err)
+	}
+	s.mu.Lock()
+	data, ok := s.traces.get(hash)
+	if ok {
+		s.traceHits++
+	} else {
+		s.traceMiss++
+	}
+	s.mu.Unlock()
+	if ok {
+		return data, nil
+	}
+	if s.opts.TraceStore != nil {
+		data, ok, err := s.opts.TraceStore.Get(hash)
+		if err != nil {
+			s.mu.Lock()
+			s.traceStoreErrors++
+			s.mu.Unlock()
+		} else if ok {
+			if sum := sha256.Sum256(data); hex.EncodeToString(sum[:]) != hash {
+				return nil, fmt.Errorf("program: trace %s: store bytes fail their content hash", hash[:12])
+			}
+			if _, err := workload.Validate(data); err != nil {
+				return nil, fmt.Errorf("program: trace %s: store bytes invalid: %v", hash[:12], err)
+			}
+			s.mu.Lock()
+			s.traces.put(hash, data)
+			s.mu.Unlock()
+			return data, nil
+		}
+	}
+	return nil, fmt.Errorf("program: unknown trace %s…: upload it via POST /v1/trace first", hash[:12])
+}
+
+// buildProgram resolves a ProgramSpec into a runnable program and its
+// content hash. A trace_hash spec replays the stored trace; everything
+// else goes through the spec's own builder. Either way the returned hash
+// is the SHA-256 of the encoded instruction/data image, so an estimate of
+// a traced workload keys (and caches, and routes) exactly like one of an
+// assembled program.
+func (s *Server) buildProgram(ps ProgramSpec) (*isa.Program, string, error) {
+	if ps.TraceHash == "" {
+		return ps.build()
+	}
+	if ps.Benchmark != "" || ps.Source != "" {
+		return nil, "", fmt.Errorf("program: trace_hash is mutually exclusive with benchmark and source")
+	}
+	data, err := s.resolveTrace(ps.TraceHash)
+	if err != nil {
+		return nil, "", err
+	}
+	name := ps.Name
+	if name == "" {
+		name = "trace:" + ps.TraceHash[:12]
+	}
+	prog, err := workload.Replay(name, data)
+	if err != nil {
+		return nil, "", fmt.Errorf("program: %w", err)
+	}
+	image, err := isa.Encode(prog)
+	if err != nil {
+		return nil, "", fmt.Errorf("program: %w", err)
+	}
+	sum := sha256.Sum256(image)
+	return prog, hex.EncodeToString(sum[:]), nil
+}
+
+// TraceStats summarises the trace registry for /metrics.
+type TraceStats struct {
+	Uploads uint64 `json:"uploads"`
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	// StoreErrors counts failed shared-store probes/publications (the
+	// degraded-but-serving signature).
+	StoreErrors uint64 `json:"store_errors"`
+	Entries     int    `json:"entries"`
+	Bytes       int64  `json:"bytes"`
+}

@@ -1,0 +1,211 @@
+package service
+
+// Trace-ingestion tests: upload → estimate-by-hash → byte-identical cache
+// hit, validation failures, mutual exclusion, and resolution through a
+// shared blob store (the fleet path, exercised here without a cluster).
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"efl/internal/workload"
+)
+
+// genTestTrace builds a small deterministic trace for the tests.
+func genTestTrace(t *testing.T, seed uint64) []byte {
+	t.Helper()
+	data, err := workload.GenSpec{
+		Name: "svc-test", Seed: seed, Records: 300, FootprintBytes: 8 * 1024,
+		Locality: 0.6, StoreFrac: 0.3, MeanGap: 2, BlockLen: 64,
+	}.Generate()
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return data
+}
+
+func uploadTrace(t *testing.T, url string, data []byte) TraceUploadResponse {
+	t.Helper()
+	resp, body := postJSON(t, url+"/v1/trace", data)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("upload: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var out TraceUploadResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("upload response: %v", err)
+	}
+	return out
+}
+
+func traceEstimateBody(t *testing.T, hash string, extra map[string]any) []byte {
+	t.Helper()
+	m := map[string]any{
+		"program":  map[string]any{"trace_hash": hash},
+		"config":   map[string]any{"mid": 500},
+		"runs":     40,
+		"seed":     1,
+		"skip_iid": true,
+	}
+	for k, v := range extra {
+		m[k] = v
+	}
+	body, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// TestTraceUploadEstimateHit pins the tentpole's service contract: an
+// uploaded trace is addressable by the SHA-256 of its bytes, an audited
+// estimate by trace_hash computes with A1-A5 clean, and the identical
+// re-request replays byte-identically from the cache.
+func TestTraceUploadEstimateHit(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+	data := genTestTrace(t, 11)
+	up := uploadTrace(t, ts.URL, data)
+	sum := sha256.Sum256(data)
+	if want := hex.EncodeToString(sum[:]); up.TraceHash != want {
+		t.Fatalf("trace_hash = %s, want %s", up.TraceHash, want)
+	}
+	if up.Records != 300 || up.ReplayInstructions == 0 {
+		t.Fatalf("upload meta: %+v", up)
+	}
+
+	body := traceEstimateBody(t, up.TraceHash, map[string]any{"audit": true})
+	resp, first := postJSON(t, ts.URL+"/v1/estimate", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("estimate: HTTP %d: %s", resp.StatusCode, first)
+	}
+	if xc := resp.Header.Get("X-Cache"); xc != "miss" {
+		t.Fatalf("X-Cache = %q, want miss", xc)
+	}
+	var est EstimateResponse
+	if err := json.Unmarshal(first, &est); err != nil {
+		t.Fatal(err)
+	}
+	if est.Runs != 40 || len(est.PWCET) == 0 {
+		t.Fatalf("estimate: %+v", est)
+	}
+	var audit struct {
+		Runs       int `json:"runs"`
+		Invariants map[string]struct {
+			Checks     int64 `json:"checks"`
+			Violations int64 `json:"violations"`
+		} `json:"invariants"`
+	}
+	if err := json.Unmarshal(est.Audit, &audit); err != nil {
+		t.Fatalf("audit block: %v", err)
+	}
+	if audit.Runs != 40 {
+		t.Fatalf("audited runs = %d, want 40", audit.Runs)
+	}
+	var checks int64
+	for name, iv := range audit.Invariants {
+		checks += iv.Checks
+		if iv.Violations > 0 {
+			t.Errorf("invariant %s: %d violations on a traced workload", name, iv.Violations)
+		}
+	}
+	if checks == 0 {
+		t.Fatal("audit block has no checks")
+	}
+
+	resp2, second := postJSON(t, ts.URL+"/v1/estimate", body)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("re-request: HTTP %d", resp2.StatusCode)
+	}
+	if xc := resp2.Header.Get("X-Cache"); xc != "hit" {
+		t.Fatalf("re-request X-Cache = %q, want hit", xc)
+	}
+	if string(first) != string(second) {
+		t.Fatal("cache hit is not byte-identical to the fresh result")
+	}
+}
+
+// TestTraceValidationErrors pins the 400 surface: malformed uploads,
+// unknown hashes, bad hash shapes, and the benchmark/source exclusivity.
+func TestTraceValidationErrors(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	valid := genTestTrace(t, 12)
+	up := uploadTrace(t, ts.URL, valid)
+
+	cases := []struct {
+		name string
+		path string
+		body []byte
+	}{
+		{"malformed trace upload", "/v1/trace", []byte("not a trace")},
+		{"truncated trace upload", "/v1/trace", valid[:len(valid)-2]},
+		{"unknown trace hash", "/v1/estimate",
+			traceEstimateBody(t, "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef", nil)},
+		{"short trace hash", "/v1/estimate", traceEstimateBody(t, "abc123", nil)},
+		{"non-hex trace hash", "/v1/estimate",
+			traceEstimateBody(t, "zz23456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef", nil)},
+		{"trace_hash with source", "/v1/estimate", func() []byte {
+			b, _ := json.Marshal(map[string]any{
+				"program": map[string]any{"trace_hash": up.TraceHash, "source": tinySrc},
+				"runs":    40, "skip_iid": true,
+			})
+			return b
+		}()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := postJSON(t, ts.URL+tc.path, tc.body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("HTTP %d (want 400): %.200s", resp.StatusCode, body)
+			}
+		})
+	}
+}
+
+// memBlobStore is an in-memory BlobStore.
+type memBlobStore struct {
+	m map[string][]byte
+}
+
+func (s *memBlobStore) Get(key string) ([]byte, bool, error) {
+	b, ok := s.m[key]
+	return b, ok, nil
+}
+func (s *memBlobStore) Put(key string, body []byte) error {
+	s.m[key] = body
+	return nil
+}
+
+// TestTraceResolvesThroughBlobStore pins the fleet path without a fleet:
+// a trace uploaded to one server resolves on another sharing only the
+// blob store, and the two servers' estimate bodies are byte-identical.
+func TestTraceResolvesThroughBlobStore(t *testing.T) {
+	store := &memBlobStore{m: map[string][]byte{}}
+	_, tsA := newTestServer(t, Options{Workers: 1, TraceStore: store})
+	srvB, tsB := newTestServer(t, Options{Workers: 1, TraceStore: store})
+
+	up := uploadTrace(t, tsA.URL, genTestTrace(t, 13))
+	body := traceEstimateBody(t, up.TraceHash, nil)
+	respA, fromA := postJSON(t, tsA.URL+"/v1/estimate", body)
+	respB, fromB := postJSON(t, tsB.URL+"/v1/estimate", body)
+	if respA.StatusCode != http.StatusOK || respB.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d / %d: %.200s / %.200s", respA.StatusCode, respB.StatusCode, fromA, fromB)
+	}
+	if string(fromA) != string(fromB) {
+		t.Fatal("estimates via upload node and store-resolving node differ")
+	}
+	snap := srvB.Snapshot()
+	if snap.Traces.Misses == 0 {
+		t.Fatal("server B never missed its local trace LRU (store path untested)")
+	}
+
+	// A corrupted store entry must fail resolution, not replay garbage.
+	store.m[up.TraceHash][50] ^= 0xFF
+	srvC, tsC := newTestServer(t, Options{Workers: 1, TraceStore: store})
+	respC, bodyC := postJSON(t, tsC.URL+"/v1/estimate", body)
+	if respC.StatusCode != http.StatusBadRequest {
+		t.Fatalf("corrupt store entry: HTTP %d (want 400): %.200s", respC.StatusCode, bodyC)
+	}
+	_ = srvC
+}

@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"testing"
+)
+
+// fuzzSeedTrace builds a small valid trace for the fuzz corpus (no
+// testing.T in scope, so errors just drop the seed).
+func fuzzSeedTrace(spec GenSpec) []byte {
+	data, err := spec.Generate()
+	if err != nil {
+		return nil
+	}
+	return data
+}
+
+// FuzzDecodeTrace throws arbitrary bytes at the trace decoder and pins two
+// properties. First, Validate never panics — traces arrive over /v1/trace
+// from untrusted clients and come back from the shared cluster store, so
+// every malformed shape must be a descriptive error. Second, every trace
+// Validate accepts re-encodes: streaming its records through a fresh
+// Writer with the same geometry yields a file that validates to the same
+// records (byte-identity is not required — an accepted input may use
+// non-minimal varints; the Writer is the canonical form). The checked-in
+// corpus under testdata/fuzz seeds valid traces of two shapes plus the
+// classic hostile ones (truncated header, bad magic, truncated index,
+// corrupt payload).
+func FuzzDecodeTrace(f *testing.F) {
+	small := fuzzSeedTrace(GenSpec{
+		Name: "fuzz-small", Seed: 3, Records: 40, FootprintBytes: 512,
+		Locality: 0.5, StoreFrac: 0.3, MeanGap: 2, BlockLen: 16,
+	})
+	shared := fuzzSeedTrace(GenSpec{
+		Name: "fuzz-shared", Seed: 9, Records: 60, FootprintBytes: 1024,
+		SharedBytes: 64, SharedFrac: 0.4, StoreFrac: 0.5, BlockLen: 32,
+	})
+	for _, seed := range [][]byte{small, shared} {
+		if seed != nil {
+			f.Add(seed)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte("EFLT"))
+	if small != nil {
+		f.Add(small[:HeaderBytes])                      // index cut off
+		f.Add(small[:len(small)-3])                     // payload cut off
+		f.Add(append([]byte("XXXX"), small[4:]...))     // bad magic
+		f.Add(append(append([]byte{}, small...), 0, 1)) // trailing bytes
+		corrupt := append([]byte{}, small...)
+		corrupt[HeaderBytes+IndexEntryBytes] ^= 0xFF // first payload byte
+		f.Add(corrupt)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		meta, err := Validate(data)
+		if err != nil {
+			return // rejected inputs only need to not panic
+		}
+		r, err := NewReader(data)
+		if err != nil {
+			t.Fatalf("Validate accepted a trace NewReader rejects: %v", err)
+		}
+		w, err := NewWriter(meta.AddrBits, meta.DataBytes, meta.SharedBytes, int(meta.BlockLen))
+		if err != nil {
+			t.Fatalf("Validate accepted a geometry NewWriter rejects: %v", err)
+		}
+		var rec Record
+		var recs []Record
+		for {
+			ok, err := r.Next(&rec)
+			if err != nil {
+				t.Fatalf("record %d failed after Validate accepted the trace: %v", len(recs), err)
+			}
+			if !ok {
+				break
+			}
+			recs = append(recs, rec)
+			if err := w.Add(rec); err != nil {
+				t.Fatalf("record %d rejected by the writer: %v", len(recs)-1, err)
+			}
+		}
+		if uint64(len(recs)) != meta.Records {
+			t.Fatalf("decoded %d records, header declares %d", len(recs), meta.Records)
+		}
+		re, err := w.Bytes()
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		meta2, err := Validate(re)
+		if err != nil {
+			t.Fatalf("re-encoded trace rejected: %v", err)
+		}
+		if meta2.Records != meta.Records || meta2.ReplayInstr != meta.ReplayInstr || meta2.Stores != meta.Stores {
+			t.Fatalf("round trip changed totals: %+v vs %+v", meta, meta2)
+		}
+		r2, err := NewReader(re)
+		if err != nil {
+			t.Fatalf("re-encoded trace unreadable: %v", err)
+		}
+		for i := range recs {
+			ok, err := r2.Next(&rec)
+			if err != nil || !ok {
+				t.Fatalf("re-encoded record %d: ok=%v err=%v", i, ok, err)
+			}
+			if rec != recs[i] {
+				t.Fatalf("round trip changed record %d: %+v vs %+v", i, rec, recs[i])
+			}
+		}
+	})
+}

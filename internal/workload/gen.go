@@ -1,0 +1,168 @@
+package workload
+
+// The synthetic-trace generator mass-produces scenarios across the axes
+// that drive shared-cache behaviour — locality (hot-set concentration),
+// footprint (fits the LLC or streams past it), sharing (a coherent
+// window touched by several cores) and stride (spatial density). It is
+// deterministic end-to-end: the same GenSpec always produces the same
+// bytes (pinned by test, including across GOMAXPROCS), so generated
+// traces are content-addressable exactly like recorded ones.
+
+import (
+	"fmt"
+
+	"efl/internal/rng"
+)
+
+// GenSpec parameterises one synthetic trace. The zero value of every
+// optional field selects a documented default; Validate (or Generate,
+// which calls it) reports anything inconsistent.
+type GenSpec struct {
+	// Name labels the trace (diagnostics only; not encoded).
+	Name string
+	// Seed drives every random draw.
+	Seed uint64
+	// Records is the access count (required, 1..MaxRecords).
+	Records int
+	// FootprintBytes is the data-segment size (required, a multiple of 8,
+	// at least 64). Addresses cover [0, FootprintBytes).
+	FootprintBytes int
+	// SharedBytes marks the first SharedBytes bytes as the cross-core
+	// shared window (a multiple of the 16-byte line size, less than the
+	// footprint; 0 disables sharing).
+	SharedBytes int
+	// SharedFrac is the probability an access lands in the shared window
+	// (only meaningful with SharedBytes > 0).
+	SharedFrac float64
+	// Locality is the probability a private access hits the hot set
+	// instead of the streaming cursor.
+	Locality float64
+	// HotBytes sizes the hot set (the first HotBytes of the private
+	// region; default: an eighth of it, rounded to a word).
+	HotBytes int
+	// StrideBytes advances the streaming cursor between cold accesses
+	// (a positive multiple of 8; default 8 — consecutive words).
+	StrideBytes int
+	// StoreFrac is the probability an access is a store.
+	StoreFrac float64
+	// MeanGap is the mean idle-instruction gap between accesses; each
+	// record draws uniformly from [0, 2*MeanGap].
+	MeanGap int
+	// AddrBits overrides the declared address width (default: the
+	// smallest width covering the footprint).
+	AddrBits uint8
+	// BlockLen overrides the encoder's block length (default
+	// DefaultBlockLen).
+	BlockLen int
+}
+
+// normalized applies defaults and validates the result.
+func (g GenSpec) normalized() (GenSpec, error) {
+	if g.Records < 1 || g.Records > MaxRecords {
+		return g, fmt.Errorf("workload: gen %q: records %d outside [1,%d]", g.Name, g.Records, MaxRecords)
+	}
+	if g.FootprintBytes < 64 || g.FootprintBytes%8 != 0 {
+		return g, fmt.Errorf("workload: gen %q: footprint %d must be a multiple of 8, at least 64", g.Name, g.FootprintBytes)
+	}
+	if g.FootprintBytes > MaxDataBytes {
+		return g, fmt.Errorf("workload: gen %q: footprint %d exceeds %d", g.Name, g.FootprintBytes, MaxDataBytes)
+	}
+	if g.SharedBytes < 0 || g.SharedBytes >= g.FootprintBytes || g.SharedBytes%sharedAlign != 0 {
+		return g, fmt.Errorf("workload: gen %q: shared window %d must be a multiple of %d, smaller than the %d-byte footprint",
+			g.Name, g.SharedBytes, sharedAlign, g.FootprintBytes)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{{"shared_frac", g.SharedFrac}, {"locality", g.Locality}, {"store_frac", g.StoreFrac}} {
+		if f.v < 0 || f.v > 1 {
+			return g, fmt.Errorf("workload: gen %q: %s %v outside [0,1]", g.Name, f.name, f.v)
+		}
+	}
+	private := g.FootprintBytes - g.SharedBytes
+	if g.HotBytes == 0 {
+		g.HotBytes = (private / 8) &^ 7
+		if g.HotBytes < 8 {
+			g.HotBytes = 8
+		}
+	}
+	if g.HotBytes < 8 || g.HotBytes > private || g.HotBytes%8 != 0 {
+		return g, fmt.Errorf("workload: gen %q: hot set %d must be a multiple of 8 within the %d-byte private region", g.Name, g.HotBytes, private)
+	}
+	if g.StrideBytes == 0 {
+		g.StrideBytes = 8
+	}
+	if g.StrideBytes < 8 || g.StrideBytes%8 != 0 {
+		return g, fmt.Errorf("workload: gen %q: stride %d must be a positive multiple of 8", g.Name, g.StrideBytes)
+	}
+	if g.MeanGap < 0 || g.MeanGap > MaxGap/2 {
+		return g, fmt.Errorf("workload: gen %q: mean gap %d outside [0,%d]", g.Name, g.MeanGap, MaxGap/2)
+	}
+	// Worst-case replay budget: every record at the maximum gap 2*MeanGap
+	// plus its access, plus the prologue and HALT.
+	if worst := uint64(g.Records)*uint64(1+2*g.MeanGap) + 2; worst > MaxReplayInstr {
+		return g, fmt.Errorf("workload: gen %q: %d records at mean gap %d can exceed the %d-instruction replay budget",
+			g.Name, g.Records, g.MeanGap, MaxReplayInstr)
+	}
+	if g.AddrBits == 0 {
+		bits := uint8(MinAddrBits)
+		for 1<<bits < g.FootprintBytes {
+			bits++
+		}
+		g.AddrBits = bits
+	}
+	return g, nil
+}
+
+// Validate reports whether the spec (with defaults applied) is
+// generatable.
+func (g GenSpec) Validate() error {
+	_, err := g.normalized()
+	return err
+}
+
+// Generate produces the trace. Same spec (seed included) => byte-identical
+// output: the draw order is fixed — per record, in sequence and only as
+// each branch needs them: shared?, hot?, address, store?, gap — and the
+// encoder is canonical.
+func (g GenSpec) Generate() ([]byte, error) {
+	g, err := g.normalized()
+	if err != nil {
+		return nil, err
+	}
+	w, err := NewWriter(g.AddrBits, uint64(g.FootprintBytes), uint64(g.SharedBytes), g.BlockLen)
+	if err != nil {
+		return nil, err
+	}
+	src := rng.New(g.Seed)
+	privBase := uint64(g.SharedBytes)
+	privWords := (g.FootprintBytes - g.SharedBytes) / 8
+	strideWords := g.StrideBytes / 8
+	cursor := 0
+	var rec Record
+	for i := 0; i < g.Records; i++ {
+		switch {
+		case g.SharedBytes > 0 && u01(src) < g.SharedFrac:
+			rec.Addr = uint64(src.Intn(g.SharedBytes/8)) * 8
+		case u01(src) < g.Locality:
+			rec.Addr = privBase + uint64(src.Intn(g.HotBytes/8))*8
+		default:
+			rec.Addr = privBase + uint64(cursor)*8
+			cursor = (cursor + strideWords) % privWords
+		}
+		rec.Store = u01(src) < g.StoreFrac
+		rec.Gap = 0
+		if g.MeanGap > 0 {
+			rec.Gap = uint32(src.Intn(2*g.MeanGap + 1))
+		}
+		if err := w.Add(rec); err != nil {
+			return nil, err
+		}
+	}
+	return w.Bytes()
+}
+
+// u01 draws a uniform float in [0,1) from the stream's top 53 bits.
+func u01(src rng.Stream) float64 {
+	return float64(src.Uint64()>>11) / (1 << 53)
+}

@@ -54,6 +54,19 @@ grep -q '"a3_holds": true' "$cohdir/coherence.json" || { echo "coherence: A3 evi
 grep -q '"a5_holds": true' "$cohdir/coherence.json" || { echo "coherence: A5 protocol soundness did not hold"; exit 1; }
 rm -rf "$cohdir"
 
+echo "== tracesweep smoke (synthetic trace grid: generate -> replay -> MBPTA fit, audited deployment)"
+# The four-scenario synthetic-trace grid (locality / streaming / shared /
+# stride) generated deterministically, replayed into programs and pushed
+# through the full pipeline with the auditor armed: an MBPTA fit per
+# scenario plus audited deployment runs (A1-A3 everywhere, A5 on the
+# sharing scenario). Exit 0 + all_sound means traced workloads are
+# first-class citizens of the estimator.
+tsdir=$(mktemp -d)
+go run ./cmd/experiments -exp tracesweep -runs 60 -audit -out "$tsdir" >/dev/null
+grep -q '"all_sound": true' "$tsdir/tracesweep.json" || { echo "tracesweep: invariant violation in artifact"; exit 1; }
+grep -q '"a3_holds": true' "$tsdir/tracesweep.json" || { echo "tracesweep: A3 eviction-rate bound did not hold"; exit 1; }
+rm -rf "$tsdir"
+
 echo "== bench regression gate (vs committed BENCH_SIM.json)"
 # The fresh report goes to a scratch path: the gate compares against the
 # committed baseline without touching it (regenerate deliberately with
@@ -95,7 +108,10 @@ for _ in $(seq 100); do [[ -s "$svcdir/addr" ]] && break; sleep 0.1; done
 [[ -s "$svcdir/addr" ]] || { echo "eflserved did not bind"; exit 1; }
 # The smoke POSTs one audited estimate twice and asserts miss-then-hit with
 # byte-identical bodies and a violation-free audit block, plus a static
-# round trip (seed 2 passes the i.i.d. gate at 60 runs; pinned by tests).
+# round trip (seed 2 passes the i.i.d. gate at 60 runs; pinned by tests)
+# and the trace-ingestion loop: a generated trace uploads under its
+# SHA-256, an audited estimate by trace_hash computes clean, and the
+# re-request replays byte-identically from the cache.
 "$svcdir/eflload" -smoke -addr "$(cat "$svcdir/addr")" -runs 60 -seed 2
 kill -TERM "$svcpid"
 wait "$svcpid" || { echo "eflserved did not drain cleanly on SIGTERM"; exit 1; }
